@@ -1,0 +1,16 @@
+"""Shared helpers for the per-figure benchmark harness."""
+
+from __future__ import annotations
+
+from repro.eval.report import format_table
+
+
+def show(title: str, rows: list[dict]) -> None:
+    """Print one reproduced table/figure as rows, like the paper's."""
+    if not rows:
+        print(f"\n== {title}: no rows ==")
+        return
+    headers = list(rows[0].keys())
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    print(f"\n== {title} ==")
+    print(format_table(headers, body))

@@ -1,0 +1,70 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation removes one mechanism from SMART and measures what it was
+worth on the AlexNet single-image run:
+
+- **wide access lines**: the array serves 16 B lines instead of the
+  128 B bank lines the bulk moves are coalesced into;
+- **prefetch hiding**: a = 1 (the Pipe configuration);
+- **the RANDOM array itself**: fall all the way back to SuperNPU.
+"""
+
+from conftest import show
+
+from repro.core import make_accelerator, make_smart
+from repro.models import get_model
+from repro.systolic.memsys import HeterogeneousSpm, MemorySystem, DramModel
+from repro.systolic.simulator import AcceleratorModel
+
+
+def _smart_with(line_bytes: int) -> AcceleratorModel:
+    """SMART with the RANDOM array's access line narrowed."""
+    base = make_smart()
+    hetero = base.memsys.hetero
+    hetero = HeterogeneousSpm(
+        input_shift=hetero.input_shift,
+        weight_shift=hetero.weight_shift,
+        output_shift=hetero.output_shift,
+        random=hetero.random.with_line(line_bytes),
+        prefetch_depth=hetero.prefetch_depth,
+        burst_line_bytes=line_bytes,
+    )
+    memsys = MemorySystem(
+        scheme="heterogeneous", dram=DramModel(),
+        total_capacity=base.memsys.total_capacity, hetero=hetero,
+    )
+    return AcceleratorModel(name="SMART-ablated", rows=base.rows,
+                            cols=base.cols, frequency=base.frequency,
+                            memsys=memsys)
+
+
+def _ablate():
+    net = get_model("AlexNet")
+    full = make_smart().simulate(net, 1).latency
+    rows = [{"config": "SMART (full)", "latency_us": full * 1e6,
+             "slowdown": 1.0}]
+    no_burst = _smart_with(line_bytes=16).simulate(net, 1).latency
+    rows.append({"config": "- wide access lines (16B lines)",
+                 "latency_us": no_burst * 1e6,
+                 "slowdown": no_burst / full})
+    no_prefetch = make_accelerator("Pipe").simulate(net, 1).latency
+    rows.append({"config": "- ILP prefetching (Pipe)",
+                 "latency_us": no_prefetch * 1e6,
+                 "slowdown": no_prefetch / full})
+    supernpu = make_accelerator("SHIFT").simulate(net, 1).latency
+    rows.append({"config": "- RANDOM array entirely (SuperNPU)",
+                 "latency_us": supernpu * 1e6,
+                 "slowdown": supernpu / full})
+    return rows
+
+
+def test_ablations(benchmark):
+    rows = benchmark.pedantic(_ablate, iterations=1, rounds=1)
+    show("Ablations: what each SMART mechanism is worth (AlexNet)", rows)
+    by_config = {r["config"]: r["slowdown"] for r in rows}
+    # every ablation must cost something, and no single mechanism is
+    # worth more than the RANDOM array itself
+    assert by_config["- wide access lines (16B lines)"] > 1.0
+    assert by_config["- ILP prefetching (Pipe)"] > 1.0
+    assert (by_config["- RANDOM array entirely (SuperNPU)"]
+            >= by_config["- ILP prefetching (Pipe)"])

@@ -1,0 +1,14 @@
+"""Fig 2: PTL vs JTL vs CMOS wire latency/energy vs length."""
+
+from conftest import show
+
+from repro.eval import fig2_wires
+
+
+def test_fig2_wires(benchmark):
+    rows = benchmark(fig2_wires)
+    show("Fig 2: wire latency (ps) and energy (J) vs length", rows)
+    last = rows[-1]
+    assert last["cmos_ps"] > 10 * last["ptl_ps"]
+    assert last["cmos_j"] > 1e3 * last["ptl_j"]
+    assert last["jtl_j"] > 50 * last["ptl_j"]

@@ -1,0 +1,15 @@
+"""Fig 6: run/jump structure of SuperNPU memory accesses."""
+
+from conftest import show
+
+from repro.eval import fig6_trace_structure
+
+
+def test_fig6(benchmark):
+    stats = benchmark(fig6_trace_structure)
+    rows = [{"operand": k, **v} for k, v in stats.items()]
+    show("Fig 6: AlexNet conv2 stream structure", rows)
+    # weights have both sequential runs and jumps; inputs have
+    # fine-grained random re-fetches
+    assert stats["alpha"]["jumps"] > 0
+    assert stats["beta"]["rand_fetches"] > 0

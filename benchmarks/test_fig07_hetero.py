@@ -1,0 +1,18 @@
+"""Fig 7: heterogeneous SPM latency (hSRAM/hMRAM/hSNM/hVTM/hVTM+p)."""
+
+from conftest import show
+
+from repro.eval import fig7_heterogeneous
+
+
+def test_fig7(benchmark):
+    rows = benchmark(fig7_heterogeneous)
+    show("Fig 7: heterogeneous SPM latency on AlexNet (norm. to SHIFT)",
+         rows)
+    by_name = {r["spm"]: r["norm_latency"] for r in rows}
+    # paper: hSRAM 3.36x / hMRAM 2.59x / hSNM 2.38x worse; hVTM -70%;
+    # prefetching (hVTM+p) a further -64%
+    assert by_name["hSRAM"] > 2.0
+    assert by_name["hMRAM"] > 1.0
+    assert by_name["hVTM"] < 1.0
+    assert by_name["hVTM+p"] < by_name["hVTM"]

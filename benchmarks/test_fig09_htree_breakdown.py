@@ -1,0 +1,15 @@
+"""Fig 9: CMOS H-tree latency/energy share of a 28 MB array."""
+
+from conftest import show
+
+from repro.eval import fig9_htree_breakdown
+
+
+def test_fig9(benchmark):
+    row = benchmark(fig9_htree_breakdown)
+    show("Fig 9: 28 MB Josephson-CMOS array breakdown", [row])
+    # paper: H-tree 84% of latency, 49% of energy; total in the
+    # Table 1 SRAM band
+    assert row["htree_latency_share"] > 0.7
+    assert row["htree_energy_share"] > 0.4
+    assert 2.0 < row["total_latency_ns"] < 6.0

@@ -1,0 +1,14 @@
+"""Fig 12: 4 K CMOS sub-bank model vs fabricated chip data."""
+
+from conftest import show
+
+from repro.eval import fig12_subbank_validation
+
+
+def test_fig12(benchmark):
+    rows = benchmark(fig12_subbank_validation)
+    show("Fig 12: sub-bank model vs 0.18um 4K chip", rows)
+    for row in rows:
+        # paper: model conservative by 3-8% (latency) / 8-12% (energy)
+        assert 0.0 <= row["latency_err"] <= 0.20
+        assert 0.0 <= row["energy_err"] <= 0.25

@@ -1,0 +1,22 @@
+"""Fig 13: SFQ H-tree analytical model vs transient circuit simulation."""
+
+from conftest import show
+
+from repro.eval import fig13_htree_validation
+
+
+def test_fig13(benchmark):
+    rows = benchmark.pedantic(
+        fig13_htree_validation,
+        kwargs={"lengths_mm": (0.1, 0.4, 0.8)},
+        iterations=1, rounds=1,
+    )
+    show("Fig 13: splitter-unit latency, model vs transient sim", rows)
+    for row in rows:
+        # the transient path tracks the analytical delay within ~2x
+        # (the Table 2 cell constants are conservative vs our tuned
+        # device library; the slope vs length is what must agree)
+        assert 0.3 < row["spice_ps"] / row["analytic_ps"] < 2.0
+    slope_spice = (rows[-1]["spice_ps"] - rows[0]["spice_ps"]) / 0.7
+    slope_model = (rows[-1]["analytic_ps"] - rows[0]["analytic_ps"]) / 0.7
+    assert abs(slope_spice / slope_model - 1.0) < 0.35

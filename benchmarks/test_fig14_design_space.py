@@ -1,0 +1,15 @@
+"""Fig 14: pipelined CMOS-SFQ array design-space exploration."""
+
+from conftest import show
+
+from repro.eval import fig14_design_space
+
+
+def test_fig14(benchmark):
+    rows = benchmark(fig14_design_space)
+    show("Fig 14: pipeline design space", rows)
+    # frequency ceiling is the nTron stage (~9.7 GHz); costs rise with
+    # frequency
+    assert abs(rows[-1]["frequency_ghz"] - 9.707) < 0.1
+    assert rows[-1]["leakage_mw"] >= rows[0]["leakage_mw"]
+    assert rows[-1]["subbank_mats"] >= rows[0]["subbank_mats"]

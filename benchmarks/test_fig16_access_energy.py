@@ -1,0 +1,16 @@
+"""Fig 16: SHIFT bank vs RANDOM array access energy."""
+
+from conftest import show
+
+from repro.eval import fig16_access_energy
+
+
+def test_fig16(benchmark):
+    rows = benchmark(fig16_access_energy)
+    show("Fig 16: per-access energy", rows)
+    by_name = {r["array"]: r["access_energy_pj"] for r in rows}
+    # paper: SMART's tiny lanes cut access energy by ~99% vs SuperNPU
+    # banks; the RANDOM array costs about half a 96 KB bank access
+    assert by_name["128B-SHIFT"] < 0.01 * by_name["96KB-SHIFT"]
+    assert by_name["RANDOM"] < by_name["96KB-SHIFT"]
+    assert by_name["384KB-SHIFT"] > by_name["96KB-SHIFT"]

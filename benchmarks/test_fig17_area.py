@@ -1,0 +1,15 @@
+"""Fig 17: SPM area breakdown, SuperNPU vs SMART."""
+
+from conftest import show
+
+from repro.eval import fig17_area_breakdown
+
+
+def test_fig17(benchmark):
+    rows = benchmark(fig17_area_breakdown)
+    show("Fig 17: SPM area (28nm-scaled JJs)", rows)
+    ratio = rows[2]["spm_area_mm2"]  # SMART / SuperNPU
+    # the paper reports +3% at chip level (matrix unit included); at
+    # SPM level the CMOS cells trade against 41% less capacity — we
+    # assert the SPM complexes stay within an order of magnitude
+    assert 0.5 < ratio < 10.0

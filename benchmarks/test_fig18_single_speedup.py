@@ -1,0 +1,19 @@
+"""Fig 18: single-image speedup of all schemes (normalised to TPU)."""
+
+from conftest import show
+
+from repro.eval import fig18_single_speedup, geomean
+
+
+def test_fig18(benchmark):
+    rows = benchmark.pedantic(fig18_single_speedup, iterations=1, rounds=1)
+    show("Fig 18: single-image speedup (norm. to TPU)", rows)
+    g = {s: geomean([r[s] for r in rows])
+         for s in ("SHIFT", "SRAM", "Heter", "Pipe", "SMART")}
+    print(f"gmeans: {g}")
+    print(f"SMART vs SuperNPU: {g['SMART'] / g['SHIFT']:.2f}x "
+          f"(paper: 3.9x)")
+    # paper: SuperNPU ~8.6x TPU; SMART ~3.9x SuperNPU; SRAM/Heter lose
+    assert 5.0 < g["SHIFT"] < 15.0
+    assert 2.5 < g["SMART"] / g["SHIFT"] < 5.0
+    assert g["SRAM"] < g["SHIFT"] and g["Heter"] < g["SHIFT"]

@@ -1,0 +1,15 @@
+"""Fig 19: batch-inference speedup of all schemes (normalised to TPU)."""
+
+from conftest import show
+
+from repro.eval import fig19_batch_speedup, geomean
+
+
+def test_fig19(benchmark):
+    rows = benchmark.pedantic(fig19_batch_speedup, iterations=1, rounds=1)
+    show("Fig 19: batch speedup (norm. to TPU)", rows)
+    g = {s: geomean([r[s] for r in rows])
+         for s in ("SHIFT", "SRAM", "Heter", "Pipe", "SMART")}
+    print(f"SMART vs SuperNPU (batch): {g['SMART'] / g['SHIFT']:.2f}x "
+          f"(paper: 2.2x)")
+    assert 1.5 < g["SMART"] / g["SHIFT"] < 3.0

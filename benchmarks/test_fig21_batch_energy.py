@@ -1,0 +1,15 @@
+"""Fig 21: batch inference energy (normalised to TPU)."""
+
+from conftest import show
+
+from repro.eval import fig21_batch_energy, geomean
+
+
+def test_fig21(benchmark):
+    rows = benchmark.pedantic(fig21_batch_energy, iterations=1, rounds=1)
+    show("Fig 21: batch energy (norm. to TPU)", rows)
+    g = {s: geomean([r[s] for r in rows]) for s in ("SHIFT", "SMART")}
+    reduction = 1.0 - g["SMART"] / g["SHIFT"]
+    print(f"SMART batch energy cut vs SuperNPU: {reduction:.0%} "
+          f"(paper: 71%)")
+    assert reduction > 0.4

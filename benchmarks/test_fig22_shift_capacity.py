@@ -1,0 +1,15 @@
+"""Fig 22: sensitivity to SHIFT array capacity (16-128 KB)."""
+
+from conftest import show
+
+from repro.eval import fig22_shift_capacity
+
+
+def test_fig22(benchmark):
+    rows = benchmark.pedantic(fig22_shift_capacity, iterations=1, rounds=1)
+    show("Fig 22: SHIFT capacity sensitivity (speedup vs SuperNPU)", rows)
+    by_kb = {r["setting"]: r for r in rows}
+    # paper: larger than 32 KB barely helps; 16 KB hurts
+    assert by_kb[16]["batch_speedup"] <= by_kb[32]["batch_speedup"] * 1.01
+    gain_64 = by_kb[64]["batch_speedup"] / by_kb[32]["batch_speedup"]
+    assert gain_64 < 1.3

@@ -1,0 +1,20 @@
+"""Fig 23: sensitivity to RANDOM array capacity (14-112 MB)."""
+
+from conftest import show
+
+from repro.eval import fig23_random_capacity
+
+
+def test_fig23(benchmark):
+    rows = benchmark.pedantic(fig23_random_capacity, iterations=1,
+                              rounds=1)
+    show("Fig 23: RANDOM capacity sensitivity (speedup vs SuperNPU)",
+         rows)
+    by_mb = {r["setting"]: r for r in rows}
+    # paper: beyond 28 MB single-image throughput is flat; batch gains;
+    # a smaller array hurts both
+    assert by_mb[14]["batch_speedup"] <= by_mb[28]["batch_speedup"] * 1.001
+    single_gain = (by_mb[112]["single_speedup"]
+                   / by_mb[28]["single_speedup"])
+    assert single_gain < 1.2
+    assert by_mb[112]["batch_speedup"] >= by_mb[28]["batch_speedup"]

@@ -1,0 +1,17 @@
+"""Fig 24: sensitivity to the ILP prefetch lookahead a."""
+
+from conftest import show
+
+from repro.eval import fig24_prefetch_depth
+
+
+def test_fig24(benchmark):
+    rows = benchmark.pedantic(fig24_prefetch_depth, iterations=1,
+                              rounds=1)
+    show("Fig 24: prefetch depth sensitivity (speedup vs SuperNPU)",
+         rows)
+    by_a = {r["setting"]: r for r in rows}
+    # paper: a=1 (no prefetch) substantially slower; a>3 plateaus
+    assert by_a[1]["single_speedup"] < by_a[3]["single_speedup"]
+    plateau = by_a[5]["single_speedup"] / by_a[4]["single_speedup"]
+    assert plateau < 1.10

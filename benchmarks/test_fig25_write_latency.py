@@ -1,0 +1,16 @@
+"""Fig 25: sensitivity to the RANDOM array write latency."""
+
+from conftest import show
+
+from repro.eval import fig25_write_latency
+
+
+def test_fig25(benchmark):
+    rows = benchmark.pedantic(fig25_write_latency, iterations=1, rounds=1)
+    show("Fig 25: write latency sensitivity (speedup vs SuperNPU)", rows)
+    by_ns = {r["setting"]: r for r in rows}
+    # paper: MRAM/SNM-class writes (2-3 ns) collapse the advantage,
+    # since each layer's outputs are the next layer's inputs
+    assert by_ns[2.0]["single_speedup"] < 0.6 * by_ns[0.11][
+        "single_speedup"]
+    assert by_ns[3.0]["single_speedup"] < by_ns[2.0]["single_speedup"]

@@ -1,0 +1,27 @@
+"""Sec 4.4: SMART design overhead audit."""
+
+from conftest import show
+
+from repro.core import PipelinedCmosSfqArray, SmartSpm
+from repro.units import to_ns
+
+
+def _overhead():
+    array = PipelinedCmosSfqArray()
+    spm = SmartSpm()
+    return {
+        "pipeline_ghz": array.pipeline_frequency / 1e9,
+        "byte_interval_ns": to_ns(array.byte_interval),
+        "access_latency_ns": to_ns(array.access_latency),
+        "leakage_mw": array.leakage_power * 1e3,
+        "spm_area_mm2": spm.area * 1e6,
+    }
+
+
+def test_sec44(benchmark):
+    row = benchmark(_overhead)
+    show("Sec 4.4: SMART design overhead", [row])
+    # paper: 9.7 GHz pipeline, ~0.11 ns per access, ~102 mW leakage
+    assert abs(row["pipeline_ghz"] - 9.7) < 0.15
+    assert 0.09 < row["byte_interval_ns"] < 0.12
+    assert 50 < row["leakage_mw"] < 250

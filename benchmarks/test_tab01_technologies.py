@@ -1,0 +1,14 @@
+"""Table 1: cryogenic memory technology comparison."""
+
+from conftest import show
+
+from repro.eval import tab1_technologies
+
+
+def test_tab1(benchmark):
+    rows = benchmark(tab1_technologies)
+    show("Table 1: cryogenic memory technologies", rows)
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["SHIFT"]["read_ns"] == 0.02
+    assert by_name["MRAM"]["write_ns"] == 2.0
+    assert by_name["SNM"]["destructive"]

@@ -1,0 +1,12 @@
+"""Table 2: SFQ H-tree component latency and power."""
+
+from conftest import show
+
+from repro.eval import tab2_components
+
+
+def test_tab2(benchmark):
+    rows = benchmark(tab2_components)
+    show("Table 2: SFQ H-tree components", rows)
+    ntron = next(r for r in rows if r["component"] == "ntron")
+    assert abs(ntron["latency_ps"] - 103.02) < 0.01

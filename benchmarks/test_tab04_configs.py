@@ -1,0 +1,14 @@
+"""Table 4: baseline configurations."""
+
+from conftest import show
+
+from repro.eval import tab4_configurations
+
+
+def test_tab4(benchmark):
+    rows = benchmark(tab4_configurations)
+    show("Table 4: baseline configurations", rows)
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["TPU"]["pe_array"] == "256x256"
+    assert by_name["SuperNPU"]["pe_array"] == "64x256"
+    assert abs(by_name["SMART"]["frequency_ghz"] - 52.6) < 0.1

@@ -1,0 +1,45 @@
+"""Reproduce the paper's headline comparison across all six CNNs.
+
+Sweeps every evaluation scheme (SHIFT/SRAM/Heter/Pipe/SMART) over the
+model zoo for single-image and batch inference, printing the Fig 18/19
+rows and geomeans.
+
+Run:  python examples/compare_accelerators.py
+"""
+
+from repro.eval import (
+    fig18_single_speedup,
+    fig19_batch_speedup,
+    format_table,
+    geomean,
+)
+
+SCHEMES = ("SHIFT", "SRAM", "Heter", "Pipe", "SMART")
+
+
+def report(title: str, rows: list[dict]) -> None:
+    headers = ["model"] + list(SCHEMES)
+    body = [[r["model"]] + [f"{r[s]:.2f}" for s in SCHEMES] for r in rows]
+    gmeans = ["gmean"] + [
+        f"{geomean([r[s] for r in rows]):.2f}" for s in SCHEMES
+    ]
+    print(f"\n=== {title} (speedup over TPU) ===")
+    print(format_table(headers, body + [gmeans]))
+
+
+def main() -> None:
+    single = fig18_single_speedup()
+    report("Single-image inference", single)
+    smart = geomean([r["SMART"] for r in single])
+    shift = geomean([r["SHIFT"] for r in single])
+    print(f"SMART / SuperNPU = {smart / shift:.2f}x   (paper: 3.9x)")
+
+    batch = fig19_batch_speedup()
+    report("Batch inference", batch)
+    smart_b = geomean([r["SMART"] for r in batch])
+    shift_b = geomean([r["SHIFT"] for r in batch])
+    print(f"SMART / SuperNPU = {smart_b / shift_b:.2f}x   (paper: 2.2x)")
+
+
+if __name__ == "__main__":
+    main()

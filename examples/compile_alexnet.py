@@ -1,0 +1,45 @@
+"""Run the ILP compiler over AlexNet, layer by layer (paper Sec 4.3).
+
+For every compute layer: unroll the fold DAG, extract memory objects
+(weight tiles, input stripes, outputs, psum accumulators), solve the
+allocation/prefetch ILP with HiGHS, and compare against the greedy
+baseline.
+
+Run:  python examples/compile_alexnet.py
+"""
+
+from repro.compiler import GreedyCompiler, IlpCompiler, LayerDag
+from repro.eval import format_table
+from repro.models import get_model
+from repro.systolic.mapping import WeightStationaryMapping
+
+
+def main() -> None:
+    network = get_model("AlexNet")
+    rows = []
+    for layer in network.compute_layers():
+        mapping = WeightStationaryMapping(layer, 64, 256)
+        dag = LayerDag.from_mapping(mapping, max_iterations=12)
+        ilp = IlpCompiler().compile(dag)
+        greedy = GreedyCompiler().compile(dag)
+        prefetch = ilp.schedule.prefetch_distance("alpha[3]") if (
+            dag.iterations > 3
+        ) else 0
+        rows.append([
+            layer.name, mapping.folds, dag.iterations, ilp.variables,
+            f"{ilp.schedule.objective_value * 1e6:.1f}",
+            f"{greedy.objective_value * 1e6:.1f}",
+            prefetch,
+        ])
+    print("=== ILP compiler on AlexNet ===")
+    print(format_table(
+        ["layer", "folds", "DAG iters", "ILP vars",
+         "ILP saved (us)", "greedy saved (us)", "alpha prefetch (edges)"],
+        rows,
+    ))
+    print("\nThe ILP never loses to the greedy baseline; weight tiles "
+          "are prefetched ahead of their Read_Weights edge (Fig 15).")
+
+
+if __name__ == "__main__":
+    main()

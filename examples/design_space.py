@@ -1,0 +1,38 @@
+"""Explore the pipelined CMOS-SFQ array design space (paper Fig 14).
+
+Shows the leakage/energy/area cost of pushing the pipeline frequency
+toward the nTron-imposed ~9.7 GHz ceiling, and the resulting array
+characteristics SMART adopts (Sec 4.4).
+
+Run:  python examples/design_space.py
+"""
+
+from repro.core import PipelinedCmosSfqArray, explore_design_space
+from repro.eval import format_table
+from repro.units import to_ns
+
+
+def main() -> None:
+    points = explore_design_space()
+    headers = ["freq (GHz)", "sub-bank MATs", "repeaters",
+               "leakage (mW)", "E/access (pJ)", "area (mm^2)"]
+    rows = [
+        [f"{p.frequency / 1e9:.2f}", p.subbank_mats, p.htree_repeaters,
+         f"{p.leakage_power * 1e3:.1f}", f"{p.access_energy * 1e12:.1f}",
+         f"{p.area * 1e6:.1f}"]
+        for p in points
+    ]
+    print("=== Fig 14: pipeline design space ===")
+    print(format_table(headers, rows))
+
+    array = PipelinedCmosSfqArray()
+    print(f"\nSMART's operating point (Sec 4.4):")
+    print(f"  pipeline frequency : {array.pipeline_frequency / 1e9:.2f} GHz")
+    print(f"  per-byte interval  : {to_ns(array.byte_interval):.3f} ns")
+    print(f"  access latency     : {to_ns(array.access_latency):.2f} ns")
+    print(f"  standby power      : {array.leakage_power * 1e3:.0f} mW "
+          f"(paper: ~102 mW)")
+
+
+if __name__ == "__main__":
+    main()

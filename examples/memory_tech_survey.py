@@ -1,0 +1,43 @@
+"""Survey the cryogenic memory technologies (paper Secs 2-3, Figs 5/7).
+
+Prints the Table 1 comparison, then shows why no single prior
+technology works as SuperNPU's SPM: homogeneous replacements (Fig 5)
+and heterogeneous SHIFT+X combinations (Fig 7), both normalised to the
+SHIFT baseline on AlexNet.
+
+Run:  python examples/memory_tech_survey.py
+"""
+
+from repro.eval import (
+    fig5_homogeneous,
+    fig7_heterogeneous,
+    format_table,
+    tab1_technologies,
+)
+
+
+def main() -> None:
+    print("=== Table 1: cryogenic memory technologies ===")
+    rows = tab1_technologies()
+    print(format_table(list(rows[0].keys()),
+                       [list(r.values()) for r in rows]))
+
+    print("\n=== Fig 5: homogeneous SPM replacement (AlexNet, "
+          "latency normalised to SHIFT) ===")
+    rows = fig5_homogeneous()
+    print(format_table(["SPM", "norm. latency"],
+                       [[r["spm"], f"{r['norm_latency']:.2f}"]
+                        for r in rows]))
+
+    print("\n=== Fig 7: heterogeneous SHIFT + X (AlexNet) ===")
+    rows = fig7_heterogeneous()
+    print(format_table(["SPM", "norm. latency"],
+                       [[r["spm"], f"{r['norm_latency']:.2f}"]
+                        for r in rows]))
+    print("\nOnly a fast random-access array (VTM-class or better) "
+          "helps, and prefetching (+p) compounds it — the gap SMART's "
+          "pipelined CMOS-SFQ array closes at scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Quickstart: simulate one CNN inference on SMART vs its baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    make_energy_model,
+    make_smart,
+    make_supernpu,
+    make_tpu,
+)
+from repro.models import get_model
+
+def main() -> None:
+    network = get_model("AlexNet")
+    print(f"{network.name}: {network.total_macs / 1e9:.2f} GMAC, "
+          f"{network.total_weight_bytes / 1e6:.1f} MB of weights\n")
+
+    print(f"{'design':10s} {'latency':>12s} {'TMAC/s':>9s} "
+          f"{'% peak':>7s} {'energy':>10s}")
+    for accelerator in (make_tpu(), make_supernpu(), make_smart()):
+        run = accelerator.simulate(network, batch=1)
+        energy = make_energy_model(accelerator).evaluate(run)
+        print(f"{accelerator.name:10s} "
+              f"{run.latency * 1e6:9.1f} us "
+              f"{run.throughput_macs / 1e12:9.2f} "
+              f"{run.throughput_macs / accelerator.peak_macs:7.1%} "
+              f"{energy.total * 1e3:8.2f} mJ")
+
+    smart = make_smart().simulate(network, batch=1)
+    supernpu = make_supernpu().simulate(network, batch=1)
+    print(f"\nSMART vs SuperNPU (single image): "
+          f"{supernpu.latency / smart.latency:.1f}x faster "
+          f"(the paper reports 3.9x on the 6-model geomean)")
+
+
+if __name__ == "__main__":
+    main()

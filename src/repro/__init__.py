@@ -1,0 +1,38 @@
+"""SMART reproduction: heterogeneous scratchpad memory for SFQ systolic
+CNN accelerators (Zokaee & Jiang, MICRO 2021).
+
+Public API tour:
+
+- :mod:`repro.core` -- SMART itself: the pipelined CMOS-SFQ RANDOM
+  array, the heterogeneous SPM, the Table 4 configurations and scheme
+  factories (``make_tpu`` / ``make_supernpu`` / ``make_smart`` /
+  ``make_accelerator``).
+- :mod:`repro.systolic` -- the weight-stationary systolic simulator
+  (SCALE-SIM substitute) and memory-system stall models.
+- :mod:`repro.models` -- the six-CNN model zoo with the paper's batch
+  sizes.
+- :mod:`repro.compiler` -- the ILP allocation/prefetch compiler
+  (scipy/HiGHS in place of Gurobi) and its greedy baseline.
+- :mod:`repro.sfq` -- SFQ devices, PTL/JTL interconnect and H-trees.
+- :mod:`repro.spice` -- the transient superconductor circuit simulator
+  used for model validation (JoSIM substitute).
+- :mod:`repro.cryomem` -- cryo-pgen/cryo-mem style memory models and
+  the Table 1 technologies.
+- :mod:`repro.eval` -- one experiment function per paper table/figure.
+
+Quick start::
+
+    from repro.core import make_smart, make_supernpu
+    from repro.models import get_model
+
+    net = get_model("AlexNet")
+    smart = make_smart().simulate(net, batch=1)
+    supernpu = make_supernpu().simulate(net, batch=1)
+    print(supernpu.latency / smart.latency)
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors, units
+
+__all__ = ["errors", "units", "__version__"]

@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig18                # reproduce Fig 18
+    python -m repro fig7 fig24 tab1     # several at once
+    python -m repro all                  # everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval import report
+from repro.eval import experiments as exp
+
+#: Experiment registry: CLI name -> (callable, description).
+EXPERIMENTS = {
+    "fig2": (exp.fig2_wires, "PTL vs JTL vs CMOS wires"),
+    "fig5": (exp.fig5_homogeneous, "homogeneous SPM technologies"),
+    "fig6": (lambda: [
+        {"operand": k, **v} for k, v in exp.fig6_trace_structure().items()
+    ], "memory trace structure"),
+    "fig7": (exp.fig7_heterogeneous, "heterogeneous SPM technologies"),
+    "fig9": (lambda: [exp.fig9_htree_breakdown()],
+             "CMOS H-tree breakdown"),
+    "fig12": (exp.fig12_subbank_validation, "sub-bank validation"),
+    "fig13": (exp.fig13_htree_validation,
+              "SFQ H-tree validation (runs the circuit simulator)"),
+    "fig14": (exp.fig14_design_space, "pipeline design space"),
+    "fig16": (exp.fig16_access_energy, "per-access energy"),
+    "fig17": (exp.fig17_area_breakdown, "area breakdown"),
+    "fig18": (exp.fig18_single_speedup, "single-image speedup"),
+    "fig19": (exp.fig19_batch_speedup, "batch speedup"),
+    "fig20": (exp.fig20_single_energy, "single-image energy"),
+    "fig21": (exp.fig21_batch_energy, "batch energy"),
+    "fig22": (exp.fig22_shift_capacity, "SHIFT capacity sensitivity"),
+    "fig23": (exp.fig23_random_capacity, "RANDOM capacity sensitivity"),
+    "fig24": (exp.fig24_prefetch_depth, "prefetch depth sensitivity"),
+    "fig25": (exp.fig25_write_latency, "write latency sensitivity"),
+    "tab1": (exp.tab1_technologies, "cryogenic memory technologies"),
+    "tab2": (exp.tab2_components, "SFQ H-tree components"),
+    "tab4": (exp.tab4_configurations, "baseline configurations"),
+}
+
+
+def run(name: str) -> None:
+    """Run one experiment and print its table."""
+    func, description = EXPERIMENTS[name]
+    print(f"\n=== {name}: {description} ===")
+    rows = func()
+    headers = list(rows[0].keys())
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    print(report.format_table(headers, body))
+
+
+def main(argv: list[str]) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        width = max(len(n) for n in EXPERIMENTS)
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"  {name.ljust(width)}  {description}")
+        return 0
+    names = list(EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"try 'python -m repro list'")
+        return 2
+    for name in names:
+        run(name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,33 @@
+"""The ILP-based compiler for heterogeneous SPMs (paper Sec 4.3).
+
+Pipeline: a convolutional layer unrolls into a DAG of Read_Weights /
+Matrix_Multiply iterations (:mod:`repro.compiler.dag`); memory objects
+(weight tiles alpha, input stripes beta, outputs gamma, psum stripes
+delta) get lifespans over the DAG edges (:mod:`repro.compiler.memobj`);
+an ILP (:mod:`repro.compiler.ilp`, solved with scipy's HiGGS MILP in
+place of Gurobi) or a greedy fallback (:mod:`repro.compiler.greedy`)
+assigns each live object to the SHIFT or RANDOM array per edge, with
+prefetch lookahead ``a``, subject to capacity, consistency (paper Eq. 6)
+and bandwidth constraints, maximising the latency saved (paper Eq. 5).
+"""
+
+from repro.compiler.dag import LayerDag, DagEdge
+from repro.compiler.memobj import MemoryObject, extract_objects
+from repro.compiler.ilp import IlpCompiler, IlpSolution
+from repro.compiler.greedy import GreedyCompiler
+from repro.compiler.schedule import Schedule, Placement
+from repro.compiler.driver import LayerCompilation, NetworkCompiler
+
+__all__ = [
+    "LayerDag",
+    "DagEdge",
+    "MemoryObject",
+    "extract_objects",
+    "IlpCompiler",
+    "IlpSolution",
+    "GreedyCompiler",
+    "Schedule",
+    "Placement",
+    "LayerCompilation",
+    "NetworkCompiler",
+]

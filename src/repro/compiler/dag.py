@@ -1,0 +1,94 @@
+"""Layer DAG construction (paper Fig 15).
+
+A convolutional layer is one basic block: a 6-nested loop that unrolls
+into fold iterations.  Iteration n is two instructions — Read_Weights
+then Matrix_Multiply — joined by edges; edge ``e_{2n}`` precedes the
+weight read of iteration n, edge ``e_{2n+1}`` precedes its multiply.
+Memory objects annotate the edges where they must be resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import MappingError
+from repro.systolic.mapping import WeightStationaryMapping
+
+
+@dataclass(frozen=True)
+class DagEdge:
+    """One edge of the unrolled layer DAG.
+
+    Attributes:
+        index: edge index i (0-based; 2n = before Read_Weights of
+            iteration n, 2n+1 = before Matrix_Multiply of iteration n).
+        iteration: the fold iteration this edge belongs to.
+        kind: "pre_weights" or "pre_multiply".
+    """
+
+    index: int
+    iteration: int
+    kind: str
+
+
+@dataclass
+class LayerDag:
+    """The unrolled instruction DAG of one mapped layer.
+
+    Attributes:
+        mapping: the weight-stationary mapping that defined the folds.
+        iterations: fold iterations actually represented.  Large layers
+            are coarsened: consecutive folds are grouped so the DAG stays
+            solvable (the paper similarly fixes prefetch depth rather
+            than exhaustively searching).
+        folds_per_iteration: coarsening factor (>= 1).
+    """
+
+    mapping: WeightStationaryMapping
+    iterations: int
+    folds_per_iteration: int
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    edges: list[DagEdge] = field(default_factory=list)
+
+    @classmethod
+    def from_mapping(cls, mapping: WeightStationaryMapping,
+                     max_iterations: int = 64) -> "LayerDag":
+        """Unroll (and possibly coarsen) a mapping into its DAG."""
+        if max_iterations < 1:
+            raise MappingError("need at least one DAG iteration")
+        folds = mapping.folds
+        group = max(1, -(-folds // max_iterations))  # ceil division
+        iterations = -(-folds // group)
+        dag = cls(mapping=mapping, iterations=iterations,
+                  folds_per_iteration=group)
+        prev = None
+        for n in range(iterations):
+            rw = ("read_weights", n)
+            mm = ("matrix_multiply", n)
+            dag.graph.add_node(rw)
+            dag.graph.add_node(mm)
+            dag.edges.append(DagEdge(2 * n, n, "pre_weights"))
+            dag.graph.add_edge(rw, mm)
+            dag.edges.append(DagEdge(2 * n + 1, n, "pre_multiply"))
+            if prev is not None:
+                dag.graph.add_edge(prev, rw)
+            prev = mm
+        return dag
+
+    @property
+    def edge_count(self) -> int:
+        """Number of DAG edges carrying allocation decisions."""
+        return len(self.edges)
+
+    def validate(self) -> None:
+        """Check the DAG is a path-shaped acyclic instruction sequence.
+
+        Raises:
+            MappingError: if a cycle or disconnection slipped in.
+        """
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise MappingError("layer DAG has a cycle")
+        if self.iterations > 0 and not nx.is_weakly_connected(self.graph):
+            raise MappingError("layer DAG is disconnected")

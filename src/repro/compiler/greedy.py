@@ -1,0 +1,127 @@
+"""Greedy baseline allocator.
+
+Walks the DAG edge by edge, placing live objects in decreasing
+benefit-density order: sequential objects prefer their SHIFT array,
+random-access objects the RANDOM array; whatever does not fit falls back
+to the other array or stays in DRAM.  Used as the fallback when the ILP
+would be too large and as a quality baseline in tests (the ILP objective
+must never be worse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.dag import LayerDag
+from repro.compiler.ilp import IlpCosts
+from repro.compiler.memobj import MemoryObject, extract_objects
+from repro.compiler.schedule import Placement, Schedule
+from repro.units import KB, MB
+
+
+@dataclass
+class GreedyCompiler:
+    """Greedy allocator with the same capacity envelope as the ILP.
+
+    Attributes:
+        shift_capacity: per-operand SHIFT capacity (bytes).
+        random_capacity: RANDOM array capacity (bytes).
+        prefetch_depth: lookahead ``a``.
+        costs: the same objective coefficients the ILP uses, so the two
+            objective values are directly comparable.
+    """
+
+    shift_capacity: int = 32 * KB
+    random_capacity: int = 28 * MB
+    prefetch_depth: int = 3
+    costs: IlpCosts = field(default_factory=IlpCosts)
+    edge_load_budget: int | None = None
+
+    def compile(self, dag: LayerDag, batch: int = 1) -> Schedule:
+        """Produce a feasible (not necessarily optimal) schedule.
+
+        Honours the same envelope as the ILP: per-operand SHIFT
+        capacity, RANDOM capacity, and the per-edge load bandwidth.
+        """
+        objects = extract_objects(dag, batch, self.prefetch_depth)
+        budget = self.edge_load_budget
+        if budget is None:
+            per_iteration: dict[int, int] = {}
+            for o in objects:
+                per_iteration[o.iteration] = (
+                    per_iteration.get(o.iteration, 0) + o.size_bytes
+                )
+            budget = max(4 * MB, 2 * max(per_iteration.values(), default=0))
+        placements: list[Placement] = []
+        objective = 0.0
+        # residency carried between edges: name -> location
+        resident: dict[str, str] = {}
+        for e in range(dag.edge_count):
+            live = [o for o in objects if o.live_on(e)]
+            live.sort(key=self._priority, reverse=True)
+            shift_free = {op: self.shift_capacity
+                          for op in ("alpha", "beta", "gamma", "delta")}
+            random_free = self.random_capacity
+            load_free = budget
+            next_resident: dict[str, str] = {}
+            for obj in live:
+                prev = resident.get(obj.name)
+                choice, source = self._place(obj, prev, shift_free,
+                                             random_free)
+                needed = e >= 2 * obj.iteration  # a use edge: must place
+                if choice is None:
+                    if not needed:
+                        continue
+                    # emergency: the data must live somewhere — RANDOM
+                    choice, source = "R", (None if prev == "R" else "D")
+                if source is not None and obj.size_bytes > load_free:
+                    if not needed:
+                        continue  # defer optional prefetch, no bandwidth
+                if choice == "H":
+                    shift_free[obj.operand] -= obj.size_bytes
+                else:
+                    random_free -= obj.size_bytes
+                if source is not None:
+                    load_free -= obj.size_bytes
+                next_resident[obj.name] = choice
+                placements.append(Placement(obj, e, choice, source))
+                objective += self._gain(obj, choice, source)
+            resident = next_resident
+        return Schedule(placements=placements, objective_value=objective,
+                        solver="greedy")
+
+    def _priority(self, obj: MemoryObject) -> float:
+        rate = (self.costs.save_shift_seq if obj.sequential
+                else self.costs.save_random)
+        return rate
+
+    def _place(self, obj, prev, shift_free, random_free):
+        """Choose a location and load source for one object."""
+        prefers_shift = obj.sequential
+        fits_shift = shift_free[obj.operand] >= obj.size_bytes
+        fits_random = random_free >= obj.size_bytes
+        if prefers_shift and fits_shift:
+            if prev == "H":
+                return "H", None
+            return "H", ("R" if prev == "R" else "D")
+        if fits_random:
+            return "R", (None if prev == "R" else "D")
+        if fits_shift:
+            if prev == "H":
+                return "H", None
+            return "H", ("R" if prev == "R" else "D")
+        return None, None
+
+    def _gain(self, obj, choice, source) -> float:
+        size = obj.size_bytes
+        if choice == "H":
+            rate = (self.costs.save_shift_seq if obj.sequential
+                    else self.costs.save_shift_rand)
+            gain = rate * size
+        else:
+            gain = self.costs.save_random * size
+        if source == "D":
+            gain -= self.costs.load_hd * size
+        elif source == "R":
+            gain -= self.costs.load_hr * size
+        return gain

@@ -1,0 +1,254 @@
+"""ILP formulation of SPM allocation and prefetching (paper Eq. 5-6).
+
+Binary variables per object o and live edge i: residency ``x[o,i,H]``,
+``x[o,i,R]`` and loads ``l[o,i,HD]``, ``l[o,i,RD]``, ``l[o,i,HR]``
+(Table 3 notation: H = SHIFT, R = RANDOM, D = DRAM).  The objective
+maximises saved latency (Eq. 5): residency earns the latency advantage
+of the array over DRAM streaming; loads pay their transfer cost.
+Constraints: Eq. 6 consistency (an object is resident only if it was
+resident on the previous edge or loaded here), per-edge SPM capacity,
+and per-edge load bandwidth.
+
+Solved with ``scipy.optimize.milp`` (HiGHS) — the Gurobi substitution
+documented in DESIGN.md.  Layers whose fold count would blow up the DAG
+are coarsened upstream (``LayerDag.from_mapping``), mirroring the
+paper's "near-optimal" stance (they fix prefetch depth rather than
+search exhaustively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.compiler.dag import LayerDag
+from repro.compiler.memobj import MemoryObject, extract_objects
+from repro.compiler.schedule import Placement, Schedule
+from repro.errors import SolverError
+from repro.units import KB, MB, NS
+
+
+@dataclass(frozen=True)
+class IlpCosts:
+    """Per-byte timing coefficients of the Eq. 5 objective.
+
+    Attributes:
+        save_shift_seq: latency saved per byte by holding a *sequential*
+            object in SHIFT rather than streaming from DRAM (s/B).
+        save_shift_rand: the same for randomly-accessed objects (small:
+            SHIFT rotations eat the benefit).
+        save_random: latency saved per byte in the RANDOM array (s/B).
+        load_hd / load_rd / load_hr: per-byte cost of DRAM->SHIFT,
+            DRAM->RANDOM and RANDOM->SHIFT moves (s/B).
+    """
+
+    save_shift_seq: float = 0.02 * NS
+    save_shift_rand: float = 0.002 * NS
+    save_random: float = 0.0125 * NS
+    load_hd: float = 0.0033 * NS
+    load_rd: float = 0.0033 * NS
+    load_hr: float = 0.0008 * NS
+
+
+@dataclass(frozen=True)
+class IlpSolution:
+    """Outcome of one ILP solve.
+
+    Attributes:
+        schedule: the decoded schedule.
+        status: HiGHS status message.
+        variables: number of binary variables in the model.
+    """
+
+    schedule: Schedule
+    status: str
+    variables: int
+
+
+@dataclass
+class IlpCompiler:
+    """The ILP-based allocator/prefetcher.
+
+    Attributes:
+        shift_capacity: per-operand SHIFT array capacity (bytes).
+        random_capacity: RANDOM array capacity (bytes).
+        prefetch_depth: lookahead ``a`` (paper sets 3).
+        costs: objective coefficients.
+        edge_load_budget: bytes movable per DAG edge (bandwidth bound);
+            one edge spans many compute cycles, so several MB fit.
+    """
+
+    shift_capacity: int = 32 * KB
+    random_capacity: int = 28 * MB
+    prefetch_depth: int = 3
+    costs: IlpCosts = field(default_factory=IlpCosts)
+    edge_load_budget: int | None = None
+
+    # variable layout helpers -------------------------------------------------
+    _KINDS = ("H", "R", "HD", "RD", "HR")
+
+    def _budget(self, objects) -> int:
+        """Per-edge load budget: explicit, or sized to the objects.
+
+        The automatic budget covers twice the largest single iteration's
+        total footprint so the forced use-edge loads always fit.
+        """
+        if self.edge_load_budget is not None:
+            return self.edge_load_budget
+        per_iteration: dict[int, int] = {}
+        for o in objects:
+            per_iteration[o.iteration] = (
+                per_iteration.get(o.iteration, 0) + o.size_bytes
+            )
+        worst = max(per_iteration.values(), default=0)
+        return max(4 * MB, 2 * worst)
+
+    def compile(self, dag: LayerDag, batch: int = 1) -> IlpSolution:
+        """Solve the allocation/prefetch ILP for one layer DAG.
+
+        Raises:
+            SolverError: if HiGHS reports failure or infeasibility.
+        """
+        objects = extract_objects(dag, batch, self.prefetch_depth)
+        budget = self._budget(objects)
+        edge_count = dag.edge_count
+        index: dict[tuple[str, int, str], int] = {}
+        for obj in objects:
+            for e in range(obj.first_edge, obj.last_edge + 1):
+                for kind in self._KINDS:
+                    index[(obj.name, e, kind)] = len(index)
+        n = len(index)
+        if n == 0:
+            return IlpSolution(Schedule(solver="ilp"), "empty", 0)
+
+        cost = np.zeros(n)
+        by_name = {o.name: o for o in objects}
+        for (name, e, kind), k in index.items():
+            obj = by_name[name]
+            size = obj.size_bytes
+            if kind == "H":
+                rate = (self.costs.save_shift_seq if obj.sequential
+                        else self.costs.save_shift_rand)
+                cost[k] = -rate * size  # milp minimises; negate savings
+            elif kind == "R":
+                cost[k] = -self.costs.save_random * size
+            elif kind == "HD":
+                cost[k] = self.costs.load_hd * size
+            elif kind == "RD":
+                cost[k] = self.costs.load_rd * size
+            else:
+                cost[k] = self.costs.load_hr * size
+
+        rows, cols, vals, lbs, ubs = [], [], [], [], []
+        row = 0
+
+        def add(entries, lb, ub):
+            nonlocal row
+            for col, val in entries:
+                rows.append(row)
+                cols.append(col)
+                vals.append(val)
+            lbs.append(lb)
+            ubs.append(ub)
+            row += 1
+
+        big = 1e18
+        for obj in objects:
+            for e in range(obj.first_edge, obj.last_edge + 1):
+                xh = index[(obj.name, e, "H")]
+                xr = index[(obj.name, e, "R")]
+                lhd = index[(obj.name, e, "HD")]
+                lrd = index[(obj.name, e, "RD")]
+                lhr = index[(obj.name, e, "HR")]
+                # an object occupies at most one array at a time
+                add([(xh, 1.0), (xr, 1.0)], -big, 1.0)
+                if e == obj.first_edge:
+                    # first edge: residency requires a load (Eq. 6 base)
+                    add([(xh, 1.0), (lhd, -1.0), (lhr, -1.0)], -big, 0.0)
+                    add([(xr, 1.0), (lrd, -1.0)], -big, 0.0)
+                    # an HR move needs the object already in R: impossible
+                    add([(lhr, 1.0)], -big, 0.0)
+                else:
+                    ph = index[(obj.name, e - 1, "H")]
+                    pr = index[(obj.name, e - 1, "R")]
+                    # Eq. 6 line 1: x_H(e) - l_HD - l_HR - x_H(e-1) <= 0
+                    add([(xh, 1.0), (lhd, -1.0), (lhr, -1.0), (ph, -1.0)],
+                        -big, 0.0)
+                    # Eq. 6 line 2: x_R(e) - l_RD - x_R(e-1) <= 0
+                    add([(xr, 1.0), (lrd, -1.0), (pr, -1.0)], -big, 0.0)
+                    # Eq. 6 line 3: l_HR(e) <= x_R(e-1)
+                    add([(lhr, 1.0), (pr, -1.0)], -big, 0.0)
+                # the object must be somewhere on its use edges
+                if e >= 2 * obj.iteration:
+                    add([(xh, 1.0), (xr, 1.0)], 1.0, big)
+
+        # capacities and bandwidth per edge
+        for e in range(edge_count):
+            shift_entries = {}
+            random_entries = []
+            load_entries = []
+            for obj in objects:
+                if not obj.live_on(e):
+                    continue
+                shift_entries.setdefault(obj.operand, []).append(
+                    (index[(obj.name, e, "H")], float(obj.size_bytes))
+                )
+                random_entries.append(
+                    (index[(obj.name, e, "R")], float(obj.size_bytes))
+                )
+                for kind in ("HD", "RD", "HR"):
+                    load_entries.append(
+                        (index[(obj.name, e, kind)], float(obj.size_bytes))
+                    )
+            for operand, entries in shift_entries.items():
+                add(entries, -big, float(self.shift_capacity))
+            if random_entries:
+                add(random_entries, -big, float(self.random_capacity))
+            if load_entries:
+                add(load_entries, -big, float(budget))
+
+        constraint = LinearConstraint(
+            _sparse(rows, cols, vals, row, n), np.array(lbs), np.array(ubs)
+        )
+        result = milp(
+            c=cost,
+            constraints=[constraint],
+            integrality=np.ones(n),
+            bounds=Bounds(0, 1),
+        )
+        if result.status != 0 or result.x is None:
+            raise SolverError(f"HiGHS failed: {result.message}")
+
+        placements = []
+        x = np.round(result.x).astype(int)
+        for obj in objects:
+            for e in range(obj.first_edge, obj.last_edge + 1):
+                for loc in ("H", "R"):
+                    if x[index[(obj.name, e, loc)]]:
+                        source = None
+                        if loc == "H":
+                            if x[index[(obj.name, e, "HD")]]:
+                                source = "D"
+                            elif x[index[(obj.name, e, "HR")]]:
+                                source = "R"
+                        elif x[index[(obj.name, e, "RD")]]:
+                            source = "D"
+                        placements.append(
+                            Placement(obj, e, loc, source)
+                        )
+        schedule = Schedule(
+            placements=placements,
+            objective_value=float(-result.fun),
+            solver="ilp",
+        )
+        return IlpSolution(schedule, result.message, n)
+
+
+def _sparse(rows, cols, vals, nrows, ncols):
+    """Assemble the csr constraint matrix."""
+    from scipy.sparse import csr_matrix
+    return csr_matrix(
+        (vals, (rows, cols)), shape=(nrows, ncols)
+    )

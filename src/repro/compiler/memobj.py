@@ -1,0 +1,111 @@
+"""Memory objects and lifespan analysis (paper Sec 4.3, Table 3).
+
+A memory object M is a multi-byte block with consecutive addresses: a
+weight filter tile (alpha), an input stripe (beta), an output stripe
+(gamma) or a PSum stripe (delta).  Lifespan analysis determines the DAG
+edge window over which each object must be resident; prefetching extends
+the window backwards by the lookahead ``a`` so a tile can be fetched
+while earlier iterations compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.dag import LayerDag
+from repro.errors import MappingError
+
+OPERANDS = ("alpha", "beta", "gamma", "delta")
+
+
+@dataclass(frozen=True)
+class MemoryObject:
+    """One allocatable memory object.
+
+    Attributes:
+        name: unique object name, e.g. "alpha[3]".
+        operand: one of alpha/beta/gamma/delta.
+        iteration: fold iteration the object serves.
+        size_bytes: footprint while resident.
+        first_edge: earliest DAG edge it may occupy an SPM (prefetch
+            window start).
+        last_edge: last DAG edge it is needed on.
+        sequential: whether its accesses are sequential (SHIFT-friendly).
+    """
+
+    name: str
+    operand: str
+    iteration: int
+    size_bytes: int
+    first_edge: int
+    last_edge: int
+    sequential: bool
+
+    def __post_init__(self) -> None:
+        if self.operand not in OPERANDS:
+            raise MappingError(f"unknown operand {self.operand}")
+        if self.size_bytes <= 0:
+            raise MappingError(f"{self.name}: size must be positive")
+        if not 0 <= self.first_edge <= self.last_edge:
+            raise MappingError(f"{self.name}: bad lifespan window")
+
+    def live_on(self, edge_index: int) -> bool:
+        """Whether the object may be resident on a DAG edge."""
+        return self.first_edge <= edge_index <= self.last_edge
+
+
+def extract_objects(dag: LayerDag, batch: int = 1,
+                    prefetch_depth: int = 3) -> list[MemoryObject]:
+    """Derive the per-iteration memory objects of a layer DAG.
+
+    Per iteration n (paper Fig 15): the weight tile alpha_n must be in
+    an SPM on edge 2n (before Read_Weights) and lives until edge 2n+1;
+    the input stripe beta_n and psum stripe delta_n live across edge
+    2n+1; the outputs gamma_n materialise after the multiply (edge
+    2n+2, i.e. the next iteration's first edge).  Prefetching moves
+    every first_edge back by 2*(a-1) edges.
+    """
+    if batch < 1:
+        raise MappingError("batch must be >= 1")
+    if prefetch_depth < 1:
+        raise MappingError("prefetch depth must be >= 1")
+    mapping = dag.mapping
+    group = dag.folds_per_iteration
+    lookback = 2 * (prefetch_depth - 1)
+    objects: list[MemoryObject] = []
+    psum = mapping.psum_stripe_bytes(batch)
+    if psum:
+        # one accumulator region, alive for the whole layer: row folds
+        # accumulate into the same stripe in place
+        objects.append(MemoryObject(
+            name="delta[*]", operand="delta", iteration=0,
+            size_bytes=psum,
+            first_edge=0,
+            last_edge=2 * dag.iterations - 1,
+            sequential=True,
+        ))
+    for n in range(dag.iterations):
+        e_weights = 2 * n
+        e_multiply = 2 * n + 1
+        objects.append(MemoryObject(
+            name=f"alpha[{n}]", operand="alpha", iteration=n,
+            size_bytes=mapping.weight_tile_bytes * group,
+            first_edge=max(0, e_weights - lookback),
+            last_edge=e_multiply,
+            sequential=True,
+        ))
+        objects.append(MemoryObject(
+            name=f"beta[{n}]", operand="beta", iteration=n,
+            size_bytes=mapping.input_stripe_bytes(batch) * group,
+            first_edge=max(0, e_multiply - lookback),
+            last_edge=e_multiply,
+            sequential=mapping.layer.kernel_h == 1,
+        ))
+        objects.append(MemoryObject(
+            name=f"gamma[{n}]", operand="gamma", iteration=n,
+            size_bytes=mapping.output_stripe_bytes(batch) * group,
+            first_edge=e_multiply,
+            last_edge=min(2 * dag.iterations - 1, e_multiply + 1),
+            sequential=True,
+        ))
+    return objects

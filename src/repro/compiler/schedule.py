@@ -1,0 +1,111 @@
+"""Schedule objects produced by the ILP / greedy compilers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.memobj import MemoryObject
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Residency of one object on one DAG edge.
+
+    Attributes:
+        obj: the memory object.
+        edge: DAG edge index.
+        location: "H" (SHIFT) or "R" (RANDOM).
+        loaded_from: None, "D" (DRAM) or "R" (RANDOM -> SHIFT move) when
+            the object is loaded on this edge.
+    """
+
+    obj: MemoryObject
+    edge: int
+    location: str
+    loaded_from: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.location not in ("H", "R"):
+            raise ScheduleError(f"bad location {self.location}")
+        if self.loaded_from not in (None, "D", "R"):
+            raise ScheduleError(f"bad load source {self.loaded_from}")
+
+
+@dataclass
+class Schedule:
+    """A complete allocation/prefetch schedule for one layer DAG.
+
+    Attributes:
+        placements: all object-edge placements.
+        objective_value: the Eq. 5 objective achieved (seconds saved).
+        solver: "ilp" or "greedy".
+    """
+
+    placements: list[Placement] = field(default_factory=list)
+    objective_value: float = 0.0
+    solver: str = "greedy"
+
+    def residency(self, obj_name: str) -> list[Placement]:
+        """All placements of one object, in edge order."""
+        rows = [p for p in self.placements if p.obj.name == obj_name]
+        return sorted(rows, key=lambda p: p.edge)
+
+    def occupancy(self, edge: int, location: str) -> int:
+        """Bytes resident in one SPM on one edge."""
+        return sum(p.obj.size_bytes for p in self.placements
+                   if p.edge == edge and p.location == location)
+
+    def prefetch_distance(self, obj_name: str) -> int:
+        """Edges between an object's first residency and its last use."""
+        rows = self.residency(obj_name)
+        if not rows:
+            return 0
+        return rows[0].obj.last_edge - rows[0].edge
+
+    def validate(self, shift_capacity: dict[str, int],
+                 random_capacity: int) -> None:
+        """Check capacity and consistency invariants.
+
+        Args:
+            shift_capacity: per-operand SHIFT capacities, keyed by
+                operand name (alpha/beta/gamma/delta share gamma's).
+            random_capacity: RANDOM array capacity.
+
+        Raises:
+            ScheduleError: on any violated invariant.
+        """
+        edges = {p.edge for p in self.placements}
+        for edge in edges:
+            if self.occupancy(edge, "R") > random_capacity:
+                raise ScheduleError(f"RANDOM over capacity on edge {edge}")
+            for operand, cap in shift_capacity.items():
+                used = sum(
+                    p.obj.size_bytes for p in self.placements
+                    if p.edge == edge and p.location == "H"
+                    and p.obj.operand == operand
+                )
+                if used > cap:
+                    raise ScheduleError(
+                        f"SHIFT({operand}) over capacity on edge {edge}"
+                    )
+        # residency windows must sit inside lifespans
+        for p in self.placements:
+            if not (p.obj.first_edge <= p.edge <= p.obj.last_edge):
+                raise ScheduleError(
+                    f"{p.obj.name} resident outside its lifespan on "
+                    f"edge {p.edge}"
+                )
+        # consistency: resident in H means loaded earlier or on this edge
+        for name in {p.obj.name for p in self.placements}:
+            rows = self.residency(name)
+            previous_location: str | None = None
+            for row in rows:
+                fresh = row.loaded_from is not None
+                contiguous = previous_location == row.location
+                if not fresh and not contiguous:
+                    raise ScheduleError(
+                        f"{name} appears in {row.location} on edge "
+                        f"{row.edge} without a load"
+                    )
+                previous_location = row.location

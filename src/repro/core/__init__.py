@@ -1,0 +1,29 @@
+"""SMART's primary contribution: the pipelined CMOS-SFQ RANDOM array,
+the heterogeneous SPM, the Table 4 accelerator configurations and the
+pipeline design-space exploration.
+"""
+
+from repro.core.pipelined_array import PipelinedCmosSfqArray
+from repro.core.hetero_spm import SmartSpm
+from repro.core.design_space import DesignPoint, explore_design_space
+from repro.core.configs import (
+    SCHEMES,
+    make_accelerator,
+    make_energy_model,
+    make_smart,
+    make_supernpu,
+    make_tpu,
+)
+
+__all__ = [
+    "PipelinedCmosSfqArray",
+    "SmartSpm",
+    "DesignPoint",
+    "explore_design_space",
+    "SCHEMES",
+    "make_accelerator",
+    "make_energy_model",
+    "make_smart",
+    "make_supernpu",
+    "make_tpu",
+]

@@ -1,0 +1,261 @@
+"""Accelerator configurations (paper Table 4) and scheme factories.
+
+Factories return ready-to-run :class:`AcceleratorModel` /
+:class:`EnergyModel` pairs for every scheme of the evaluation:
+
+- ``TPU``: 0.7 GHz, 256x256, 45 TMAC/s peak, ideal unified buffer;
+- ``SuperNPU`` (= scheme ``SHIFT``): 52.6 GHz, 64x256, 842 TMAC/s peak,
+  24 MB + 24 MB SHIFT SPMs, 128 KB weight SHIFT;
+- ``SRAM``: SuperNPU with all SHIFT replaced by Josephson-CMOS SRAM at
+  TPU capacity;
+- ``Heter``: SRAM plus three 32 KB SHIFT arrays, ideal allocation;
+- ``Pipe``: Heter with the SRAM replaced by the 28 MB pipelined
+  CMOS-SFQ array;
+- ``SMART``: Pipe plus the ILP compiler's prefetching (a = 3).
+
+Sensitivity knobs (Figs 22-25) are exposed as factory arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.hetero_spm import SmartSpm
+from repro.core.pipelined_array import PipelinedCmosSfqArray
+from repro.cryomem.sram_array import JosephsonCmosSram
+from repro.cryomem.technology import MRAM, SNM, SRAM_4K, TABLE1, VTM
+from repro.errors import ConfigError
+from repro.sfq.constants import ERSFQ_1UM
+from repro.systolic.energy import EnergyModel
+from repro.systolic.memsys import (
+    DramModel,
+    HeterogeneousSpm,
+    IdealSpm,
+    MemorySystem,
+    RandomSpm,
+    ShiftSpm,
+)
+from repro.systolic.simulator import AcceleratorModel
+from repro.units import GHZ, KB, MB, NS
+
+#: SHIFT lanes clock in segments: only the active segment's DFFs pulse
+#: on an advance.  A 4 KB clocked segment lands SuperNPU's SPM-dominated
+#: energy profile (Figs 20/21); Fig 16's per-bank *access* energies use
+#: the full lane, matching that figure's semantics.
+SHIFT_ENERGY_SEGMENT_BYTES = 4 * KB
+
+#: Average fraction of DFFs holding a 1 (only 1s dissipate in ERSFQ).
+SHIFT_ACTIVITY = 0.5
+
+#: Per-DFF pulse energy (paper Table 1).
+SHIFT_CELL_ENERGY = 0.1e-15
+
+#: ERSFQ matrix energy per MAC: 1.9 W at the 842 TMAC/s peak (Sec 5);
+#: ERSFQ dissipation is activity-proportional, so this prices each MAC.
+SFQ_MAC_ENERGY = 1.9 / 842e12
+
+#: TPU average power (Sec 5, citing Jouppi 2017).
+TPU_POWER = 40.0
+
+SCHEMES = ("SHIFT", "SRAM", "Heter", "Pipe", "SMART")
+
+
+def _shift_step_energy(lane_bytes: float) -> float:
+    """Energy of one lane advance for a lane of ``lane_bytes``."""
+    segment = min(lane_bytes, SHIFT_ENERGY_SEGMENT_BYTES)
+    return segment * 8 * SHIFT_CELL_ENERGY * SHIFT_ACTIVITY
+
+
+def _technology_random_spm(name: str, capacity: int, banks: int = 256,
+                           write_latency: float | None = None) -> RandomSpm:
+    """A non-pipelined RANDOM SPM for one Table 1 technology."""
+    tech = TABLE1[name]
+    read = tech.effective_read_latency
+    write = write_latency if write_latency is not None else tech.write_latency
+    return RandomSpm(
+        capacity_bytes=capacity,
+        banks=banks,
+        read_latency=read,
+        write_latency=write,
+        issue_interval=read,
+        line_bytes=16,
+        pipelined=False,
+    )
+
+
+def make_tpu() -> AcceleratorModel:
+    """The CMOS TPU baseline (Table 4)."""
+    memsys = MemorySystem(
+        scheme="ideal",
+        dram=DramModel(),
+        total_capacity=28 * MB,
+        ideal=IdealSpm(capacity_bytes=28 * MB),
+    )
+    return AcceleratorModel(name="TPU", rows=256, cols=256,
+                            frequency=0.7 * GHZ, memsys=memsys)
+
+
+def make_supernpu() -> AcceleratorModel:
+    """The SHIFT-based SFQ baseline (Table 4)."""
+    memsys = MemorySystem(
+        scheme="shift",
+        dram=DramModel(),
+        total_capacity=48 * MB + 128 * KB,
+        shift=ShiftSpm(capacity_bytes=24 * MB, banks=64),
+    )
+    return AcceleratorModel(name="SuperNPU", rows=64, cols=256,
+                            frequency=ERSFQ_1UM.clock_frequency,
+                            memsys=memsys)
+
+
+def make_smart(shift_kb: int = 32, random_mb: int = 28,
+               prefetch_depth: int = 3,
+               write_latency: float | None = None,
+               name: str = "SMART") -> AcceleratorModel:
+    """SMART with the Fig 22-25 sensitivity knobs.
+
+    Args:
+        shift_kb: per-operand SHIFT array capacity (Fig 22).
+        random_mb: RANDOM array capacity (Fig 23).
+        prefetch_depth: ILP prefetch lookahead a (Fig 24; 1 = none).
+        write_latency: RANDOM write latency override (Fig 25), seconds.
+    """
+    array = PipelinedCmosSfqArray(capacity_bytes=random_mb * MB)
+    spm = SmartSpm(shift_capacity=shift_kb * KB,
+                   random=array, prefetch_depth=prefetch_depth)
+    hetero = spm.as_hetero()
+    if write_latency is not None:
+        random = hetero.random
+        random = RandomSpm(
+            capacity_bytes=random.capacity_bytes,
+            banks=random.banks,
+            read_latency=random.read_latency,
+            write_latency=write_latency,
+            issue_interval=random.issue_interval,
+            line_bytes=random.line_bytes,
+            pipelined=write_latency <= 1 * NS,
+        )
+        hetero = HeterogeneousSpm(
+            input_shift=hetero.input_shift,
+            weight_shift=hetero.weight_shift,
+            output_shift=hetero.output_shift,
+            random=random,
+            prefetch_depth=prefetch_depth,
+        )
+    memsys = MemorySystem(
+        scheme="heterogeneous",
+        dram=DramModel(),
+        total_capacity=spm.total_capacity,
+        hetero=hetero,
+    )
+    return AcceleratorModel(name=name, rows=64, cols=256,
+                            frequency=ERSFQ_1UM.clock_frequency,
+                            memsys=memsys)
+
+
+def make_accelerator(scheme: str, technology: str = "SRAM",
+                     prefetch_depth: int | None = None) -> AcceleratorModel:
+    """Build any evaluation scheme.
+
+    Args:
+        scheme: one of SCHEMES, or "TPU", or "hX" heterogeneous variants
+            via scheme="Heter" with ``technology`` in Table 1, or
+            homogeneous technology replacements via scheme="homogeneous".
+        technology: Table 1 technology for SRAM/Heter/homogeneous.
+        prefetch_depth: override the scheme's prefetch lookahead
+            (enables the hVTM+p configuration of Fig 7).
+    """
+    if scheme == "TPU":
+        return make_tpu()
+    if scheme == "SHIFT":
+        return make_supernpu()
+    if scheme == "homogeneous":
+        random = _technology_random_spm(technology, 28 * MB)
+        memsys = MemorySystem(
+            scheme="homogeneous", dram=DramModel(),
+            total_capacity=28 * MB, random=random,
+        )
+        return AcceleratorModel(name=f"homo-{technology}", rows=64,
+                                cols=256,
+                                frequency=ERSFQ_1UM.clock_frequency,
+                                memsys=memsys)
+    if scheme == "SRAM":
+        random = _technology_random_spm("SRAM", 28 * MB)
+        memsys = MemorySystem(
+            scheme="homogeneous", dram=DramModel(),
+            total_capacity=28 * MB, random=random,
+        )
+        return AcceleratorModel(name="SRAM", rows=64, cols=256,
+                                frequency=ERSFQ_1UM.clock_frequency,
+                                memsys=memsys)
+    if scheme == "Heter":
+        depth = prefetch_depth if prefetch_depth is not None else 1
+        shift = ShiftSpm(capacity_bytes=32 * KB, banks=256)
+        hetero = HeterogeneousSpm(
+            input_shift=shift, weight_shift=shift, output_shift=shift,
+            random=_technology_random_spm(technology, 28 * MB),
+            prefetch_depth=depth,
+        )
+        memsys = MemorySystem(
+            scheme="heterogeneous", dram=DramModel(),
+            total_capacity=28 * MB + 96 * KB, hetero=hetero,
+        )
+        return AcceleratorModel(name=f"h{technology}", rows=64, cols=256,
+                                frequency=ERSFQ_1UM.clock_frequency,
+                                memsys=memsys)
+    if scheme == "Pipe":
+        return make_smart(prefetch_depth=1, name="Pipe")
+    if scheme == "SMART":
+        depth = prefetch_depth if prefetch_depth is not None else 3
+        return make_smart(prefetch_depth=depth)
+    raise ConfigError(f"unknown scheme '{scheme}'")
+
+
+def make_energy_model(accelerator: AcceleratorModel) -> EnergyModel:
+    """The energy coefficients matching one accelerator configuration."""
+    name = accelerator.name
+    if name == "TPU":
+        return EnergyModel(
+            mac_energy=0.0, idle_power=TPU_POWER,
+            shift_step_energy=0.0, random_access_energy=0.0,
+            spm_leakage=0.0, cooled=False,
+        )
+    if name == "SuperNPU":
+        lane_bytes = 24 * MB / 64
+        return EnergyModel(
+            mac_energy=SFQ_MAC_ENERGY, idle_power=0.0,
+            shift_step_energy=_shift_step_energy(lane_bytes),
+            random_access_energy=0.0, spm_leakage=0.0, cooled=True,
+        )
+    if name in ("SRAM", "homo-SRAM") or name.startswith("homo-"):
+        tech = name.split("-")[-1] if "-" in name else "SRAM"
+        array = JosephsonCmosSram(28 * MB)
+        access = (array.access_energy if tech == "SRAM"
+                  else TABLE1[tech].read_energy * 16)
+        leak = array.leakage_power if tech == "SRAM" else 2.3e-3
+        return EnergyModel(
+            mac_energy=SFQ_MAC_ENERGY, idle_power=0.0,
+            shift_step_energy=0.0,
+            random_access_energy=access,
+            spm_leakage=leak, cooled=True,
+        )
+    if name.startswith("h"):  # heterogeneous hVTM/hSRAM/hMRAM/hSNM
+        tech = name[1:]
+        array = JosephsonCmosSram(28 * MB)
+        access = (array.access_energy if tech == "SRAM"
+                  else TABLE1[tech].read_energy * 16)
+        leak = array.leakage_power if tech == "SRAM" else 2.3e-3
+        return EnergyModel(
+            mac_energy=SFQ_MAC_ENERGY, idle_power=0.0,
+            shift_step_energy=_shift_step_energy(128),
+            random_access_energy=access,
+            spm_leakage=leak, cooled=True,
+        )
+    # Pipe / SMART and sensitivity variants
+    array = PipelinedCmosSfqArray()
+    return EnergyModel(
+        mac_energy=SFQ_MAC_ENERGY, idle_power=0.0,
+        shift_step_energy=_shift_step_energy(128),
+        random_access_energy=array.access_energy,
+        spm_leakage=array.leakage_power, cooled=True,
+    )

@@ -1,0 +1,85 @@
+"""Pipeline design-space exploration (paper Sec 4.2.4 / Fig 14).
+
+Sweeping the target pipeline frequency of the CMOS-SFQ array trades:
+
+- **leakage**: higher frequency needs smaller sub-bank MATs (more CMOS
+  periphery) and more H-tree repeaters (more biased drivers);
+- **access energy**: more pipeline components switch per access;
+- **area**: extra periphery and repeaters.
+
+The frequency axis tops out at 1 / 103.02 ps = 9.71 GHz: the nTron
+conversion is one indivisible stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipelined_array import PipelinedCmosSfqArray
+from repro.errors import ConfigError
+from repro.sfq.constants import TABLE2_COMPONENTS
+from repro.units import GHZ, MB
+
+
+#: The nTron-imposed frequency ceiling (Hz): ~9.71 GHz.
+MAX_PIPELINE_FREQUENCY = 1.0 / TABLE2_COMPONENTS["ntron"].latency
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated pipeline configuration.
+
+    Attributes:
+        frequency: pipeline frequency (Hz).
+        subbank_mats: MAT count each sub-bank needed.
+        htree_repeaters: repeater pairs inserted per H-tree bit lane.
+        leakage_power: array standby power (W).
+        access_energy: energy per line access (J).
+        area: array area (m^2).
+        access_latency: pipelined access latency (s).
+    """
+
+    frequency: float
+    subbank_mats: int
+    htree_repeaters: int
+    leakage_power: float
+    access_energy: float
+    area: float
+    access_latency: float
+
+
+def explore_design_space(
+    frequencies: tuple[float, ...] = (
+        0.5 * GHZ, 1 * GHZ, 2 * GHZ, 4 * GHZ, 6 * GHZ, 8 * GHZ,
+        MAX_PIPELINE_FREQUENCY,
+    ),
+    capacity_bytes: int = 28 * MB,
+    banks: int = 256,
+) -> list[DesignPoint]:
+    """Evaluate the array at each target pipeline frequency.
+
+    Raises:
+        ConfigError: if a requested frequency exceeds the nTron ceiling.
+    """
+    points = []
+    for freq in frequencies:
+        if freq > MAX_PIPELINE_FREQUENCY * (1 + 1e-9):
+            raise ConfigError(
+                f"{freq:.3g} Hz exceeds the nTron ceiling "
+                f"{MAX_PIPELINE_FREQUENCY:.3g} Hz"
+            )
+        array = PipelinedCmosSfqArray(
+            capacity_bytes=capacity_bytes,
+            banks=banks,
+            stage_time=1.0 / freq,
+        )
+        points.append(DesignPoint(
+            frequency=freq,
+            subbank_mats=array.subbank.mats,
+            htree_repeaters=array.htree.repeater_count,
+            leakage_power=array.leakage_power,
+            access_energy=array.access_energy,
+            area=array.area,
+            access_latency=array.access_latency,
+        ))
+    return points

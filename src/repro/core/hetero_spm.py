@@ -1,0 +1,88 @@
+"""SMART's heterogeneous SPM assembly (paper Sec 4.1 / 4.4).
+
+Three small SHIFT arrays (inputs, outputs/PSums, weights — 32 KB x 256
+banks each in Table 4) stream sequential data at full systolic rate; one
+shared pipelined CMOS-SFQ RANDOM array (28 MB, 256 banks, 0.103 ns
+stage) holds everything and serves the random traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.core.pipelined_array import PipelinedCmosSfqArray
+from repro.cryomem.shift_array import ShiftArray
+from repro.errors import ConfigError
+from repro.sfq.constants import SCALED_28NM, SfqProcess
+from repro.systolic.memsys import HeterogeneousSpm, ShiftSpm
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class SmartSpm:
+    """The full SMART SPM: three SHIFT arrays + one RANDOM array.
+
+    Attributes:
+        shift_capacity: capacity of each SHIFT array (bytes).
+        shift_banks: lanes per SHIFT array.
+        random: the pipelined CMOS-SFQ array.
+        prefetch_depth: ILP prefetch lookahead ``a``.
+        area_process: SFQ process used for area accounting (the paper
+            scales JJs to 28 nm for area comparisons).
+    """
+
+    shift_capacity: int = 32 * KB
+    shift_banks: int = 256
+    random: PipelinedCmosSfqArray = field(
+        default_factory=PipelinedCmosSfqArray
+    )
+    prefetch_depth: int = 3
+    area_process: SfqProcess = field(default=SCALED_28NM)
+
+    def __post_init__(self) -> None:
+        if self.shift_capacity <= 0:
+            raise ConfigError("SHIFT capacity must be positive")
+
+    @property
+    def total_capacity(self) -> int:
+        """Aggregate SPM capacity (bytes)."""
+        return 3 * self.shift_capacity + self.random.capacity_bytes
+
+    @cached_property
+    def shift_arrays(self) -> dict[str, ShiftArray]:
+        """The physical SHIFT arrays, for area/energy accounting."""
+        return {
+            name: ShiftArray(self.shift_capacity, banks=self.shift_banks,
+                             process=self.area_process)
+            for name in ("inputs", "outputs", "weights")
+        }
+
+    def as_hetero(self) -> HeterogeneousSpm:
+        """The timing view the systolic simulator consumes."""
+        def shift_view() -> ShiftSpm:
+            return ShiftSpm(capacity_bytes=self.shift_capacity,
+                            banks=self.shift_banks)
+
+        return HeterogeneousSpm(
+            input_shift=shift_view(),
+            weight_shift=shift_view(),
+            output_shift=shift_view(),
+            random=self.random.as_random_spm(),
+            prefetch_depth=self.prefetch_depth,
+        )
+
+    @property
+    def shift_area(self) -> float:
+        """Area of the three SHIFT arrays (m^2, 28 nm-scaled JJs)."""
+        return sum(a.area for a in self.shift_arrays.values())
+
+    @property
+    def area(self) -> float:
+        """Total SPM area (m^2)."""
+        return self.shift_area + self.random.area
+
+    @property
+    def leakage_power(self) -> float:
+        """SPM standby power (W) — the RANDOM array only."""
+        return self.random.leakage_power

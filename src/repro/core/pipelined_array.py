@@ -1,0 +1,165 @@
+"""The pipelined CMOS-SFQ RANDOM array (paper Sec 4.2, Figs 10/11).
+
+CMOS sub-banks (SRAM cells + CMOS peripherals — no SFQ decoders) are
+connected by SFQ H-trees built from PTLs and splitter units.  The access
+path pipeline is:
+
+    request SFQ H-tree (m stages) -> nTron SFQ->CMOS (1 stage) ->
+    CMOS sub-bank (1 stage) -> DC/SFQ CMOS->SFQ (1 stage) ->
+    reply SFQ H-tree (m stages)
+
+The nTron's 103.02 ps conversion cannot be split, so it sets the stage
+time and the maximum pipeline frequency of ~9.7 GHz (Sec 4.2.4).  The
+sub-bank MAT count is raised until its access fits one stage; the
+H-trees get repeaters until every segment sustains the stage rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.cryomem.mosfet import CryoMosfet
+from repro.cryomem.subbank import CmosSubbank, subbank_for_stage_time
+from repro.errors import ConfigError
+from repro.sfq.cells import DCSFQConverter, NTron
+from repro.sfq.constants import ERSFQ_1UM, TABLE2_COMPONENTS, SfqProcess
+from repro.sfq.htree import SfqHTree
+from repro.systolic.memsys import RandomSpm
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class PipelinedCmosSfqArray:
+    """A banked CMOS-SFQ array pipelined at the nTron stage time.
+
+    Attributes:
+        capacity_bytes: total capacity (28 MB in Table 4).
+        banks: CMOS sub-banks (256 in Table 4).
+        line_bytes: bytes per access.
+        mosfet: cryogenic CMOS operating point.
+        process: SFQ process for the H-trees and converters.
+        stage_time: pipeline stage period (s); defaults to the nTron
+            latency, the unbreakable bottleneck.
+    """
+
+    capacity_bytes: int = 28 * MB
+    banks: int = 256
+    line_bytes: int = 128
+    mosfet: CryoMosfet = field(default_factory=CryoMosfet)
+    process: SfqProcess = field(default=ERSFQ_1UM)
+    stage_time: float = TABLE2_COMPONENTS["ntron"].latency
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.banks < 1:
+            raise ConfigError("array needs positive capacity and banks")
+        if self.stage_time < TABLE2_COMPONENTS["ntron"].latency:
+            raise ConfigError(
+                "stage time cannot beat the nTron conversion latency"
+            )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @cached_property
+    def subbank(self) -> CmosSubbank:
+        """Per-bank CMOS sub-bank sized to fit one pipeline stage."""
+        return subbank_for_stage_time(
+            self.capacity_bytes // self.banks,
+            self.stage_time,
+            self.mosfet,
+            line_bytes=self.line_bytes,
+        )
+
+    @property
+    def array_side(self) -> float:
+        """Side of the square array footprint (m)."""
+        return math.sqrt(self.banks) * self.subbank.side
+
+    @cached_property
+    def htree(self) -> SfqHTree:
+        """The request SFQ H-tree (the reply tree mirrors it)."""
+        return SfqHTree(
+            banks=self.banks,
+            array_side=self.array_side,
+            bus_width=8 + 32,  # serialized data byte lanes + address/ctl
+            target_frequency=1.0 / self.stage_time,
+            process=self.process,
+        )
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    @property
+    def pipeline_frequency(self) -> float:
+        """Sustained request rate (Hz): ~9.7 GHz at the nTron stage."""
+        return 1.0 / self.stage_time
+
+    @property
+    def pipeline_stages(self) -> int:
+        """Total pipeline depth of one access."""
+        return 2 * self.htree.pipeline_stages + 3  # ntron, bank, dcsfq
+
+    @property
+    def access_latency(self) -> float:
+        """Full (pipelined) random access latency (s)."""
+        return self.pipeline_stages * self.stage_time
+
+    @property
+    def issue_interval(self) -> float:
+        """Initiation interval: one line per stage time (s)."""
+        return self.stage_time
+
+    @property
+    def byte_interval(self) -> float:
+        """Per-byte service time of one bank (s): Table 4's 0.11 ns."""
+        return self.stage_time
+
+    # ------------------------------------------------------------------
+    # Energy / power / area
+    # ------------------------------------------------------------------
+    @property
+    def access_energy(self) -> float:
+        """Dynamic energy of one line access (J)."""
+        ntron = NTron(self.process)
+        dcsfq = DCSFQConverter(self.process)
+        return (
+            self.htree.energy_per_access(broadcast=True)
+            + self.htree.energy_per_access(broadcast=False)
+            + self.subbank.access_energy
+            + ntron.dynamic_energy_per_pulse
+            + dcsfq.dynamic_energy_per_pulse * self.line_bytes * 8
+        )
+
+    @property
+    def leakage_power(self) -> float:
+        """Standby power (W): Sec 4.4 quotes ~102 mW for 28 MB."""
+        subbanks = self.banks * self.subbank.leakage_power
+        ntrons = self.banks * NTron(self.process).leakage_power
+        dcsfq = self.banks * DCSFQConverter(self.process).leakage_power
+        return subbanks + 2 * self.htree.leakage_power + ntrons + dcsfq
+
+    @property
+    def area(self) -> float:
+        """Total area (m^2): CMOS banks + SFQ H-trees + converters."""
+        converters = self.banks * (
+            NTron(self.process).area_f2 + DCSFQConverter(self.process).area_f2
+        ) * self.process.jj_diameter**2
+        return (self.banks * self.subbank.area + 2 * self.htree.area
+                + converters)
+
+    # ------------------------------------------------------------------
+    # Adapters
+    # ------------------------------------------------------------------
+    def as_random_spm(self) -> RandomSpm:
+        """The timing view the systolic simulator consumes."""
+        return RandomSpm(
+            capacity_bytes=self.capacity_bytes,
+            banks=self.banks,
+            read_latency=self.access_latency,
+            write_latency=self.access_latency,
+            issue_interval=self.issue_interval,
+            line_bytes=self.line_bytes,
+            pipelined=True,
+        )

@@ -1,0 +1,60 @@
+"""Cryogenic memory modelling (CryoRAM / cryo-mem substitute).
+
+The paper models its CMOS sub-banks with CryoRAM [Lee 2019]: a validated
+cryogenic MOSFET model (*cryo-pgen*) feeding a CACTI-style memory model
+(*cryo-mem*), re-tuned from 77 K to 4 K using published cryogenic MOSFET
+data (Sec 4.2.3).  This package implements both layers from scratch:
+
+- :mod:`repro.cryomem.mosfet` -- temperature-dependent MOSFET parameters
+  (carrier mobility, saturation velocity, threshold voltage, leakage).
+- :mod:`repro.cryomem.subbank` -- CACTI-lite CMOS sub-bank: MATs, row
+  decoder, wordline/bitline, sense amplifiers.
+- :mod:`repro.cryomem.cmos_htree` -- the repeated-RC-wire H-tree that
+  dominates large CMOS arrays (paper Fig 9).
+- :mod:`repro.cryomem.technology` -- the Table 1 cryogenic memory
+  technology parameters (SHIFT / VTM / SRAM / MRAM / SNM).
+- :mod:`repro.cryomem.shift_array` -- SHIFT (shift-register) SPM arrays.
+- :mod:`repro.cryomem.sram_array` -- Josephson-CMOS SRAM arrays with SFQ
+  decoders and CMOS H-trees.
+- :mod:`repro.cryomem.alt_arrays` -- VTM / MRAM / SNM arrays.
+- :mod:`repro.cryomem.validation` -- published chip operating points and
+  deviation helpers (paper Fig 12 and the VTM/MRAM/SNM demos).
+"""
+
+from repro.cryomem.mosfet import CryoMosfet
+from repro.cryomem.technology import (
+    MemoryTechnology,
+    TABLE1,
+    MRAM,
+    SHIFT,
+    SNM,
+    SRAM_4K,
+    VTM,
+)
+from repro.cryomem.subbank import CmosSubbank
+from repro.cryomem.cmos_htree import CmosHTree
+from repro.cryomem.shift_array import ShiftArray
+from repro.cryomem.sram_array import JosephsonCmosSram
+from repro.cryomem.alt_arrays import CryoRandomArray
+from repro.cryomem.validation import (
+    SUBBANK_CHIP_DATA,
+    relative_error,
+)
+
+__all__ = [
+    "CryoMosfet",
+    "MemoryTechnology",
+    "TABLE1",
+    "MRAM",
+    "SHIFT",
+    "SNM",
+    "SRAM_4K",
+    "VTM",
+    "CmosSubbank",
+    "CmosHTree",
+    "ShiftArray",
+    "JosephsonCmosSram",
+    "CryoRandomArray",
+    "SUBBANK_CHIP_DATA",
+    "relative_error",
+]

@@ -1,0 +1,171 @@
+"""VTM, MRAM and SNM array models (paper Fig 3, Table 1).
+
+These technologies share an organisation: an SFQ decoder/multiplexer at
+the edge (expensive, because SFQ fan-out is one), hTron row/column
+drivers, and a cell matrix whose latency/energy follow Table 1.  They
+differ in cell size, write behaviour and read destructiveness:
+
+- **VTM**: fast symmetric 0.1 ns accesses, but 203 F^2 cells;
+- **MRAM**: 0.1 ns reads, 2 ns / 8 pJ writes through SHE-MTJ switching;
+- **SNM**: 54 F^2 cells, 3 ns writes, destructive reads (each read must
+  be followed by a restore write).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.cryomem.technology import MemoryTechnology
+from repro.errors import ConfigError
+from repro.sfq.cells import SplitterTree
+from repro.sfq.constants import (
+    ERSFQ_1UM,
+    SFQ_DECODER_4TO16_AREA_F2,
+    SfqProcess,
+)
+
+
+#: Share of array area spent on SFQ decoders in non-SHIFT superconductor
+#: arrays (paper Sec 3: 16%-28%); we model it from the splitter trees
+#: but clamp into this band for sanity checks.
+SFQ_DECODER_AREA_BAND = (0.16, 0.28)
+
+
+@dataclass(frozen=True)
+class CryoRandomArray:
+    """A banked cryogenic random-access array of one Table 1 technology.
+
+    Attributes:
+        technology: the cell technology (VTM / MRAM / SNM / SRAM row).
+        capacity_bytes: total capacity (bytes).
+        banks: independent banks.
+        line_bytes: bytes per access.
+        feature: feature size for area scaling (m); defaults to the
+            process JJ diameter for superconductor cells.
+        process: SFQ process for edge peripherals.
+    """
+
+    technology: MemoryTechnology
+    capacity_bytes: int
+    banks: int = 256
+    line_bytes: int = 16
+    feature: float | None = None
+    process: SfqProcess = field(default=ERSFQ_1UM)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("capacity must be positive")
+        if self.banks < 1:
+            raise ConfigError("at least one bank required")
+        if not self.technology.random_access:
+            raise ConfigError(
+                f"{self.technology.name} does not support random access"
+            )
+
+    @property
+    def feature_size(self) -> float:
+        """Feature size used for cell area (m)."""
+        if self.feature is not None:
+            return self.feature
+        return self.process.jj_diameter
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    @property
+    def read_latency(self) -> float:
+        """Random read latency incl. restore write if destructive (s)."""
+        return self.technology.effective_read_latency
+
+    @property
+    def write_latency(self) -> float:
+        """Random write latency (s)."""
+        return self.technology.write_latency
+
+    @property
+    def issue_interval_read(self) -> float:
+        """Sustained interval between reads (s).
+
+        The SFQ edge periphery serialises issue; these arrays are not
+        internally pipelined, so the initiation interval equals the cell
+        access time (cf. the pipelined CMOS-SFQ array at 0.103 ns).
+        """
+        return self.read_latency
+
+    @property
+    def issue_interval_write(self) -> float:
+        """Sustained interval between writes (s)."""
+        return self.write_latency
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    @property
+    def read_energy(self) -> float:
+        """Energy per line read (J).
+
+        Table 1 quotes per-cell access energies at word granularity; we
+        charge one cell energy per byte of the line, plus the restore
+        write for destructive-read technologies.
+        """
+        per_byte = self.technology.read_energy
+        restore = (
+            self.technology.write_energy if self.technology.destructive_read
+            else 0.0
+        )
+        return (per_byte + restore) * self.line_bytes
+
+    @property
+    def write_energy(self) -> float:
+        """Energy per line write (J)."""
+        return self.technology.write_energy * self.line_bytes
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power (W): hTron drivers, tiny for these cells."""
+        per_bank_htron = 8.8e-6  # one row + one column driver pair
+        return self.banks * per_bank_htron
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+    @cached_property
+    def cell_area_total(self) -> float:
+        """Cell matrix area (m^2)."""
+        bits = self.capacity_bytes * 8
+        return bits * self.technology.cell_area(self.feature_size)
+
+    @cached_property
+    def decoder_area(self) -> float:
+        """SFQ decoder + multiplexer area (m^2).
+
+        Each bank needs word-line decoding; SFQ decoders are built from
+        NOR stages plus splitter clock trees (paper Fig 3d), costing
+        ~77 kF^2 per 4-to-16 stage — several times the CMOS equivalent.
+        """
+        bits_per_bank = self.capacity_bytes * 8 // self.banks
+        rows_per_bank = max(16, int(math.sqrt(bits_per_bank)))
+        stages_per_bank = max(1, math.ceil(math.log(rows_per_bank, 16)))
+        per_bank = (
+            stages_per_bank
+            * SFQ_DECODER_4TO16_AREA_F2
+            * (rows_per_bank / 16)
+            * self.process.jj_diameter**2
+        )
+        bank_select = SplitterTree(self.banks, self.process).area_f2 * (
+            self.process.jj_diameter**2
+        )
+        return self.banks * per_bank + bank_select
+
+    @property
+    def area(self) -> float:
+        """Total area (m^2): cells + SFQ periphery + drivers."""
+        driver_overhead = 0.06 * self.cell_area_total
+        return self.cell_area_total + self.decoder_area + driver_overhead
+
+    @property
+    def decoder_area_share(self) -> float:
+        """Fraction of area in SFQ decoders (paper: 16%-28%)."""
+        return self.decoder_area / self.area

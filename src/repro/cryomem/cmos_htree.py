@@ -1,0 +1,129 @@
+"""CMOS H-tree model — the bottleneck of large Josephson-CMOS arrays.
+
+A memory array routes requests/replies between the array edge and its
+banks over two H-trees (paper Sec 4.2.1).  In CMOS these are repeated RC
+wires plus buffer fan-out at each branch; for a 28 MB 256-bank array at
+4 K they dominate: ~84% of access latency and ~49% of access energy
+(paper Fig 9) — the observation that motivates SMART's SFQ H-trees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.cryomem.mosfet import CryoMosfet
+from repro.errors import ConfigError
+from repro.sfq.cmos_wire import CmosWire
+from repro.units import UM
+
+
+@dataclass(frozen=True)
+class CmosHTree:
+    """A repeated-RC-wire H-tree over ``banks`` leaves.
+
+    Geometry mirrors :class:`repro.sfq.htree.SfqHTree` so the two are
+    directly comparable; only the wire technology differs.
+
+    Attributes:
+        banks: number of leaf banks.
+        array_side: side of the square region spanned (m).
+        bus_width: parallel data + address + control wires.
+        mosfet: cryogenic MOSFET operating point (wire R and buffer
+            delays scale with temperature).
+    """
+
+    banks: int
+    array_side: float
+    bus_width: int = 32
+    mosfet: CryoMosfet = field(default_factory=CryoMosfet)
+
+    def __post_init__(self) -> None:
+        if self.banks < 1:
+            raise ConfigError("H-tree needs at least one bank")
+        if self.array_side <= 0:
+            raise ConfigError("array side must be positive")
+        if self.bus_width < 1:
+            raise ConfigError("bus width must be at least 1")
+
+    @property
+    def levels(self) -> int:
+        """Branching levels: ceil(log2(banks))."""
+        return max(0, math.ceil(math.log2(self.banks))) if self.banks > 1 else 0
+
+    @cached_property
+    def segment_lengths(self) -> list[float]:
+        """Root-to-leaf segment lengths per level (m)."""
+        lengths = []
+        for level in range(self.levels):
+            lengths.append(self.array_side / (2 ** (1 + level // 2)))
+        if not lengths:
+            lengths = [self.array_side / 2]
+        return lengths
+
+    def _wire(self, length: float) -> CmosWire:
+        # Global wires are optimally repeated: segment length
+        # sqrt(2 t_rep / RC) ~ 50 um at these parameters.
+        resistance = 100.0 / UM * self.mosfet.wire_resistance_factor
+        return CmosWire(
+            length=length,
+            resistance_per_length=resistance,
+            supply_voltage=self.mosfet.supply_voltage,
+            repeater_delay=(
+                5e-12 * self.mosfet.gate_delay_factor
+            ),
+            driver_delay=10e-12 * self.mosfet.gate_delay_factor,
+            max_segment=50 * UM,
+        )
+
+    @property
+    def path_latency(self) -> float:
+        """Root-to-leaf latency (s): wires plus branch buffers."""
+        wires = sum(self._wire(length).latency
+                    for length in self.segment_lengths)
+        buffer_delay = 3 * 14e-12 * (self.mosfet.node / 28e-9) * (
+            self.mosfet.gate_delay_factor
+        )
+        return wires + self.levels * buffer_delay
+
+    def energy_per_access(self, broadcast: bool = False) -> float:
+        """Dynamic energy of one request traversal (J).
+
+        CMOS trees gate the inactive branch at each node, so by default
+        only the selected root-to-leaf path switches; ``broadcast=True``
+        models an ungated tree.
+        """
+        activity = 0.5 * self.bus_width
+        if broadcast:
+            total = 0.0
+            for level, length in enumerate(self.segment_lengths):
+                total += self._wire(length).energy_per_bit * 2**level
+            return activity * total
+        path = sum(self._wire(length).energy_per_bit
+                   for length in self.segment_lengths)
+        return activity * path
+
+    @property
+    def leakage_power(self) -> float:
+        """Repeater/buffer leakage (W), temperature scaled."""
+        repeaters = 0
+        for level, length in enumerate(self.segment_lengths):
+            wire = self._wire(length)
+            repeaters += (wire.segments + 2) * 2**level
+        leak_per_buffer_300k = 50e-9  # W, sized-up repeater at 28 nm
+        return (
+            self.bus_width
+            * repeaters
+            * leak_per_buffer_300k
+            * self.mosfet.leakage_factor
+        )
+
+    @property
+    def area(self) -> float:
+        """Wiring track area (m^2) across all bit lanes."""
+        track_width = 4 * self.mosfet.node
+        total = 0.0
+        for level, length in enumerate(self.segment_lengths):
+            total += length * track_width * 2**level
+        return total * self.bus_width

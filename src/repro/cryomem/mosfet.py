@@ -1,0 +1,162 @@
+"""Cryogenic MOSFET parameter model (cryo-pgen substitute).
+
+CryoRAM's cryo-pgen derives MOSFET characteristics at 77 K; the paper
+extends it to 4 K by adjusting three fabrication- and temperature-
+dependent variables — carrier mobility, carrier saturation velocity and
+threshold voltage — against published cryogenic MOSFET measurements
+(Beckers 2020, Grill 2020).  This module implements those dependences as
+smooth phenomenological fits:
+
+- **Mobility** rises as phonon scattering freezes out, saturating at low
+  temperature where ionised-impurity scattering dominates:
+  ``mu(T) = mu300 * (1 + a_mu * (1 - (T/300)^p)) `` clipped to the
+  impurity-limited plateau.
+- **Saturation velocity** rises modestly (~30% at 4 K).
+- **Threshold voltage** increases roughly linearly in (300 - T) and
+  saturates below ~50 K where dopant freeze-out flattens the curve
+  (the "physical model of low-temperature V_th" of Beckers 2020).
+- **Subthreshold swing** scales with T down to ~40 K then saturates on
+  band-tail states, which is why leakage drops by >90% but not to zero
+  (paper Sec 3, citing CryoCache).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CryoMosfet:
+    """Temperature-scaled MOSFET parameters for one CMOS node.
+
+    Attributes:
+        node: feature size (m), e.g. 28e-9.
+        temperature: operating temperature (K).
+        supply_voltage: nominal V_dd at 300 K (V).
+        vth_300k: threshold voltage at 300 K (V).
+        mobility_boost: impurity-limited mobility plateau relative to
+            300 K (x); ~3.5 for foundry bulk CMOS at 4 K.
+        vth_shift_per_k: linear V_th increase per kelvin of cooling (V/K).
+        swing_floor_k: temperature below which subthreshold swing stops
+            improving (band-tail saturation).
+    """
+
+    node: float = 28e-9
+    temperature: float = 4.0
+    supply_voltage: float = 0.9
+    vth_300k: float = 0.35
+    mobility_boost: float = 3.5
+    vth_shift_per_k: float = 4.5e-4
+    swing_floor_k: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.node <= 0:
+            raise ConfigError("node size must be positive")
+        if not 0 < self.temperature <= 400:
+            raise ConfigError("temperature must be in (0, 400] K")
+
+    @property
+    def mobility_factor(self) -> float:
+        """Carrier mobility relative to 300 K (unitless, >= 1 below 300K).
+
+        Phonon-limited mobility grows as ~T^-1.5 until the impurity
+        plateau; the soft-min below keeps the curve smooth.
+        """
+        t = max(self.temperature, 1.0)
+        phonon = (300.0 / t) ** 1.5
+        plateau = self.mobility_boost
+        return 1.0 / (1.0 / phonon + 1.0 / plateau) * (
+            1.0 + 1.0 / plateau
+        ) if t < 300.0 else 1.0
+
+    @property
+    def vsat_factor(self) -> float:
+        """Saturation velocity relative to 300 K (~1.3 at 4 K)."""
+        t = max(self.temperature, 1.0)
+        if t >= 300.0:
+            return 1.0
+        return 1.0 + 0.3 * (1.0 - t / 300.0)
+
+    @property
+    def vth(self) -> float:
+        """Threshold voltage at the operating temperature (V).
+
+        Linear rise with cooling, saturating below ~50 K (freeze-out).
+        """
+        effective_t = max(self.temperature, 50.0)
+        return self.vth_300k + self.vth_shift_per_k * (300.0 - effective_t)
+
+    @property
+    def overdrive_factor(self) -> float:
+        """Gate overdrive (V_dd - V_th) relative to 300 K."""
+        overdrive_300 = self.supply_voltage - self.vth_300k
+        overdrive = self.supply_voltage - self.vth
+        if overdrive <= 0.05:
+            raise ConfigError(
+                f"V_th {self.vth:.3f} V leaves no overdrive at "
+                f"V_dd {self.supply_voltage} V"
+            )
+        return overdrive / overdrive_300
+
+    @property
+    def on_current_factor(self) -> float:
+        """Drive current relative to 300 K.
+
+        Short-channel drive is velocity-saturated: I_on ~ v_sat * C_ox *
+        (V_dd - V_th), with a partial mobility contribution at the 28 nm
+        node.  Net effect at 4 K: ~1.4-2x faster transistors — consistent
+        with the "faster speed at 4 K" observations the paper cites.
+        """
+        mobility_exponent = 0.3  # residual long-channel contribution
+        return (
+            self.vsat_factor
+            * self.overdrive_factor
+            * self.mobility_factor**mobility_exponent
+        )
+
+    @property
+    def gate_delay_factor(self) -> float:
+        """Gate delay relative to 300 K (CV/I; C is ~athermal)."""
+        return 1.0 / self.on_current_factor
+
+    @property
+    def subthreshold_swing_mv_dec(self) -> float:
+        """Subthreshold swing (mV/decade) with band-tail saturation."""
+        effective_t = max(self.temperature, self.swing_floor_k)
+        ideality = 1.2
+        return 1000.0 * ideality * math.log(10.0) * 8.617e-5 * effective_t
+
+    @property
+    def leakage_factor(self) -> float:
+        """Subthreshold leakage relative to 300 K.
+
+        The V_th rise acts through the (saturated) swing; at 4 K this
+        yields a >90% leakage reduction, matching the paper's Sec 3
+        citation of CryoCache rather than the astronomically small value
+        an ideal kT/q model would predict.
+        """
+        swing_300 = 1000.0 * 1.2 * math.log(10.0) * 8.617e-5 * 300.0
+        vth_rise_mv = (self.vth - self.vth_300k) * 1000.0
+        decades = vth_rise_mv / self.subthreshold_swing_mv_dec
+        swing_gain = swing_300 / self.subthreshold_swing_mv_dec
+        base = 10.0 ** (-decades)
+        # gate and junction leakage set a floor around 2% of RT leakage
+        floor = 0.02
+        return max(base / swing_gain, floor)
+
+    @property
+    def wire_resistance_factor(self) -> float:
+        """Copper wire resistance relative to 300 K (~0.2 at 4 K).
+
+        Thin damascene copper retains substantial defect resistivity, so
+        the residual-resistance ratio is ~5, far from bulk copper's ~100.
+        """
+        t = max(self.temperature, 1.0)
+        if t >= 300.0:
+            return 1.0
+        phonon_part = 0.8 * (t / 300.0)
+        defect_part = 0.2
+        return phonon_part + defect_part

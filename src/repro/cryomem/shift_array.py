@@ -1,0 +1,134 @@
+"""SHIFT (shift-register) scratchpad array model.
+
+A SHIFT array is a set of independent lanes, each a circular chain of
+SFQ DFFs (paper Fig 3a): data advances one word position per access, so
+sequential reads cost one 0.02 ns step while a "random" access must
+rotate the lane all the way to the target position.  Every shift step
+pulses every DFF in the lane, so the access energy is proportional to
+the lane capacity — the effect paper Fig 16 quantifies (a 384 KB
+SuperNPU bank burns ~3000x the energy of SMART's 128 B lanes per
+access).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sfq.constants import (
+    ERSFQ_1UM,
+    SHIFT_CELL_ACCESS,
+    SHIFT_CELL_AREA_F2,
+    SHIFT_CELL_ENERGY,
+    SfqProcess,
+)
+
+
+#: Fraction of DFFs storing a logical 1 on average; ERSFQ DFFs dissipate
+#: only when a pulse (a stored 1) moves.
+SHIFT_ACTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class ShiftArray:
+    """A banked SHIFT scratchpad.
+
+    Attributes:
+        capacity_bytes: total capacity (bytes).
+        banks: independent lanes (each serves one PE row/column stream).
+        word_bits: width of one word position in the lane.
+        process: SFQ process (cell area scaling).
+    """
+
+    capacity_bytes: int
+    banks: int
+    word_bits: int = 128
+    process: SfqProcess = ERSFQ_1UM
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("capacity must be positive")
+        if self.banks < 1:
+            raise ConfigError("at least one bank required")
+        if self.word_bits < 1:
+            raise ConfigError("word width must be at least one bit")
+        if self.capacity_bytes * 8 < self.banks * self.word_bits:
+            raise ConfigError("capacity smaller than one word per bank")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def lane_bytes(self) -> int:
+        """Capacity of one lane (bytes)."""
+        return self.capacity_bytes // self.banks
+
+    @property
+    def lane_cells(self) -> int:
+        """DFF count of one lane."""
+        return self.lane_bytes * 8
+
+    @property
+    def lane_words(self) -> int:
+        """Word positions in one lane (the circular depth)."""
+        return max(1, self.lane_cells // self.word_bits)
+
+    @property
+    def total_cells(self) -> int:
+        """DFF count of the whole array."""
+        return self.capacity_bytes * 8
+
+    @property
+    def area(self) -> float:
+        """Array area (m^2): DFF cells only (SHIFT needs no decoders)."""
+        cell = SHIFT_CELL_AREA_F2 * self.process.jj_diameter**2
+        return self.total_cells * cell
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    @property
+    def step_latency(self) -> float:
+        """Latency of advancing a lane one word position (s)."""
+        return SHIFT_CELL_ACCESS
+
+    def rotate_steps(self, word_delta: int) -> int:
+        """Shift steps to reach a word ``word_delta`` positions ahead.
+
+        Lanes rotate forward only; a backward jump of d costs
+        ``lane_words - d`` steps.  ``word_delta`` may be any integer.
+        """
+        return word_delta % self.lane_words
+
+    def rotate_latency(self, word_delta: int) -> float:
+        """Time to rotate a lane to a target word (s)."""
+        return self.rotate_steps(word_delta) * self.step_latency
+
+    @property
+    def sequential_bandwidth(self) -> float:
+        """Aggregate sequential bandwidth, all lanes streaming (B/s)."""
+        word_bytes = self.word_bits / 8
+        return self.banks * word_bytes / self.step_latency
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    @property
+    def energy_per_step(self) -> float:
+        """Energy of one shift step of one lane (J).
+
+        Every DFF in the lane is clocked; those holding a 1 (activity
+        fraction) dissipate the 0.1 fJ cell energy.
+        """
+        return self.lane_cells * SHIFT_CELL_ENERGY * SHIFT_ACTIVITY
+
+    def access_energy(self, word_delta: int = 1) -> float:
+        """Energy to advance a lane to a word ``word_delta`` ahead (J)."""
+        steps = self.rotate_steps(word_delta)
+        return steps * self.energy_per_step
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power (W): zero, ERSFQ SHIFT has no bias resistors."""
+        return 0.0

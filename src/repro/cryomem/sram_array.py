@@ -1,0 +1,174 @@
+"""Josephson-CMOS SRAM array model (paper Fig 3b).
+
+The conventional cryogenic SRAM organisation the paper compares against:
+an SFQ decoder and multiplexer at the array edge drive nTrons into a
+CMOS SRAM macro whose internal routing is a *CMOS* H-tree.  The access
+path is
+
+    SFQ decoder -> CMOS H-tree (request) -> sub-bank (decode, WL, BL,
+    sense) -> CMOS H-tree (reply) -> DC/SFQ conversion
+
+and for a 28 MB array the H-trees dominate (~84% latency / ~49% energy,
+paper Fig 9), landing total access time in the 2-4 ns band of Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.cryomem.cmos_htree import CmosHTree
+from repro.cryomem.mosfet import CryoMosfet
+from repro.cryomem.subbank import CmosSubbank
+from repro.errors import ConfigError
+from repro.sfq.cells import DCSFQConverter, NTron, SplitterTree
+from repro.sfq.constants import ERSFQ_1UM, SFQ_DECODER_4TO16_AREA_F2, SfqProcess
+
+
+@dataclass(frozen=True)
+class AccessBreakdown:
+    """Per-component shares of one array access.
+
+    Attributes map component names to (latency seconds, energy joules).
+    """
+
+    components: dict[str, tuple[float, float]]
+
+    @property
+    def total_latency(self) -> float:
+        """Total access latency (s)."""
+        return sum(lat for lat, _ in self.components.values())
+
+    @property
+    def total_energy(self) -> float:
+        """Total access energy (J)."""
+        return sum(e for _, e in self.components.values())
+
+    def latency_share(self, name: str) -> float:
+        """Fraction of latency spent in one component."""
+        return self.components[name][0] / self.total_latency
+
+    def energy_share(self, name: str) -> float:
+        """Fraction of energy spent in one component."""
+        return self.components[name][1] / self.total_energy
+
+
+@dataclass(frozen=True)
+class JosephsonCmosSram:
+    """A banked Josephson-CMOS SRAM array with CMOS H-trees.
+
+    Attributes:
+        capacity_bytes: total capacity (bytes).
+        banks: number of CMOS sub-banks.
+        mats_per_bank: MATs inside each sub-bank.
+        line_bytes: bytes per access.
+        mosfet: cryogenic CMOS operating point.
+        process: SFQ process for the edge peripherals.
+    """
+
+    capacity_bytes: int
+    banks: int = 256
+    mats_per_bank: int = 16
+    line_bytes: int = 16
+    mosfet: CryoMosfet = field(default_factory=CryoMosfet)
+    process: SfqProcess = field(default=ERSFQ_1UM)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("capacity must be positive")
+        if self.banks < 1:
+            raise ConfigError("at least one bank required")
+
+    @cached_property
+    def subbank(self) -> CmosSubbank:
+        """The per-bank CMOS sub-bank model."""
+        return CmosSubbank(
+            capacity_bytes=self.capacity_bytes // self.banks,
+            mats=self.mats_per_bank,
+            line_bytes=self.line_bytes,
+            mosfet=self.mosfet,
+        )
+
+    @property
+    def array_side(self) -> float:
+        """Side of the square array footprint (m)."""
+        return math.sqrt(self.banks) * self.subbank.side
+
+    @cached_property
+    def htree(self) -> CmosHTree:
+        """The request CMOS H-tree (reply tree is its mirror)."""
+        return CmosHTree(
+            banks=self.banks,
+            array_side=self.array_side,
+            bus_width=8 * self.line_bytes + 32,
+            mosfet=self.mosfet,
+        )
+
+    @cached_property
+    def sfq_decoder(self) -> SplitterTree:
+        """SFQ bank-select decoder: splitter tree over the banks."""
+        return SplitterTree(fanout=self.banks, process=self.process)
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    @property
+    def breakdown(self) -> AccessBreakdown:
+        """Latency/energy of one access, per component (paper Fig 9)."""
+        ntron = NTron(self.process)
+        dcsfq = DCSFQConverter(self.process)
+        decoder_latency = (
+            self.sfq_decoder.latency + ntron.latency
+        )
+        decoder_energy = (
+            self.sfq_decoder.energy_per_broadcast
+            + ntron.dynamic_energy_per_pulse
+        )
+        htree_latency = 2 * self.htree.path_latency  # request + reply
+        htree_energy = 2 * self.htree.energy_per_access()
+        sb = self.subbank
+        return AccessBreakdown(components={
+            "sfq_edge": (decoder_latency, decoder_energy),
+            "htree": (htree_latency, htree_energy),
+            "cdec": (sb.decoder_delay, 0.15 * sb.access_energy),
+            "array": (
+                sb.wordline_delay + sb.bitline_delay + sb.routing_delay,
+                0.65 * sb.access_energy,
+            ),
+            "sense": (sb.sense_delay, 0.20 * sb.access_energy),
+            "dcsfq": (dcsfq.latency, dcsfq.dynamic_energy_per_pulse),
+        })
+
+    @property
+    def access_latency(self) -> float:
+        """Total random access latency (s)."""
+        return self.breakdown.total_latency
+
+    @property
+    def access_energy(self) -> float:
+        """Total access energy (J)."""
+        return self.breakdown.total_energy
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power (W): sub-banks + H-tree buffers + SFQ edge."""
+        subbanks = self.banks * self.subbank.leakage_power
+        ntrons = self.banks * NTron(self.process).leakage_power
+        return subbanks + 2 * self.htree.leakage_power + ntrons
+
+    @property
+    def area(self) -> float:
+        """Total area (m^2): banks + H-trees + SFQ edge decoder."""
+        decoder_area = (
+            self.sfq_decoder.area_f2 * self.process.jj_diameter**2
+            # each 4-to-16 stage of bank addressing also needs NOR gates
+            + (self.banks / 16)
+            * SFQ_DECODER_4TO16_AREA_F2
+            * self.process.jj_diameter**2
+        )
+        return (
+            self.banks * self.subbank.area
+            + 2 * self.htree.area
+            + decoder_area
+        )

@@ -1,0 +1,274 @@
+"""CACTI-lite CMOS SRAM sub-bank model at cryogenic temperature.
+
+A sub-bank is a grid of MATs (memory array tiles); each MAT holds a
+square SRAM cell array with its own row decoder, wordline drivers,
+bitline pairs, column multiplexer and sense amplifiers (paper Fig 11a).
+Latency and energy follow first-order RC physics, with every transistor
+parameter scaled by the :class:`~repro.cryomem.mosfet.CryoMosfet` model:
+
+- decoder: a logical-effort chain, delay ~ FO4 * stages;
+- wordline: distributed RC across the row;
+- bitline: V_swing development through the cell's drive current;
+- sense amp + column mux: fixed FO4 multiples;
+- intra-sub-bank routing: repeated CMOS wire to the farthest MAT.
+
+The model is deliberately conservative (paper Sec 4.2.3: simulated
+latencies 3-8% above the fabricated 4 K chip, energies 8-12% above).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.cryomem.mosfet import CryoMosfet
+from repro.errors import ConfigError
+from repro.sfq.cmos_wire import CmosWire
+from repro.units import FF, KB, UM
+
+
+#: SRAM cell geometry (Table 1): 146 F^2 at the CMOS node.
+SRAM_CELL_F2 = 146.0
+
+#: 300 K reference FO4 delay per metre of feature size: FO4(28 nm) at
+#: 300 K is ~10 ps (fast-corner foundry 28 nm).
+FO4_PER_NODE = 10e-12 / 28e-9
+
+#: Capacitances per cell hanging on wordlines / bitlines at 300 K.
+WL_CAP_PER_CELL = 0.12 * FF
+BL_CAP_PER_CELL = 0.10 * FF
+
+#: Bitline sense swing as a fraction of V_dd.
+SENSE_SWING = 0.1
+
+#: 300 K leakage per SRAM byte at the 28 nm node (W); scaled by the
+#: MOSFET leakage factor at operating temperature.
+LEAKAGE_PER_BYTE_300K = 35e-9
+
+#: 300 K leakage of one MAT's periphery (decoder slice, sense amps,
+#: precharge) (W).  This is what makes aggressive MAT partitioning —
+#: the pipelined array's way of meeting its 0.103 ns stage — expensive
+#: in standby power (paper Sec 4.2.4 / Fig 14).
+LEAKAGE_PER_MAT_300K = 25e-6
+
+
+@dataclass(frozen=True)
+class CmosSubbank:
+    """One CMOS SRAM sub-bank built from square MATs.
+
+    Attributes:
+        capacity_bytes: sub-bank capacity (bytes).
+        mats: number of MATs (power of two preferred).
+        line_bytes: bytes delivered per access.
+        mosfet: cryogenic MOSFET operating point.
+    """
+
+    capacity_bytes: int
+    mats: int = 8
+    line_bytes: int = 16
+    mosfet: CryoMosfet = field(default_factory=CryoMosfet)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("capacity must be positive")
+        if self.mats < 1:
+            raise ConfigError("a sub-bank needs at least one MAT")
+        if self.line_bytes < 1:
+            raise ConfigError("line size must be at least one byte")
+        if self.line_bytes * 8 > self.mat_bits:
+            raise ConfigError("line larger than a MAT row")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def mat_bits(self) -> int:
+        """Bits per MAT."""
+        return self.capacity_bytes * 8 // self.mats
+
+    @property
+    def mat_rows(self) -> int:
+        """Rows in the (square-ish) MAT cell array."""
+        return max(1, int(math.sqrt(self.mat_bits)))
+
+    @property
+    def mat_cols(self) -> int:
+        """Columns in the MAT cell array."""
+        return max(1, self.mat_bits // self.mat_rows)
+
+    @cached_property
+    def cell_pitch(self) -> float:
+        """Cell pitch (m), from the 146 F^2 SRAM cell."""
+        return math.sqrt(SRAM_CELL_F2) * self.mosfet.node
+
+    @property
+    def mat_width(self) -> float:
+        """MAT width (m)."""
+        return self.mat_cols * self.cell_pitch
+
+    @property
+    def mat_height(self) -> float:
+        """MAT height (m)."""
+        return self.mat_rows * self.cell_pitch
+
+    @property
+    def area(self) -> float:
+        """Sub-bank area (m^2): cells plus 35% periphery overhead."""
+        periphery = 1.35
+        return self.mats * self.mat_width * self.mat_height * periphery
+
+    @property
+    def side(self) -> float:
+        """Approximate side of the square sub-bank footprint (m)."""
+        return math.sqrt(self.area)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    @cached_property
+    def fo4(self) -> float:
+        """Temperature-scaled FO4 inverter delay (s)."""
+        return FO4_PER_NODE * self.mosfet.node * self.mosfet.gate_delay_factor
+
+    @property
+    def decoder_delay(self) -> float:
+        """Row decoder delay: logical-effort chain over address bits."""
+        address_bits = max(1, int(math.ceil(math.log2(self.mat_rows))))
+        stages = 1 + address_bits / 3.0
+        return stages * self.fo4
+
+    @property
+    def wordline_delay(self) -> float:
+        """Distributed RC delay of one wordline (s)."""
+        wire = CmosWire(
+            length=self.mat_width,
+            resistance_per_length=(
+                80.0 / UM * self.mosfet.wire_resistance_factor
+            ),
+            capacitance_per_length=WL_CAP_PER_CELL / self.cell_pitch,
+            driver_delay=2 * self.fo4,
+        )
+        return wire.latency
+
+    @property
+    def bitline_delay(self) -> float:
+        """Bitline swing development time (s).
+
+        The cell discharges C_bl through its (temperature-boosted) drive
+        current until the sense swing is reached.
+        """
+        c_bitline = BL_CAP_PER_CELL * self.mat_rows / self.cell_pitch * (
+            self.cell_pitch
+        )
+        cell_current = 25e-6 * self.mosfet.on_current_factor
+        swing = SENSE_SWING * self.mosfet.supply_voltage
+        return c_bitline * swing / cell_current
+
+    @property
+    def sense_delay(self) -> float:
+        """Sense amplifier + column mux delay (s)."""
+        return 3 * self.fo4
+
+    @property
+    def routing_delay(self) -> float:
+        """Repeated-wire delay to the farthest MAT (s)."""
+        wire = CmosWire(
+            length=self.side / 2,
+            resistance_per_length=(
+                60.0 / UM * self.mosfet.wire_resistance_factor
+            ),
+            driver_delay=2 * self.fo4,
+            repeater_delay=self.fo4,
+            max_segment=50 * UM,
+        )
+        return wire.latency
+
+    @property
+    def access_latency(self) -> float:
+        """Total read latency of the sub-bank (s)."""
+        return (
+            self.decoder_delay
+            + self.wordline_delay
+            + self.bitline_delay
+            + self.sense_delay
+            + self.routing_delay
+        )
+
+    # ------------------------------------------------------------------
+    # Energy & power
+    # ------------------------------------------------------------------
+    @property
+    def access_energy(self) -> float:
+        """Dynamic energy per line access (J)."""
+        vdd = self.mosfet.supply_voltage
+        wl_energy = WL_CAP_PER_CELL * self.mat_cols * vdd**2
+        bl_swing = SENSE_SWING * vdd
+        bl_energy = (
+            BL_CAP_PER_CELL * self.mat_rows * bl_swing * vdd
+            * self.line_bytes * 8
+        )
+        decoder_energy = 0.15 * wl_energy
+        sense_energy = 0.05 * FF * vdd**2 * self.line_bytes * 8 * 20
+        routing_energy = CmosWire(length=self.side / 2).energy_per_bit * (
+            self.line_bytes * 8
+        )
+        return (
+            wl_energy + bl_energy + decoder_energy + sense_energy
+            + routing_energy
+        )
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power of the sub-bank at temperature (W).
+
+        Cell leakage scales with capacity; periphery leakage scales with
+        MAT count, which is why shrinking MATs to shorten the access
+        raises standby power (Sec 4.2.4).
+        """
+        cells = LEAKAGE_PER_BYTE_300K * self.capacity_bytes
+        periphery = LEAKAGE_PER_MAT_300K * self.mats
+        return (cells + periphery) * self.mosfet.leakage_factor
+
+
+def subbank_for_stage_time(capacity_bytes: int, stage_time: float,
+                           mosfet: CryoMosfet | None = None,
+                           line_bytes: int = 16) -> CmosSubbank:
+    """Find the smallest MAT count whose access fits ``stage_time``.
+
+    Used by the pipelined CMOS-SFQ array design-space exploration
+    (Sec 4.2.4): shrinking MATs shortens word/bitlines until the
+    sub-bank fits one pipeline stage, at the price of more periphery.
+
+    When no legal MAT count meets the stage time (partitioning bottoms
+    out once a MAT row shrinks to the line width), the fastest legal
+    configuration is returned instead — the array then simply pipelines
+    at that sub-bank's latency.
+
+    Raises:
+        ConfigError: if no legal configuration exists at all.
+    """
+    mosfet = mosfet or CryoMosfet()
+    mats = 1
+    best: CmosSubbank | None = None
+    while mats <= 4096:
+        try:
+            candidate = CmosSubbank(
+                capacity_bytes=capacity_bytes,
+                mats=mats,
+                line_bytes=line_bytes,
+                mosfet=mosfet,
+            )
+        except ConfigError:
+            break  # MAT rows shrank below the line width
+        if best is None or candidate.access_latency < best.access_latency:
+            best = candidate
+        if candidate.access_latency <= stage_time:
+            return candidate
+        mats *= 2
+    if best is None:
+        raise ConfigError(
+            f"no legal sub-bank configuration for {capacity_bytes} bytes "
+            f"at {line_bytes}-byte lines"
+        )
+    return best

@@ -1,0 +1,150 @@
+"""Cryogenic memory technology parameters — paper Table 1.
+
+Each :class:`MemoryTechnology` row captures the cell-level operating
+point the paper compares: access latencies, cell size (in F^2 of the
+technology's own feature: JJ diameter for superconductor cells, CMOS
+node for SRAM), access energies, leakage class and random-access
+capability.  Array-level models in the sibling modules compose these
+with decoders, drivers and H-trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import FJ, NS, PJ
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """One row of paper Table 1.
+
+    Attributes:
+        name: technology name.
+        read_latency: cell/array read latency (s).
+        write_latency: cell/array write latency (s).
+        cell_size_f2: cell area in F^2 (F defined by ``feature_basis``).
+        feature_basis: "jj" (F = JJ diameter) or "cmos" (F = node size).
+        read_energy: energy per cell read (J).
+        write_energy: energy per cell write (J).
+        leakage_class: "none", "tiny" or "medium" (Table 1 wording).
+        random_access: whether the cell supports random addressing.
+        destructive_read: whether each read must be followed by a
+            restoring write (true for SNM).
+    """
+
+    name: str
+    read_latency: float
+    write_latency: float
+    cell_size_f2: float
+    feature_basis: str
+    read_energy: float
+    write_energy: float
+    leakage_class: str
+    random_access: bool
+    destructive_read: bool = False
+
+    def __post_init__(self) -> None:
+        if self.feature_basis not in ("jj", "cmos"):
+            raise ConfigError(
+                f"{self.name}: feature_basis must be 'jj' or 'cmos'"
+            )
+        if self.leakage_class not in ("none", "tiny", "medium"):
+            raise ConfigError(
+                f"{self.name}: unknown leakage class {self.leakage_class}"
+            )
+        for attr in ("read_latency", "write_latency", "cell_size_f2",
+                     "read_energy", "write_energy"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{self.name}: {attr} must be positive")
+
+    @property
+    def effective_read_latency(self) -> float:
+        """Read latency including the restore write if destructive (s)."""
+        if self.destructive_read:
+            return self.read_latency + self.write_latency
+        return self.read_latency
+
+    def cell_area(self, feature_m: float) -> float:
+        """Cell area (m^2) at a given feature size."""
+        if feature_m <= 0:
+            raise ConfigError("feature size must be positive")
+        return self.cell_size_f2 * feature_m * feature_m
+
+
+#: SFQ shift-register cell: serially connected DFFs, no decoder, no
+#: random access (paper Table 1 / Sec 2.2).
+SHIFT = MemoryTechnology(
+    name="SHIFT",
+    read_latency=0.02 * NS,
+    write_latency=0.02 * NS,
+    cell_size_f2=39.0,
+    feature_basis="jj",
+    read_energy=0.1 * FJ,
+    write_energy=0.1 * FJ,
+    leakage_class="none",
+    random_access=False,
+)
+
+#: Vortex transition memory: 4 JJs + 8 inductors per cell, fast but
+#: poorly scalable (0.9 Mbit/cm^2 demonstrated).
+VTM = MemoryTechnology(
+    name="VTM",
+    read_latency=0.1 * NS,
+    write_latency=0.1 * NS,
+    cell_size_f2=203.0,
+    feature_basis="jj",
+    read_energy=0.1 * PJ,
+    write_energy=0.1 * PJ,
+    leakage_class="tiny",
+    random_access=True,
+)
+
+#: Josephson-CMOS SRAM at 4 K: mature and dense but slow for a 28 MB
+#: array (2-4 ns; we carry the midpoint at array level).
+SRAM_4K = MemoryTechnology(
+    name="SRAM",
+    read_latency=3.0 * NS,
+    write_latency=3.0 * NS,
+    cell_size_f2=146.0,
+    feature_basis="cmos",
+    read_energy=0.1 * PJ,
+    write_energy=0.1 * PJ,
+    leakage_class="medium",
+    random_access=True,
+)
+
+#: Spin-hall-effect MRAM with hTron bit-select: fast reads, 2 ns writes
+#: at 8 pJ, which is what sinks it (paper Sec 3).
+MRAM = MemoryTechnology(
+    name="MRAM",
+    read_latency=0.1 * NS,
+    write_latency=2.0 * NS,
+    cell_size_f2=89.0,
+    feature_basis="jj",
+    read_energy=1.0 * PJ,
+    write_energy=8.0 * PJ,
+    leakage_class="tiny",
+    random_access=True,
+)
+
+#: Superconducting nanowire memory: dense and low-energy but 3 ns writes
+#: and destructive reads.
+SNM = MemoryTechnology(
+    name="SNM",
+    read_latency=0.1 * NS,
+    write_latency=3.0 * NS,
+    cell_size_f2=54.0,
+    feature_basis="jj",
+    read_energy=10.0 * FJ,
+    write_energy=10.0 * FJ,
+    leakage_class="tiny",
+    random_access=True,
+    destructive_read=True,
+)
+
+#: Table 1 in declaration order.
+TABLE1: dict[str, MemoryTechnology] = {
+    tech.name: tech for tech in (SHIFT, VTM, SRAM_4K, MRAM, SNM)
+}

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the SMART reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+downstream user can catch one type at an API boundary.  The subclasses map
+to the major subsystems; they carry ordinary messages, no custom state.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An accelerator / memory configuration is inconsistent or out of range."""
+
+
+class NetlistError(ReproError):
+    """A circuit netlist is malformed (unknown node, duplicate name, ...)."""
+
+
+class SimulationError(ReproError):
+    """The transient circuit simulation failed to run or converge."""
+
+
+class MappingError(ReproError):
+    """A CNN layer cannot be mapped onto the systolic array as requested."""
+
+
+class ScheduleError(ReproError):
+    """The compiler produced, or was asked to apply, an invalid schedule."""
+
+
+class SolverError(ReproError):
+    """The ILP solver failed or returned an infeasible/unbounded status."""

@@ -1,0 +1,39 @@
+"""Small reporting helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises:
+        ConfigError: on empty input or non-positive entries.
+    """
+    values = list(values)
+    if not values:
+        raise ConfigError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geomean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.4g}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

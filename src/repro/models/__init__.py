@@ -1,0 +1,32 @@
+"""CNN model zoo — the six networks of the paper's evaluation (Sec 5).
+
+Each module exports a builder returning a
+:class:`~repro.systolic.layers.Network`; :mod:`repro.models.zoo`
+registers them together with the paper's batch-size table.
+"""
+
+from repro.models.alexnet import build_alexnet
+from repro.models.vgg16 import build_vgg16
+from repro.models.googlenet import build_googlenet
+from repro.models.mobilenet import build_mobilenet
+from repro.models.resnet50 import build_resnet50
+from repro.models.faster_rcnn import build_faster_rcnn
+from repro.models.zoo import (
+    MODEL_BUILDERS,
+    batch_size_for,
+    get_model,
+    model_names,
+)
+
+__all__ = [
+    "build_alexnet",
+    "build_vgg16",
+    "build_googlenet",
+    "build_mobilenet",
+    "build_resnet50",
+    "build_faster_rcnn",
+    "MODEL_BUILDERS",
+    "batch_size_for",
+    "get_model",
+    "model_names",
+]

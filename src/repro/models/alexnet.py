@@ -1,0 +1,29 @@
+"""AlexNet (Krizhevsky 2012) layer table.
+
+The paper's running example: 1.5 GMAC less pooling, 61 M parameters,
+dominated by three huge fully-connected layers — which is why AlexNet
+inference is memory-bandwidth-bound on every accelerator in Fig 18.
+Grouped convolutions of the original two-GPU layout are merged, as is
+conventional for accelerator studies.
+"""
+
+from __future__ import annotations
+
+from repro.systolic.layers import ConvLayer, Network
+
+
+def build_alexnet() -> Network:
+    """Return the AlexNet layer table."""
+    return Network(name="AlexNet", layers=(
+        ConvLayer("conv1", 227, 227, 3, 96, 11, 11, stride=4),
+        ConvLayer("pool1", 55, 55, 96, 96, 3, 3, stride=2, kind="pool"),
+        ConvLayer("conv2", 27, 27, 96, 256, 5, 5, padding=2),
+        ConvLayer("pool2", 27, 27, 256, 256, 3, 3, stride=2, kind="pool"),
+        ConvLayer("conv3", 13, 13, 256, 384, 3, 3, padding=1),
+        ConvLayer("conv4", 13, 13, 384, 384, 3, 3, padding=1),
+        ConvLayer("conv5", 13, 13, 384, 256, 3, 3, padding=1),
+        ConvLayer("pool5", 13, 13, 256, 256, 3, 3, stride=2, kind="pool"),
+        ConvLayer("fc6", 6, 6, 256, 4096, 1, 1, kind="fc"),
+        ConvLayer("fc7", 1, 1, 4096, 4096, 1, 1, kind="fc"),
+        ConvLayer("fc8", 1, 1, 4096, 1000, 1, 1, kind="fc"),
+    ))

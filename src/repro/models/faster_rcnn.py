@@ -1,0 +1,58 @@
+"""Faster R-CNN (Ren 2015) layer table, VGG-16 backbone.
+
+Approximation notes: the detector is modelled as its dominant dense
+work — the VGG-16 backbone over a 224x224 input (SCALE-SIM topology convention), the RPN 3x3 conv and
+its two 1x1 heads, and the per-ROI fc6/fc7 classifier head evaluated
+for a 64-proposal batch (folded into the fc layer's output width).
+Region-proposal bookkeeping (NMS, ROI pooling indexing) costs no matrix
+unit time and is omitted, as SCALE-SIM also does.
+"""
+
+from __future__ import annotations
+
+from repro.systolic.layers import ConvLayer, Network
+
+#: Detection input resolution; SCALE-SIM's FasterRCNN topology runs the
+#: backbone at ImageNet resolution and we follow it so the paper's batch
+#: sizes fit the SPM capacities.
+_H, _W = 224, 224
+
+#: Proposals scored by the per-ROI head per image.
+_PROPOSALS = 64
+
+
+def build_faster_rcnn() -> Network:
+    """Return the Faster R-CNN (VGG-16 backbone) layer table."""
+    layers: list[ConvLayer] = []
+    size_h, size_w = _H, _W
+    channels = 3
+    vgg_blocks = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+    for b, (out_c, convs) in enumerate(vgg_blocks, start=1):
+        for i in range(1, convs + 1):
+            layers.append(
+                ConvLayer(f"conv{b}_{i}", size_h, size_w, channels, out_c,
+                          3, 3, padding=1)
+            )
+            channels = out_c
+        if b < 5:  # conv5 keeps full resolution for the RPN
+            layers.append(
+                ConvLayer(f"pool{b}", size_h, size_w, out_c, out_c, 2, 2,
+                          stride=2, kind="pool")
+            )
+            size_h //= 2
+            size_w //= 2
+    # Region proposal network on the conv5 feature map.
+    layers.append(ConvLayer("rpn_conv", size_h, size_w, 512, 512, 3, 3,
+                            padding=1))
+    layers.append(ConvLayer("rpn_cls", size_h, size_w, 512, 18, 1, 1))
+    layers.append(ConvLayer("rpn_reg", size_h, size_w, 512, 36, 1, 1))
+    # Per-ROI head: fc6/fc7 on a 7x7x512 pooled patch.  The _PROPOSALS
+    # evaluations per image amortise the weights exactly like a batch
+    # does, so the head is modelled once per image here and the
+    # simulator's batch dimension covers the rest (dense-work
+    # approximation, as in SCALE-SIM's FasterRCNN topology file).
+    layers.append(ConvLayer("roi_fc6", 7, 7, 512, 4096, 1, 1, kind="fc"))
+    layers.append(ConvLayer("roi_fc7", 1, 1, 4096, 4096, 1, 1, kind="fc"))
+    layers.append(ConvLayer("roi_cls", 1, 1, 4096, 21, 1, 1, kind="fc"))
+    layers.append(ConvLayer("roi_reg", 1, 1, 4096, 84, 1, 1, kind="fc"))
+    return Network(name="FasterRCNN", layers=tuple(layers))

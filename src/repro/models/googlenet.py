@@ -1,0 +1,63 @@
+"""GoogLeNet / Inception-v1 (Szegedy 2015) layer table.
+
+Nine inception modules, each four parallel branches (1x1, 1x1->3x3,
+1x1->5x5, pool->1x1); the branches are independent layers to the
+systolic array.  Lots of small convolutions with small channel counts:
+fold-dominated and fill/drain-sensitive.
+"""
+
+from __future__ import annotations
+
+from repro.systolic.layers import ConvLayer, Network
+
+#: (name, size, in_c, b1, b3r, b3, b5r, b5, pool_proj) per module.
+_INCEPTION = (
+    ("3a", 28, 192, 64, 96, 128, 16, 32, 32),
+    ("3b", 28, 256, 128, 128, 192, 32, 96, 64),
+    ("4a", 14, 480, 192, 96, 208, 16, 48, 64),
+    ("4b", 14, 512, 160, 112, 224, 24, 64, 64),
+    ("4c", 14, 512, 128, 128, 256, 24, 64, 64),
+    ("4d", 14, 512, 112, 144, 288, 32, 64, 64),
+    ("4e", 14, 528, 256, 160, 320, 32, 128, 128),
+    ("5a", 7, 832, 256, 160, 320, 32, 128, 128),
+    ("5b", 7, 832, 384, 192, 384, 48, 128, 128),
+)
+
+
+def _inception(layers: list[ConvLayer], name: str, size: int, in_c: int,
+               b1: int, b3r: int, b3: int, b5r: int, b5: int,
+               pool_proj: int) -> None:
+    layers.append(ConvLayer(f"inc{name}_1x1", size, size, in_c, b1, 1, 1))
+    layers.append(ConvLayer(f"inc{name}_3x3r", size, size, in_c, b3r, 1, 1))
+    layers.append(ConvLayer(f"inc{name}_3x3", size, size, b3r, b3, 3, 3,
+                            padding=1))
+    layers.append(ConvLayer(f"inc{name}_5x5r", size, size, in_c, b5r, 1, 1))
+    layers.append(ConvLayer(f"inc{name}_5x5", size, size, b5r, b5, 5, 5,
+                            padding=2))
+    layers.append(ConvLayer(f"inc{name}_pproj", size, size, in_c,
+                            pool_proj, 1, 1))
+
+
+def build_googlenet() -> Network:
+    """Return the GoogLeNet layer table."""
+    layers: list[ConvLayer] = [
+        ConvLayer("conv1", 224, 224, 3, 64, 7, 7, stride=2, padding=3),
+        ConvLayer("pool1", 112, 112, 64, 64, 3, 3, stride=2, kind="pool"),
+        ConvLayer("conv2r", 56, 56, 64, 64, 1, 1),
+        ConvLayer("conv2", 56, 56, 64, 192, 3, 3, padding=1),
+        ConvLayer("pool2", 56, 56, 192, 192, 3, 3, stride=2, kind="pool"),
+    ]
+    for spec in _INCEPTION[:2]:
+        _inception(layers, *spec)
+    layers.append(ConvLayer("pool3", 28, 28, 480, 480, 3, 3, stride=2,
+                            kind="pool"))
+    for spec in _INCEPTION[2:7]:
+        _inception(layers, *spec)
+    layers.append(ConvLayer("pool4", 14, 14, 832, 832, 3, 3, stride=2,
+                            kind="pool"))
+    for spec in _INCEPTION[7:]:
+        _inception(layers, *spec)
+    layers.append(ConvLayer("pool5", 7, 7, 1024, 1024, 7, 7, stride=7,
+                            kind="pool"))
+    layers.append(ConvLayer("fc", 1, 1, 1024, 1000, 1, 1, kind="fc"))
+    return Network(name="GoogleNet", layers=tuple(layers))

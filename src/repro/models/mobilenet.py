@@ -1,0 +1,48 @@
+"""MobileNet-v1 (Howard 2017) layer table.
+
+Thirteen depthwise-separable pairs.  Depthwise layers give a weight-
+stationary systolic array almost nothing to fold (one filter slice per
+channel), so MobileNet exposes the fill/drain and weight-reload
+overheads more than any other model in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.systolic.layers import ConvLayer, Network
+
+#: (size, in_c, out_c, stride of the depthwise stage) per separable pair.
+_PAIRS = (
+    (112, 32, 64, 1),
+    (112, 64, 128, 2),
+    (56, 128, 128, 1),
+    (56, 128, 256, 2),
+    (28, 256, 256, 1),
+    (28, 256, 512, 2),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 1024, 2),
+    (7, 1024, 1024, 1),
+)
+
+
+def build_mobilenet() -> Network:
+    """Return the MobileNet-v1 layer table."""
+    layers: list[ConvLayer] = [
+        ConvLayer("conv1", 224, 224, 3, 32, 3, 3, stride=2, padding=1),
+    ]
+    for i, (size, in_c, out_c, stride) in enumerate(_PAIRS, start=1):
+        out_size = (size + 2 - 3) // stride + 1
+        layers.append(
+            ConvLayer(f"dw{i}", size, size, in_c, in_c, 3, 3,
+                      stride=stride, padding=1, kind="dwconv")
+        )
+        layers.append(
+            ConvLayer(f"pw{i}", out_size, out_size, in_c, out_c, 1, 1)
+        )
+    layers.append(ConvLayer("pool", 7, 7, 1024, 1024, 7, 7, stride=7,
+                            kind="pool"))
+    layers.append(ConvLayer("fc", 1, 1, 1024, 1000, 1, 1, kind="fc"))
+    return Network(name="MobileNet", layers=tuple(layers))

@@ -1,0 +1,55 @@
+"""ResNet-50 (He 2016) layer table.
+
+Four stages of bottleneck blocks (1x1 reduce, 3x3, 1x1 expand) with
+projection shortcuts on the first block of each stage.  Many small-
+kernel layers with modest feature maps: compute-dense but with frequent
+weight reloads, the regime where prefetching pays off most.
+"""
+
+from __future__ import annotations
+
+from repro.systolic.layers import ConvLayer, Network
+
+
+def _bottleneck(layers: list[ConvLayer], prefix: str, size: int,
+                in_c: int, mid_c: int, out_c: int, stride: int,
+                project: bool) -> int:
+    """Append one bottleneck block; returns the output spatial size."""
+    out_size = (size - 1) // stride + 1
+    layers.append(ConvLayer(f"{prefix}_a", size, size, in_c, mid_c, 1, 1,
+                            stride=stride))
+    layers.append(ConvLayer(f"{prefix}_b", out_size, out_size, mid_c,
+                            mid_c, 3, 3, padding=1))
+    layers.append(ConvLayer(f"{prefix}_c", out_size, out_size, mid_c,
+                            out_c, 1, 1))
+    if project:
+        layers.append(ConvLayer(f"{prefix}_proj", size, size, in_c, out_c,
+                                1, 1, stride=stride))
+    return out_size
+
+
+def build_resnet50() -> Network:
+    """Return the ResNet-50 layer table."""
+    layers: list[ConvLayer] = [
+        ConvLayer("conv1", 224, 224, 3, 64, 7, 7, stride=2, padding=3),
+        ConvLayer("pool1", 112, 112, 64, 64, 3, 3, stride=2, kind="pool"),
+    ]
+    size = 56
+    in_c = 64
+    stage_specs = (
+        ("res2", 3, 64, 256, 1),
+        ("res3", 4, 128, 512, 2),
+        ("res4", 6, 256, 1024, 2),
+        ("res5", 3, 512, 2048, 2),
+    )
+    for stage, blocks, mid_c, out_c, first_stride in stage_specs:
+        for b in range(1, blocks + 1):
+            stride = first_stride if b == 1 else 1
+            size = _bottleneck(layers, f"{stage}{chr(ord('a') + b - 1)}",
+                               size, in_c, mid_c, out_c, stride,
+                               project=(b == 1))
+            in_c = out_c
+    layers.append(ConvLayer("pool5", size, size, 2048, 2048, size, size,
+                            stride=size, kind="pool"))
+    layers.append(ConvLayer("fc", 1, 1, 2048, 1000, 1, 1, kind="fc"))
+    return Network(name="ResNet50", layers=tuple(layers))

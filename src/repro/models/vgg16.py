@@ -1,0 +1,43 @@
+"""VGG-16 (Simonyan 2015) layer table.
+
+All-3x3 convolutions over large feature maps plus a 102M-parameter fc6:
+the heaviest model of the six, which is why its batch size is only 3
+(SMART/TPU) or 7 (SuperNPU) in the paper's Sec 5 batch table.
+"""
+
+from __future__ import annotations
+
+from repro.systolic.layers import ConvLayer, Network
+
+
+def _block(prefix: str, size: int, in_c: int, out_c: int,
+           convs: int) -> list[ConvLayer]:
+    layers = []
+    channels = in_c
+    for i in range(1, convs + 1):
+        layers.append(
+            ConvLayer(f"{prefix}_{i}", size, size, channels, out_c, 3, 3,
+                      padding=1)
+        )
+        channels = out_c
+    layers.append(
+        ConvLayer(f"{prefix}_pool", size, size, out_c, out_c, 2, 2,
+                  stride=2, kind="pool")
+    )
+    return layers
+
+
+def build_vgg16() -> Network:
+    """Return the VGG-16 layer table."""
+    layers: list[ConvLayer] = []
+    layers += _block("conv1", 224, 3, 64, 2)
+    layers += _block("conv2", 112, 64, 128, 2)
+    layers += _block("conv3", 56, 128, 256, 3)
+    layers += _block("conv4", 28, 256, 512, 3)
+    layers += _block("conv5", 14, 512, 512, 3)
+    layers += [
+        ConvLayer("fc6", 7, 7, 512, 4096, 1, 1, kind="fc"),
+        ConvLayer("fc7", 1, 1, 4096, 4096, 1, 1, kind="fc"),
+        ConvLayer("fc8", 1, 1, 4096, 1000, 1, 1, kind="fc"),
+    ]
+    return Network(name="VGG16", layers=tuple(layers))

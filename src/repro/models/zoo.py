@@ -1,0 +1,73 @@
+"""Model registry and the paper's batch-size table (Sec 5).
+
+"For TPU and SMART, in a batch, AlexNet has 22 images, while VGG16 has
+3 images.  All the other models have 20 images in a batch.  For
+SuperNPU, since it has larger SPMs, except VGG16 having 7 images in a
+batch, all the other models have 30 images in each batch."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.models.alexnet import build_alexnet
+from repro.models.faster_rcnn import build_faster_rcnn
+from repro.models.googlenet import build_googlenet
+from repro.models.mobilenet import build_mobilenet
+from repro.models.resnet50 import build_resnet50
+from repro.models.vgg16 import build_vgg16
+from repro.systolic.layers import Network
+
+MODEL_BUILDERS: dict[str, Callable[[], Network]] = {
+    "AlexNet": build_alexnet,
+    "FasterRCNN": build_faster_rcnn,
+    "GoogleNet": build_googlenet,
+    "MobileNet": build_mobilenet,
+    "ResNet50": build_resnet50,
+    "VGG16": build_vgg16,
+}
+
+#: Paper Sec 5 batch sizes: {model: (tpu_or_smart, supernpu)}.
+_BATCH_TABLE: dict[str, tuple[int, int]] = {
+    "AlexNet": (22, 30),
+    "FasterRCNN": (20, 30),
+    "GoogleNet": (20, 30),
+    "MobileNet": (20, 30),
+    "ResNet50": (20, 30),
+    "VGG16": (3, 7),
+}
+
+_CACHE: dict[str, Network] = {}
+
+
+def model_names() -> tuple[str, ...]:
+    """All registered model names, in the paper's figure order."""
+    return tuple(sorted(MODEL_BUILDERS))
+
+
+def get_model(name: str) -> Network:
+    """Build (and cache) a model by name.
+
+    Raises:
+        ConfigError: for unknown model names.
+    """
+    if name not in MODEL_BUILDERS:
+        raise ConfigError(
+            f"unknown model '{name}'; known: {', '.join(model_names())}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = MODEL_BUILDERS[name]()
+    return _CACHE[name]
+
+
+def batch_size_for(name: str, accelerator: str) -> int:
+    """The paper's batch size for a model on an accelerator family.
+
+    ``accelerator`` is ``"supernpu"`` or anything else (TPU/SMART share
+    a column in the paper's table).
+    """
+    if name not in _BATCH_TABLE:
+        raise ConfigError(f"no batch-size entry for model '{name}'")
+    smart_tpu, supernpu = _BATCH_TABLE[name]
+    return supernpu if accelerator.lower() == "supernpu" else smart_tpu

@@ -1,0 +1,57 @@
+"""SFQ device and interconnect substrate.
+
+This subpackage models the superconductor single-flux-quantum (SFQ)
+building blocks the paper's architecture rests on (Sec 2.1, Sec 4.2.2,
+Table 2 of the paper):
+
+- :mod:`repro.sfq.constants` -- the Hypres ERSFQ 1.0 um process parameters
+  and the Table 2 component latency/power numbers.
+- :mod:`repro.sfq.jj` -- Josephson-junction device physics (RCSJ model)
+  shared with the transient circuit simulator.
+- :mod:`repro.sfq.cells` -- behavioural models of the standard cells used
+  by SMART: DFF, splitter, PTL driver/receiver, nTron, DC/SFQ converter.
+- :mod:`repro.sfq.ptl` -- micro-strip passive transmission line model
+  (paper Eq. 1-4) with repeater insertion.
+- :mod:`repro.sfq.jtl` -- Josephson transmission line model.
+- :mod:`repro.sfq.cmos_wire` -- repeated CMOS RC wire, the comparison
+  baseline of paper Fig 2.
+- :mod:`repro.sfq.htree` -- pipelined SFQ H-tree built from PTL segments
+  and splitter units (paper Fig 10/11).
+"""
+
+from repro.sfq.constants import ERSFQ_1UM, SfqProcess, TABLE2_COMPONENTS
+from repro.sfq.cells import (
+    ComponentTiming,
+    DCSFQConverter,
+    Dff,
+    NTron,
+    PtlDriver,
+    PtlReceiver,
+    Splitter,
+)
+from repro.sfq.jj import JosephsonJunction
+from repro.sfq.ptl import MicrostripPtl, PtlLink, insert_repeaters
+from repro.sfq.jtl import JtlLine
+from repro.sfq.cmos_wire import CmosWire
+from repro.sfq.htree import SfqHTree, SplitterUnit
+
+__all__ = [
+    "ERSFQ_1UM",
+    "SfqProcess",
+    "TABLE2_COMPONENTS",
+    "ComponentTiming",
+    "DCSFQConverter",
+    "Dff",
+    "NTron",
+    "PtlDriver",
+    "PtlReceiver",
+    "Splitter",
+    "JosephsonJunction",
+    "MicrostripPtl",
+    "PtlLink",
+    "insert_repeaters",
+    "JtlLine",
+    "CmosWire",
+    "SfqHTree",
+    "SplitterUnit",
+]

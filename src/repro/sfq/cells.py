@@ -1,0 +1,193 @@
+"""Behavioural models of the SFQ standard cells SMART is built from.
+
+Each cell exposes the same small surface — ``latency``, ``leakage_power``,
+``dynamic_energy_per_pulse``, ``jj_count``, ``area`` — so the H-tree and
+array models can compose them uniformly.  Latency/power numbers follow
+paper Table 2 and Sec 2; junction counts follow the schematics in paper
+Fig 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sfq.constants import (
+    DCSFQ_LATENCY,
+    ERSFQ_1UM,
+    SHIFT_CELL_ACCESS,
+    SHIFT_CELL_AREA_F2,
+    SHIFT_CELL_ENERGY,
+    TABLE2_COMPONENTS,
+    SfqProcess,
+)
+from repro.units import NW, UW
+
+
+#: Area charged per junction once bias inductors and wiring are included,
+#: in F^2 of the JJ diameter.  Derived from the SHIFT DFF: 2 active JJs
+#: in a 39 F^2 cell (Table 1) -> ~20 F^2 per junction.
+AREA_PER_JJ_F2 = 20.0
+
+
+@dataclass(frozen=True)
+class ComponentTiming:
+    """Common interface value-object for one SFQ cell instance.
+
+    Attributes:
+        name: cell name (for reports).
+        latency: input-to-output pulse latency (s).
+        leakage_power: static bias power (W).
+        dynamic_energy_per_pulse: energy per processed pulse (J).
+        jj_count: number of Josephson junctions.
+        area_f2: layout area in F^2 (F = JJ diameter).
+    """
+
+    name: str
+    latency: float
+    leakage_power: float
+    dynamic_energy_per_pulse: float
+    jj_count: int
+    area_f2: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigError(f"{self.name}: latency must be non-negative")
+        if self.leakage_power < 0:
+            raise ConfigError(f"{self.name}: leakage must be non-negative")
+
+
+def _table2_cell(key: str, name: str, process: SfqProcess) -> ComponentTiming:
+    """Build a ComponentTiming from a Table 2 row."""
+    spec = TABLE2_COMPONENTS[key]
+    return ComponentTiming(
+        name=name,
+        latency=spec.latency,
+        leakage_power=spec.leakage_power,
+        dynamic_energy_per_pulse=spec.jj_count * process.switch_energy,
+        jj_count=spec.jj_count,
+        area_f2=spec.jj_count * AREA_PER_JJ_F2,
+    )
+
+
+def Splitter(process: SfqProcess = ERSFQ_1UM) -> ComponentTiming:
+    """An SFQ splitter: one input pulse becomes two output pulses.
+
+    Three junctions, 7 ps latency, no static power (Table 2).  Splitters
+    are the only way to exceed the fan-out-of-one limit of SFQ gates
+    (Sec 2.1), which is why SFQ decoders are so expensive.
+    """
+    return _table2_cell("splitter", "splitter", process)
+
+
+def PtlDriver(process: SfqProcess = ERSFQ_1UM) -> ComponentTiming:
+    """A PTL driver: 2-stage JTL plus matching resistor (Fig 11f)."""
+    return _table2_cell("driver", "ptl_driver", process)
+
+
+def PtlReceiver(process: SfqProcess = ERSFQ_1UM) -> ComponentTiming:
+    """A PTL receiver: 3-stage JTL pulse reconstructor (Fig 11e)."""
+    return _table2_cell("receiver", "ptl_receiver", process)
+
+
+def NTron(process: SfqProcess = ERSFQ_1UM) -> ComponentTiming:
+    """A nanocryotron SFQ-to-CMOS converter (Fig 3c).
+
+    The nTron's 103.02 ps conversion is the un-pipelineable bottleneck of
+    the CMOS-SFQ array (Sec 4.2.4), capping the pipeline at ~9.6 GHz.
+    Dynamic energy uses the Table 2 dynamic power at one conversion per
+    latency window.
+    """
+    spec = TABLE2_COMPONENTS["ntron"]
+    return ComponentTiming(
+        name="ntron",
+        latency=spec.latency,
+        leakage_power=spec.leakage_power,
+        dynamic_energy_per_pulse=spec.dynamic_power * spec.latency,
+        jj_count=0,
+        area_f2=2 * AREA_PER_JJ_F2,  # nanowire device, ~2 JJ footprints
+    )
+
+
+def DCSFQConverter(process: SfqProcess = ERSFQ_1UM) -> ComponentTiming:
+    """A level-driven DC/SFQ converter: CMOS sense-amp level -> SFQ pulse.
+
+    Completes a conversion in ~0.1 ns (Sec 4.2.2, citing Tanaka 2016);
+    shares the nTron's role as a pipeline-stage-limiting element.
+    """
+    return ComponentTiming(
+        name="dcsfq",
+        latency=DCSFQ_LATENCY,
+        leakage_power=0.5 * UW,
+        dynamic_energy_per_pulse=4 * process.switch_energy,
+        jj_count=4,
+        area_f2=4 * AREA_PER_JJ_F2,
+    )
+
+
+def Dff(process: SfqProcess = ERSFQ_1UM) -> ComponentTiming:
+    """An SFQ delay flip-flop, the SHIFT memory cell (Fig 1b, Table 1).
+
+    One superconductor ring (2 junctions), 0.02 ns access, 0.1 fJ per
+    shifted bit, 39 F^2.
+    """
+    return ComponentTiming(
+        name="dff",
+        latency=SHIFT_CELL_ACCESS,
+        leakage_power=0.0,
+        dynamic_energy_per_pulse=SHIFT_CELL_ENERGY,
+        jj_count=2,
+        area_f2=SHIFT_CELL_AREA_F2,
+    )
+
+
+@dataclass(frozen=True)
+class SplitterTree:
+    """A binary tree of splitters providing fan-out ``fanout``.
+
+    SFQ gates drive exactly one node, so distributing a signal to N sinks
+    requires a tree of N-1 splitters (Sec 2.1).  This is the dominant cost
+    of SFQ decoders: an N-to-2^N decoder needs O(2^N) splitters just to
+    distribute its clock.
+    """
+
+    fanout: int
+    process: SfqProcess = field(default=ERSFQ_1UM)
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ConfigError("fan-out must be at least 1")
+
+    @property
+    def splitter_count(self) -> int:
+        """Number of splitters in the tree (N - 1)."""
+        return self.fanout - 1
+
+    @property
+    def depth(self) -> int:
+        """Tree depth in splitter stages."""
+        depth = 0
+        while (1 << depth) < self.fanout:
+            depth += 1
+        return depth
+
+    @property
+    def latency(self) -> float:
+        """Root-to-leaf latency (s)."""
+        return self.depth * TABLE2_COMPONENTS["splitter"].latency
+
+    @property
+    def energy_per_broadcast(self) -> float:
+        """Energy to deliver one pulse to all leaves (J)."""
+        cell = Splitter(self.process)
+        return self.splitter_count * cell.dynamic_energy_per_pulse
+
+    @property
+    def jj_count(self) -> int:
+        """Total junction count."""
+        return self.splitter_count * TABLE2_COMPONENTS["splitter"].jj_count
+
+    @property
+    def area_f2(self) -> float:
+        """Total area in F^2."""
+        return self.splitter_count * Splitter(self.process).area_f2

@@ -1,0 +1,100 @@
+"""Repeated CMOS RC wire model — the comparison baseline of paper Fig 2.
+
+At cryogenic-relevant geometries (thin copper, sub-28 nm pitch) a CMOS
+wire is a distributed RC line: unrepeated delay grows quadratically with
+length, and optimal repeater insertion makes it linear but adds gate
+delay and switching energy.  Energy is dominated by C V^2 charging, which
+is ~6 orders of magnitude above the ~I_c Phi_0 a PTL dissipates per pulse
+(paper Fig 2b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import FF, UM
+
+
+@dataclass(frozen=True)
+class CmosWire:
+    """A CMOS interconnect wire with optional optimal repeatering.
+
+    Defaults model a 28 nm intermediate-level copper wire; resistance per
+    length reflects the strong sub-10 nm resistivity increase the paper
+    cites [5] for scaled nodes.
+
+    Attributes:
+        length: wire length (m).
+        resistance_per_length: R (ohm/m).
+        capacitance_per_length: C (F/m).
+        supply_voltage: V_dd (V).
+        driver_delay: fixed delay of the gate driving the wire (s).
+        repeater_delay: intrinsic delay of one repeater (s).
+        repeater_energy: switching energy of one repeater (J).
+        max_segment: longest unrepeated segment the methodology allows (m).
+        activity: switching activity factor for energy.
+    """
+
+    length: float
+    resistance_per_length: float = 100.0 / UM  # sub-10nm-regime copper
+    capacitance_per_length: float = 0.20 * FF / UM  # 0.2 fF/um
+    supply_voltage: float = 0.9
+    driver_delay: float = 10e-12
+    repeater_delay: float = 5e-12
+    repeater_energy: float = 2e-16
+    max_segment: float = 200 * UM
+    activity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ConfigError("wire length must be non-negative")
+        if self.max_segment <= 0:
+            raise ConfigError("max unrepeated segment must be positive")
+
+    @property
+    def segments(self) -> int:
+        """Number of repeated segments (>= 1)."""
+        return max(1, math.ceil(self.length / self.max_segment))
+
+    def _segment_delay(self, seg_length: float) -> float:
+        """Elmore delay of one RC segment: 0.5 R C l^2."""
+        return (
+            0.5
+            * self.resistance_per_length
+            * self.capacitance_per_length
+            * seg_length**2
+        )
+
+    @property
+    def latency(self) -> float:
+        """End-to-end wire delay: driver + RC segments + repeaters (s)."""
+        if self.length == 0:
+            return 0.0
+        seg = self.length / self.segments
+        wire = self.segments * self._segment_delay(seg)
+        repeaters = max(0, self.segments - 1) * self.repeater_delay
+        return self.driver_delay + wire + repeaters
+
+    @property
+    def energy_per_bit(self) -> float:
+        """Energy to signal one bit transition down the wire (J)."""
+        charge = (
+            self.capacitance_per_length
+            * self.length
+            * self.supply_voltage**2
+            * self.activity
+        )
+        repeaters = max(0, self.segments - 1) * self.repeater_energy
+        return charge + repeaters
+
+    @property
+    def total_capacitance(self) -> float:
+        """Total wire capacitance (F)."""
+        return self.capacitance_per_length * self.length
+
+    @property
+    def total_resistance(self) -> float:
+        """Total wire resistance (ohm)."""
+        return self.resistance_per_length * self.length

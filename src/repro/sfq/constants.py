@@ -1,0 +1,169 @@
+"""Process constants for the SFQ substrate.
+
+The paper fabricates (notionally) in the Hypres ERSFQ 1.0 um process
+[Yohannes 2015] and assumes JJs scale to 28 nm for area comparisons
+against CMOS (Sec 3, Sec 4.4).  This module centralises:
+
+- the junction / inductor / transmission-line parameters used by both the
+  analytical models and the transient circuit simulator, and
+- the Table 2 component latencies and powers, which anchor the pipelined
+  CMOS-SFQ array's stage time (the nTron, at 103.02 ps, is the pipeline
+  bottleneck -> 9.6-9.7 GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GHZ, MW, NS, NW, PH, PS, UA, UM, UW
+
+
+@dataclass(frozen=True)
+class SfqProcess:
+    """A superconductor fabrication process operating point.
+
+    Attributes:
+        name: human-readable process name.
+        jj_diameter: JJ diameter F (m); superconductor cell sizes in the
+            paper are quoted in F^2 of this diameter.
+        critical_current: nominal junction critical current I_c (A).
+        junction_capacitance: junction capacitance C_j (F).
+        shunt_resistance: external shunt resistance R_s (ohm) giving
+            critically damped switching (beta_c ~= 1).
+        bias_current_fraction: DC bias as a fraction of I_c (ERSFQ biases
+            at ~0.7 I_c).
+        switch_energy: energy dissipated per JJ switching event,
+            ~ I_c * Phi_0 (J).
+        clock_frequency: the accelerator clock the process sustains for
+            gate-level-pipelined logic (SuperNPU runs at 52.6 GHz).
+        ptl_speed: SFQ pulse propagation speed on a micro-strip PTL (m/s).
+        jtl_stage_delay: delay of one JTL stage (s).
+        jtl_stage_pitch: physical length spanned by one JTL stage (m).
+        bias_voltage: resistive bias-network voltage for conventional RSFQ
+            biasing (V); sets the static power of plain JTL interconnect.
+    """
+
+    name: str
+    jj_diameter: float
+    critical_current: float
+    junction_capacitance: float
+    shunt_resistance: float
+    bias_current_fraction: float
+    switch_energy: float
+    clock_frequency: float
+    ptl_speed: float
+    jtl_stage_delay: float
+    jtl_stage_pitch: float
+    bias_voltage: float
+
+    @property
+    def clock_period(self) -> float:
+        """Clock period of gate-level-pipelined SFQ logic (s)."""
+        return 1.0 / self.clock_frequency
+
+    @property
+    def characteristic_voltage(self) -> float:
+        """I_c * R_s, sets the junction switching time scale (V)."""
+        return self.critical_current * self.shunt_resistance
+
+
+#: Hypres ERSFQ 1.0 um planarized process [Yohannes 2015], the process the
+#: paper assumes for SuperNPU and SMART (Sec 5).  The switch energy
+#: ~2e-19 J matches the paper's "~1e-19 J per switching" (Sec 1).
+ERSFQ_1UM = SfqProcess(
+    name="Hypres ERSFQ 1.0um",
+    jj_diameter=1.0 * UM,
+    critical_current=100 * UA,
+    junction_capacitance=0.07e-12,  # 70 fF for a 1 um^2 junction
+    shunt_resistance=2.0,  # ohm, beta_c ~= 1
+    bias_current_fraction=0.7,
+    switch_energy=2.07e-19,  # I_c * Phi_0
+    clock_frequency=52.6 * GHZ,
+    ptl_speed=1.0e8,  # ~c/3, typical Nb micro-strip
+    jtl_stage_delay=3.5 * PS,
+    jtl_stage_pitch=10 * UM,
+    bias_voltage=2.6e-3,
+)
+
+
+#: The paper's area-comparison assumption (Sec 3, Sec 4.4): JJs scale to
+#: the same 28 nm feature as the CMOS transistors.  Electrical parameters
+#: are kept at the 1.0 um operating point — the paper scales only area.
+SCALED_28NM = SfqProcess(
+    name="JJ scaled to 28nm (area accounting)",
+    jj_diameter=28e-9,
+    critical_current=ERSFQ_1UM.critical_current,
+    junction_capacitance=ERSFQ_1UM.junction_capacitance,
+    shunt_resistance=ERSFQ_1UM.shunt_resistance,
+    bias_current_fraction=ERSFQ_1UM.bias_current_fraction,
+    switch_energy=ERSFQ_1UM.switch_energy,
+    clock_frequency=ERSFQ_1UM.clock_frequency,
+    ptl_speed=ERSFQ_1UM.ptl_speed,
+    jtl_stage_delay=ERSFQ_1UM.jtl_stage_delay,
+    jtl_stage_pitch=ERSFQ_1UM.jtl_stage_pitch,
+    bias_voltage=ERSFQ_1UM.bias_voltage,
+)
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Latency and power of one SFQ H-tree component (paper Table 2).
+
+    Attributes:
+        latency: propagation latency of the component (s).
+        leakage_power: static (bias network) power (W).
+        dynamic_power: dynamic power at the reference activity (W); the
+            paper quotes dynamic power at one pulse per clock.
+        jj_count: junction count, used for area accounting.
+    """
+
+    latency: float
+    leakage_power: float
+    dynamic_power: float
+    jj_count: int
+
+
+#: Paper Table 2 verbatim: latency (ps), leakage power (uW), dynamic power
+#: (nW) of each SFQ H-tree component, plus junction counts from Fig 11.
+TABLE2_COMPONENTS: dict[str, ComponentSpec] = {
+    "splitter": ComponentSpec(
+        latency=7.0 * PS, leakage_power=0.0, dynamic_power=0.15 * NW, jj_count=3
+    ),
+    "driver": ComponentSpec(
+        latency=3.5 * PS,
+        leakage_power=0.874 * UW,
+        dynamic_power=0.181 * NW,
+        jj_count=2,
+    ),
+    "receiver": ComponentSpec(
+        latency=5.25 * PS,
+        leakage_power=0.0,
+        dynamic_power=0.275 * NW,
+        jj_count=3,
+    ),
+    "ntron": ComponentSpec(
+        latency=103.02 * PS,
+        leakage_power=8.8 * UW,
+        dynamic_power=13 * NW,
+        jj_count=0,
+    ),
+}
+
+#: Latency of a level-driven DC/SFQ converter (Sec 4.2.2: "both a nTron and
+#: a level-driven DC/SFQ converter can complete a conversion around 0.1ns").
+DCSFQ_LATENCY = 0.1 * NS
+
+#: SHIFT cell access time and per-cell shift energy (paper Table 1).
+SHIFT_CELL_ACCESS = 0.02 * NS
+SHIFT_CELL_ENERGY = 0.1e-15  # 0.1 fJ
+SHIFT_CELL_AREA_F2 = 39.0  # F^2, F = JJ diameter
+
+#: SFQ 4-to-16 decoder footprint fabricated in the NEC Nb process
+#: (Sec 2.1: 885 um x 350 um = 77 kF^2) vs a synthesized 28 nm CMOS
+#: decoder (18.7 um^2 = 23 kF^2).
+SFQ_DECODER_4TO16_AREA_F2 = 77_000.0
+CMOS_DECODER_4TO16_AREA_F2 = 23_000.0
+
+#: Cooling overhead at 4 K: watts of wall power per watt dissipated in the
+#: cryostat (Sec 5, citing Holmes 2013).
+CRYO_COOLING_FACTOR = 400.0

@@ -1,0 +1,255 @@
+"""Pipelined SFQ H-tree built from PTL links and splitter units.
+
+An array's request network carries address/data pulses from the array
+edge to every sub-bank; the reply network carries read data back (Sec
+4.2.1).  SMART replaces the CMOS H-tree wires with micro-strip PTLs and
+places a splitter unit (receiver + splitter + two drivers, paper Fig 11b)
+at every branch point.  Because splitter units are gate-level pipelined,
+multiple requests ride the tree simultaneously; repeater insertion breaks
+long segments so every stage fits the target initiation interval
+(Sec 4.2.2/4.2.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.errors import ConfigError
+from repro.sfq.cells import (
+    ComponentTiming,
+    PtlDriver,
+    PtlReceiver,
+    Splitter,
+)
+from repro.sfq.constants import ERSFQ_1UM, SfqProcess
+from repro.sfq.ptl import MicrostripPtl, PtlLink, insert_repeaters
+
+
+@dataclass(frozen=True)
+class SplitterUnit:
+    """Receiver + splitter + two drivers at one H-tree branch (Fig 11b).
+
+    A pulse arriving on the input PTL is reconstructed by the receiver,
+    duplicated by the splitter, and re-launched down both output PTLs by
+    the drivers.
+    """
+
+    process: SfqProcess = field(default=ERSFQ_1UM)
+
+    @cached_property
+    def _cells(self) -> tuple[ComponentTiming, ComponentTiming, ComponentTiming]:
+        return (
+            PtlReceiver(self.process),
+            Splitter(self.process),
+            PtlDriver(self.process),
+        )
+
+    @property
+    def latency(self) -> float:
+        """Input-receiver to output-driver latency on one branch (s)."""
+        receiver, splitter, driver = self._cells
+        return receiver.latency + splitter.latency + driver.latency
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power: two driver bias networks (W)."""
+        receiver, splitter, driver = self._cells
+        return receiver.leakage_power + splitter.leakage_power + 2 * driver.leakage_power
+
+    @property
+    def dynamic_energy_per_pulse(self) -> float:
+        """Energy to duplicate one pulse down both branches (J)."""
+        receiver, splitter, driver = self._cells
+        return (
+            receiver.dynamic_energy_per_pulse
+            + splitter.dynamic_energy_per_pulse
+            + 2 * driver.dynamic_energy_per_pulse
+        )
+
+    @property
+    def jj_count(self) -> int:
+        """Junction count (receiver 3 + splitter 3 + 2 drivers x 2)."""
+        receiver, splitter, driver = self._cells
+        return receiver.jj_count + splitter.jj_count + 2 * driver.jj_count
+
+    @property
+    def area_f2(self) -> float:
+        """Layout area in F^2."""
+        receiver, splitter, driver = self._cells
+        return receiver.area_f2 + splitter.area_f2 + 2 * driver.area_f2
+
+
+@dataclass(frozen=True)
+class SfqHTree:
+    """A pipelined SFQ H-tree fanning out to ``banks`` leaves.
+
+    The tree is laid over a square region of side ``array_side``; level k
+    of the recursion spans half the remaining side, alternating horizontal
+    and vertical runs, which is the classic H-tree geometry CACTI uses for
+    CMOS arrays.  ``bus_width`` parallel bit-lanes (address + data + R/W)
+    each get their own PTL tree.
+
+    Attributes:
+        banks: number of leaf sub-banks (rounded up to a power of two).
+        array_side: physical side length of the region the tree spans (m).
+        bus_width: parallel PTL lanes (address + data + control bits).
+        target_frequency: pipeline initiation rate every stage must meet
+            (Hz); repeaters are inserted per segment until met.
+        line: micro-strip geometry shared by all segments.
+        process: fabrication process.
+    """
+
+    banks: int
+    array_side: float
+    bus_width: int = 32
+    target_frequency: float = 9.7e9
+    line: MicrostripPtl = field(default_factory=MicrostripPtl)
+    process: SfqProcess = field(default=ERSFQ_1UM)
+
+    def __post_init__(self) -> None:
+        if self.banks < 1:
+            raise ConfigError("H-tree needs at least one bank")
+        if self.array_side <= 0:
+            raise ConfigError("array side must be positive")
+        if self.bus_width < 1:
+            raise ConfigError("bus width must be at least 1")
+
+    @property
+    def levels(self) -> int:
+        """Branching levels: ceil(log2(banks))."""
+        return max(0, math.ceil(math.log2(self.banks))) if self.banks > 1 else 0
+
+    @cached_property
+    def segment_lengths(self) -> list[float]:
+        """Root-to-leaf segment lengths per level (m).
+
+        Level k runs span ``side / 2^(1 + k//2)``: the first horizontal
+        and vertical runs each cover half the side, then lengths halve
+        every two levels.
+        """
+        lengths = []
+        for level in range(self.levels):
+            lengths.append(self.array_side / (2 ** (1 + level // 2)))
+        if not lengths:  # single bank: one straight run to the bank
+            lengths = [self.array_side / 2]
+        return lengths
+
+    @cached_property
+    def segment_links(self) -> list[list[PtlLink]]:
+        """Per-level repeated PTL links meeting the target frequency."""
+        return [
+            insert_repeaters(
+                length, self.target_frequency, self.line, self.process
+            )
+            for length in self.segment_lengths
+        ]
+
+    @cached_property
+    def _unit(self) -> SplitterUnit:
+        return SplitterUnit(self.process)
+
+    @property
+    def splitter_unit_count(self) -> int:
+        """Splitter units per bit-lane: one per internal branch node."""
+        return max(0, 2 ** self.levels - 1) if self.levels else 0
+
+    @property
+    def repeater_count(self) -> int:
+        """Extra driver+receiver repeater pairs inserted per bit-lane.
+
+        Level k of the tree has 2^k parallel segments, each split into
+        ``len(links)`` repeated pieces, i.e. ``len(links) - 1`` repeaters.
+        """
+        total = 0
+        for level, links in enumerate(self.segment_links):
+            total += (len(links) - 1) * 2**level
+        return total
+
+    @property
+    def path_latency(self) -> float:
+        """Root-to-leaf latency of one pulse (s)."""
+        latency = 0.0
+        for links in self.segment_links:
+            for link in links:
+                latency += link.latency
+        latency += self.levels * self._unit.latency
+        return latency
+
+    @property
+    def pipeline_stages(self) -> int:
+        """Number of pipeline stages along the root-to-leaf path."""
+        stage_time = 1.0 / self.target_frequency
+        return max(1, math.ceil(self.path_latency / stage_time))
+
+    @property
+    def initiation_interval(self) -> float:
+        """Sustained per-request interval of the pipelined tree (s).
+
+        Every segment meets the target frequency by construction, so the
+        tree accepts one request per 1/target_frequency.
+        """
+        return 1.0 / self.target_frequency
+
+    def energy_per_access(self, broadcast: bool = True) -> float:
+        """Dynamic energy of delivering one request (J).
+
+        A request network physically broadcasts every pulse to all leaves
+        (splitters duplicate unconditionally), so ``broadcast=True``
+        charges every splitter unit and link in the tree; a reply network
+        (``broadcast=False``) only drives the single root-to-leaf path.
+        Scaled by ``bus_width`` parallel bit lanes, at 50% bit activity.
+        """
+        activity = 0.5 * self.bus_width
+        unit_energy = self._unit.dynamic_energy_per_pulse
+        if broadcast:
+            links = 0.0
+            for level, link_list in enumerate(self.segment_links):
+                per_segment = sum(l.dynamic_energy_per_pulse for l in link_list)
+                links += per_segment * 2**level
+            units = self.splitter_unit_count * unit_energy
+        else:
+            links = sum(
+                l.dynamic_energy_per_pulse
+                for link_list in self.segment_links
+                for l in link_list
+            )
+            units = self.levels * unit_energy
+        return activity * (links + units)
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power of all drivers in the tree (W), all bit lanes."""
+        unit_leak = self.splitter_unit_count * self._unit.leakage_power
+        repeater_leak = self.repeater_count * (
+            PtlDriver(self.process).leakage_power
+            + PtlReceiver(self.process).leakage_power
+        )
+        # one root driver per lane
+        root = PtlDriver(self.process).leakage_power
+        return self.bus_width * (unit_leak + repeater_leak + root)
+
+    @property
+    def jj_count(self) -> int:
+        """Total junction count across all bit lanes."""
+        per_lane = (
+            self.splitter_unit_count * self._unit.jj_count
+            + self.repeater_count
+            * (PtlDriver(self.process).jj_count + PtlReceiver(self.process).jj_count)
+            + PtlDriver(self.process).jj_count
+        )
+        return self.bus_width * per_lane
+
+    @property
+    def area(self) -> float:
+        """Physical area (m^2): junction area plus PTL routing tracks."""
+        jj_area = (
+            self.jj_count
+            * 20.0  # AREA_PER_JJ_F2; kept numeric to avoid import cycle
+            * self.process.jj_diameter**2
+        )
+        wire_area = 0.0
+        for level, length in enumerate(self.segment_lengths):
+            wire_area += length * self.line.width * 2**level
+        return jj_area + wire_area * self.bus_width

@@ -1,0 +1,121 @@
+"""Josephson-junction device physics (RCSJ model).
+
+The resistively-and-capacitively-shunted-junction (RCSJ) model treats a
+junction as the parallel combination of an ideal Josephson element
+(I = I_c sin(phi)), a shunt resistance R and a capacitance C.  The phase
+phi relates to the voltage across the junction by the second Josephson
+relation  V = (Phi_0 / 2 pi) dphi/dt.
+
+These derived quantities drive both the analytical timing models (plasma
+period sets the switching delay scale) and the transient circuit
+simulator in :mod:`repro.spice`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import PHI0
+
+
+@dataclass(frozen=True)
+class JosephsonJunction:
+    """An RCSJ Josephson junction.
+
+    Attributes:
+        critical_current: I_c (A).
+        capacitance: junction capacitance C (F).
+        resistance: effective shunt resistance R (ohm).
+    """
+
+    critical_current: float
+    capacitance: float
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.critical_current <= 0:
+            raise ConfigError("junction critical current must be positive")
+        if self.capacitance <= 0:
+            raise ConfigError("junction capacitance must be positive")
+        if self.resistance <= 0:
+            raise ConfigError("junction shunt resistance must be positive")
+
+    @property
+    def josephson_inductance(self) -> float:
+        """Small-signal Josephson inductance L_J = Phi_0 / (2 pi I_c) (H)."""
+        return PHI0 / (2 * math.pi * self.critical_current)
+
+    @property
+    def plasma_frequency(self) -> float:
+        """Plasma frequency omega_p = 1/sqrt(L_J C) (rad/s)."""
+        return 1.0 / math.sqrt(self.josephson_inductance * self.capacitance)
+
+    @property
+    def plasma_period(self) -> float:
+        """One plasma oscillation period (s); sets the integrator step."""
+        return 2 * math.pi / self.plasma_frequency
+
+    @property
+    def stewart_mccumber(self) -> float:
+        """Damping parameter beta_c = 2 pi I_c R^2 C / Phi_0.
+
+        beta_c ~ 1 means critical damping, the regime SFQ logic needs so a
+        switching junction emits exactly one flux quantum.
+        """
+        return (
+            2
+            * math.pi
+            * self.critical_current
+            * self.resistance**2
+            * self.capacitance
+            / PHI0
+        )
+
+    @property
+    def characteristic_voltage(self) -> float:
+        """V_c = I_c R (V), the scale of the emitted SFQ pulse height."""
+        return self.critical_current * self.resistance
+
+    @property
+    def pulse_width(self) -> float:
+        """Approximate SFQ pulse full width Phi_0 / V_c (s).
+
+        The time integral of an SFQ pulse is exactly Phi_0, and its height
+        is ~2 V_c, so the width is ~Phi_0 / (2 V_c); we keep the commonly
+        quoted Phi_0 / V_c as a conservative full-width estimate.
+        """
+        return PHI0 / self.characteristic_voltage
+
+    @property
+    def switch_energy(self) -> float:
+        """Energy dissipated per switching event, ~ I_c Phi_0 (J)."""
+        return self.critical_current * PHI0
+
+    def supercurrent(self, phase: float) -> float:
+        """Josephson supercurrent at the given phase (A)."""
+        return self.critical_current * math.sin(phase)
+
+    def scaled(self, ic_ratio: float) -> "JosephsonJunction":
+        """Return a junction with I_c scaled by ``ic_ratio``.
+
+        Capacitance scales with junction area (same ratio); the shunt is
+        rescaled to keep beta_c constant (R ~ 1/sqrt(I_c C) -> R/ratio).
+        """
+        if ic_ratio <= 0:
+            raise ConfigError("ic_ratio must be positive")
+        return JosephsonJunction(
+            critical_current=self.critical_current * ic_ratio,
+            capacitance=self.capacitance * ic_ratio,
+            resistance=self.resistance / ic_ratio,
+        )
+
+
+def junction_from_process(process) -> JosephsonJunction:
+    """Build the nominal junction for an :class:`~repro.sfq.SfqProcess`."""
+    return JosephsonJunction(
+        critical_current=process.critical_current,
+        capacitance=process.junction_capacitance,
+        resistance=process.shunt_resistance,
+    )

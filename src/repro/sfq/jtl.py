@@ -1,0 +1,80 @@
+"""Josephson transmission line (JTL) model.
+
+A JTL is an active SFQ interconnect: a chain of biased junctions that
+regenerate the pulse at every stage.  It is convenient for short hops but
+both slower and far more power-hungry than a PTL over long distances
+(paper Fig 2: a long JTL costs ~100x the energy of a PTL), because every
+stage adds junction delay, a switching event, and a static bias.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sfq.constants import ERSFQ_1UM, SfqProcess
+
+
+@dataclass(frozen=True)
+class JtlLine:
+    """A JTL spanning a physical ``length``.
+
+    Attributes:
+        length: physical span (m).
+        process: fabrication process providing stage delay/pitch and the
+            per-switch energy.
+        jjs_per_stage: junctions per JTL stage (2 for the standard cell).
+    """
+
+    length: float
+    process: SfqProcess = ERSFQ_1UM
+    jjs_per_stage: int = 2
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ConfigError("JTL length must be non-negative")
+        if self.jjs_per_stage < 1:
+            raise ConfigError("a JTL stage needs at least one junction")
+
+    @property
+    def stages(self) -> int:
+        """Number of JTL stages needed to span the length (>= 1)."""
+        return max(1, math.ceil(self.length / self.process.jtl_stage_pitch))
+
+    @property
+    def latency(self) -> float:
+        """End-to-end pulse latency (s)."""
+        return self.stages * self.process.jtl_stage_delay
+
+    @property
+    def dynamic_energy_per_pulse(self) -> float:
+        """Energy per transported pulse (J): every stage's JJs switch."""
+        return self.stages * self.jjs_per_stage * self.process.switch_energy
+
+    @property
+    def static_energy_per_pulse(self) -> float:
+        """Resistive bias dissipation attributed to one pulse transit (J).
+
+        Plain (non-ERSFQ) JTL interconnect is resistively biased: every
+        junction burns I_b * V_bias continuously.  Attributing that power
+        per transported pulse at the process clock rate makes long JTLs
+        ~100x costlier than PTLs (whose active element count is one
+        driver + one receiver regardless of length) — paper Fig 2b.
+        """
+        bias_current = (
+            self.process.bias_current_fraction * self.process.critical_current
+        )
+        static_power_per_jj = bias_current * self.process.bias_voltage
+        per_pulse_per_jj = static_power_per_jj / self.process.clock_frequency
+        return self.stages * self.jjs_per_stage * per_pulse_per_jj
+
+    @property
+    def energy_per_pulse(self) -> float:
+        """Total energy per transported pulse (J)."""
+        return self.dynamic_energy_per_pulse + self.static_energy_per_pulse
+
+    @property
+    def jj_count(self) -> int:
+        """Total junction count of the line."""
+        return self.stages * self.jjs_per_stage

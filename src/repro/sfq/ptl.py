@@ -1,0 +1,230 @@
+"""Micro-strip passive transmission line (PTL) model — paper Eq. 1-4.
+
+A superconducting micro-strip PTL is modelled as a lossless distributed
+LC network.  Its per-unit-length inductance includes both the magnetic
+inductance and the kinetic inductance of the paired electrons (Eq. 1);
+capacitance follows the parallel-plate formula (Eq. 2); impedance and
+delay follow Eq. 3-4.  A PTL link is a PTL plus a driver at the source
+and a receiver at the destination; its resonance-limited operating
+frequency is f = 1 / (2T + t0) (Sec 4.2.3) and the usable frequency is at
+most 90% of f, so long links are broken into repeated segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sfq.constants import ERSFQ_1UM, TABLE2_COMPONENTS, SfqProcess
+from repro.units import EPSILON0, MU0, NM, UM
+
+
+#: Fraction of the resonance frequency a PTL may be clocked at (Sec 4.2.3,
+#: citing [32]): beyond this, reflections cause timing jitter.
+RESONANCE_MARGIN = 0.9
+
+
+@dataclass(frozen=True)
+class MicrostripPtl:
+    """Geometry and material parameters of one micro-strip PTL.
+
+    Defaults reflect a Nb/SiO2 micro-strip in the Hypres 1.0 um process:
+    a 6 um-wide, 200 nm-thick strip over a 100 nm dielectric with
+    lambda ~ 90 nm penetration depth.  This geometry yields a ~5 ohm
+    characteristic impedance, matched to the shunt resistance of the
+    junctions that drive and receive the line — which is why RSFQ PTLs
+    are low-impedance lines (Schindler 2020).
+
+    Attributes:
+        width: line width w (m).
+        line_thickness: strip thickness t1 (m).
+        ground_thickness: ground plane thickness t2 (m).
+        dielectric_thickness: dielectric height h (m).
+        penetration_depth_line: London penetration depth of the strip (m).
+        penetration_depth_ground: penetration depth of the ground (m).
+        dielectric_constant: relative permittivity of the insulator.
+        fringing_factor: fringing-field factor K in Eq. 1 (>= 1).
+        sections_per_mm: LC sections per millimetre used when the line is
+            discretised (N in Eq. 4 and in the transient simulator).
+    """
+
+    width: float = 6.0 * UM
+    line_thickness: float = 200 * NM
+    ground_thickness: float = 200 * NM
+    dielectric_thickness: float = 100 * NM
+    penetration_depth_line: float = 90 * NM
+    penetration_depth_ground: float = 90 * NM
+    dielectric_constant: float = 3.9  # SiO2
+    fringing_factor: float = 1.2
+    sections_per_mm: float = 100.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "width",
+            "line_thickness",
+            "ground_thickness",
+            "dielectric_thickness",
+            "penetration_depth_line",
+            "penetration_depth_ground",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"PTL {name} must be positive")
+        if self.fringing_factor < 1.0:
+            raise ConfigError("fringing factor K must be >= 1")
+
+    @property
+    def inductance_per_length(self) -> float:
+        """Eq. 1: L per unit length (H/m), magnetic + kinetic terms."""
+        h = self.dielectric_thickness
+        lam1 = self.penetration_depth_line
+        lam2 = self.penetration_depth_ground
+        kinetic = (
+            lam1 / h / math.tanh(self.line_thickness / lam1)
+            + lam2 / h / math.tanh(self.ground_thickness / lam2)
+        )
+        return MU0 * h / (self.fringing_factor * self.width) * (1.0 + kinetic)
+
+    @property
+    def capacitance_per_length(self) -> float:
+        """Eq. 2: C per unit length (F/m)."""
+        return (
+            self.dielectric_constant
+            * EPSILON0
+            * self.width
+            / self.dielectric_thickness
+        )
+
+    @property
+    def impedance(self) -> float:
+        """Eq. 3: characteristic impedance Z = sqrt(L/C) (ohm)."""
+        return math.sqrt(self.inductance_per_length / self.capacitance_per_length)
+
+    @property
+    def velocity(self) -> float:
+        """Pulse propagation velocity 1/sqrt(LC) (m/s)."""
+        return 1.0 / math.sqrt(
+            self.inductance_per_length * self.capacitance_per_length
+        )
+
+    def delay(self, length: float) -> float:
+        """Eq. 4: propagation delay T = N sqrt(L_sec C_sec) = length/v (s)."""
+        if length < 0:
+            raise ConfigError("PTL length must be non-negative")
+        return length / self.velocity
+
+    def sections(self, length: float) -> int:
+        """Number of LC ladder sections used to discretise ``length``."""
+        return max(1, round(self.sections_per_mm * length / 1e-3))
+
+
+@dataclass(frozen=True)
+class PtlLink:
+    """A driver + PTL + receiver link, the unit of SFQ H-tree wiring.
+
+    Attributes:
+        length: physical line length (m).
+        line: micro-strip geometry.
+        process: fabrication process (for pulse energy accounting).
+    """
+
+    length: float
+    line: MicrostripPtl = MicrostripPtl()
+    process: SfqProcess = ERSFQ_1UM
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ConfigError("PTL link length must be non-negative")
+
+    @property
+    def line_delay(self) -> float:
+        """Propagation delay of the bare line (s)."""
+        return self.line.delay(self.length)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end pulse latency: driver + line + receiver (s)."""
+        driver = TABLE2_COMPONENTS["driver"].latency
+        receiver = TABLE2_COMPONENTS["receiver"].latency
+        return driver + self.line_delay + receiver
+
+    @property
+    def endpoint_delay(self) -> float:
+        """t0 in the resonance formula: driver + receiver delay (s)."""
+        return (
+            TABLE2_COMPONENTS["driver"].latency
+            + TABLE2_COMPONENTS["receiver"].latency
+        )
+
+    @property
+    def resonance_frequency(self) -> float:
+        """f = 1 / (2T + t0) (Hz) — Sec 4.2.3."""
+        return 1.0 / (2 * self.line_delay + self.endpoint_delay)
+
+    @property
+    def max_frequency(self) -> float:
+        """Usable pulse rate: 90% of the resonance frequency (Hz)."""
+        return RESONANCE_MARGIN * self.resonance_frequency
+
+    @property
+    def dynamic_energy_per_pulse(self) -> float:
+        """Energy dissipated moving one SFQ pulse across the link (J).
+
+        The line itself is lossless; dissipation happens in the driver and
+        receiver junctions (2 + 3 junction switches respectively).
+        """
+        driver_jj = TABLE2_COMPONENTS["driver"].jj_count
+        receiver_jj = TABLE2_COMPONENTS["receiver"].jj_count
+        return (driver_jj + receiver_jj) * self.process.switch_energy
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power of the link's bias networks (W)."""
+        return (
+            TABLE2_COMPONENTS["driver"].leakage_power
+            + TABLE2_COMPONENTS["receiver"].leakage_power
+        )
+
+    @property
+    def jj_count(self) -> int:
+        """Junction count of the link (driver + receiver)."""
+        return (
+            TABLE2_COMPONENTS["driver"].jj_count
+            + TABLE2_COMPONENTS["receiver"].jj_count
+        )
+
+
+def insert_repeaters(length: float, target_frequency: float,
+                     line: MicrostripPtl | None = None,
+                     process: SfqProcess = ERSFQ_1UM) -> list[PtlLink]:
+    """Split a PTL of ``length`` into repeated segments meeting a pulse rate.
+
+    Repeater insertion (Sec 4.2.3): a long PTL is partitioned into shorter
+    driver+receiver segments until every segment's usable frequency (90%
+    of resonance) is at least ``target_frequency``.  Returns the list of
+    equal-length links; more repeaters raise both the achievable frequency
+    and the static/dynamic power.
+
+    Raises:
+        ConfigError: if the target frequency is unreachable even with an
+            arbitrarily short segment (endpoint delay dominates).
+    """
+    if length < 0:
+        raise ConfigError("length must be non-negative")
+    if target_frequency <= 0:
+        raise ConfigError("target frequency must be positive")
+    line = line or MicrostripPtl()
+    zero_length = PtlLink(0.0, line, process)
+    if zero_length.max_frequency < target_frequency:
+        raise ConfigError(
+            f"target {target_frequency:.3g} Hz unreachable: even a zero-"
+            f"length link tops out at {zero_length.max_frequency:.3g} Hz"
+        )
+    if length == 0:
+        return [zero_length]
+    segments = 1
+    while True:
+        link = PtlLink(length / segments, line, process)
+        if link.max_frequency >= target_frequency:
+            return [link] * segments
+        segments += 1

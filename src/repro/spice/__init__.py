@@ -1,0 +1,61 @@
+"""Transient superconductor circuit simulator (JoSIM substitute).
+
+The paper validates its analytical SFQ H-tree model against JoSIM, a
+superconductor SPICE (Sec 4.2.3, Fig 13).  JoSIM is an external C++
+tool, so this package provides an independent numerical solution of the
+same circuits: a time-domain nodal simulator supporting
+
+- RCSJ Josephson junctions (phase state, sin(phi) supercurrent, shunt
+  resistance and junction capacitance),
+- inductors, capacitors, resistors, DC bias rails and pulse current
+  sources, and
+- lossless LC-ladder transmission lines (the discretised micro-strip PTL
+  of paper Eq. 1-4).
+
+:mod:`repro.spice.circuits` builds the exact structures of paper Fig 11:
+JTL chains, PTL drivers (2-stage JTL + matching resistor), receivers
+(3-stage JTL), splitters (3 JJs / 3 inductors) and the splitter-unit
+testbench used for the Fig 13 validation.  :mod:`repro.spice.measure`
+detects SFQ pulses as 2-pi phase slips and integrates dissipated energy.
+"""
+
+from repro.spice.elements import (
+    BiasSource,
+    Capacitor,
+    Inductor,
+    JJElement,
+    PulseSource,
+    Resistor,
+)
+from repro.spice.netlist import Netlist
+from repro.spice.engine import TransientResult, TransientSimulator
+from repro.spice.circuits import (
+    SfqCellLibrary,
+    build_jtl_chain,
+    build_ptl_link,
+    build_splitter_unit,
+)
+from repro.spice.measure import (
+    detect_pulses,
+    pulse_delay,
+    total_dissipated_energy,
+)
+
+__all__ = [
+    "BiasSource",
+    "Capacitor",
+    "Inductor",
+    "JJElement",
+    "PulseSource",
+    "Resistor",
+    "Netlist",
+    "TransientResult",
+    "TransientSimulator",
+    "SfqCellLibrary",
+    "build_jtl_chain",
+    "build_ptl_link",
+    "build_splitter_unit",
+    "detect_pulses",
+    "pulse_delay",
+    "total_dissipated_energy",
+]

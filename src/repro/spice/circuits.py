@@ -1,0 +1,279 @@
+"""Prebuilt SFQ circuits matching paper Fig 11.
+
+The cell library below implements, at the device level, the components
+whose behavioural models live in :mod:`repro.sfq.cells`:
+
+- JTL stage: bias + junction to ground + series inductor,
+- PTL driver (Fig 11f): 2-stage JTL cascaded with a matching resistor,
+- PTL receiver (Fig 11e): shunt-matched input + 3-stage JTL,
+- splitter (Fig 11g): enlarged input junction feeding two output
+  junctions through inductors,
+- micro-strip PTL: lossless LC ladder discretised from the Eq. 1-4
+  per-length parameters.
+
+``build_splitter_unit`` assembles the exact Fig 13 validation testbench:
+pulse source -> input JTL -> driver -> PTL -> (receiver + splitter + two
+drivers) -> PTL -> receivers -> JTL loads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+from repro.sfq.jj import JosephsonJunction
+from repro.sfq.ptl import MicrostripPtl
+from repro.spice.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class SfqCellLibrary:
+    """Device-level parameters for the SFQ standard cells.
+
+    Tuned for the Hypres-class 1.0 um niobium process so that pulses
+    propagate reliably and stage delays land near the Table 2 values.
+
+    Attributes:
+        jj: nominal junction (JTL-sized).
+        jtl_inductance: series inductance between JTL stages (H).
+        bias_fraction: DC bias as fraction of each junction's I_c.
+        driver_output_scale: I_c scale of the driver's output junction.
+        coupling_inductance: inductor coupling a driver/receiver junction
+            to the (impedance-matched) PTL (H).
+        splitter_input_scale: I_c scale of the splitter's input junction.
+        splitter_output_scale: I_c scale of the two output junctions.
+        splitter_inductance: splitter branch inductance (H).
+        line: micro-strip PTL geometry (shared with the analytical model).
+    """
+
+    jj: JosephsonJunction = field(
+        default_factory=lambda: JosephsonJunction(
+            critical_current=100e-6, capacitance=70e-15, resistance=6.0
+        )
+    )
+    jtl_inductance: float = 4.0e-12
+    bias_fraction: float = 0.70
+    driver_output_scale: float = 1.5
+    coupling_inductance: float = 1.0e-12
+    splitter_input_scale: float = 1.4
+    splitter_output_scale: float = 0.9
+    splitter_inductance: float = 3.0e-12
+    line: MicrostripPtl = field(default_factory=MicrostripPtl)
+
+    @property
+    def bias_current(self) -> float:
+        """DC bias current for a nominal junction (A)."""
+        return self.bias_fraction * self.jj.critical_current
+
+
+def build_jtl_stage(netlist: Netlist, prefix: str, node_in: str,
+                    lib: SfqCellLibrary) -> tuple[str, str]:
+    """Append one JTL stage after ``node_in``.
+
+    Returns ``(output_node, junction_name)``.  The stage is: junction +
+    bias at ``node_in``'s downstream node, series inductor onward.
+    """
+    node_jj = f"{prefix}_n"
+    node_out = f"{prefix}_out"
+    netlist.add_inductor(f"{prefix}_lin", node_in, node_jj,
+                         lib.jtl_inductance / 2)
+    jj_name = f"{prefix}_jj"
+    netlist.add_junction(jj_name, node_jj, "gnd", lib.jj)
+    netlist.add_bias(f"{prefix}_ib", node_jj, lib.bias_current)
+    netlist.add_inductor(f"{prefix}_lout", node_jj, node_out,
+                         lib.jtl_inductance / 2)
+    return node_out, jj_name
+
+
+def build_jtl_chain(netlist: Netlist, prefix: str, node_in: str,
+                    stages: int, lib: SfqCellLibrary) -> tuple[str, list[str]]:
+    """Append ``stages`` JTL stages; returns (output node, junction names)."""
+    if stages < 1:
+        raise NetlistError("a JTL chain needs at least one stage")
+    node = node_in
+    junctions = []
+    for k in range(stages):
+        node, jj = build_jtl_stage(netlist, f"{prefix}{k}", node, lib)
+        junctions.append(jj)
+    return node, junctions
+
+
+def build_ptl(netlist: Netlist, prefix: str, node_in: str, node_out: str,
+              length: float, lib: SfqCellLibrary,
+              ladder: bool = False) -> int:
+    """Append a lossless PTL between two nodes.
+
+    By default the line is an ideal Branin transmission line with the
+    micro-strip model's impedance (Eq. 3) and delay (Eq. 4) — the same
+    element JoSIM uses for PTLs.  With ``ladder=True`` the line is
+    discretised into LC sections instead (useful for checking that the
+    distributed model converges to the ideal one).
+
+    Returns the number of sections (1 for the ideal line).
+    """
+    if length <= 0:
+        raise NetlistError("PTL length must be positive")
+    if not ladder:
+        netlist.add_tline(f"{prefix}_t", node_in, node_out,
+                          lib.line.impedance, lib.line.delay(length))
+        return 1
+    sections = lib.line.sections(length)
+    l_sec = lib.line.inductance_per_length * length / sections
+    c_sec = lib.line.capacitance_per_length * length / sections
+    prev = node_in
+    for k in range(sections):
+        node = node_out if k == sections - 1 else f"{prefix}_s{k}"
+        netlist.add_inductor(f"{prefix}_l{k}", prev, node, l_sec)
+        netlist.add_capacitor(f"{prefix}_c{k}", node, "gnd", c_sec)
+        prev = node
+    return sections
+
+
+def build_driver(netlist: Netlist, prefix: str, node_in: str,
+                 lib: SfqCellLibrary) -> tuple[str, list[str]]:
+    """Append a PTL driver (Fig 11f): 2-stage JTL into the line.
+
+    The second (output) stage junction is enlarged by
+    ``driver_output_scale`` so it launches a stiff pulse; the line's
+    ~5 ohm impedance is matched to the junction shunt resistance, so
+    coupling is through a small inductor rather than a lossy series
+    resistor (Schindler 2020 receiver-matching study).
+
+    Returns ``(ptl_input_node, junction_names)``.
+    """
+    node, junctions = build_jtl_chain(netlist, f"{prefix}_jtl", node_in, 1, lib)
+    big = lib.jj.scaled(lib.driver_output_scale)
+    node_jj = f"{prefix}_on"
+    netlist.add_inductor(f"{prefix}_ol", node, node_jj,
+                         lib.jtl_inductance / 2)
+    out_jj = f"{prefix}_ojj"
+    netlist.add_junction(out_jj, node_jj, "gnd", big)
+    netlist.add_bias(f"{prefix}_oib", node_jj,
+                     lib.bias_fraction * big.critical_current)
+    ptl_in = f"{prefix}_ptl"
+    netlist.add_inductor(f"{prefix}_lm", node_jj, ptl_in,
+                         lib.coupling_inductance)
+    return ptl_in, junctions + [out_jj]
+
+
+def build_receiver(netlist: Netlist, prefix: str, ptl_end: str,
+                   lib: SfqCellLibrary) -> tuple[str, list[str]]:
+    """Append a PTL receiver (Fig 11e): 3-stage JTL from the line.
+
+    The first junction's shunt resistance terminates the (matched)
+    low-impedance line; no separate termination resistor is needed.
+
+    Returns ``(output_node, junction_names)``.
+    """
+    node_jj = f"{prefix}_in"
+    netlist.add_inductor(f"{prefix}_lm", ptl_end, node_jj,
+                         lib.coupling_inductance)
+    in_jj = f"{prefix}_ijj"
+    netlist.add_junction(in_jj, node_jj, "gnd", lib.jj)
+    netlist.add_bias(f"{prefix}_iib", node_jj,
+                     lib.bias_fraction * lib.jj.critical_current)
+    node = f"{prefix}_i_out"
+    netlist.add_inductor(f"{prefix}_il", node_jj, node,
+                         lib.jtl_inductance / 2)
+    out, junctions = build_jtl_chain(netlist, f"{prefix}_jtl", node, 2, lib)
+    return out, [in_jj] + junctions
+
+
+def build_splitter(netlist: Netlist, prefix: str, node_in: str,
+                   lib: SfqCellLibrary) -> tuple[str, str, list[str]]:
+    """Append a splitter (Fig 11g): returns (out1, out2, junction names).
+
+    The enlarged input junction stores the incoming SFQ; its 2-pi phase
+    slip drives both branch inductors, switching each (smaller) output
+    junction once, so one input pulse becomes two output pulses.
+    """
+    jj_in = lib.jj.scaled(lib.splitter_input_scale)
+    jj_out = lib.jj.scaled(lib.splitter_output_scale)
+    node_a = f"{prefix}_a"
+    netlist.add_inductor(f"{prefix}_lin", node_in, node_a,
+                         lib.splitter_inductance)
+    netlist.add_junction(f"{prefix}_jin", node_a, "gnd", jj_in)
+    netlist.add_bias(f"{prefix}_ibin", node_a,
+                     lib.bias_fraction * jj_in.critical_current)
+    outputs = []
+    for branch in ("b", "c"):
+        node_b = f"{prefix}_{branch}"
+        netlist.add_inductor(f"{prefix}_l{branch}", node_a, node_b,
+                             lib.splitter_inductance)
+        netlist.add_junction(f"{prefix}_j{branch}", node_b, "gnd", jj_out)
+        netlist.add_bias(f"{prefix}_ib{branch}", node_b,
+                         lib.bias_fraction * jj_out.critical_current)
+        outputs.append(node_b)
+    junctions = [f"{prefix}_jin", f"{prefix}_jb", f"{prefix}_jc"]
+    return outputs[0], outputs[1], junctions
+
+
+def _add_source_chain(netlist: Netlist, lib: SfqCellLibrary,
+                      pulse_times: tuple[float, ...]) -> tuple[str, list[str]]:
+    """Pulse source feeding a 2-stage input JTL; returns (node, jjs).
+
+    The drive peaks at 2x the junction critical current over a 2 ps sigma,
+    which reliably slips the source junction exactly once per pulse; the
+    input JTL then reshapes the event into a clean SFQ pulse before it
+    reaches the device under test.
+    """
+    sigma = 2.0e-12
+    area = 2.0 * lib.jj.critical_current * sigma * math.sqrt(2 * math.pi)
+    netlist.add_pulse("src", "in0", pulse_times, sigma=sigma, area=area)
+    netlist.add_junction("src_esd", "in0", "gnd", lib.jj)
+    netlist.add_bias("src_ib", "in0", lib.bias_current)
+    return build_jtl_chain(netlist, "in", "in0", 2, lib)
+
+
+def build_ptl_link(length: float, pulse_times: tuple[float, ...] = (20e-12,),
+                   lib: SfqCellLibrary | None = None) -> tuple[Netlist, dict]:
+    """Testbench: source -> JTL -> driver -> PTL -> receiver -> JTL load.
+
+    Returns ``(netlist, probes)`` where probes maps measurement points to
+    junction names: ``launch`` (driver input junction), ``arrive``
+    (receiver output junction).
+    """
+    lib = lib or SfqCellLibrary()
+    netlist = Netlist(title=f"ptl_link_{length:.4g}m")
+    node, _ = _add_source_chain(netlist, lib, pulse_times)
+    ptl_in, drv_jjs = build_driver(netlist, "drv", node, lib)
+    build_ptl(netlist, "ptl", ptl_in, "ptl_end", length, lib)
+    node_rx, rx_jjs = build_receiver(netlist, "rx", "ptl_end", lib)
+    _, load_jjs = build_jtl_chain(netlist, "load", node_rx, 1, lib)
+    probes = {"launch": drv_jjs[0], "arrive": rx_jjs[-1], "load": load_jjs[-1]}
+    return netlist, probes
+
+
+def build_splitter_unit(length: float,
+                        pulse_times: tuple[float, ...] = (20e-12,),
+                        lib: SfqCellLibrary | None = None
+                        ) -> tuple[Netlist, dict]:
+    """The Fig 13 validation testbench around one splitter unit.
+
+    Top driver -> PTL(length) -> receiver -> splitter -> two drivers ->
+    PTL(length) each -> two receivers.  Probes: ``launch`` = top driver
+    input junction, ``arrive`` = bottom-right receiver output junction
+    (the measurement the paper quotes), plus ``arrive_left`` for the
+    symmetry check.
+    """
+    lib = lib or SfqCellLibrary()
+    netlist = Netlist(title=f"splitter_unit_{length:.4g}m")
+    node, _ = _add_source_chain(netlist, lib, pulse_times)
+    ptl_in, drv_jjs = build_driver(netlist, "top", node, lib)
+    build_ptl(netlist, "ptl_top", ptl_in, "unit_in", length, lib)
+    node_rx, _ = build_receiver(netlist, "urx", "unit_in", lib)
+    out1, out2, _ = build_splitter(netlist, "spl", node_rx, lib)
+    arrive = {}
+    for tag, out in (("left", out1), ("right", out2)):
+        ptl_b, _ = build_driver(netlist, f"d{tag}", out, lib)
+        build_ptl(netlist, f"ptl_{tag}", ptl_b, f"end_{tag}", length, lib)
+        node_b, rx_jjs = build_receiver(netlist, f"rx{tag}", f"end_{tag}", lib)
+        build_jtl_chain(netlist, f"ld{tag}", node_b, 1, lib)
+        arrive[tag] = rx_jjs[-1]
+    probes = {
+        "launch": drv_jjs[0],
+        "arrive": arrive["right"],
+        "arrive_left": arrive["left"],
+    }
+    return netlist, probes

@@ -1,0 +1,145 @@
+"""Circuit elements for the transient simulator.
+
+Elements are plain dataclasses; the engine compiles them into vectorised
+index/value arrays.  Nodes are referred to by string names; ``"gnd"``
+(or ``"0"``) is the ground reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import NetlistError
+from repro.sfq.jj import JosephsonJunction
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A linear resistor between ``node_pos`` and ``node_neg``."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise NetlistError(f"{self.name}: resistance must be positive")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A linear capacitor between ``node_pos`` and ``node_neg``."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise NetlistError(f"{self.name}: capacitance must be positive")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """A linear inductor; its branch current is a state variable."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    inductance: float
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0:
+            raise NetlistError(f"{self.name}: inductance must be positive")
+
+
+@dataclass(frozen=True)
+class JJElement:
+    """An RCSJ Josephson junction; its phase is a state variable.
+
+    The junction contributes I_c sin(phi) supercurrent, V/R shunt current
+    and C dV/dt displacement current between its nodes.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str
+    junction: JosephsonJunction
+
+
+@dataclass(frozen=True)
+class BiasSource:
+    """A DC current source injecting ``current`` into ``node_pos``.
+
+    Models the ERSFQ-style current bias feeding each SFQ cell.  Positive
+    current flows from ``node_neg`` (usually ground) into ``node_pos``.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str
+    current: float
+
+
+@dataclass(frozen=True)
+class TransmissionLine:
+    """An ideal lossless transmission line (Branin / method of
+    characteristics), the same element JoSIM uses for PTLs.
+
+    Each port presents impedance ``z0`` in series with a source equal to
+    the wave launched from the far port ``delay`` seconds earlier.  The
+    line is dispersion-free and exactly matched when terminated in z0.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str  # port 2 positive node; both ports reference ground
+    z0: float
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.z0 <= 0:
+            raise NetlistError(f"{self.name}: z0 must be positive")
+        if self.delay <= 0:
+            raise NetlistError(f"{self.name}: delay must be positive")
+
+
+@dataclass(frozen=True)
+class PulseSource:
+    """A time-dependent current source delivering Gaussian pulses.
+
+    Each pulse carries charge ``area`` (A*s); with ``area`` around
+    I_c * pulse-width it reliably triggers the input junction of an SFQ
+    cell.  Pulses are centred at ``times`` with RMS width ``sigma``.
+    """
+
+    name: str
+    node_pos: str
+    node_neg: str
+    times: tuple[float, ...]
+    sigma: float = 1.0e-12
+    area: float = 2.0e-16  # ~ Phi_0 / (2 ohm) : one SFQ worth into 2 ohm
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise NetlistError(f"{self.name}: pulse sigma must be positive")
+        if not self.times:
+            raise NetlistError(f"{self.name}: needs at least one pulse time")
+
+    def current(self, t: float) -> float:
+        """Instantaneous source current at time ``t`` (A)."""
+        peak = self.area / (self.sigma * math.sqrt(2 * math.pi))
+        total = 0.0
+        for t0 in self.times:
+            arg = (t - t0) / self.sigma
+            if abs(arg) < 8.0:
+                total += peak * math.exp(-0.5 * arg * arg)
+        return total
+
+    def waveform(self) -> Callable[[float], float]:
+        """Return the waveform as a plain callable."""
+        return self.current

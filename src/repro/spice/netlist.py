@@ -1,0 +1,193 @@
+"""Netlist container and validation for the transient simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+from repro.sfq.jj import JosephsonJunction
+from repro.spice.elements import (
+    BiasSource,
+    Capacitor,
+    Inductor,
+    JJElement,
+    PulseSource,
+    Resistor,
+    TransmissionLine,
+)
+
+GROUND_NAMES = ("gnd", "0")
+
+#: Parasitic capacitance to ground added to any node that would otherwise
+#: have none, so the nodal ODE system stays well-posed (F).
+DEFAULT_NODE_CAPACITANCE = 1.0e-15
+
+
+@dataclass
+class Netlist:
+    """A mutable collection of circuit elements keyed by unique names.
+
+    Build circuits with the ``add_*`` methods; node names are created
+    implicitly on first use.  ``validate()`` checks connectivity and is
+    called by the engine before compilation.
+    """
+
+    title: str = "untitled"
+    resistors: list[Resistor] = field(default_factory=list)
+    capacitors: list[Capacitor] = field(default_factory=list)
+    inductors: list[Inductor] = field(default_factory=list)
+    junctions: list[JJElement] = field(default_factory=list)
+    bias_sources: list[BiasSource] = field(default_factory=list)
+    pulse_sources: list[PulseSource] = field(default_factory=list)
+    tlines: list[TransmissionLine] = field(default_factory=list)
+
+    def _check_name(self, name: str) -> None:
+        if name in self._names():
+            raise NetlistError(f"duplicate element name: {name}")
+
+    def _names(self) -> set[str]:
+        names = set()
+        for group in (
+            self.resistors,
+            self.capacitors,
+            self.inductors,
+            self.junctions,
+            self.bias_sources,
+            self.pulse_sources,
+            self.tlines,
+        ):
+            names.update(e.name for e in group)
+        return names
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def add_resistor(self, name: str, pos: str, neg: str, ohms: float) -> Resistor:
+        """Add a resistor and return it."""
+        self._check_name(name)
+        element = Resistor(name, pos, neg, ohms)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(self, name: str, pos: str, neg: str, farads: float) -> Capacitor:
+        """Add a capacitor and return it."""
+        self._check_name(name)
+        element = Capacitor(name, pos, neg, farads)
+        self.capacitors.append(element)
+        return element
+
+    def add_inductor(self, name: str, pos: str, neg: str, henries: float) -> Inductor:
+        """Add an inductor and return it."""
+        self._check_name(name)
+        element = Inductor(name, pos, neg, henries)
+        self.inductors.append(element)
+        return element
+
+    def add_junction(
+        self, name: str, pos: str, neg: str, junction: JosephsonJunction
+    ) -> JJElement:
+        """Add a Josephson junction and return it."""
+        self._check_name(name)
+        element = JJElement(name, pos, neg, junction)
+        self.junctions.append(element)
+        return element
+
+    def add_bias(self, name: str, node: str, current: float,
+                 neg: str = "gnd") -> BiasSource:
+        """Add a DC current bias into ``node`` and return it."""
+        self._check_name(name)
+        element = BiasSource(name, node, neg, current)
+        self.bias_sources.append(element)
+        return element
+
+    def add_pulse(self, name: str, node: str, times: tuple[float, ...],
+                  neg: str = "gnd", sigma: float = 1.0e-12,
+                  area: float = 2.0e-16) -> PulseSource:
+        """Add a pulsed current source into ``node`` and return it."""
+        self._check_name(name)
+        element = PulseSource(name, node, neg, times, sigma, area)
+        self.pulse_sources.append(element)
+        return element
+
+    def add_tline(self, name: str, port1: str, port2: str, z0: float,
+                  delay: float) -> TransmissionLine:
+        """Add an ideal lossless transmission line between two ports."""
+        self._check_name(name)
+        element = TransmissionLine(name, port1, port2, z0, delay)
+        self.tlines.append(element)
+        return element
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[str]:
+        """All non-ground node names, in deterministic insertion order."""
+        seen: dict[str, None] = {}
+        for group in (
+            self.resistors,
+            self.capacitors,
+            self.inductors,
+            self.junctions,
+            self.bias_sources,
+            self.pulse_sources,
+            self.tlines,
+        ):
+            for element in group:
+                for node in (element.node_pos, element.node_neg):
+                    if node not in GROUND_NAMES:
+                        seen.setdefault(node, None)
+        return list(seen)
+
+    def element_count(self) -> int:
+        """Total number of elements."""
+        return (
+            len(self.resistors)
+            + len(self.capacitors)
+            + len(self.inductors)
+            + len(self.junctions)
+            + len(self.bias_sources)
+            + len(self.pulse_sources)
+            + len(self.tlines)
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on structural problems.
+
+        Checks: at least one element, at least one ground connection, and
+        no node connected only to current sources (which would have no
+        defined dynamics).
+        """
+        if self.element_count() == 0:
+            raise NetlistError(f"netlist '{self.title}' is empty")
+        grounded = False
+        for group in (
+            self.resistors,
+            self.capacitors,
+            self.inductors,
+            self.junctions,
+            self.tlines,
+        ):
+            for element in group:
+                if (
+                    element.node_pos in GROUND_NAMES
+                    or element.node_neg in GROUND_NAMES
+                ):
+                    grounded = True
+        if not grounded:
+            raise NetlistError(
+                f"netlist '{self.title}' has no passive path to ground"
+            )
+        passive_nodes: set[str] = set()
+        for group in (self.resistors, self.capacitors, self.inductors,
+                      self.junctions, self.tlines):
+            for element in group:
+                passive_nodes.add(element.node_pos)
+                passive_nodes.add(element.node_neg)
+        for group in (self.bias_sources, self.pulse_sources):
+            for element in group:
+                for node in (element.node_pos, element.node_neg):
+                    if node not in GROUND_NAMES and node not in passive_nodes:
+                        raise NetlistError(
+                            f"source '{element.name}' drives node "
+                            f"'{node}' that no passive element touches"
+                        )

@@ -1,0 +1,52 @@
+"""Systolic CNN accelerator simulator (SCALE-SIM substitute).
+
+The paper drives its evaluation with SCALE-SIM [Samajdar 2018]: a
+weight-stationary systolic-array model that yields per-layer compute
+cycles and memory traces.  This package implements the equivalent
+analytically:
+
+- :mod:`repro.systolic.layers` -- CNN layer descriptors (conv / depthwise
+  / fully-connected / pooling).
+- :mod:`repro.systolic.mapping` -- weight-stationary fold decomposition
+  onto an ``rows x cols`` PE array.
+- :mod:`repro.systolic.trace` -- per-operand access-stream statistics:
+  sequential run lengths, jump counts and jump address deltas (the
+  structure paper Fig 6 visualises).
+- :mod:`repro.systolic.memsys` -- scratchpad/DRAM service-time models:
+  SHIFT lanes, random-access arrays, heterogeneous SPM, prefetching.
+- :mod:`repro.systolic.simulator` -- per-layer and whole-network latency.
+- :mod:`repro.systolic.energy` -- energy accounting incl. 400x cooling.
+"""
+
+from repro.systolic.layers import ConvLayer, Network
+from repro.systolic.mapping import WeightStationaryMapping
+from repro.systolic.trace import LayerTrace, StreamStats
+from repro.systolic.memsys import (
+    DramModel,
+    HeterogeneousSpm,
+    MemorySystem,
+    RandomSpm,
+    ShiftSpm,
+    IdealSpm,
+)
+from repro.systolic.simulator import AcceleratorModel, LayerResult, RunResult
+from repro.systolic.energy import EnergyModel, EnergyResult
+
+__all__ = [
+    "ConvLayer",
+    "Network",
+    "WeightStationaryMapping",
+    "LayerTrace",
+    "StreamStats",
+    "DramModel",
+    "HeterogeneousSpm",
+    "MemorySystem",
+    "RandomSpm",
+    "ShiftSpm",
+    "IdealSpm",
+    "AcceleratorModel",
+    "LayerResult",
+    "RunResult",
+    "EnergyModel",
+    "EnergyResult",
+]

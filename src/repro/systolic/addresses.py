@@ -1,0 +1,133 @@
+"""Concrete address-stream generation (the paper's Fig 6 view).
+
+The aggregate :mod:`repro.systolic.trace` statistics are what the timing
+model consumes; this module produces the *actual* address sequences for
+small layers — the structure Fig 6 visualises, with per-column weight
+streams that are sequential within a filter and jump between filters,
+and per-row input streams that advance word-by-word and jump at output
+row boundaries.  Used for trace inspection, layout debugging, and for
+cross-checking the aggregate statistics in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.systolic.mapping import WeightStationaryMapping
+
+
+@dataclass(frozen=True)
+class AddressStream:
+    """One lane's address stream.
+
+    Attributes:
+        lane: lane index (PE row for inputs, PE column for weights).
+        addresses: word addresses in issue order.
+    """
+
+    lane: int
+    addresses: tuple[int, ...]
+
+    def run_lengths(self) -> list[int]:
+        """Lengths of the maximal unit-stride sequential runs."""
+        if not self.addresses:
+            return []
+        runs = [1]
+        for prev, cur in zip(self.addresses, self.addresses[1:]):
+            if cur == prev + 1:
+                runs[-1] += 1
+            else:
+                runs.append(1)
+        return runs
+
+    def jump_count(self) -> int:
+        """Discontinuities in the stream."""
+        return len(self.run_lengths()) - 1
+
+    def jump_deltas(self) -> list[int]:
+        """Address deltas at each discontinuity."""
+        deltas = []
+        for prev, cur in zip(self.addresses, self.addresses[1:]):
+            if cur != prev + 1:
+                deltas.append(cur - prev)
+        return deltas
+
+
+def weight_addresses(mapping: WeightStationaryMapping,
+                     fold: int = 0, max_lanes: int = 4
+                     ) -> list[AddressStream]:
+    """Per-column weight address streams for one fold (Fig 6 left).
+
+    Weights are laid out filter-major: filter k occupies
+    ``[k * kernel_volume, (k + 1) * kernel_volume)``.  Column c of fold
+    (r, q) streams the r-th kernel-volume slice of filter
+    ``q * cols + c`` — sequential within the slice, a jump of about a
+    kernel volume between columns.
+    """
+    layer = mapping.layer
+    if layer.kind == "pool":
+        raise MappingError("pooling has no weights")
+    row_fold = fold % mapping.row_folds
+    col_fold = fold // mapping.row_folds
+    base_row = row_fold * mapping.rows
+    streams = []
+    for c in range(min(mapping.cols_used, max_lanes)):
+        filt = col_fold * mapping.cols + c
+        start = filt * layer.kernel_volume + base_row
+        count = min(mapping.rows, layer.kernel_volume - base_row)
+        streams.append(AddressStream(
+            lane=c,
+            addresses=tuple(range(start, start + max(0, count))),
+        ))
+    return streams
+
+
+def input_addresses(mapping: WeightStationaryMapping, fold: int = 0,
+                    lane: int = 0, max_pixels: int = 64) -> AddressStream:
+    """One PE row's input address stream for one fold (Fig 6 right).
+
+    The lane serves kernel offset ``base_row + lane`` = (r, s, c) of the
+    flattened kernel; for output pixel (y, x) it reads input word
+    ``((y * stride + r) * in_w + (x * stride + s)) * in_c + c``
+    (padding reads map to the nearest valid word).  Within an output
+    row the stream advances by ``stride * in_c``; at a row boundary it
+    jumps backwards over the window overlap.
+    """
+    layer = mapping.layer
+    if layer.kind in ("fc", "pool"):
+        # fc streams its flattened input sequentially
+        count = min(layer.kernel_volume, max_pixels)
+        return AddressStream(lane=lane,
+                             addresses=tuple(range(count)))
+    row_fold = fold % mapping.row_folds
+    offset = row_fold * mapping.rows + lane
+    kernel_w = layer.kernel_w
+    r = offset // (kernel_w * layer.in_c)
+    rem = offset % (kernel_w * layer.in_c)
+    s = rem // layer.in_c
+    c = rem % layer.in_c
+    addresses = []
+    for pixel in range(min(layer.out_pixels, max_pixels)):
+        y = pixel // layer.out_w
+        x = pixel % layer.out_w
+        in_y = min(max(y * layer.stride + r - layer.padding, 0),
+                   layer.in_h - 1)
+        in_x = min(max(x * layer.stride + s - layer.padding, 0),
+                   layer.in_w - 1)
+        addresses.append((in_y * layer.in_w + in_x) * layer.in_c + c)
+    return AddressStream(lane=lane, addresses=tuple(addresses))
+
+
+def output_addresses(mapping: WeightStationaryMapping,
+                     fold: int = 0, lane: int = 0,
+                     max_pixels: int = 64) -> AddressStream:
+    """One PE column's output address stream (sequential by design)."""
+    layer = mapping.layer
+    col_fold = fold // mapping.row_folds
+    channel = col_fold * mapping.cols + lane
+    addresses = tuple(
+        pixel * layer.out_c + channel
+        for pixel in range(min(layer.out_pixels, max_pixels))
+    )
+    return AddressStream(lane=lane, addresses=addresses)

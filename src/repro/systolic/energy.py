@@ -1,0 +1,113 @@
+"""Inference energy accounting, including the 400x cryo-cooling tax.
+
+Energy per inference splits into (paper Figs 20/21):
+
+- **matrix**: MAC energy in the PE array (ERSFQ for SFQ designs, CMOS
+  for the TPU) plus clock distribution;
+- **SPM dynamic**: SHIFT lane shifts (every DFF in a lane pulses per
+  advance — the Fig 16 effect) and RANDOM array accesses;
+- **SPM static**: leakage integrated over the run (ERSFQ SHIFT leaks
+  nothing; the CMOS sub-banks of the RANDOM array do);
+- **DRAM**: spill traffic only.
+
+Everything dissipated at 4 K is multiplied by the cooling factor
+(Sec 5: 400x, citing Holmes 2013); the TPU and DRAM run warm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sfq.constants import CRYO_COOLING_FACTOR
+from repro.systolic.simulator import RunResult
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """Energy decomposition of one run (J, cooling included).
+
+    Attributes:
+        matrix: matrix-unit energy.
+        spm_dynamic: SPM dynamic energy.
+        spm_static: SPM leakage energy.
+        dram: DRAM access energy.
+    """
+
+    matrix: float
+    spm_dynamic: float
+    spm_static: float
+    dram: float
+
+    @property
+    def total(self) -> float:
+        """Total energy per run (J)."""
+        return self.matrix + self.spm_dynamic + self.spm_static + self.dram
+
+    def share(self, component: str) -> float:
+        """Fraction of total energy in one component."""
+        value = getattr(self, component)
+        return value / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-accelerator energy coefficients.
+
+    Attributes:
+        mac_energy: energy per MAC (J).  ERSFQ dissipation is
+            activity-proportional, so SuperNPU's 1.9 W at its 842 TMAC/s
+            peak (Sec 5) prices a MAC at ~2.26 fJ chip-level (logic +
+            clock distribution); zero for the TPU, whose draw is carried
+            by ``idle_power``.
+        idle_power: whole-chip power drawn for the full run duration
+            (W); carries the TPU's ~40 W average draw.
+        shift_step_energy: energy of one SHIFT lane advance (J): every
+            DFF of the clocked lane segment pulses (0.1 fJ x ~50% ones).
+        random_access_energy: energy per RANDOM array line access (J).
+        spm_leakage: total SPM standby power (W).
+        cooled: True when the accelerator sits in the 4 K cryostat.
+        dram_energy_per_byte: spill energy (J/B).
+    """
+
+    mac_energy: float
+    idle_power: float
+    shift_step_energy: float
+    random_access_energy: float
+    spm_leakage: float
+    cooled: bool
+    dram_energy_per_byte: float = 15e-12
+
+    def __post_init__(self) -> None:
+        if self.mac_energy < 0 or self.idle_power < 0:
+            raise ConfigError("powers must be non-negative")
+        if self.mac_energy == 0 and self.idle_power == 0:
+            raise ConfigError("the matrix unit must draw some power")
+
+    @property
+    def cooling(self) -> float:
+        """Wall-energy multiplier for dissipation at 4 K."""
+        return CRYO_COOLING_FACTOR if self.cooled else 1.0
+
+    def evaluate(self, run: RunResult) -> EnergyResult:
+        """Energy of one simulated run (J, wall energy)."""
+        macs = run.network.total_macs * run.batch
+        matrix = macs * self.mac_energy + self.idle_power * run.latency
+
+        shift_dyn = sum(l.shift_steps for l in run.layers) * (
+            self.shift_step_energy
+        )
+        random_dyn = sum(l.random_accesses for l in run.layers) * (
+            self.random_access_energy
+        )
+        static = self.spm_leakage * run.latency
+        dram = sum(l.spill_bytes for l in run.layers) * (
+            self.dram_energy_per_byte
+        )
+        cool = self.cooling
+        return EnergyResult(
+            matrix=matrix * cool,
+            spm_dynamic=(shift_dyn + random_dyn) * cool,
+            spm_static=static * cool,
+            dram=dram,  # DRAM sits outside the cryostat
+        )

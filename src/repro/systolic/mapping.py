@@ -1,0 +1,136 @@
+"""Weight-stationary mapping of a layer onto the PE array.
+
+The mapping follows SCALE-SIM's weight-stationary dataflow (the TPU's
+and SuperNPU's): each PE holds one weight; a column accumulates one
+output channel; a row corresponds to one element of the flattened
+kernel.  A layer whose kernel volume exceeds the rows, or whose filter
+count exceeds the columns, is processed in *folds*; partial sums (PSums)
+carry across row-folds.
+
+Depthwise layers map group-by-group: each group offers only R*S kernel
+rows and a single output column, so array utilisation collapses — the
+effect that separates MobileNet from the pack in the paper's Figs 18-21.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.systolic.layers import ConvLayer
+
+
+@dataclass(frozen=True)
+class WeightStationaryMapping:
+    """Fold decomposition of one layer on an ``rows x cols`` array.
+
+    Attributes:
+        layer: the layer being mapped.
+        rows: PE array rows (kernel dimension).
+        cols: PE array columns (filter dimension).
+    """
+
+    layer: ConvLayer
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise MappingError("PE array must have positive dimensions")
+        if self.layer.kind == "pool":
+            raise MappingError(
+                f"{self.layer.name}: pooling does not map to the matrix unit"
+            )
+
+    # ------------------------------------------------------------------
+    # Fold structure
+    # ------------------------------------------------------------------
+    @property
+    def row_folds(self) -> int:
+        """Folds along the kernel (row) dimension."""
+        return max(1, math.ceil(self.layer.kernel_volume / self.rows))
+
+    @property
+    def col_folds(self) -> int:
+        """Folds along the filter (column) dimension, per group."""
+        filters_per_group = self.layer.out_c // self.layer.groups
+        return max(1, math.ceil(filters_per_group / self.cols))
+
+    @property
+    def folds(self) -> int:
+        """Total fold iterations (row folds x col folds x groups)."""
+        return self.row_folds * self.col_folds * self.layer.groups
+
+    @property
+    def rows_used(self) -> int:
+        """Average active rows per fold."""
+        return min(self.rows, self.layer.kernel_volume)
+
+    @property
+    def cols_used(self) -> int:
+        """Average active columns per fold."""
+        filters_per_group = self.layer.out_c // self.layer.groups
+        return min(self.cols, filters_per_group)
+
+    @property
+    def pixels(self) -> int:
+        """Output pixels streamed per fold per image."""
+        return self.layer.out_pixels
+
+    # ------------------------------------------------------------------
+    # Cycle counts (pure compute, no memory stalls)
+    # ------------------------------------------------------------------
+    def stream_cycles(self, batch: int = 1) -> int:
+        """Cycles to stream one fold's pixels for ``batch`` images.
+
+        One new input vector enters per cycle; the wavefront needs
+        rows + cols - 1 extra cycles to fill and drain.
+        """
+        if batch < 1:
+            raise MappingError("batch must be >= 1")
+        return self.pixels * batch + self.rows_used + self.cols_used - 1
+
+    @property
+    def weight_load_cycles(self) -> int:
+        """Cycles to load one fold's weights into the array.
+
+        Weights enter column-parallel, one row wave per cycle.
+        """
+        return self.rows_used
+
+    def compute_cycles(self, batch: int = 1) -> int:
+        """Total matrix-unit cycles for the layer (no memory stalls)."""
+        per_fold = self.stream_cycles(batch) + self.weight_load_cycles
+        return self.folds * per_fold
+
+    def utilization(self, batch: int = 1) -> float:
+        """MAC utilisation of the array over the compute cycles."""
+        total_macs = self.layer.macs * batch
+        cycles = self.compute_cycles(batch)
+        peak = self.rows * self.cols
+        if cycles == 0:
+            return 0.0
+        return total_macs / (cycles * peak)
+
+    # ------------------------------------------------------------------
+    # Working sets per fold (bytes, for the compiler/capacity checks)
+    # ------------------------------------------------------------------
+    @property
+    def weight_tile_bytes(self) -> int:
+        """Weight bytes resident per fold."""
+        return self.rows_used * self.cols_used
+
+    def input_stripe_bytes(self, batch: int = 1) -> int:
+        """Input bytes streamed per fold."""
+        return self.pixels * batch * self.rows_used
+
+    def psum_stripe_bytes(self, batch: int = 1) -> int:
+        """PSum bytes carried between row-folds (4-byte accumulators)."""
+        if self.row_folds == 1:
+            return 0
+        return self.pixels * batch * self.cols_used * 4
+
+    def output_stripe_bytes(self, batch: int = 1) -> int:
+        """Output bytes produced per column-fold."""
+        return self.pixels * batch * self.cols_used

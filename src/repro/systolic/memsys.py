@@ -1,0 +1,316 @@
+"""Scratchpad and DRAM service-time models.
+
+The simulator charges each operand stream of a layer (see
+:mod:`repro.systolic.trace`) against the SPM that holds it.  The model
+captures the four regimes the paper contrasts:
+
+1. **SHIFT lanes** stream sequentially at one word per cycle and pay a
+   *rotation* of ``delta`` cells for every jump — the "sequentially
+   searching the input and PSum data" cost that caps SuperNPU at 16% of
+   peak (Sec 3).  With batch-interleaved layout most jump rotations
+   amortise across the batch (a lane revisits the same discontinuity
+   once per batch row rather than once per image), which is where
+   SuperNPU's 2.5x batch gain comes from.
+2. **Non-pipelined random arrays** (VTM / Josephson-CMOS SRAM / MRAM /
+   SNM) serve one access per *access latency*: a random fetch stalls the
+   pipeline for the full latency, and a sequential stream is
+   line-amortised but still issue-limited — why hSRAM/hMRAM/hSNM lose
+   to plain SHIFT in Fig 7.
+3. **The pipelined CMOS-SFQ array** issues one line per ~0.103 ns
+   initiation interval; without prefetching each random fetch still
+   exposes the (short) pipeline latency; with the ILP compiler's
+   prefetching, transfers overlap streaming and only the bandwidth
+   bound remains (the ``max`` composition).
+4. **DRAM** charges only capacity spills at 300 GB/s, matching the
+   paper's methodology ("SPMs with such capacities are large enough for
+   each layer ... without generating thrashing traffic to DRAM").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.systolic.trace import StreamStats
+from repro.units import GB, NS
+
+#: Fraction of SHIFT jump rotations that survive batch interleaving.
+#: With a batch-interleaved layout a lane crosses each discontinuity
+#: once per batch of rows instead of once per image; layout slack keeps
+#: a residual per-image cost.  Calibrated so SuperNPU's batch gain lands
+#: near the paper's 2.5x (16% -> 40% of peak).
+JUMP_BATCH_RESIDUAL = 0.45
+
+
+@dataclass(frozen=True)
+class ShiftSpm:
+    """A SHIFT SPM serving one operand class.
+
+    Attributes:
+        capacity_bytes: array capacity.
+        banks: parallel lanes.
+        cell_time: per-word shift time (s), 0.02 ns.
+        word_bits: lane width in DFFs.
+    """
+
+    capacity_bytes: int
+    banks: int
+    cell_time: float = 0.02 * NS
+    word_bits: int = 128
+    rotation_granularity_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.banks < 1:
+            raise ConfigError("SHIFT SPM needs positive capacity and banks")
+
+    @property
+    def lane_words(self) -> int:
+        """Circular depth of one lane in lane words (word_bits wide)."""
+        lane_bytes = self.capacity_bytes / self.banks
+        return max(1, int(lane_bytes * 8 / self.word_bits))
+
+    def jump_cost(self, avg_jump_words: float) -> float:
+        """Rotation time of one jump (s), clamped to a full circle.
+
+        ``avg_jump_words`` is a delta in *data* words (bytes).  The lane
+        is ``word_bits`` wide, but the data-alignment unit re-aligns a
+        skewed stream at ``rotation_granularity_bytes`` per shift step,
+        so the rotation cost is the byte delta over that granularity.
+        """
+        positions = avg_jump_words / self.rotation_granularity_bytes
+        steps = min(max(positions, 1.0), float(self.lane_words))
+        return steps * self.cell_time
+
+    def stream_stall(self, stats: StreamStats, batch: int = 1) -> float:
+        """Stall beyond compute streaming for one stream (s).
+
+        Sequential words ride along with the compute wavefront (the
+        stored copy is im2col-expanded / repacked dense, so strides cost
+        nothing); jumps stall all lanes simultaneously for the rotation.
+        ``stats`` must already reflect the batch (words scale with it);
+        the batch amortisation applies to the jump count only.
+        """
+        if batch < 1:
+            raise ConfigError("batch must be >= 1")
+        amortised = stats.jumps
+        if batch > 1:
+            amortised = stats.jumps * (
+                (1.0 + (batch - 1) * JUMP_BATCH_RESIDUAL) / batch
+            )
+        return amortised * self.jump_cost(stats.avg_jump_words)
+
+
+@dataclass(frozen=True)
+class RandomSpm:
+    """A banked random-access SPM (VTM/SRAM/MRAM/SNM or pipelined array).
+
+    Attributes:
+        capacity_bytes: array capacity.
+        banks: sub-banks.
+        read_latency: full read access latency (s).
+        write_latency: full write access latency (s).
+        issue_interval: sustained initiation interval per line (s); for
+            non-pipelined arrays this equals the access latency.
+        line_bytes: bytes per access.
+        pipelined: True for the CMOS-SFQ array (random fetches expose
+            the pipeline latency, not the full serialised latency, and
+            transfers can be overlapped by prefetching).
+    """
+
+    capacity_bytes: int
+    banks: int
+    read_latency: float
+    write_latency: float
+    issue_interval: float
+    line_bytes: int = 64
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.banks < 1:
+            raise ConfigError("RANDOM SPM needs positive capacity and banks")
+        if min(self.read_latency, self.write_latency,
+               self.issue_interval) <= 0:
+            raise ConfigError("RANDOM SPM timings must be positive")
+        if self.line_bytes < 1:
+            raise ConfigError("line size must be >= 1 byte")
+
+    def lines(self, words: int) -> int:
+        """Line accesses needed for ``words`` sequential words."""
+        return max(0, math.ceil(words / self.line_bytes))
+
+    def bulk_transfer_time(self, nbytes: float, write: bool = False) -> float:
+        """Time to move ``nbytes`` sequentially through the array (s)."""
+        if nbytes <= 0:
+            return 0.0
+        interval = self.issue_interval
+        if not self.pipelined:
+            interval = self.write_latency if write else self.read_latency
+        return self.lines(math.ceil(nbytes)) * interval
+
+    #: Average slots an unscheduled access waits when bank conflicts are
+    #: not compiler-avoided (Sec 4.2.2: pipelining requires requests to
+    #: hit different sub-banks; without the ILP schedule some collide).
+    UNSCHEDULED_CONFLICT_SLOTS = 3.0
+
+    def random_access_cost(self, write: bool = False) -> float:
+        """Exposed cost of one unprefetched random access (s).
+
+        A pipelined array keeps several requests in flight even without
+        compiler scheduling; conflicts cost a few extra issue slots.  A
+        non-pipelined array serialises at its access latency.
+        """
+        if self.pipelined:
+            return self.issue_interval * self.UNSCHEDULED_CONFLICT_SLOTS
+        return self.write_latency if write else self.read_latency
+
+    @property
+    def bank_parallelism(self) -> float:
+        """Concurrent accesses a homogeneous array sustains.
+
+        Without a SHIFT+DAU front end, the array's banks serve the PE
+        array's lanes directly; roughly half stay busy given address
+        skew.
+        """
+        return max(1.0, self.banks / 2.0)
+
+    def stream_service(self, stats: StreamStats) -> float:
+        """Standalone service time of a whole stream, as the sole SPM (s).
+
+        Serving a systolic operand stream without a DAU means one access
+        per *word* (the im2col pattern defeats line reuse), spread over
+        the banks; non-pipelined arrays issue at their access latency.
+        """
+        interval = self.issue_interval
+        if not self.pipelined:
+            interval = (self.write_latency if stats.is_write
+                        else self.read_latency)
+        return stats.words * interval / self.bank_parallelism
+
+    def with_line(self, line_bytes: int) -> "RandomSpm":
+        """A copy of this array with a different access line size."""
+        return RandomSpm(
+            capacity_bytes=self.capacity_bytes,
+            banks=self.banks,
+            read_latency=self.read_latency,
+            write_latency=self.write_latency,
+            issue_interval=self.issue_interval,
+            line_bytes=line_bytes,
+            pipelined=self.pipelined,
+        )
+
+
+@dataclass(frozen=True)
+class IdealSpm:
+    """A stall-free SPM (the TPU's many-banked unified buffer, or the
+    hypothetical 0.02 ns random array of Sec 3)."""
+
+    capacity_bytes: int
+
+    def stream_stall(self, stats: StreamStats, batch: int = 1) -> float:
+        """No stalls ever."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Off-chip DRAM: a bandwidth pipe for capacity spills.
+
+    Attributes:
+        bandwidth: sustained bandwidth (B/s), 300 GB/s per Sec 5.
+        energy_per_byte: access energy (J/B).
+    """
+
+    bandwidth: float = 300 * GB
+    energy_per_byte: float = 15e-12
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` (s)."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class HeterogeneousSpm:
+    """SMART's SPM organisation: per-operand SHIFT arrays + one shared
+    RANDOM array (Sec 4.1).
+
+    Attributes:
+        input_shift, weight_shift, output_shift: the three small SHIFT
+            arrays (32 KB, 256 banks each in Table 4).
+        random: the shared RANDOM array (28 MB pipelined CMOS-SFQ).
+        prefetch_depth: ILP prefetch lookahead ``a`` (1 = no prefetch).
+        burst_line_bytes: effective line size of compiler-coalesced bulk
+            moves once prefetching is on (bursts span banks).
+    """
+
+    input_shift: ShiftSpm
+    weight_shift: ShiftSpm
+    output_shift: ShiftSpm
+    random: RandomSpm
+    prefetch_depth: int = 1
+    burst_line_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.prefetch_depth < 1:
+            raise ConfigError("prefetch depth must be >= 1")
+
+    @property
+    def prefetching(self) -> bool:
+        """Whether transfers overlap compute (a >= 2)."""
+        return self.prefetch_depth >= 2
+
+    def hiding_fraction(self) -> float:
+        """Fraction of transfer time hidden under compute.
+
+        a = 1 has no software prefetch: a pipelined RANDOM array still
+        double-buffers in hardware (half hidden), a conventional one
+        hides nothing.  a = 2 hides two thirds of the lookahead window;
+        a = 3 approaches full hiding; beyond that returns diminish — the
+        Fig 24 shape.
+        """
+        if self.prefetch_depth <= 1:
+            return 0.5 if self.random.pipelined else 0.0
+        return 1.0 - 1.0 / (3 ** (self.prefetch_depth - 1))
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Everything the layer-time model needs about one accelerator's
+    memory: the SPM scheme, DRAM, and the word clock.
+
+    Attributes:
+        scheme: "shift" (SuperNPU), "homogeneous" (one RANDOM array for
+            everything), "heterogeneous" (SHIFT + RANDOM), or "ideal"
+            (TPU unified buffer).
+        shift: the big SHIFT SPM (scheme "shift").
+        random: the RANDOM array (schemes "homogeneous"/"heterogeneous").
+        hetero: the heterogeneous organisation (scheme "heterogeneous").
+        ideal: the ideal buffer (scheme "ideal").
+        dram: off-chip model.
+        total_capacity: aggregate on-chip SPM capacity (bytes), for
+            batch-spill accounting.
+    """
+
+    scheme: str
+    dram: DramModel
+    total_capacity: int
+    shift: ShiftSpm | None = None
+    random: RandomSpm | None = None
+    hetero: HeterogeneousSpm | None = None
+    ideal: IdealSpm | None = None
+
+    def __post_init__(self) -> None:
+        needed = {
+            "shift": self.shift,
+            "homogeneous": self.random,
+            "heterogeneous": self.hetero,
+            "ideal": self.ideal,
+        }
+        if self.scheme not in needed:
+            raise ConfigError(f"unknown SPM scheme '{self.scheme}'")
+        if needed[self.scheme] is None:
+            raise ConfigError(
+                f"scheme '{self.scheme}' requires its SPM model to be set"
+            )

@@ -1,0 +1,408 @@
+"""Per-layer and whole-network latency simulation.
+
+``AcceleratorModel`` composes the mapping (compute cycles), the trace
+(stream statistics) and the memory system (service times) into a layer
+latency, per the scheme semantics described in
+:mod:`repro.systolic.memsys`:
+
+- **shift** (SuperNPU): latency = weight deploys + streaming + SHIFT
+  rotation stalls (inputs, weights, psum spill-over).
+- **homogeneous**: one RANDOM array serves every operand through one
+  port; streaming rate is bounded by the summed port service time.
+- **heterogeneous** (Heter / Pipe / SMART): sequential traffic streams
+  from the small SHIFT arrays while the RANDOM array moves stripes and
+  tiles in bulk; prefetching (the ILP compiler's lookahead) hides port
+  and DRAM time under streaming.
+- **ideal** (TPU): no SPM stalls, only mapping overheads.
+
+Results carry per-component times so the energy model and the paper's
+breakdown figures can be regenerated without re-simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.systolic.layers import ConvLayer, Network
+from repro.systolic.mapping import WeightStationaryMapping
+from repro.systolic.memsys import MemorySystem
+from repro.systolic.trace import LayerTrace, layer_trace
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Latency decomposition of one layer execution.
+
+    Attributes:
+        layer: the simulated layer.
+        batch: images per run.
+        trace: operand stream statistics (for the energy model).
+        stream_time: pure systolic streaming time (s).
+        deploy_time: weight deployment into the array (s).
+        stall_time: exposed memory stall (s).
+        dram_time: exposed DRAM spill time (s).
+        port_time: total RANDOM-port occupancy (s), exposed or not.
+        shift_steps: total SHIFT lane advance steps (for energy).
+        random_accesses: RANDOM array line accesses (for energy).
+        spill_bytes: DRAM traffic (B).
+        total_time: layer latency (s).
+    """
+
+    layer: ConvLayer
+    batch: int
+    trace: LayerTrace | None
+    stream_time: float
+    deploy_time: float
+    stall_time: float
+    dram_time: float
+    port_time: float
+    shift_steps: float
+    random_accesses: float
+    spill_bytes: float
+    total_time: float
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Whole-network simulation outcome.
+
+    Attributes:
+        network: the simulated model.
+        batch: images per run.
+        layers: per-layer results.
+    """
+
+    network: Network
+    batch: int
+    layers: tuple[LayerResult, ...]
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency of the batch (s)."""
+        return sum(l.total_time for l in self.layers)
+
+    @property
+    def latency_per_image(self) -> float:
+        """Latency per image (s)."""
+        return self.latency / self.batch
+
+    @property
+    def throughput_macs(self) -> float:
+        """Achieved MAC throughput (MAC/s)."""
+        return self.network.total_macs * self.batch / self.latency
+
+    def component_totals(self) -> dict[str, float]:
+        """Summed time components across layers (s)."""
+        return {
+            "stream": sum(l.stream_time for l in self.layers),
+            "deploy": sum(l.deploy_time for l in self.layers),
+            "stall": sum(l.stall_time for l in self.layers),
+            "dram": sum(l.dram_time for l in self.layers),
+        }
+
+
+@dataclass(frozen=True)
+class AcceleratorModel:
+    """A systolic accelerator with its memory system.
+
+    Attributes:
+        name: configuration name (TPU / SuperNPU / SMART / ...).
+        rows, cols: PE array dimensions.
+        frequency: matrix-unit clock (Hz).
+        memsys: the memory system model.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    frequency: float
+    memsys: MemorySystem
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigError("PE array dimensions must be positive")
+        if self.frequency <= 0:
+            raise ConfigError("frequency must be positive")
+
+    @property
+    def clock(self) -> float:
+        """Clock period (s)."""
+        return 1.0 / self.frequency
+
+    @property
+    def peak_macs(self) -> float:
+        """Peak throughput (MAC/s)."""
+        return self.rows * self.cols * self.frequency
+
+    # ------------------------------------------------------------------
+    # Layer simulation
+    # ------------------------------------------------------------------
+    #: SPM bytes reserved for in-flight weight tiles (a few folds of
+    #: rows x cols bytes); weights stream tile-by-tile from DRAM so the
+    #: whole-layer weight footprint never needs to be resident.
+    WEIGHT_TILE_RESERVE = 256 * 1024
+
+    def effective_batch(self, layer: ConvLayer, batch: int) -> int:
+        """Images of this layer that fit on-chip simultaneously.
+
+        The compiler processes a large layer in sub-batches when the
+        requested batch's activations exceed the SPM, rather than
+        thrashing DRAM ("SPMs ... are large enough for each layer ...
+        without generating thrashing traffic", Sec 3).  Weights stream
+        per tile, so only a small reserve is held for them.
+        """
+        per_image = layer.input_bytes + layer.output_bytes
+        headroom = self.memsys.total_capacity - self.WEIGHT_TILE_RESERVE
+        if headroom <= per_image:
+            return 1
+        return max(1, min(batch, headroom // per_image))
+
+    def simulate_layer(self, layer: ConvLayer, batch: int = 1) -> LayerResult:
+        """Simulate one layer for ``batch`` images.
+
+        When the batch exceeds the layer's on-chip capacity it runs as
+        ``ceil(batch / b_eff)`` sub-batches; the returned result is the
+        whole-batch total.
+        """
+        if batch < 1:
+            raise ConfigError("batch must be >= 1")
+        b_eff = self.effective_batch(layer, batch)
+        if b_eff < batch:
+            sub = self._simulate_layer_whole(layer, b_eff)
+            passes = batch / b_eff
+            return _scale_result(sub, passes, batch)
+        return self._simulate_layer_whole(layer, batch)
+
+    def _simulate_layer_whole(self, layer: ConvLayer,
+                              batch: int) -> LayerResult:
+        if layer.kind == "pool":
+            return self._pool_result(layer, batch)
+        mapping = WeightStationaryMapping(layer, self.rows, self.cols)
+        trace = layer_trace(mapping, batch)
+        stream_time = mapping.folds * mapping.stream_cycles(batch) * self.clock
+        deploy_time = mapping.folds * mapping.weight_load_cycles * self.clock
+        spill = self._spill_bytes(layer, batch)
+        dram_raw = self.memsys.dram.transfer_time(spill)
+
+        scheme = self.memsys.scheme
+        if scheme == "ideal":
+            return self._compose(layer, batch, trace, stream_time,
+                                 deploy_time, stall=0.0, port=0.0,
+                                 dram_raw=dram_raw, hidden=0.5,
+                                 shift_steps=0.0, accesses=0.0, spill=spill)
+        if scheme == "shift":
+            return self._simulate_shift(layer, batch, mapping, trace,
+                                        stream_time, deploy_time, dram_raw,
+                                        spill)
+        if scheme == "homogeneous":
+            return self._simulate_homogeneous(layer, batch, mapping, trace,
+                                              stream_time, deploy_time,
+                                              dram_raw, spill)
+        return self._simulate_heterogeneous(layer, batch, mapping, trace,
+                                            stream_time, deploy_time,
+                                            dram_raw, spill)
+
+    def simulate(self, network: Network, batch: int = 1) -> RunResult:
+        """Simulate a whole network."""
+        layers = tuple(self.simulate_layer(layer, batch)
+                       for layer in network.layers)
+        return RunResult(network=network, batch=batch, layers=layers)
+
+    # ------------------------------------------------------------------
+    # Scheme-specific composition
+    # ------------------------------------------------------------------
+    def _pool_result(self, layer: ConvLayer, batch: int) -> LayerResult:
+        """Pooling: pure data movement, one output word per cycle."""
+        time = layer.out_pixels * layer.out_c / self.cols * batch * self.clock
+        return LayerResult(
+            layer=layer, batch=batch, trace=None, stream_time=time,
+            deploy_time=0.0, stall_time=0.0, dram_time=0.0, port_time=0.0,
+            shift_steps=0.0, random_accesses=0.0, spill_bytes=0.0,
+            total_time=time,
+        )
+
+    def _spill_bytes(self, layer: ConvLayer, batch: int) -> float:
+        """DRAM traffic when the activation working set exceeds the SPM.
+
+        Weights are excluded: they stream tile-by-tile and their DRAM
+        traffic hides behind the previous tile's compute (the same
+        steady-state-serving assumption the paper's setup makes).
+        """
+        working = (layer.input_bytes + layer.output_bytes) * batch
+        return max(0.0, working - self.memsys.total_capacity)
+
+    def _compose(self, layer, batch, trace, stream_time, deploy_time, *,
+                 stall: float, port: float, dram_raw: float, hidden: float,
+                 shift_steps: float, accesses: float,
+                 spill: float) -> LayerResult:
+        """Assemble a LayerResult with ``hidden`` overlap of port+DRAM."""
+        exposed_port = max(0.0, port - hidden * stream_time)
+        exposed_dram = (1.0 - hidden) * dram_raw
+        total = (stream_time + deploy_time + stall + exposed_port
+                 + exposed_dram)
+        return LayerResult(
+            layer=layer, batch=batch, trace=trace,
+            stream_time=stream_time, deploy_time=deploy_time,
+            stall_time=stall + exposed_port, dram_time=exposed_dram,
+            port_time=port, shift_steps=shift_steps,
+            random_accesses=accesses, spill_bytes=spill, total_time=total,
+        )
+
+    def _simulate_shift(self, layer, batch, mapping, trace, stream_time,
+                        deploy_time, dram_raw, spill) -> LayerResult:
+        """SuperNPU: SHIFT rotations stall the pipeline directly.
+
+        The big SHIFT SPM stores the im2col-expanded copy of the inputs
+        (the DAU fills it), so fine-grained overlap re-fetches never
+        happen; the cost that remains is the row-boundary rotation of
+        every lane, plus stride gaps.  PSums accumulate in the dedicated
+        accumulators and cost no SPM time.
+        """
+        shift = self.memsys.shift
+        stall = (
+            shift.stream_stall(trace.inputs, batch)
+            + shift.stream_stall(trace.weights, batch=1)
+            + shift.stream_stall(trace.outputs, batch)
+        )
+        # psums live in the dedicated accumulators (consistent with the
+        # timing model), so they do not pulse SHIFT lanes
+        steps = float(trace.inputs.words + trace.weights.words
+                      + trace.outputs.words)
+        steps += self._rotation_steps(shift, trace, batch)
+        return self._compose(layer, batch, trace, stream_time, deploy_time,
+                             stall=stall, port=0.0, dram_raw=dram_raw,
+                             hidden=0.0, shift_steps=steps, accesses=0.0,
+                             spill=spill)
+
+    def _rotation_steps(self, shift, trace, batch) -> float:
+        """Lane-advance steps spent rotating (for energy accounting)."""
+        total = 0.0
+        from repro.systolic.memsys import JUMP_BATCH_RESIDUAL
+        for stats in (trace.inputs, trace.weights, trace.outputs):
+            jumps = stats.jumps
+            if batch > 1 and stats is trace.inputs:
+                jumps = stats.jumps * (
+                    (1.0 + (batch - 1) * JUMP_BATCH_RESIDUAL) / batch
+                )
+            positions = (stats.avg_jump_words
+                         / shift.rotation_granularity_bytes)
+            steps = min(max(positions, 1.0), float(shift.lane_words))
+            total += jumps * steps
+        return total
+
+    def _simulate_homogeneous(self, layer, batch, mapping, trace,
+                              stream_time, deploy_time, dram_raw,
+                              spill) -> LayerResult:
+        """One RANDOM array serves all operands through one port.
+
+        There is no SHIFT+DAU front end, so the array must deliver the
+        full im2col stream (line-amortised) plus the fine-grained
+        re-fetches; outputs pay the write latency.  Everything
+        serialises on the one request network.
+        """
+        random = self.memsys.random
+        in_service = random.stream_service(trace.inputs) + (
+            trace.inputs.rand_fetches
+            * (random.issue_interval if random.pipelined
+               else random.read_latency)
+        )
+        w_service = random.stream_service(trace.weights)
+        out_service = random.stream_service(trace.outputs)
+        port = in_service + w_service + out_service
+        accesses = (
+            random.lines(trace.inputs.words) + trace.inputs.rand_fetches
+            + random.lines(trace.weights.words)
+            + random.lines(trace.outputs.words)
+        )
+        # the port is the data source, so it inherently overlaps the
+        # compute streaming; time beyond streaming is exposed (max form)
+        return self._compose(layer, batch, trace, stream_time, deploy_time,
+                             stall=0.0, port=port, dram_raw=dram_raw,
+                             hidden=1.0, shift_steps=0.0,
+                             accesses=float(accesses), spill=spill)
+
+    def _simulate_heterogeneous(self, layer, batch, mapping, trace,
+                                stream_time, deploy_time, dram_raw,
+                                spill) -> LayerResult:
+        """SHIFT arrays stream; the RANDOM array holds the raw data.
+
+        Fresh input rows move RANDOM -> input SHIFT in bulk (raw bytes,
+        not im2col — the DAU re-expands); weight tiles move RANDOM ->
+        weight SHIFT; outputs write back to RANDOM (they are the next
+        layer's inputs).  The kernel-window overlap re-fetches hit the
+        RANDOM array: without prefetching each exposes the array's read
+        latency; with the ILP prefetcher they pipeline at the issue
+        interval and hide under streaming.
+        """
+        hetero = self.memsys.hetero
+        random = hetero.random
+        if hetero.prefetching:
+            # the compiler coalesces bulk moves into wide bursts spread
+            # across banks
+            random = random.with_line(max(random.line_bytes,
+                                          hetero.burst_line_bytes))
+
+        # The input SHIFT must double-buffer a kernel window of raw rows
+        # per image; when it cannot (Fig 22's 16 KB point), stripes are
+        # re-transferred and the port traffic swells.
+        if layer.kind == "fc":
+            window = layer.kernel_volume
+        else:
+            window = layer.kernel_h * layer.in_w * layer.in_c
+        swap_factor = max(
+            1.0, 2.0 * window / hetero.input_shift.capacity_bytes
+        )
+        raw_input_bytes = float(layer.input_bytes * batch) * swap_factor
+        in_transfer = random.bulk_transfer_time(raw_input_bytes)
+        out_transfer = random.bulk_transfer_time(float(trace.outputs.words),
+                                                 write=True)
+        rand = trace.inputs.rand_fetches
+        if hetero.prefetching:
+            rand_time = rand * random.issue_interval
+            stall = 0.0
+            port = in_transfer + out_transfer + rand_time
+        else:
+            stall = rand * random.random_access_cost()
+            port = in_transfer + out_transfer
+        accesses = (
+            random.lines(int(raw_input_bytes))
+            + random.lines(trace.outputs.words)
+            + rand
+        )
+
+        hidden = hetero.hiding_fraction()
+        steps = float(trace.inputs.words + trace.weights.words
+                      + trace.outputs.words)
+        return self._compose(layer, batch, trace, stream_time, deploy_time,
+                             stall=stall, port=port,
+                             dram_raw=dram_raw, hidden=hidden,
+                             shift_steps=steps, accesses=float(accesses),
+                             spill=spill)
+
+
+def _sequential_only(stats):
+    """A copy of ``stats`` with jumps removed (runs already in SHIFT)."""
+    from repro.systolic.trace import StreamStats
+    return StreamStats(
+        words=stats.words, jumps=0, avg_jump_words=1.0,
+        stride_words=stats.stride_words, simultaneous=stats.simultaneous,
+        is_write=stats.is_write,
+    )
+
+
+def _scale_result(sub: LayerResult, passes: float, batch: int) -> LayerResult:
+    """Scale a sub-batch LayerResult to the whole batch."""
+    return LayerResult(
+        layer=sub.layer, batch=batch, trace=sub.trace,
+        stream_time=sub.stream_time * passes,
+        deploy_time=sub.deploy_time * passes,
+        stall_time=sub.stall_time * passes,
+        dram_time=sub.dram_time * passes,
+        port_time=sub.port_time * passes,
+        shift_steps=sub.shift_steps * passes,
+        random_accesses=sub.random_accesses * passes,
+        spill_bytes=sub.spill_bytes * passes,
+        total_time=sub.total_time * passes,
+    )

@@ -1,0 +1,177 @@
+"""Per-operand access-stream statistics (the paper's Fig 6 structure).
+
+Instead of materialising full address traces the way SCALE-SIM does, we
+derive, per operand and per layer, the three quantities the SPM timing
+model consumes:
+
+- ``words``: total words fetched/stored;
+- ``jumps``: number of discontinuities in the address stream — each is
+  a random-access event (in a SHIFT lane it forces a rotation, in a
+  RANDOM array it is simply one pipelined access);
+- ``avg_jump_words``: mean address delta at a jump, which sets the
+  SHIFT rotation cost.
+
+Jump structure per operand (weight-stationary, layout-optimised as
+SuperNPU's compiler would):
+
+- **weights**: sequential inside a filter column; one jump per column
+  per fold, of roughly a kernel volume (to the next filter's slice).
+- **inputs**: within one output row the per-lane stream advances
+  ``stride`` words per pixel; at each output-row boundary every row
+  lane simultaneously jumps back over the kernel-window overlap
+  (delta ~ kernel_w * in_c words).  1x1 kernels and fc layers have no
+  overlap and jump only at fold boundaries.
+- **psums**: circular sequential per column lane; a jump per row-fold
+  transition (delta ~ 0: the stripe restarts where it began).
+- **outputs**: streamed out sequentially; one jump per column fold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.systolic.mapping import WeightStationaryMapping
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Aggregate statistics of one operand's access stream.
+
+    Attributes:
+        words: total words moved (reads + writes where noted).
+        jumps: stream discontinuities, counted as *simultaneous events*
+            across lanes (a SHIFT array pays one rotation per event).
+        avg_jump_words: mean address delta at a jump (words).
+        rand_fetches: fine-grained random re-fetches — the kernel-window
+            overlap rows a data-alignment unit cannot stream
+            sequentially.  A big SHIFT SPM avoids them by storing the
+            im2col-expanded copy (capacity for energy); a heterogeneous
+            SPM serves them from its RANDOM array.
+        stride_words: per-word address advance inside a run (1 =
+            perfectly sequential; a SHIFT lane pays this many cells per
+            word).
+        simultaneous: True when all lanes jump at the same instant (the
+            stall is paid once, not per lane).
+        is_write: True for store streams.
+    """
+
+    words: int
+    jumps: int
+    avg_jump_words: float
+    rand_fetches: int = 0
+    stride_words: int = 1
+    simultaneous: bool = True
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.words < 0 or self.jumps < 0:
+            raise MappingError("stream statistics cannot be negative")
+
+
+@dataclass(frozen=True)
+class LayerTrace:
+    """All four operand streams of one layer execution.
+
+    Attributes:
+        weights, inputs, psums, outputs: per-operand stream statistics.
+    """
+
+    weights: StreamStats
+    inputs: StreamStats
+    psums: StreamStats
+    outputs: StreamStats
+
+    @property
+    def total_words(self) -> int:
+        """Words moved across all operands."""
+        return (self.weights.words + self.inputs.words + self.psums.words
+                + self.outputs.words)
+
+    @property
+    def total_jumps(self) -> int:
+        """Random-access events across all operands."""
+        return (self.weights.jumps + self.inputs.jumps + self.psums.jumps
+                + self.outputs.jumps)
+
+    def streams(self) -> dict[str, StreamStats]:
+        """Streams keyed by the paper's operand letters."""
+        return {
+            "alpha": self.weights,
+            "beta": self.inputs,
+            "delta": self.psums,
+            "gamma": self.outputs,
+        }
+
+
+def layer_trace(mapping: WeightStationaryMapping,
+                batch: int = 1) -> LayerTrace:
+    """Derive the four operand streams for one mapped layer."""
+    if batch < 1:
+        raise MappingError("batch must be >= 1")
+    layer = mapping.layer
+    folds = mapping.folds
+    pixels = mapping.pixels * batch
+
+    # Weights: loaded once per fold regardless of batch; the weight
+    # buffer acts as a streaming FIFO (fresh tiles queue behind the
+    # current one), so fold boundaries are sequential — one nominal
+    # jump event per fold with unit delta.
+    weight_words = folds * mapping.rows_used * mapping.cols_used
+    weights = StreamStats(
+        words=weight_words,
+        jumps=folds,
+        avg_jump_words=1.0,
+        simultaneous=True,
+    )
+
+    # Inputs: streamed per fold; row-boundary jumps for spatial kernels;
+    # the (kh-1)/kh overlap rows of each window are re-fetches that only
+    # a random-access array can serve without rotation or im2col
+    # duplication.  Adjacent pixels coalesce about half of them into
+    # line-sized runs.
+    input_words = folds * pixels * mapping.rows_used
+    if layer.kind == "fc":
+        jumps_per_fold = 1
+        jump_delta = 1.0
+        overlap = 0.0
+    elif layer.kernel_h == 1 and layer.kernel_w == 1:
+        jumps_per_fold = 1
+        jump_delta = float(layer.in_c)
+        overlap = 0.0
+    else:
+        jumps_per_fold = layer.out_h * batch
+        jump_delta = float(layer.kernel_w * layer.in_c)
+        overlap = (layer.kernel_h - 1) / layer.kernel_h
+    coalesce = 0.5
+    inputs = StreamStats(
+        words=input_words,
+        jumps=folds * jumps_per_fold,
+        avg_jump_words=jump_delta,
+        rand_fetches=int(folds * pixels * overlap * coalesce),
+        stride_words=layer.stride,
+        simultaneous=True,
+    )
+
+    # PSums: read + write per intermediate row-fold.
+    extra_row_folds = mapping.row_folds - 1
+    psum_words = (2 * extra_row_folds * mapping.col_folds * layer.groups
+                  * pixels * mapping.cols_used)
+    psums = StreamStats(
+        words=psum_words,
+        jumps=2 * extra_row_folds * mapping.col_folds * layer.groups,
+        avg_jump_words=1.0,
+        simultaneous=True,
+        is_write=True,
+    )
+
+    # Outputs: written once.
+    outputs = StreamStats(
+        words=pixels * layer.out_c,
+        jumps=mapping.col_folds * layer.groups,
+        avg_jump_words=1.0,
+        simultaneous=True,
+        is_write=True,
+    )
+    return LayerTrace(weights=weights, inputs=inputs, psums=psums,
+                      outputs=outputs)

@@ -1,0 +1,156 @@
+"""Physical unit constants and helpers used throughout the library.
+
+All internal quantities use SI base units (seconds, joules, meters, watts,
+henries, farads, ohms, amperes) unless a function name or argument says
+otherwise (e.g. ``latency_ns``).  The constants below make call sites
+read like the paper: ``0.02 * NS``, ``39 * f_squared(jj_diameter)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+FS = 1e-15
+
+# ---------------------------------------------------------------------------
+# Frequency
+# ---------------------------------------------------------------------------
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+THZ = 1e12
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+J = 1.0
+MJ = 1e-3
+UJ = 1e-6
+NJ = 1e-9
+PJ = 1e-12
+FJ = 1e-15
+AJ = 1e-18
+
+# ---------------------------------------------------------------------------
+# Power
+# ---------------------------------------------------------------------------
+W = 1.0
+MW = 1e-3
+UW = 1e-6
+NW = 1e-9
+
+# ---------------------------------------------------------------------------
+# Length / area
+# ---------------------------------------------------------------------------
+M = 1.0
+CM = 1e-2
+MM = 1e-3
+UM = 1e-6
+NM = 1e-9
+
+M2 = 1.0
+CM2 = 1e-4
+MM2 = 1e-6
+UM2 = 1e-12
+NM2 = 1e-18
+
+# ---------------------------------------------------------------------------
+# Electrical
+# ---------------------------------------------------------------------------
+V = 1.0
+MV = 1e-3
+UV = 1e-6
+A = 1.0
+MA = 1e-3
+UA = 1e-6
+OHM = 1.0
+H = 1.0
+PH = 1e-12  # picohenry, the natural scale for SFQ inductors
+FH = 1e-15
+F = 1.0
+PF = 1e-12
+FF = 1e-15
+AF = 1e-18
+
+# ---------------------------------------------------------------------------
+# Data sizes (bytes)
+# ---------------------------------------------------------------------------
+BYTE = 1
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+PHI0 = 2.067833848e-15  # magnetic flux quantum, Wb
+EPSILON0 = 8.8541878128e-12  # vacuum permittivity, F/m
+MU0 = 4e-7 * math.pi  # vacuum permeability, H/m
+BOLTZMANN = 1.380649e-23  # J/K
+ELECTRON_CHARGE = 1.602176634e-19  # C
+
+
+def f_squared(feature_m: float) -> float:
+    """Return the area of one F^2 for a technology feature size ``feature_m``.
+
+    The paper measures superconductor cell sizes in units of F^2 where F is
+    the Josephson-junction diameter, and CMOS cell sizes in F^2 where F is
+    the CMOS node size (Sec 2.1).
+    """
+    if feature_m <= 0:
+        raise ValueError(f"feature size must be positive, got {feature_m}")
+    return feature_m * feature_m
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds / NS
+
+
+def to_ps(seconds: float) -> float:
+    """Convert seconds to picoseconds."""
+    return seconds / PS
+
+
+def to_ghz(hertz: float) -> float:
+    """Convert hertz to gigahertz."""
+    return hertz / GHZ
+
+
+def to_pj(joules: float) -> float:
+    """Convert joules to picojoules."""
+    return joules / PJ
+
+
+def to_fj(joules: float) -> float:
+    """Convert joules to femtojoules."""
+    return joules / FJ
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts / MW
+
+
+def to_mm2(square_meters: float) -> float:
+    """Convert square meters to square millimeters."""
+    return square_meters / MM2
+
+
+def to_um2(square_meters: float) -> float:
+    """Convert square meters to square micrometers."""
+    return square_meters / UM2
+
+
+def to_mb(num_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return num_bytes / MB

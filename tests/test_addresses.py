@@ -1,0 +1,90 @@
+"""Tests for the concrete address-stream generator (Fig 6)."""
+
+import pytest
+
+from repro.systolic.addresses import (
+    input_addresses,
+    output_addresses,
+    weight_addresses,
+)
+from repro.systolic.layers import ConvLayer
+from repro.systolic.mapping import WeightStationaryMapping
+
+
+@pytest.fixture
+def conv():
+    layer = ConvLayer("c", 12, 12, 8, 16, 3, 3, padding=1)
+    return WeightStationaryMapping(layer, 64, 256)
+
+
+class TestWeightStreams:
+    def test_sequential_within_filter(self, conv):
+        for stream in weight_addresses(conv):
+            assert stream.jump_count() == 0  # one filter slice each
+
+    def test_filters_jump_by_kernel_volume(self, conv):
+        streams = weight_addresses(conv, max_lanes=3)
+        starts = [s.addresses[0] for s in streams]
+        deltas = [b - a for a, b in zip(starts, starts[1:])]
+        assert all(d == conv.layer.kernel_volume for d in deltas)
+
+    def test_row_fold_offsets(self):
+        layer = ConvLayer("c", 12, 12, 32, 16, 3, 3, padding=1)
+        mapping = WeightStationaryMapping(layer, 64, 256)
+        assert mapping.row_folds > 1
+        fold0 = weight_addresses(mapping, fold=0)[0].addresses[0]
+        fold1 = weight_addresses(mapping, fold=1)[0].addresses[0]
+        assert fold1 - fold0 == mapping.rows
+
+
+class TestInputStreams:
+    def test_stride_one_advances_by_channels(self, conv):
+        # the centre tap (r=1, s=1) avoids padding clamps at the border
+        centre = (1 * conv.layer.kernel_w + 1) * conv.layer.in_c
+        stream = input_addresses(conv, lane=centre, max_pixels=8)
+        deltas = [b - a for a, b in
+                  zip(stream.addresses, stream.addresses[1:])]
+        # within one output row: one input-pixel step per output pixel
+        assert all(d == conv.layer.in_c for d in deltas[:6])
+
+    def test_row_boundary_jumps(self, conv):
+        stream = input_addresses(conv, lane=conv.layer.in_c,
+                                 max_pixels=conv.layer.out_pixels)
+        assert stream.jump_count() >= conv.layer.out_h - 1
+
+    def test_fc_sequential(self):
+        layer = ConvLayer("fc", 1, 1, 512, 100, 1, 1, kind="fc")
+        mapping = WeightStationaryMapping(layer, 64, 256)
+        stream = input_addresses(mapping, max_pixels=128)
+        assert stream.jump_count() == 0
+
+    def test_addresses_in_bounds(self, conv):
+        layer = conv.layer
+        total = layer.in_h * layer.in_w * layer.in_c
+        for lane in (0, 1, 30):
+            stream = input_addresses(conv, lane=lane, max_pixels=50)
+            assert all(0 <= a < total for a in stream.addresses)
+
+
+class TestOutputStreams:
+    def test_channel_strided(self, conv):
+        stream = output_addresses(conv, lane=3, max_pixels=10)
+        deltas = {b - a for a, b in
+                  zip(stream.addresses, stream.addresses[1:])}
+        assert deltas == {conv.layer.out_c}
+
+    def test_lane_offsets(self, conv):
+        s0 = output_addresses(conv, lane=0).addresses[0]
+        s1 = output_addresses(conv, lane=1).addresses[0]
+        assert s1 - s0 == 1
+
+
+class TestRunStatistics:
+    def test_run_lengths_partition_stream(self, conv):
+        stream = input_addresses(conv, lane=9,
+                                 max_pixels=conv.layer.out_pixels)
+        assert sum(stream.run_lengths()) == len(stream.addresses)
+
+    def test_jump_deltas_consistent(self, conv):
+        stream = input_addresses(conv, lane=9, max_pixels=60)
+        assert len(stream.jump_deltas()) == stream.jump_count()

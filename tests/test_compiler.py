@@ -1,0 +1,142 @@
+"""Tests for the ILP compiler, greedy fallback and schedule invariants."""
+
+import pytest
+
+from repro.compiler import (
+    GreedyCompiler,
+    IlpCompiler,
+    LayerDag,
+    extract_objects,
+)
+from repro.errors import MappingError, ScheduleError
+from repro.models import get_model
+from repro.systolic.layers import ConvLayer
+from repro.systolic.mapping import WeightStationaryMapping
+from repro.units import KB, MB
+
+CAPS = {k: 32 * KB for k in ("alpha", "beta", "gamma", "delta")}
+
+
+def _dag(layer_name="conv2", model="AlexNet", max_iterations=12):
+    net = get_model(model)
+    layer = next(l for l in net.layers if l.name == layer_name)
+    mapping = WeightStationaryMapping(layer, 64, 256)
+    return LayerDag.from_mapping(mapping, max_iterations=max_iterations)
+
+
+class TestDag:
+    def test_structure(self):
+        dag = _dag()
+        dag.validate()
+        assert dag.edge_count == 2 * dag.iterations
+
+    def test_coarsening_bounds_iterations(self):
+        dag = _dag("fc6", max_iterations=16)
+        assert dag.iterations <= 16
+        assert (dag.iterations * dag.folds_per_iteration
+                >= dag.mapping.folds)
+
+    def test_rejects_bad_iteration_budget(self):
+        mapping = WeightStationaryMapping(
+            ConvLayer("c", 13, 13, 64, 64, 3, 3, padding=1), 64, 256
+        )
+        with pytest.raises(MappingError):
+            LayerDag.from_mapping(mapping, max_iterations=0)
+
+
+class TestObjects:
+    def test_operands_present(self):
+        dag = _dag()
+        objects = extract_objects(dag)
+        operands = {o.operand for o in objects}
+        assert {"alpha", "beta", "gamma"} <= operands
+
+    def test_prefetch_extends_lifespan_backwards(self):
+        dag = _dag()
+        no_prefetch = {o.name: o for o in extract_objects(dag, 1, 1)}
+        prefetched = {o.name: o for o in extract_objects(dag, 1, 3)}
+        name = "alpha[3]"
+        assert prefetched[name].first_edge < no_prefetch[name].first_edge
+
+    def test_single_psum_accumulator(self):
+        dag = _dag()  # conv2 has row folds -> psums
+        deltas = [o for o in extract_objects(dag) if o.operand == "delta"]
+        assert len(deltas) == 1
+        assert deltas[0].first_edge == 0
+
+    def test_lifespans_inside_dag(self):
+        dag = _dag()
+        for obj in extract_objects(dag):
+            assert 0 <= obj.first_edge <= obj.last_edge < dag.edge_count
+
+
+class TestIlp:
+    def test_solves_optimal(self):
+        solution = IlpCompiler().compile(_dag())
+        assert "Optimal" in solution.status
+        assert solution.schedule.objective_value > 0
+
+    def test_schedule_validates(self):
+        solution = IlpCompiler().compile(_dag())
+        solution.schedule.validate(CAPS, 28 * MB)
+
+    def test_ilp_at_least_greedy(self):
+        """The exact solver never loses to the greedy baseline by more
+        than the greedy's capacity-overdraft slack (1%)."""
+        for layer in ("conv1", "conv2", "conv3", "fc6", "fc8"):
+            dag = _dag(layer)
+            ilp = IlpCompiler().compile(dag).schedule.objective_value
+            greedy = GreedyCompiler().compile(dag).objective_value
+            assert ilp >= 0.99 * greedy
+
+    def test_weights_prefetched(self):
+        """The ILP prefetches weight tiles ahead of their use edge."""
+        solution = IlpCompiler().compile(_dag())
+        distance = solution.schedule.prefetch_distance("alpha[3]")
+        assert distance >= 2
+
+    def test_deeper_prefetch_never_worse(self):
+        dag = _dag()
+        shallow = IlpCompiler(prefetch_depth=1).compile(dag)
+        deep = IlpCompiler(prefetch_depth=3).compile(dag)
+        assert (deep.schedule.objective_value
+                >= shallow.schedule.objective_value - 1e-12)
+
+    def test_solves_every_model_first_layers(self):
+        from repro.models import model_names
+        for name in model_names():
+            net = get_model(name)
+            for layer in net.compute_layers()[:2]:
+                mapping = WeightStationaryMapping(layer, 64, 256)
+                dag = LayerDag.from_mapping(mapping, max_iterations=8)
+                solution = IlpCompiler().compile(dag)
+                solution.schedule.validate(CAPS, 28 * MB)
+
+
+class TestGreedy:
+    def test_schedule_validates(self):
+        GreedyCompiler().compile(_dag()).validate(CAPS, 28 * MB)
+
+    def test_feasible_on_tight_shift(self):
+        compiler = GreedyCompiler(shift_capacity=1 * KB)
+        schedule = compiler.compile(_dag())
+        caps = {k: 1 * KB for k in CAPS}
+        schedule.validate(caps, 28 * MB)
+
+    def test_sequential_objects_prefer_shift(self):
+        # with a weight SHIFT large enough for a coarsened tile, the
+        # greedy places the sequential weight tiles there
+        schedule = GreedyCompiler(shift_capacity=512 * KB).compile(
+            _dag("fc8")
+        )
+        alpha_rows = [p for p in schedule.placements
+                      if p.obj.operand == "alpha" and p.location == "H"]
+        assert alpha_rows  # weight tiles are sequential -> SHIFT
+
+
+class TestScheduleValidation:
+    def test_overcapacity_detected(self):
+        schedule = GreedyCompiler().compile(_dag())
+        tiny = {k: 1 for k in CAPS}
+        with pytest.raises(ScheduleError):
+            schedule.validate(tiny, 1)

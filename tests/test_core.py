@@ -1,0 +1,113 @@
+"""Tests for the SMART core: pipelined array, hetero SPM, design space."""
+
+import pytest
+
+from repro.core import (
+    PipelinedCmosSfqArray,
+    SmartSpm,
+    explore_design_space,
+    make_accelerator,
+    make_smart,
+    make_supernpu,
+    make_tpu,
+)
+from repro.core.design_space import MAX_PIPELINE_FREQUENCY
+from repro.errors import ConfigError
+from repro.units import GHZ, KB, MB, NS
+
+
+class TestPipelinedArray:
+    def test_frequency_at_ntron_ceiling(self):
+        """Sec 4.2.4: the nTron caps the pipeline near 9.7 GHz."""
+        array = PipelinedCmosSfqArray()
+        assert array.pipeline_frequency == pytest.approx(9.707 * GHZ,
+                                                         rel=0.01)
+
+    def test_cannot_beat_ntron(self):
+        with pytest.raises(ConfigError):
+            PipelinedCmosSfqArray(stage_time=50e-12)
+
+    def test_subbank_fits_stage(self):
+        array = PipelinedCmosSfqArray()
+        assert array.subbank.access_latency <= array.stage_time
+
+    def test_leakage_near_paper_value(self):
+        """Sec 4.4: ~102 mW standby for the 28 MB array."""
+        array = PipelinedCmosSfqArray()
+        assert 50e-3 < array.leakage_power < 250e-3
+
+    def test_access_latency_is_pipeline_depth(self):
+        array = PipelinedCmosSfqArray()
+        assert array.access_latency == pytest.approx(
+            array.pipeline_stages * array.stage_time
+        )
+
+    def test_as_random_spm_view(self):
+        spm = PipelinedCmosSfqArray().as_random_spm()
+        assert spm.pipelined
+        assert spm.issue_interval == pytest.approx(103.02e-12)
+
+
+class TestSmartSpm:
+    def test_total_capacity(self):
+        spm = SmartSpm()
+        assert spm.total_capacity == 3 * 32 * KB + 28 * MB
+
+    def test_hetero_view_prefetches(self):
+        assert SmartSpm(prefetch_depth=3).as_hetero().prefetching
+        assert not SmartSpm(prefetch_depth=1).as_hetero().prefetching
+
+    def test_shift_area_small_share(self):
+        spm = SmartSpm()
+        assert spm.shift_area < 0.05 * spm.area
+
+
+class TestDesignSpace:
+    def test_monotone_tradeoffs(self):
+        """Fig 14: higher frequency -> more leakage, energy and area."""
+        points = explore_design_space(
+            frequencies=(1 * GHZ, 4 * GHZ, MAX_PIPELINE_FREQUENCY)
+        )
+        leakage = [p.leakage_power for p in points]
+        mats = [p.subbank_mats for p in points]
+        assert leakage == sorted(leakage)
+        assert mats == sorted(mats)
+
+    def test_frequency_ceiling_enforced(self):
+        with pytest.raises(ConfigError):
+            explore_design_space(frequencies=(12 * GHZ,))
+
+    def test_latency_meets_stage(self):
+        for point in explore_design_space(frequencies=(2 * GHZ,)):
+            assert point.access_latency >= 1.0 / point.frequency
+
+
+class TestConfigs:
+    def test_table4_parameters(self):
+        tpu = make_tpu()
+        supernpu = make_supernpu()
+        smart = make_smart()
+        assert tpu.peak_macs == pytest.approx(45.9e12, rel=0.03)
+        assert supernpu.peak_macs == pytest.approx(862e12, rel=0.03)
+        assert smart.frequency == supernpu.frequency
+        assert smart.rows == 64 and smart.cols == 256
+
+    def test_scheme_factory_names(self):
+        for scheme in ("SHIFT", "SRAM", "Heter", "Pipe", "SMART", "TPU"):
+            acc = make_accelerator(scheme)
+            assert acc.simulate is not None
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            make_accelerator("bogus")
+
+    def test_sensitivity_knobs(self):
+        small = make_smart(shift_kb=16, random_mb=14, prefetch_depth=2)
+        assert small.memsys.hetero.input_shift.capacity_bytes == 16 * KB
+        assert small.memsys.hetero.random.capacity_bytes == 14 * MB
+
+    def test_write_latency_override(self):
+        slow = make_smart(write_latency=2 * NS)
+        assert slow.memsys.hetero.random.write_latency == pytest.approx(
+            2 * NS
+        )

@@ -1,0 +1,171 @@
+"""Tests for the cryogenic memory models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cryomem import (
+    CmosSubbank,
+    CryoMosfet,
+    CryoRandomArray,
+    JosephsonCmosSram,
+    MRAM,
+    SHIFT,
+    SNM,
+    SRAM_4K,
+    ShiftArray,
+    SUBBANK_CHIP_DATA,
+    TABLE1,
+    VTM,
+    relative_error,
+)
+from repro.cryomem.cmos_htree import CmosHTree
+from repro.cryomem.subbank import subbank_for_stage_time
+from repro.errors import ConfigError
+from repro.units import KB, MB, MM, NS
+
+
+class TestCryoMosfet:
+    def test_mobility_rises_when_cooled(self):
+        assert CryoMosfet(temperature=4).mobility_factor > 2.0
+        assert CryoMosfet(temperature=300).mobility_factor == 1.0
+
+    def test_vth_rises_when_cooled(self):
+        cold = CryoMosfet(temperature=4)
+        warm = CryoMosfet(temperature=300)
+        assert cold.vth > warm.vth
+
+    def test_vth_saturates_below_50k(self):
+        assert CryoMosfet(temperature=4).vth == pytest.approx(
+            CryoMosfet(temperature=40).vth
+        )
+
+    def test_transistors_faster_at_4k(self):
+        assert CryoMosfet(temperature=4).gate_delay_factor < 1.0
+
+    def test_leakage_reduced_over_90_percent(self):
+        factor = CryoMosfet(temperature=4).leakage_factor
+        assert factor <= 0.1  # paper Sec 3: >90% reduction
+        assert factor > 0.0
+
+    def test_wire_resistance_improves(self):
+        assert 0.1 < CryoMosfet(temperature=4).wire_resistance_factor < 0.5
+
+    @given(st.floats(min_value=4.0, max_value=300.0))
+    def test_monotone_leakage(self, temperature):
+        colder = CryoMosfet(temperature=temperature)
+        assert 0 < colder.leakage_factor <= 1.0
+
+
+class TestTable1:
+    def test_all_rows_present(self):
+        assert set(TABLE1) == {"SHIFT", "VTM", "SRAM", "MRAM", "SNM"}
+
+    def test_shift_values(self):
+        assert SHIFT.read_latency == pytest.approx(0.02 * NS)
+        assert SHIFT.cell_size_f2 == 39.0
+        assert not SHIFT.random_access
+
+    def test_snm_destructive_read(self):
+        assert SNM.destructive_read
+        assert SNM.effective_read_latency == pytest.approx(
+            SNM.read_latency + SNM.write_latency
+        )
+
+    def test_mram_write_penalty(self):
+        assert MRAM.write_latency == pytest.approx(2 * NS)
+        assert MRAM.write_energy > MRAM.read_energy
+
+    def test_cell_area_scaling(self):
+        assert VTM.cell_area(1e-6) == pytest.approx(203e-12)
+
+
+class TestSubbank:
+    def test_latency_increases_with_capacity(self):
+        mosfet = CryoMosfet()
+        small = CmosSubbank(8 * KB, mats=8, mosfet=mosfet)
+        large = CmosSubbank(2 * MB, mats=8, mosfet=mosfet)
+        assert large.access_latency > small.access_latency
+
+    def test_more_mats_cut_latency_but_add_leakage(self):
+        mosfet = CryoMosfet()
+        few = CmosSubbank(112 * KB, mats=4, mosfet=mosfet)
+        many = CmosSubbank(112 * KB, mats=64, mosfet=mosfet)
+        assert many.access_latency < few.access_latency
+        assert many.leakage_power > few.leakage_power
+
+    def test_stage_fit_search(self):
+        subbank = subbank_for_stage_time(112 * KB, 0.11 * NS)
+        assert subbank.access_latency <= 0.11 * NS
+
+    def test_stage_fit_falls_back_to_fastest(self):
+        """An unreachable stage time returns the fastest legal config
+        (the array then pipelines at that sub-bank's latency)."""
+        subbank = subbank_for_stage_time(64 * MB, 1e-12)
+        assert subbank.access_latency > 1e-12
+        assert subbank.mats >= 1
+
+    def test_validation_band_against_chip(self):
+        """Model is conservative vs the embedded chip data (Fig 12)."""
+        mosfet = CryoMosfet(node=0.18e-6, temperature=4.0,
+                            supply_voltage=1.8, vth_300k=0.5)
+        for point in SUBBANK_CHIP_DATA:
+            model = CmosSubbank(point.capacity_bytes, mats=point.mats,
+                                mosfet=mosfet)
+            lat_err = relative_error(model.access_latency, point.latency)
+            energy_err = relative_error(model.access_energy, point.energy)
+            assert 0.0 <= lat_err <= 0.20
+            assert 0.0 <= energy_err <= 0.25
+
+
+class TestShiftArray:
+    def test_lane_geometry(self):
+        array = ShiftArray(24 * MB, banks=64)
+        assert array.lane_bytes == 384 * KB
+        assert array.lane_cells == 384 * KB * 8
+
+    def test_rotation_wraps_forward(self):
+        array = ShiftArray(32 * KB, banks=256)
+        assert array.rotate_steps(-1) == array.lane_words - 1
+
+    def test_energy_scales_with_lane_size(self):
+        big = ShiftArray(24 * MB, banks=64)
+        small = ShiftArray(32 * KB, banks=256)
+        assert big.energy_per_step > 100 * small.energy_per_step
+
+    def test_no_leakage(self):
+        assert ShiftArray(24 * MB, banks=64).leakage_power == 0.0
+
+    @given(st.integers(min_value=-10_000, max_value=10_000))
+    def test_rotation_bounded(self, delta):
+        array = ShiftArray(32 * KB, banks=256)
+        assert 0 <= array.rotate_steps(delta) < array.lane_words
+
+
+class TestArrays:
+    def test_jcs_sram_latency_band(self):
+        """28 MB Josephson-CMOS SRAM lands in the 2-4(+) ns band."""
+        array = JosephsonCmosSram(28 * MB, banks=256)
+        assert 2 * NS <= array.access_latency <= 6 * NS
+
+    def test_htree_dominates_latency(self):
+        """Fig 9: the CMOS H-tree dominates the large-array access."""
+        array = JosephsonCmosSram(28 * MB, banks=256)
+        assert array.breakdown.latency_share("htree") > 0.7
+
+    def test_cmos_htree_scales_with_side(self):
+        small = CmosHTree(banks=64, array_side=2 * MM)
+        large = CmosHTree(banks=64, array_side=8 * MM)
+        assert large.path_latency > small.path_latency
+
+    def test_random_array_rejects_shift(self):
+        with pytest.raises(ConfigError):
+            CryoRandomArray(SHIFT, 28 * MB)
+
+    def test_snm_read_includes_restore(self):
+        array = CryoRandomArray(SNM, 28 * MB)
+        assert array.read_latency == pytest.approx(3.1 * NS)
+
+    def test_decoder_area_share_significant(self):
+        """SFQ decoders cost a significant share (paper: 16-28%)."""
+        array = CryoRandomArray(VTM, 12 * MB)
+        assert array.decoder_area_share > 0.05

@@ -1,0 +1,75 @@
+"""Tests for the network compiler driver and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+from repro.compiler.driver import NetworkCompiler
+from repro.cryomem import TABLE1
+from repro.cryomem.validation import ARRAY_DEMO_DATA
+from repro.models import get_model
+
+
+class TestNetworkCompiler:
+    def test_compiles_alexnet_with_ilp(self):
+        compiler = NetworkCompiler()
+        compilations = compiler.compile_network(get_model("AlexNet"))
+        assert len(compilations) == 8  # 5 convs + 3 fcs
+        assert all(c.solver == "ilp" for c in compilations)
+
+    def test_effective_prefetch_matches_configuration(self):
+        """The realised schedules express the configured lookahead."""
+        compiler = NetworkCompiler(prefetch_depth=3)
+        compilations = compiler.compile_network(get_model("AlexNet"))
+        assert compiler.effective_prefetch_depth(compilations) == 3
+
+    def test_no_prefetch_configuration(self):
+        compiler = NetworkCompiler(prefetch_depth=1)
+        compilations = compiler.compile_network(get_model("AlexNet"))
+        assert compiler.effective_prefetch_depth(compilations) == 1
+
+    def test_variable_budget_forces_greedy(self):
+        compiler = NetworkCompiler(max_variables=10)
+        result = compiler.compile_layer(
+            get_model("AlexNet").compute_layers()[0]
+        )
+        assert result.solver == "greedy"
+
+    def test_schedules_valid(self):
+        compiler = NetworkCompiler()
+        caps = {k: compiler.shift_capacity
+                for k in ("alpha", "beta", "gamma", "delta")}
+        for compilation in compiler.compile_network(get_model("AlexNet")):
+            compilation.schedule.validate(caps, compiler.random_capacity)
+
+
+class TestCli:
+    def test_registry_covers_all_figures(self):
+        expected = {f"fig{n}" for n in
+                    (2, 5, 6, 7, 9, 12, 13, 14, 16, 17, 18, 19, 20, 21,
+                     22, 23, 24, 25)}
+        expected |= {"tab1", "tab2", "tab4"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_list_mode(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_runs_a_cheap_experiment(self, capsys):
+        assert main(["tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "ntron" in out
+
+
+class TestArrayDemoData:
+    """The VTM/MRAM/SNM array demos validate Table 1 (Sec 5: <=14%)."""
+
+    @pytest.mark.parametrize("name", ["VTM", "MRAM", "SNM"])
+    def test_model_matches_published_demo(self, name):
+        read, write = ARRAY_DEMO_DATA[name]
+        tech = TABLE1[name]
+        assert tech.read_latency == pytest.approx(read, rel=0.14)
+        assert tech.write_latency == pytest.approx(write, rel=0.14)

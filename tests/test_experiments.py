@@ -1,0 +1,171 @@
+"""Integration tests: the paper's headline shapes must reproduce.
+
+These run the same experiment functions the benchmarks print, and
+assert the qualitative targets recorded in EXPERIMENTS.md.  Bands are
+deliberately loose: the substrate is an analytical simulator, not the
+authors' testbed; who-wins and rough factors are what must hold.
+"""
+
+import pytest
+
+from repro.eval import (
+    fig5_homogeneous,
+    fig7_heterogeneous,
+    fig9_htree_breakdown,
+    fig12_subbank_validation,
+    fig14_design_space,
+    fig16_access_energy,
+    fig18_single_speedup,
+    fig19_batch_speedup,
+    fig20_single_energy,
+    fig21_batch_energy,
+    fig22_shift_capacity,
+    fig24_prefetch_depth,
+    fig25_write_latency,
+    geomean,
+    tab1_technologies,
+    tab4_configurations,
+)
+
+
+@pytest.fixture(scope="module")
+def single_speedups():
+    return fig18_single_speedup()
+
+
+@pytest.fixture(scope="module")
+def batch_speedups():
+    return fig19_batch_speedup()
+
+
+class TestHeadline:
+    def test_smart_single_image_factor(self, single_speedups):
+        """Paper: SMART ~3.9x SuperNPU single-image (we accept 2.5-5x)."""
+        smart = geomean([r["SMART"] for r in single_speedups])
+        shift = geomean([r["SHIFT"] for r in single_speedups])
+        assert 2.5 < smart / shift < 5.0
+
+    def test_smart_batch_factor(self, batch_speedups):
+        """Paper: SMART ~2.2x SuperNPU batch (we accept 1.5-3x)."""
+        smart = geomean([r["SMART"] for r in batch_speedups])
+        shift = geomean([r["SHIFT"] for r in batch_speedups])
+        assert 1.5 < smart / shift < 3.0
+
+    def test_supernpu_vs_tpu_single(self, single_speedups):
+        """Paper: SuperNPU ~8.6x TPU single-image (we accept 5-15x)."""
+        shift = geomean([r["SHIFT"] for r in single_speedups])
+        assert 5.0 < shift < 15.0
+
+    def test_scheme_ordering_single(self, single_speedups):
+        """SRAM and Heter lose to SuperNPU; Pipe and SMART beat it."""
+        g = {s: geomean([r[s] for r in single_speedups])
+             for s in ("SHIFT", "SRAM", "Heter", "Pipe", "SMART")}
+        assert g["SRAM"] < g["SHIFT"]
+        assert g["Heter"] < g["SHIFT"]
+        assert g["Pipe"] > g["SHIFT"]
+        assert g["SMART"] >= g["Pipe"]
+
+    def test_smart_gains_less_from_batch_than_supernpu(
+            self, single_speedups, batch_speedups):
+        """Sec 6.2: SuperNPU 2.5x from batching, SMART only ~1.35x."""
+        smart_gain = (geomean([r["SMART"] for r in batch_speedups])
+                      / geomean([r["SMART"] for r in single_speedups]))
+        shift_gain = (geomean([r["SHIFT"] for r in batch_speedups])
+                      / geomean([r["SHIFT"] for r in single_speedups]))
+        assert shift_gain > smart_gain
+
+
+class TestEnergy:
+    def test_smart_cuts_energy_vs_supernpu(self):
+        """Paper: -86% single-image (we accept -50% or better)."""
+        rows = fig20_single_energy()
+        smart = geomean([r["SMART"] for r in rows])
+        shift = geomean([r["SHIFT"] for r in rows])
+        assert smart < 0.5 * shift
+
+    def test_smart_tiny_fraction_of_tpu(self):
+        """Paper: SMART ~1.9% of TPU single-image energy.  Our TPU
+        baseline is relatively cheaper (uniform DRAM exemption), so the
+        reproduced band is <35% — see EXPERIMENTS.md."""
+        rows = fig20_single_energy()
+        assert geomean([r["SMART"] for r in rows]) < 0.35
+
+    def test_batch_energy_direction(self):
+        rows = fig21_batch_energy()
+        smart = geomean([r["SMART"] for r in rows])
+        shift = geomean([r["SHIFT"] for r in rows])
+        assert smart < shift
+
+
+class TestSubstrateFigures:
+    def test_fig5_only_vtm_competitive(self):
+        rows = {r["spm"]: r["norm_latency"] for r in fig5_homogeneous()}
+        assert rows["SRAM"] > 5.0       # >= 5x slower (Sec 3)
+        assert rows["SNM"] > 5.0
+        assert rows["VTM"] < 1.3        # the only near-competitive one
+        assert rows["ideal-0.02ns"] < rows["VTM"]
+
+    def test_fig7_ordering(self):
+        rows = {r["spm"]: r["norm_latency"] for r in fig7_heterogeneous()}
+        assert rows["hVTM"] < 1.0               # -70% in the paper
+        assert rows["hVTM+p"] < rows["hVTM"]    # prefetching helps more
+        assert rows["hSRAM"] > 2.0              # 3.36x in the paper
+        assert rows["hMRAM"] > 1.0
+        assert rows["hSNM"] > 1.0
+
+    def test_fig9_htree_dominates(self):
+        row = fig9_htree_breakdown()
+        assert row["htree_latency_share"] > 0.7   # paper: 84%
+        assert row["htree_energy_share"] > 0.4    # paper: 49%
+        assert 2.0 < row["total_latency_ns"] < 6.0
+
+    def test_fig12_conservative_validation(self):
+        for row in fig12_subbank_validation():
+            assert 0.0 <= row["latency_err"] <= 0.20
+            assert 0.0 <= row["energy_err"] <= 0.25
+
+    def test_fig14_tradeoffs(self):
+        rows = fig14_design_space()
+        assert rows[-1]["frequency_ghz"] == pytest.approx(9.707, rel=0.01)
+        assert rows[-1]["leakage_mw"] > rows[0]["leakage_mw"]
+
+    def test_fig16_shift_energy_hierarchy(self):
+        rows = {r["array"]: r["access_energy_pj"]
+                for r in fig16_access_energy()}
+        assert rows["384KB-SHIFT"] > rows["96KB-SHIFT"] >= rows["RANDOM"]
+        assert rows["128B-SHIFT"] < 0.01 * rows["96KB-SHIFT"]
+
+
+class TestSensitivity:
+    def test_fig22_small_shift_hurts(self):
+        rows = {r["setting"]: r for r in fig22_shift_capacity((16, 32))}
+        assert (rows[16]["single_speedup"]
+                <= rows[32]["single_speedup"] * 1.001)
+
+    def test_fig24_prefetch_shape(self):
+        rows = {r["setting"]: r for r in fig24_prefetch_depth((1, 3, 5))}
+        assert rows[1]["single_speedup"] < rows[3]["single_speedup"]
+        # diminishing returns past a=3
+        gain_late = (rows[5]["single_speedup"]
+                     / rows[3]["single_speedup"])
+        gain_early = (rows[3]["single_speedup"]
+                      / rows[1]["single_speedup"])
+        assert gain_late < gain_early
+
+    def test_fig25_write_latency_collapse(self):
+        rows = {r["setting"]: r for r in fig25_write_latency()}
+        assert rows[2.0]["single_speedup"] < 0.6 * rows[0.11][
+            "single_speedup"]
+        assert rows[3.0]["single_speedup"] < rows[2.0]["single_speedup"]
+
+
+class TestTables:
+    def test_table1_complete(self):
+        rows = tab1_technologies()
+        assert len(rows) == 5
+
+    def test_table4_peaks(self):
+        rows = {r["name"]: r for r in tab4_configurations()}
+        assert rows["TPU"]["peak_tmacs"] == pytest.approx(45.9, rel=0.05)
+        assert rows["SuperNPU"]["peak_tmacs"] == pytest.approx(862,
+                                                               rel=0.05)

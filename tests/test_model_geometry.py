@@ -1,0 +1,106 @@
+"""Geometry-chaining tests: each layer must consume its predecessor.
+
+A wrong layer table silently corrupts every figure, so these tests walk
+each network and check that spatial dimensions and channel counts chain
+correctly through convolutions and pools (inception branches fan out
+from the same input; residual blocks re-join).
+"""
+
+import pytest
+
+from repro.models import get_model, model_names
+from repro.systolic.layers import ConvLayer
+
+
+def _sequential_pairs(net):
+    """Consecutive layer pairs that are truly sequential (no branching)."""
+    branching = {"GoogleNet", "ResNet50", "FasterRCNN"}
+    if net.name in branching:
+        return []
+    return list(zip(net.layers, net.layers[1:]))
+
+
+@pytest.mark.parametrize("name", ["AlexNet", "VGG16", "MobileNet"])
+def test_channels_chain(name):
+    net = get_model(name)
+    for prev, nxt in _sequential_pairs(net):
+        if nxt.kind == "fc" and prev.kind != "fc":
+            # flatten: features = H*W*C of the previous output
+            assert nxt.kernel_volume == (
+                prev.out_h * prev.out_w * prev.out_c
+            ) or nxt.in_c == prev.out_c
+        else:
+            assert nxt.in_c == prev.out_c, (
+                f"{name}: {nxt.name} expects {nxt.in_c} channels, "
+                f"{prev.name} makes {prev.out_c}"
+            )
+
+
+@pytest.mark.parametrize("name", ["AlexNet", "VGG16", "MobileNet"])
+def test_spatial_dims_chain(name):
+    net = get_model(name)
+    for prev, nxt in _sequential_pairs(net):
+        if nxt.kind == "fc":
+            continue
+        assert (nxt.in_h, nxt.in_w) == (prev.out_h, prev.out_w), (
+            f"{name}: {nxt.name} expects {nxt.in_h}x{nxt.in_w}, "
+            f"{prev.name} makes {prev.out_h}x{prev.out_w}"
+        )
+
+
+def test_googlenet_inception_branches_share_input():
+    net = get_model("GoogleNet")
+    layers = {l.name: l for l in net.layers}
+    for module, size, in_c in (("3a", 28, 192), ("4a", 14, 480),
+                               ("5b", 7, 832)):
+        for branch in ("1x1", "3x3r", "5x5r", "pproj"):
+            layer = layers[f"inc{module}_{branch}"]
+            assert layer.in_h == size and layer.in_c == in_c
+
+
+def test_googlenet_concat_widths():
+    """Each inception module's branch outputs sum to the next input."""
+    net = get_model("GoogleNet")
+    layers = {l.name: l for l in net.layers}
+    out_3a = sum(layers[f"inc3a_{b}"].out_c
+                 for b in ("1x1", "3x3", "5x5", "pproj"))
+    assert out_3a == layers["inc3b_1x1"].in_c == 256
+
+
+def test_resnet_bottleneck_structure():
+    net = get_model("ResNet50")
+    layers = {l.name: l for l in net.layers}
+    assert layers["res2a_a"].out_c == 64
+    assert layers["res2a_c"].out_c == 256
+    assert layers["res3a_a"].stride == 2          # stage downsample
+    assert layers["res3a_proj"].out_c == 512      # projection shortcut
+    assert layers["fc"].in_c == 2048
+
+
+def test_mobilenet_dw_pw_pairing():
+    net = get_model("MobileNet")
+    layers = list(net.layers)
+    dws = [l for l in layers if l.kind == "dwconv"]
+    assert len(dws) == 13
+    for dw in dws:
+        pw = next(l for l in layers
+                  if l.name == dw.name.replace("dw", "pw"))
+        assert pw.in_c == dw.out_c
+        assert pw.kernel_h == pw.kernel_w == 1
+
+
+def test_faster_rcnn_rpn_heads():
+    net = get_model("FasterRCNN")
+    layers = {l.name: l for l in net.layers}
+    assert layers["rpn_cls"].out_c == 18   # 9 anchors x 2
+    assert layers["rpn_reg"].out_c == 36   # 9 anchors x 4
+    assert layers["roi_cls"].out_c == 21   # 20 classes + background
+
+
+@pytest.mark.parametrize("name", model_names())
+def test_no_degenerate_layers(name):
+    for layer in get_model(name).layers:
+        assert layer.out_h >= 1 and layer.out_w >= 1
+        if layer.kind != "pool":
+            assert layer.macs > 0
+            assert layer.weight_bytes > 0

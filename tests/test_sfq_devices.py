@@ -1,0 +1,167 @@
+"""Tests for the SFQ device and interconnect models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sfq import (
+    CmosWire,
+    ERSFQ_1UM,
+    JosephsonJunction,
+    JtlLine,
+    MicrostripPtl,
+    PtlLink,
+    SfqHTree,
+    SplitterUnit,
+    TABLE2_COMPONENTS,
+    insert_repeaters,
+)
+from repro.sfq.cells import Dff, NTron, Splitter, SplitterTree
+from repro.units import GHZ, MM, NS, PS, UM
+
+
+class TestJosephsonJunction:
+    def test_plasma_frequency_positive(self):
+        jj = JosephsonJunction(100e-6, 70e-15, 6.0)
+        assert jj.plasma_frequency > 1e11
+
+    def test_damping_near_critical(self):
+        jj = JosephsonJunction(100e-6, 70e-15, 6.0)
+        assert 0.1 < jj.stewart_mccumber < 3.0
+
+    def test_switch_energy_order(self):
+        jj = JosephsonJunction(100e-6, 70e-15, 6.0)
+        assert jj.switch_energy == pytest.approx(2.07e-19, rel=0.01)
+
+    def test_scaling_preserves_beta_c(self):
+        jj = JosephsonJunction(100e-6, 70e-15, 6.0)
+        scaled = jj.scaled(2.0)
+        assert scaled.critical_current == pytest.approx(200e-6)
+        assert scaled.stewart_mccumber == pytest.approx(
+            jj.stewart_mccumber, rel=1e-9
+        )
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigError):
+            JosephsonJunction(-1e-6, 70e-15, 6.0)
+        with pytest.raises(ConfigError):
+            JosephsonJunction(100e-6, 0, 6.0)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    def test_scaled_ratio_property(self, ratio):
+        jj = JosephsonJunction(100e-6, 70e-15, 6.0)
+        assert jj.scaled(ratio).critical_current == pytest.approx(
+            100e-6 * ratio
+        )
+
+
+class TestMicrostripPtl:
+    def test_low_impedance_design(self):
+        line = MicrostripPtl()
+        assert 3.0 < line.impedance < 8.0  # matched to JJ shunt R
+
+    def test_velocity_near_c_over_3(self):
+        line = MicrostripPtl()
+        assert 0.5e8 < line.velocity < 1.5e8
+
+    def test_delay_linear_in_length(self):
+        line = MicrostripPtl()
+        assert line.delay(2 * MM) == pytest.approx(2 * line.delay(1 * MM))
+
+    def test_kinetic_inductance_contributes(self):
+        thin = MicrostripPtl(penetration_depth_line=90e-9)
+        negligible = MicrostripPtl(penetration_depth_line=1e-12)
+        assert (thin.inductance_per_length
+                > negligible.inductance_per_length)
+
+    @given(st.floats(min_value=1e-6, max_value=5e-3))
+    def test_delay_monotone(self, length):
+        line = MicrostripPtl()
+        assert line.delay(length) >= 0
+
+
+class TestPtlLink:
+    def test_latency_includes_endpoints(self):
+        link = PtlLink(0.1 * MM)
+        assert link.latency > link.line_delay
+        assert link.endpoint_delay == pytest.approx(8.75 * PS)
+
+    def test_resonance_frequency_drops_with_length(self):
+        short = PtlLink(0.05 * MM)
+        long = PtlLink(1.0 * MM)
+        assert short.max_frequency > long.max_frequency
+
+    def test_repeater_insertion_meets_target(self):
+        links = insert_repeaters(2 * MM, 20 * GHZ)
+        assert len(links) > 1
+        for link in links:
+            assert link.max_frequency >= 20 * GHZ
+
+    def test_repeater_insertion_rejects_impossible(self):
+        with pytest.raises(ConfigError):
+            insert_repeaters(1 * MM, 1e12)  # beyond endpoint limit
+
+
+class TestJtlAndCmos:
+    def test_jtl_energy_exceeds_ptl_on_long_runs(self):
+        length = 200 * UM
+        assert (JtlLine(length).energy_per_pulse
+                > 50 * PtlLink(length).dynamic_energy_per_pulse)
+
+    def test_cmos_latency_exceeds_ptl(self):
+        length = 200 * UM
+        assert CmosWire(length).latency > 10 * PtlLink(length).latency
+
+    def test_cmos_energy_orders_of_magnitude(self):
+        length = 100 * UM
+        ratio = (CmosWire(length).energy_per_bit
+                 / PtlLink(length).dynamic_energy_per_pulse)
+        assert ratio > 1e3
+
+    def test_jtl_stage_count(self):
+        assert JtlLine(100 * UM).stages == 10
+
+
+class TestHTree:
+    def test_table2_values(self):
+        assert TABLE2_COMPONENTS["ntron"].latency == pytest.approx(
+            103.02 * PS
+        )
+        assert TABLE2_COMPONENTS["splitter"].latency == pytest.approx(7 * PS)
+
+    def test_splitter_unit_composition(self):
+        unit = SplitterUnit()
+        expected = (TABLE2_COMPONENTS["receiver"].latency
+                    + TABLE2_COMPONENTS["splitter"].latency
+                    + TABLE2_COMPONENTS["driver"].latency)
+        assert unit.latency == pytest.approx(expected)
+
+    def test_htree_levels(self):
+        tree = SfqHTree(banks=256, array_side=10 * MM)
+        assert tree.levels == 8
+        assert tree.splitter_unit_count == 255
+
+    def test_htree_meets_target_frequency(self):
+        tree = SfqHTree(banks=64, array_side=8 * MM,
+                        target_frequency=9.7e9)
+        for links in tree.segment_links:
+            for link in links:
+                assert link.max_frequency >= 9.7e9
+
+    def test_htree_broadcast_energy_exceeds_path(self):
+        tree = SfqHTree(banks=256, array_side=10 * MM)
+        assert (tree.energy_per_access(broadcast=True)
+                > tree.energy_per_access(broadcast=False))
+
+    def test_splitter_tree_fanout(self):
+        tree = SplitterTree(fanout=16)
+        assert tree.splitter_count == 15
+        assert tree.depth == 4
+
+    def test_cells_expose_uniform_interface(self):
+        for cell in (Splitter(), NTron(), Dff()):
+            assert cell.latency >= 0
+            assert cell.leakage_power >= 0
+            assert cell.area_f2 > 0

@@ -1,0 +1,156 @@
+"""Tests for the accelerator simulator and energy model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    make_accelerator,
+    make_energy_model,
+    make_smart,
+    make_supernpu,
+    make_tpu,
+)
+from repro.models import batch_size_for, get_model
+from repro.systolic.layers import ConvLayer
+
+
+class TestBasicInvariants:
+    def test_latency_positive(self):
+        net = get_model("AlexNet")
+        for acc in (make_tpu(), make_supernpu(), make_smart()):
+            run = acc.simulate(net, 1)
+            assert run.latency > 0
+            assert run.throughput_macs > 0
+
+    def test_throughput_below_peak(self):
+        net = get_model("ResNet50")
+        for acc in (make_tpu(), make_supernpu(), make_smart()):
+            run = acc.simulate(net, 8)
+            assert run.throughput_macs <= acc.peak_macs
+
+    def test_latency_equals_layer_sum(self):
+        acc = make_smart()
+        run = acc.simulate(get_model("AlexNet"), 1)
+        assert run.latency == pytest.approx(
+            sum(l.total_time for l in run.layers)
+        )
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_batch_total_monotone(self, batch):
+        """A bigger batch never finishes faster in total."""
+        acc = make_smart()
+        layer = ConvLayer("c", 27, 27, 96, 128, 3, 3, padding=1)
+        smaller = acc.simulate_layer(layer, batch).total_time
+        larger = acc.simulate_layer(layer, batch + 1).total_time
+        assert larger >= smaller * 0.999
+
+    def test_batch_per_image_improves(self):
+        """Per-image latency improves with batching on every design."""
+        net = get_model("ResNet50")
+        for acc in (make_tpu(), make_supernpu(), make_smart()):
+            single = acc.simulate(net, 1).latency
+            batched = acc.simulate(net, 16).latency / 16
+            assert batched <= single * 1.01
+
+
+class TestSchemeOrdering:
+    """The paper's qualitative ordering must hold on every model."""
+
+    @pytest.mark.parametrize("model", ["AlexNet", "ResNet50", "VGG16"])
+    def test_smart_beats_supernpu_single(self, model):
+        net = get_model(model)
+        smart = make_smart().simulate(net, 1).latency
+        supernpu = make_supernpu().simulate(net, 1).latency
+        assert smart < supernpu
+
+    @pytest.mark.parametrize("model", ["AlexNet", "GoogleNet"])
+    def test_smart_beats_pipe(self, model):
+        net = get_model(model)
+        smart = make_smart().simulate(net, 1).latency
+        pipe = make_accelerator("Pipe").simulate(net, 1).latency
+        assert smart <= pipe
+
+    @pytest.mark.parametrize("model", ["AlexNet", "VGG16"])
+    def test_sram_scheme_slowest(self, model):
+        net = get_model(model)
+        sram = make_accelerator("SRAM").simulate(net, 1).latency
+        supernpu = make_supernpu().simulate(net, 1).latency
+        assert sram > supernpu
+
+    def test_supernpu_beats_tpu(self):
+        net = get_model("GoogleNet")
+        supernpu = make_supernpu().simulate(net, 1).latency
+        tpu = make_tpu().simulate(net, 1).latency
+        assert supernpu < tpu
+
+    def test_prefetch_depth_helps(self):
+        net = get_model("ResNet50")
+        no_prefetch = make_smart(prefetch_depth=1).simulate(net, 1).latency
+        deep = make_smart(prefetch_depth=3).simulate(net, 1).latency
+        assert deep < no_prefetch
+
+    def test_slow_writes_hurt(self):
+        """Fig 25: MRAM/SNM-class write latencies sink the RANDOM array
+        ("the outputs of a layer are the inputs of the next")."""
+        net = get_model("GoogleNet")
+        fast = make_smart().simulate(net, 4).latency
+        slow = make_smart(write_latency=2e-9).simulate(net, 4).latency
+        assert slow > 1.5 * fast
+
+    def test_small_shift_arrays_hurt(self):
+        """Fig 22: 16 KB SHIFT arrays lose throughput."""
+        net = get_model("AlexNet")
+        small = make_smart(shift_kb=16).simulate(net, 8).latency
+        nominal = make_smart(shift_kb=32).simulate(net, 8).latency
+        assert small >= nominal * 0.99
+
+
+class TestEnergy:
+    def test_components_positive(self):
+        acc = make_smart()
+        run = acc.simulate(get_model("AlexNet"), 1)
+        energy = make_energy_model(acc).evaluate(run)
+        assert energy.matrix > 0
+        assert energy.spm_dynamic > 0
+        assert energy.total > 0
+
+    def test_smart_saves_energy_vs_supernpu(self):
+        """Figs 20/21 headline: SMART cuts inference energy."""
+        net = get_model("AlexNet")
+        results = {}
+        for acc in (make_supernpu(), make_smart()):
+            run = acc.simulate(net, 1)
+            results[acc.name] = make_energy_model(acc).evaluate(run).total
+        assert results["SMART"] < 0.6 * results["SuperNPU"]
+
+    def test_sfq_beats_tpu_energy(self):
+        """SMART beats the TPU on energy even with 400x cooling.
+
+        The paper reports 1.9% of TPU energy; our TPU baseline is
+        relatively cheaper (we exempt DRAM weight streaming uniformly),
+        so the band here is <35% — see EXPERIMENTS.md.
+        """
+        net = get_model("AlexNet")
+        tpu = make_tpu()
+        smart = make_smart()
+        e_tpu = make_energy_model(tpu).evaluate(tpu.simulate(net, 1)).total
+        e_smart = make_energy_model(smart).evaluate(
+            smart.simulate(net, 1)
+        ).total
+        assert e_smart < 0.35 * e_tpu
+
+    def test_shares_sum_to_one(self):
+        acc = make_smart()
+        run = acc.simulate(get_model("GoogleNet"), 1)
+        energy = make_energy_model(acc).evaluate(run)
+        total_share = sum(energy.share(c) for c in
+                          ("matrix", "spm_dynamic", "spm_static", "dram"))
+        assert total_share == pytest.approx(1.0)
+
+    def test_supernpu_spm_dynamic_dominates(self):
+        """The big SHIFT lanes dominate SuperNPU's energy (Sec 6.1)."""
+        acc = make_supernpu()
+        run = acc.simulate(get_model("AlexNet"), 1)
+        energy = make_energy_model(acc).evaluate(run)
+        assert energy.spm_dynamic > energy.matrix

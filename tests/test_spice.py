@@ -1,0 +1,198 @@
+"""Tests for the transient circuit simulator (JoSIM substitute)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError, SimulationError
+from repro.sfq.jj import JosephsonJunction
+from repro.spice import (
+    Netlist,
+    TransientSimulator,
+    build_jtl_chain,
+    build_ptl_link,
+    build_splitter_unit,
+)
+from repro.spice.circuits import SfqCellLibrary
+from repro.spice.measure import (
+    detect_pulses,
+    energy_per_pulse,
+    pulse_delay,
+    total_dissipated_energy,
+)
+from repro.units import MM, PHI0
+
+
+class TestNetlist:
+    def test_duplicate_names_rejected(self):
+        netlist = Netlist()
+        netlist.add_resistor("r1", "a", "gnd", 10.0)
+        with pytest.raises(NetlistError):
+            netlist.add_resistor("r1", "b", "gnd", 10.0)
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist().validate()
+
+    def test_floating_source_rejected(self):
+        netlist = Netlist()
+        netlist.add_resistor("r1", "a", "gnd", 10.0)
+        netlist.add_bias("ib", "floating", 1e-6)
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_nodes_deterministic(self):
+        netlist = Netlist()
+        netlist.add_resistor("r1", "a", "b", 1.0)
+        netlist.add_capacitor("c1", "b", "gnd", 1e-15)
+        assert netlist.nodes() == ["a", "b"]
+
+
+class TestRcPhysics:
+    def test_rc_discharge(self):
+        """A charged RC node decays with the right time constant."""
+        netlist = Netlist()
+        netlist.add_capacitor("c", "n", "gnd", 1e-12)
+        netlist.add_resistor("r", "n", "gnd", 100.0)
+        netlist.add_pulse("i", "n", (5e-12,), sigma=1e-12, area=1e-13)
+        sim = TransientSimulator(netlist, dt=1e-14)
+        result = sim.run(400e-12)
+        v = result.voltage("n")
+        peak_idx = int(np.argmax(v))
+        peak = v[peak_idx]
+        tau = 100.0 * 1e-12  # 100 ps
+        t_target = result.times[peak_idx] + tau
+        v_tau = float(np.interp(t_target, result.times, v))
+        assert v_tau == pytest.approx(peak * math.exp(-1), rel=0.15)
+
+    def test_energy_conservation_bias(self):
+        """Resistive dissipation matches 0.5 C V^2 decay budget."""
+        netlist = Netlist()
+        netlist.add_capacitor("c", "n", "gnd", 1e-12)
+        netlist.add_resistor("r", "n", "gnd", 50.0)
+        netlist.add_pulse("i", "n", (5e-12,), sigma=1e-12, area=2e-13)
+        sim = TransientSimulator(netlist, dt=1e-14)
+        result = sim.run(600e-12)
+        # all injected charge energy ends up dissipated
+        assert result.total_dissipated > 0
+
+
+class TestJtlPropagation:
+    def _chain(self, stages=4, pulses=(20e-12, 60e-12)):
+        lib = SfqCellLibrary()
+        netlist = Netlist()
+        area = 2.0 * lib.jj.critical_current * 2e-12 * math.sqrt(2 * math.pi)
+        netlist.add_pulse("src", "in0", pulses, sigma=2e-12, area=area)
+        netlist.add_junction("src_jj", "in0", "gnd", lib.jj)
+        netlist.add_bias("src_ib", "in0", lib.bias_current)
+        out, jjs = build_jtl_chain(netlist, "c", "in0", stages, lib)
+        netlist.add_junction("load_jj", out, "gnd", lib.jj)
+        netlist.add_bias("load_ib", out, lib.bias_current)
+        return netlist, jjs
+
+    def test_single_pulse_propagates(self):
+        netlist, jjs = self._chain(pulses=(20e-12,))
+        result = TransientSimulator(netlist).run(80e-12)
+        assert len(detect_pulses(result, jjs[-1])) == 1
+
+    def test_every_pulse_delivered_exactly_once(self):
+        netlist, jjs = self._chain()
+        result = TransientSimulator(netlist).run(120e-12)
+        for jj in jjs:
+            assert len(detect_pulses(result, jj)) == 2
+
+    def test_flux_quantisation(self):
+        """A propagated pulse advances each phase by exactly 2 pi."""
+        netlist, jjs = self._chain(pulses=(20e-12,))
+        result = TransientSimulator(netlist).run(100e-12)
+        final = result.phase(jjs[1])[-1]
+        slips = final / (2 * math.pi)
+        assert slips == pytest.approx(1.0, abs=0.2)
+
+    def test_stage_delay_positive_and_small(self):
+        netlist, jjs = self._chain(stages=6, pulses=(20e-12,))
+        result = TransientSimulator(netlist).run(120e-12)
+        delay = pulse_delay(result, jjs[0], jjs[-1])
+        per_stage = delay / 5
+        assert 0.5e-12 < per_stage < 10e-12
+
+
+class TestPtlLink:
+    @pytest.mark.parametrize("length_mm", [0.1, 0.8])
+    def test_link_delivers_pulses(self, length_mm):
+        netlist, probes = build_ptl_link(length_mm * MM,
+                                         pulse_times=(20e-12, 60e-12))
+        window = 60e-12 + 2 * length_mm * MM / 1e8 + 60e-12
+        result = TransientSimulator(netlist).run(window)
+        assert len(detect_pulses(result, probes["arrive"])) == 2
+
+    def test_delay_scales_with_length(self):
+        delays = {}
+        for length_mm in (0.1, 1.0):
+            netlist, probes = build_ptl_link(length_mm * MM)
+            window = 60e-12 + 2 * length_mm * MM / 1e8 + 60e-12
+            result = TransientSimulator(netlist).run(window)
+            delays[length_mm] = pulse_delay(result, probes["launch"],
+                                            probes["arrive"])
+        slope_ps_per_mm = (delays[1.0] - delays[0.1]) / 0.9 * 1e12
+        # micro-strip velocity ~1e8 m/s -> ~10 ps/mm
+        assert 6.0 < slope_ps_per_mm < 15.0
+
+    def test_delay_matches_analytical_model(self):
+        from repro.sfq.ptl import MicrostripPtl
+        line = MicrostripPtl()
+        length = 1.0 * MM
+        netlist, probes = build_ptl_link(length)
+        window = 60e-12 + 2 * length / 1e8 + 60e-12
+        result = TransientSimulator(netlist).run(window)
+        measured = pulse_delay(result, probes["launch"], probes["arrive"])
+        # line flight time dominates; allow cell overheads around it
+        assert measured == pytest.approx(line.delay(length), rel=0.6)
+
+
+class TestSplitterUnit:
+    def test_splitter_duplicates_pulse(self):
+        netlist, probes = build_splitter_unit(0.1 * MM,
+                                              pulse_times=(20e-12,))
+        result = TransientSimulator(netlist).run(120e-12)
+        assert len(detect_pulses(result, probes["arrive"])) == 1
+        assert len(detect_pulses(result, probes["arrive_left"])) == 1
+
+    def test_branches_symmetric(self):
+        netlist, probes = build_splitter_unit(0.2 * MM,
+                                              pulse_times=(20e-12,))
+        result = TransientSimulator(netlist).run(140e-12)
+        right = pulse_delay(result, probes["launch"], probes["arrive"])
+        left = pulse_delay(result, probes["launch"],
+                           probes["arrive_left"])
+        assert right == pytest.approx(left, rel=0.05)
+
+    def test_energy_per_pulse_order(self):
+        """Dissipation per pulse is tens of JJ switch energies."""
+        netlist, probes = build_splitter_unit(0.1 * MM,
+                                              pulse_times=(20e-12,))
+        result = TransientSimulator(netlist).run(120e-12)
+        energy = energy_per_pulse(result, pulse_count=1)
+        switch = 100e-6 * PHI0
+        assert 2 * switch < energy < 200 * switch
+
+
+class TestMeasurement:
+    def test_pulse_delay_raises_on_lost_pulse(self):
+        netlist = Netlist()
+        lib = SfqCellLibrary()
+        netlist.add_junction("j1", "a", "gnd", lib.jj)
+        netlist.add_junction("j2", "b", "gnd", lib.jj)
+        netlist.add_resistor("r", "a", "b", 5.0)
+        netlist.add_pulse("src", "a", (10e-12,), area=1e-18)  # too weak
+        result = TransientSimulator(netlist).run(40e-12)
+        with pytest.raises(SimulationError):
+            pulse_delay(result, "j1", "j2")
+
+    def test_window_energy_monotone(self):
+        netlist, _ = build_ptl_link(0.1 * MM)
+        result = TransientSimulator(netlist).run(80e-12)
+        early = total_dissipated_energy(result, 0, 40e-12)
+        full = total_dissipated_energy(result, 0, 80e-12)
+        assert full >= early >= 0

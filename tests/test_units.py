@@ -1,0 +1,37 @@
+"""Unit-constant and conversion tests."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.units import f_squared, to_ghz, to_mb, to_ns, to_pj, to_ps
+
+
+def test_time_scale_chain():
+    assert units.NS == 1e-9
+    assert units.PS * 1000 == pytest.approx(units.NS)
+    assert units.FS * 1000 == pytest.approx(units.PS)
+
+
+def test_conversions_roundtrip():
+    assert to_ns(5e-9) == pytest.approx(5.0)
+    assert to_ps(5e-9) == pytest.approx(5000.0)
+    assert to_ghz(52.6e9) == pytest.approx(52.6)
+    assert to_pj(3e-12) == pytest.approx(3.0)
+    assert to_mb(28 * units.MB) == pytest.approx(28.0)
+
+
+def test_flux_quantum_value():
+    assert units.PHI0 == pytest.approx(2.0678e-15, rel=1e-4)
+
+
+def test_f_squared():
+    assert f_squared(1e-6) == pytest.approx(1e-12)
+    with pytest.raises(ValueError):
+        f_squared(0.0)
+
+
+def test_byte_scales():
+    assert units.MB == 1024 * units.KB
+    assert units.GB == 1024 * units.MB
