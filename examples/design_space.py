@@ -4,26 +4,38 @@ Shows the leakage/energy/area cost of pushing the pipeline frequency
 toward the nTron-imposed ~9.7 GHz ceiling, and the resulting array
 characteristics SMART adopts (Sec 4.4).
 
+The sweep executes through the experiment runtime: each frequency is
+one job, evaluated in parallel on a cold run and served from the
+content-addressed result cache on a warm one (re-run the script to see
+the hits).
+
 Run:  python examples/design_space.py
 """
 
-from repro.core import PipelinedCmosSfqArray, explore_design_space
-from repro.eval import format_table
-from repro.units import to_ns
+from repro.core import PipelinedCmosSfqArray
+from repro.core.design_space import MAX_PIPELINE_FREQUENCY
+from repro.eval import render_rows
+from repro.runtime import Runtime, Sweep
+from repro.units import GHZ, to_ns
 
 
 def main() -> None:
-    points = explore_design_space()
-    headers = ["freq (GHz)", "sub-bank MATs", "repeaters",
-               "leakage (mW)", "E/access (pJ)", "area (mm^2)"]
-    rows = [
-        [f"{p.frequency / 1e9:.2f}", p.subbank_mats, p.htree_repeaters,
-         f"{p.leakage_power * 1e3:.1f}", f"{p.access_energy * 1e12:.1f}",
-         f"{p.area * 1e6:.1f}"]
-        for p in points
-    ]
+    sweep = Sweep("design_space", grid={
+        "frequency": [0.5, 1.0, 2.0, 4.0, 6.0, 8.0,
+                      MAX_PIPELINE_FREQUENCY / GHZ],
+    })
+    runtime = Runtime()
+    results = runtime.run_sweep(sweep)
+
+    for result in results:
+        if result.error:
+            print(f"ERROR {result.job.label}: {result.error}")
+    rows = [row for result in results for row in result.rows or []]
     print("=== Fig 14: pipeline design space ===")
-    print(format_table(headers, rows))
+    print(render_rows(rows))
+    summary = runtime.last_summary
+    print(f"\n{summary.jobs} design points in {summary.wall_s:.2f}s wall "
+          f"({summary.cache_hits} served from cache)")
 
     array = PipelinedCmosSfqArray()
     print(f"\nSMART's operating point (Sec 4.4):")

@@ -2,77 +2,312 @@
 
 Usage::
 
-    python -m repro list                 # show available experiments
-    python -m repro fig18                # reproduce Fig 18
-    python -m repro fig7 fig24 tab1     # several at once
-    python -m repro all                  # everything (slow)
+    python -m repro list                  # show available experiments
+    python -m repro fig18                 # reproduce Fig 18
+    python -m repro fig7 fig24 tab1       # several at once (parallel)
+    python -m repro all                   # everything (cached+parallel)
+    python -m repro sweep design_space --param frequency=0.5,1,2,4
+    python -m repro runs                  # recent runs from the ledger
+    python -m repro cache                 # result-cache statistics
+    python -m repro cache clear           # drop every cached result
+
+Flags (anywhere on the line)::
+
+    --json         machine-readable rows instead of tables
+    --serial       run jobs inline instead of a worker pool
+    --no-cache     bypass the content-addressed result cache
+    --workers N    worker-pool width
+    --limit N      how many ledger rows ``runs`` shows (default 20)
 """
 
 from __future__ import annotations
 
+import ast
+import json
+import os
 import sys
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional
 
+from repro.errors import ConfigError
 from repro.eval import report
-from repro.eval import experiments as exp
+from repro.runtime import Job, ResultCache, RunStore, Runtime, Sweep
+from repro.runtime import registry
 
-#: Experiment registry: CLI name -> (callable, description).
-EXPERIMENTS = {
-    "fig2": (exp.fig2_wires, "PTL vs JTL vs CMOS wires"),
-    "fig5": (exp.fig5_homogeneous, "homogeneous SPM technologies"),
-    "fig6": (lambda: [
-        {"operand": k, **v} for k, v in exp.fig6_trace_structure().items()
-    ], "memory trace structure"),
-    "fig7": (exp.fig7_heterogeneous, "heterogeneous SPM technologies"),
-    "fig9": (lambda: [exp.fig9_htree_breakdown()],
-             "CMOS H-tree breakdown"),
-    "fig12": (exp.fig12_subbank_validation, "sub-bank validation"),
-    "fig13": (exp.fig13_htree_validation,
-              "SFQ H-tree validation (runs the circuit simulator)"),
-    "fig14": (exp.fig14_design_space, "pipeline design space"),
-    "fig16": (exp.fig16_access_energy, "per-access energy"),
-    "fig17": (exp.fig17_area_breakdown, "area breakdown"),
-    "fig18": (exp.fig18_single_speedup, "single-image speedup"),
-    "fig19": (exp.fig19_batch_speedup, "batch speedup"),
-    "fig20": (exp.fig20_single_energy, "single-image energy"),
-    "fig21": (exp.fig21_batch_energy, "batch energy"),
-    "fig22": (exp.fig22_shift_capacity, "SHIFT capacity sensitivity"),
-    "fig23": (exp.fig23_random_capacity, "RANDOM capacity sensitivity"),
-    "fig24": (exp.fig24_prefetch_depth, "prefetch depth sensitivity"),
-    "fig25": (exp.fig25_write_latency, "write latency sensitivity"),
-    "tab1": (exp.tab1_technologies, "cryogenic memory technologies"),
-    "tab2": (exp.tab2_components, "SFQ H-tree components"),
-    "tab4": (exp.tab4_configurations, "baseline configurations"),
-}
+
+def _figure_experiments() -> dict:
+    """CLI name -> (callable, description), paper figures only."""
+    return {e.name: (e.func, e.description)
+            for e in registry.all_experiments() if e.figure}
+
+
+#: Experiment registry view: CLI name -> (callable, description).
+EXPERIMENTS = _figure_experiments()
+
+
+@dataclass
+class CliOptions:
+    """Flags shared by every subcommand."""
+
+    as_json: bool = False
+    serial: bool = False
+    no_cache: bool = False
+    workers: Optional[int] = None
+    limit: int = 20
+
+
+def _parse_flags(argv: list[str]) -> tuple[CliOptions, list[str]]:
+    """Split flags out of ``argv``; raises ConfigError on bad usage."""
+    opts = CliOptions()
+    args: list[str] = []
+    i = 0
+    while i < len(argv):
+        token = argv[i]
+        if token == "--json":
+            opts.as_json = True
+        elif token == "--serial":
+            opts.serial = True
+        elif token == "--no-cache":
+            opts.no_cache = True
+        elif token.partition("=")[0] in ("--workers", "--limit"):
+            name, eq, value = token.partition("=")
+            if eq and not value:
+                raise ConfigError(f"{name} needs a number")
+            if not eq:
+                i += 1
+                if i >= len(argv):
+                    raise ConfigError(f"{name} needs a number")
+                value = argv[i]
+            try:
+                number = int(value)
+            except ValueError:
+                raise ConfigError(f"{name} needs a number, got {value!r}")
+            if number < 1:
+                raise ConfigError(f"{name} must be >= 1")
+            if name == "--workers":
+                opts.workers = number
+            else:
+                opts.limit = number
+        else:
+            args.append(token)
+        i += 1
+    return opts, args
+
+
+def _make_runtime(opts: CliOptions) -> Runtime:
+    return Runtime(mode="inline" if opts.serial else "auto",
+                   max_workers=opts.workers,
+                   use_cache=not opts.no_cache)
 
 
 def run(name: str) -> None:
-    """Run one experiment and print its table."""
-    func, description = EXPERIMENTS[name]
-    print(f"\n=== {name}: {description} ===")
-    rows = func()
-    headers = list(rows[0].keys())
-    body = [[row.get(h, "") for h in headers] for row in rows]
-    print(report.format_table(headers, body))
+    """Run one experiment serially and print its table."""
+    experiment = registry.get(name)
+    print(f"\n=== {name}: {experiment.description} ===")
+    print(report.render_rows(experiment.func()))
 
 
-def main(argv: list[str]) -> int:
-    """CLI dispatcher; returns a process exit code."""
-    if not argv or argv[0] in ("-h", "--help", "list"):
-        print(__doc__)
-        width = max(len(n) for n in EXPERIMENTS)
-        for name, (_, description) in EXPERIMENTS.items():
-            print(f"  {name.ljust(width)}  {description}")
-        return 0
-    names = list(EXPERIMENTS) if argv == ["all"] else argv
-    unknown = [n for n in names if n not in EXPERIMENTS]
+def _print_results(results, opts: CliOptions) -> None:
+    if opts.as_json:
+        print(report.to_json([{
+            "experiment": r.job.experiment,
+            "params": dict(r.job.params),
+            "cached": r.cached,
+            "elapsed_s": r.elapsed_s,
+            "error": r.error,
+            "rows": r.rows,
+        } for r in results]))
+        return
+    for r in results:
+        experiment = registry.get(r.job.experiment)
+        suffix = " [cached]" if r.cached else ""
+        print(f"\n=== {r.job.label}: {experiment.description}{suffix} ===")
+        if r.error:
+            print(f"ERROR: {r.error}")
+        else:
+            print(report.render_rows(r.rows))
+
+
+def _print_summary(runtime: Runtime) -> None:
+    s = runtime.last_summary
+    print(f"\n{s.jobs} job(s) in {s.wall_s:.2f}s wall "
+          f"({s.cache_hits} cache hit(s), {s.executed} executed, "
+          f"{s.errors} error(s))")
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def _cmd_list() -> int:
+    print(__doc__)
+    experiments = registry.all_experiments()
+    width = max(len(e.name) for e in experiments)
+    for e in experiments:
+        if e.figure:
+            print(f"  {e.name.ljust(width)}  {e.description}")
+    print("\nsweep targets:")
+    for e in experiments:
+        if not e.figure:
+            print(f"  {e.name.ljust(width)}  {e.description}")
+    return 0
+
+
+def _cmd_run(names: list[str], opts: CliOptions) -> int:
+    if names == ["all"]:
+        names = [e.name for e in registry.all_experiments() if e.figure]
+    unknown = [n for n in names if n not in registry.names()]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"try 'python -m repro list'")
         return 2
-    for name in names:
-        run(name)
+    runtime = _make_runtime(opts)
+    results = runtime.run_jobs([Job(n) for n in names])
+    _print_results(results, opts)
+    if len(results) > 1 and not opts.as_json:
+        _print_summary(runtime)
+    return 1 if any(r.error for r in results) else 0
+
+
+def _split_values(raw: str) -> list[str]:
+    """Split on commas outside brackets, so ``(16,32),(64,128)`` works."""
+    chunks, depth, current = [], 0, []
+    for char in raw:
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    chunks.append("".join(current))
+    return chunks
+
+
+def _parse_param(token: str) -> tuple[str, list]:
+    name, eq, raw = token.partition("=")
+    if not eq or not name or not raw:
+        raise ConfigError(f"bad --param {token!r}; expected name=v1,v2,...")
+    values = []
+    for chunk in _split_values(raw):
+        try:
+            values.append(ast.literal_eval(chunk))
+        except (ValueError, SyntaxError):
+            values.append(chunk)
+    return name, values
+
+
+def _cmd_sweep(args: list[str], opts: CliOptions) -> int:
+    if not args:
+        print("usage: python -m repro sweep <experiment> "
+              "--param name=v1,v2,... [--param ...]")
+        return 2
+    name, rest = args[0], args[1:]
+    grid = {}
+    i = 0
+    try:
+        while i < len(rest):
+            if rest[i] != "--param":
+                raise ConfigError(f"unexpected argument {rest[i]!r}")
+            if i + 1 >= len(rest):
+                raise ConfigError("--param needs name=v1,v2,...")
+            axis, values = _parse_param(rest[i + 1])
+            grid[axis] = values
+            i += 2
+        sweep = Sweep(name, grid=grid)
+        runtime = _make_runtime(opts)
+        results = runtime.run_sweep(sweep)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    _print_results(results, opts)
+    if not opts.as_json:
+        _print_summary(runtime)
+    return 1 if any(r.error for r in results) else 0
+
+
+def _cmd_runs(args: list[str], opts: CliOptions) -> int:
+    if args:
+        print(f"unknown runs argument(s) {' '.join(args)!r}; "
+              f"use --limit N to bound the listing")
+        return 2
+    store = RunStore()
+    rows = [{
+        "run_id": r.run_id,
+        "experiment": r.experiment,
+        "params": json.dumps(dict(r.params), sort_keys=True),
+        "started": datetime.fromtimestamp(r.started).isoformat(
+            timespec="seconds"),
+        "elapsed_s": r.elapsed_s,
+        "cached": r.cached,
+        "rows": r.row_count,
+        "error": r.error or "",
+    } for r in store.recent(opts.limit)]
+    print(report.render_rows(rows, as_json=opts.as_json))
     return 0
 
 
+def _cmd_cache(args: list[str], opts: CliOptions) -> int:
+    cache = ResultCache()
+    if args == ["clear"]:
+        removed = cache.clear()
+        print(f"removed {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'}")
+        return 0
+    if args and args != ["stats"]:
+        print(f"unknown cache command {' '.join(args)!r}; "
+              f"use 'cache' or 'cache clear'")
+        return 2
+    entries = cache.entries()
+    if opts.as_json:
+        print(report.to_json({
+            "cache_dir": str(cache.cache_dir),
+            "entries": entries,
+        }))
+        return 0
+    total = sum(e["bytes"] for e in entries)
+    print(f"cache dir: {cache.cache_dir} "
+          f"({len(entries)} entries, {total / 1024:.1f} KiB)")
+    rows = [{
+        "experiment": e["experiment"],
+        "params": json.dumps(e["params"], sort_keys=True),
+        "rows": e["rows"],
+        "elapsed_s": e["elapsed_s"],
+        "kib": e["bytes"] / 1024,
+    } for e in entries]
+    print(report.render_rows(rows))
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    try:
+        opts, args = _parse_flags(list(argv))
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not args or args[0] in ("-h", "--help", "list"):
+        return _cmd_list()
+    if args[0] == "sweep":
+        return _cmd_sweep(args[1:], opts)
+    if args[0] == "runs":
+        return _cmd_runs(args[1:], opts)
+    if args[0] == "cache":
+        return _cmd_cache(args[1:], opts)
+    return _cmd_run(args, opts)
+
+
+def console_main() -> None:
+    """``repro`` console-script entry point."""
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(1)
+
+
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    console_main()

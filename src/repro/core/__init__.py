@@ -5,7 +5,11 @@ pipeline design-space exploration.
 
 from repro.core.pipelined_array import PipelinedCmosSfqArray
 from repro.core.hetero_spm import SmartSpm
-from repro.core.design_space import DesignPoint, explore_design_space
+from repro.core.design_space import (
+    DesignPoint,
+    evaluate_design_point,
+    explore_design_space,
+)
 from repro.core.configs import (
     SCHEMES,
     make_accelerator,
@@ -19,6 +23,7 @@ __all__ = [
     "PipelinedCmosSfqArray",
     "SmartSpm",
     "DesignPoint",
+    "evaluate_design_point",
     "explore_design_space",
     "SCHEMES",
     "make_accelerator",

@@ -48,38 +48,63 @@ class DesignPoint:
     access_latency: float
 
 
+#: The default Fig 14 frequency sweep.
+DEFAULT_FREQUENCIES = (
+    0.5 * GHZ, 1 * GHZ, 2 * GHZ, 4 * GHZ, 6 * GHZ, 8 * GHZ,
+    MAX_PIPELINE_FREQUENCY,
+)
+
+
+def evaluate_design_point(frequency: float,
+                          capacity_bytes: int = 28 * MB,
+                          banks: int = 256) -> DesignPoint:
+    """Evaluate the array at one target pipeline frequency.
+
+    A module-level function so the runtime's process pool can ship it
+    to workers.
+
+    Raises:
+        ConfigError: if the frequency exceeds the nTron ceiling.
+    """
+    if frequency > MAX_PIPELINE_FREQUENCY * (1 + 1e-9):
+        raise ConfigError(
+            f"{frequency:.3g} Hz exceeds the nTron ceiling "
+            f"{MAX_PIPELINE_FREQUENCY:.3g} Hz"
+        )
+    array = PipelinedCmosSfqArray(
+        capacity_bytes=capacity_bytes,
+        banks=banks,
+        stage_time=1.0 / frequency,
+    )
+    return DesignPoint(
+        frequency=frequency,
+        subbank_mats=array.subbank.mats,
+        htree_repeaters=array.htree.repeater_count,
+        leakage_power=array.leakage_power,
+        access_energy=array.access_energy,
+        area=array.area,
+        access_latency=array.access_latency,
+    )
+
+
 def explore_design_space(
-    frequencies: tuple[float, ...] = (
-        0.5 * GHZ, 1 * GHZ, 2 * GHZ, 4 * GHZ, 6 * GHZ, 8 * GHZ,
-        MAX_PIPELINE_FREQUENCY,
-    ),
+    frequencies: tuple[float, ...] = DEFAULT_FREQUENCIES,
     capacity_bytes: int = 28 * MB,
     banks: int = 256,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> list[DesignPoint]:
     """Evaluate the array at each target pipeline frequency.
+
+    With ``parallel=True`` the points are evaluated concurrently
+    through the runtime's process pool (results keep frequency order).
 
     Raises:
         ConfigError: if a requested frequency exceeds the nTron ceiling.
     """
-    points = []
-    for freq in frequencies:
-        if freq > MAX_PIPELINE_FREQUENCY * (1 + 1e-9):
-            raise ConfigError(
-                f"{freq:.3g} Hz exceeds the nTron ceiling "
-                f"{MAX_PIPELINE_FREQUENCY:.3g} Hz"
-            )
-        array = PipelinedCmosSfqArray(
-            capacity_bytes=capacity_bytes,
-            banks=banks,
-            stage_time=1.0 / freq,
-        )
-        points.append(DesignPoint(
-            frequency=freq,
-            subbank_mats=array.subbank.mats,
-            htree_repeaters=array.htree.repeater_count,
-            leakage_power=array.leakage_power,
-            access_energy=array.access_energy,
-            area=array.area,
-            access_latency=array.access_latency,
-        ))
-    return points
+    argtuples = [(freq, capacity_bytes, banks) for freq in frequencies]
+    if parallel and len(argtuples) > 1:
+        from repro.runtime.executor import parallel_map
+        return parallel_map(evaluate_design_point, argtuples,
+                            mode="process", max_workers=max_workers)
+    return [evaluate_design_point(*args) for args in argtuples]

@@ -188,19 +188,40 @@ def fig13_htree_validation(lengths_mm=(0.1, 0.2, 0.4, 0.8),
     return rows
 
 
+def _design_point_row(point) -> dict:
+    """One Fig 14-style row for a :class:`DesignPoint`."""
+    return {
+        "frequency_ghz": point.frequency / GHZ,
+        "leakage_mw": point.leakage_power * 1e3,
+        "access_energy_pj": to_pj(point.access_energy),
+        "area_mm2": point.area * 1e6,
+        "subbank_mats": point.subbank_mats,
+        "repeaters": point.htree_repeaters,
+    }
+
+
 def fig14_design_space() -> list[dict]:
     """Fig 14: leakage / energy / area vs pipeline frequency."""
-    rows = []
-    for point in explore_design_space():
-        rows.append({
-            "frequency_ghz": point.frequency / GHZ,
-            "leakage_mw": point.leakage_power * 1e3,
-            "access_energy_pj": to_pj(point.access_energy),
-            "area_mm2": point.area * 1e6,
-            "subbank_mats": point.subbank_mats,
-            "repeaters": point.htree_repeaters,
-        })
-    return rows
+    return [_design_point_row(p) for p in explore_design_space()]
+
+
+def design_space(frequency: float | None = None,
+                 capacity_mb: float = 28.0,
+                 banks: int = 256) -> list[dict]:
+    """Parametric design-space experiment for runtime sweeps.
+
+    ``frequency`` is in GHz; ``None`` evaluates the full Fig 14 sweep.
+    Registered under ``design_space`` so
+    ``python -m repro sweep design_space --param frequency=0.5,1,2``
+    runs one cached job per grid point.
+    """
+    from repro.core.design_space import explore_design_space as explore
+    kwargs = dict(capacity_bytes=int(capacity_mb * MB), banks=banks)
+    if frequency is None:
+        points = explore(**kwargs)
+    else:
+        points = explore(frequencies=(float(frequency) * GHZ,), **kwargs)
+    return [_design_point_row(p) for p in points]
 
 
 # ---------------------------------------------------------------------------
@@ -473,3 +494,64 @@ def tab4_configurations() -> list[dict]:
             "spm_bytes": acc.memsys.total_capacity,
         })
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Runtime registry wiring
+# ---------------------------------------------------------------------------
+def fig6_trace_rows(model: str = "AlexNet",
+                    layer_name: str = "conv2") -> list[dict]:
+    """Fig 6 as flat rows (one per operand) for the runtime/CLI."""
+    return [
+        {"operand": operand, **stats}
+        for operand, stats in fig6_trace_structure(model,
+                                                   layer_name).items()
+    ]
+
+
+def fig9_htree_rows() -> list[dict]:
+    """Fig 9 as a single-row table for the runtime/CLI."""
+    return [fig9_htree_breakdown()]
+
+
+#: (name, callable, description); the registration order is the
+#: ``python -m repro all`` execution/report order.
+_FIGURE_EXPERIMENTS = (
+    ("fig2", fig2_wires, "PTL vs JTL vs CMOS wires"),
+    ("fig5", fig5_homogeneous, "homogeneous SPM technologies"),
+    ("fig6", fig6_trace_rows, "memory trace structure"),
+    ("fig7", fig7_heterogeneous, "heterogeneous SPM technologies"),
+    ("fig9", fig9_htree_rows, "CMOS H-tree breakdown"),
+    ("fig12", fig12_subbank_validation, "sub-bank validation"),
+    ("fig13", fig13_htree_validation,
+     "SFQ H-tree validation (runs the circuit simulator)"),
+    ("fig14", fig14_design_space, "pipeline design space"),
+    ("fig16", fig16_access_energy, "per-access energy"),
+    ("fig17", fig17_area_breakdown, "area breakdown"),
+    ("fig18", fig18_single_speedup, "single-image speedup"),
+    ("fig19", fig19_batch_speedup, "batch speedup"),
+    ("fig20", fig20_single_energy, "single-image energy"),
+    ("fig21", fig21_batch_energy, "batch energy"),
+    ("fig22", fig22_shift_capacity, "SHIFT capacity sensitivity"),
+    ("fig23", fig23_random_capacity, "RANDOM capacity sensitivity"),
+    ("fig24", fig24_prefetch_depth, "prefetch depth sensitivity"),
+    ("fig25", fig25_write_latency, "write latency sensitivity"),
+    ("tab1", tab1_technologies, "cryogenic memory technologies"),
+    ("tab2", tab2_components, "SFQ H-tree components"),
+    ("tab4", tab4_configurations, "baseline configurations"),
+)
+
+
+def _register_defaults() -> None:
+    from repro.runtime.registry import register_experiment
+
+    for name, func, description in _FIGURE_EXPERIMENTS:
+        register_experiment(name, func, description)
+    # Parametric experiments: sweep targets, not part of ``repro all``.
+    register_experiment(
+        "design_space", design_space,
+        "pipelined array design point(s); params: frequency (GHz), "
+        "capacity_mb, banks", figure=False)
+
+
+_register_defaults()

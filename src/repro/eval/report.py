@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import ConfigError
 
@@ -37,3 +38,26 @@ def format_table(headers: Sequence[str],
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+def to_json(payload: object) -> str:
+    """The one JSON serialisation path for machine-readable output."""
+    return json.dumps(payload, indent=2, default=str)
+
+
+def render_rows(rows: Sequence[Mapping[str, object]],
+                as_json: bool = False) -> str:
+    """Render dict rows as a fixed-width table or a JSON array.
+
+    The single formatting path shared by the CLI, the runtime commands
+    and the examples; empty input renders an explicit notice instead of
+    crashing on ``rows[0]``.
+    """
+    rows = list(rows)
+    if as_json:
+        return to_json(rows)
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    return format_table(headers, body)

@@ -1,0 +1,61 @@
+"""Experiment orchestration runtime.
+
+All evaluation traffic flows through here: declarative
+:class:`~repro.runtime.spec.Job` / :class:`~repro.runtime.spec.Sweep`
+specs name registered experiments, the
+:class:`~repro.runtime.engine.Runtime` serves results from a
+content-addressed cache or fans misses out to a process/thread pool,
+and every outcome lands in a persistent JSONL run ledger.
+
+Quick start::
+
+    from repro.runtime import Runtime, Sweep
+
+    runtime = Runtime()
+    results = runtime.run_sweep(Sweep(
+        "design_space", grid={"frequency": [0.5, 1.0, 2.0, 4.0]}))
+    for result in results:
+        print(result.job.label, result.elapsed_s, result.cached)
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, code_version
+from repro.runtime.engine import RunSummary, Runtime
+from repro.runtime.executor import (
+    JobResult,
+    execute,
+    parallel_map,
+    resolve_mode,
+)
+from repro.runtime.registry import (
+    Experiment,
+    all_experiments,
+    ensure_default_experiments,
+    register_experiment,
+    unregister_experiment,
+    validate_params,
+)
+from repro.runtime.spec import Job, Sweep, canonical_params
+from repro.runtime.store import RunRecord, RunStore
+
+__all__ = [
+    "CacheStats",
+    "Experiment",
+    "Job",
+    "JobResult",
+    "ResultCache",
+    "RunRecord",
+    "RunStore",
+    "RunSummary",
+    "Runtime",
+    "Sweep",
+    "all_experiments",
+    "canonical_params",
+    "code_version",
+    "ensure_default_experiments",
+    "execute",
+    "parallel_map",
+    "register_experiment",
+    "resolve_mode",
+    "unregister_experiment",
+    "validate_params",
+]

@@ -1,0 +1,165 @@
+"""Content-addressed result cache for experiment rows.
+
+A cache key is the SHA-256 of (experiment name, canonical parameter
+JSON, code version); the code version fingerprints every ``.py`` file
+of the installed ``repro`` package, so editing any model invalidates
+the whole cache rather than serving stale rows.  Entries live as one
+JSON file per key under a configurable directory, fronted by a small
+in-process LRU so repeated lookups within a session never touch disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.runtime.spec import canonical_params
+
+#: Environment variable overriding the default on-disk location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Fingerprint of the package source (memoised per process)."""
+    global _code_version
+    if _code_version is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """On-disk JSON store of experiment rows with an in-process LRU."""
+
+    def __init__(self, cache_dir: str | Path | None = None,
+                 memory_slots: int = 128) -> None:
+        self.cache_dir = Path(
+            cache_dir or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        )
+        self.memory_slots = memory_slots
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- keys ------------------------------------------------------------
+    def key(self, experiment: str, params: Mapping[str, Any],
+            version: str | None = None) -> str:
+        """Content address of one (experiment, params, code) triple."""
+        payload = json.dumps({
+            "experiment": experiment,
+            "params": canonical_params(params),
+            "code": version or code_version(),
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    # -- lookup / store --------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """Return the cached entry for ``key``, or ``None`` on a miss."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        path = self._path(key)
+        if path.exists():
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                entry = None
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._remember(key, entry)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, experiment: str, params: Mapping[str, Any],
+            rows: list, elapsed_s: float = 0.0) -> dict:
+        """Store rows under ``key`` (atomic write) and return the entry."""
+        entry = {
+            "experiment": experiment,
+            "params": dict(params),
+            "rows": rows,
+            "elapsed_s": elapsed_s,
+            "created": time.time(),
+        }
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry))
+        os.replace(tmp, path)
+        self._remember(key, entry)
+        self.stats.stores += 1
+        return entry
+
+    def _remember(self, key: str, entry: dict) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_slots:
+            self._memory.popitem(last=False)
+
+    # -- maintenance -----------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Metadata for every on-disk entry (rows elided)."""
+        out = []
+        if not self.cache_dir.is_dir():
+            return out
+        for path in sorted(self.cache_dir.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            out.append({
+                "key": path.stem,
+                "experiment": entry.get("experiment", "?"),
+                "params": entry.get("params", {}),
+                "rows": len(entry.get("rows") or []),
+                "elapsed_s": entry.get("elapsed_s", 0.0),
+                "created": entry.get("created", 0.0),
+                "bytes": path.stat().st_size,
+            })
+        return out
+
+    def clear(self) -> int:
+        """Delete every on-disk entry; returns how many were removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        self._memory.clear()
+        return removed

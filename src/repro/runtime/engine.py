@@ -1,0 +1,128 @@
+"""The orchestration engine tying specs, cache, executor and store.
+
+:class:`Runtime` is the one entry point evaluation traffic flows
+through: it validates job specs against the registry, serves cache
+hits, fans the misses out to the executor, stores fresh results, and
+appends every outcome to the persistent run ledger.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.runtime import registry
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import JobResult, execute
+from repro.runtime.spec import Job, Sweep
+from repro.runtime.store import RunRecord, RunStore, new_run_id
+
+
+@dataclass
+class RunSummary:
+    """Aggregate accounting for one :meth:`Runtime.run_jobs` call."""
+
+    jobs: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+
+
+class Runtime:
+    """Experiment orchestrator with caching, parallelism and a ledger.
+
+    Args:
+        cache: result cache to consult/populate; built from the
+            environment when omitted.  Pass ``use_cache=False`` to
+            bypass caching entirely.
+        store: run ledger; built from the environment when omitted.
+            Pass ``record_runs=False`` to skip ledger writes.
+        mode: execution mode (``auto``/``process``/``thread``/``inline``).
+        max_workers: pool width; defaults to the CPU count.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 store: Optional[RunStore] = None, mode: str = "auto",
+                 max_workers: Optional[int] = None, use_cache: bool = True,
+                 record_runs: bool = True) -> None:
+        self.cache = (cache or ResultCache()) if use_cache else None
+        self.store = (store or RunStore()) if record_runs else None
+        self.mode = mode
+        self.max_workers = max_workers
+        self.last_summary = RunSummary()
+
+    # -- public API ------------------------------------------------------
+    def run_jobs(self, jobs: Iterable[Job]) -> list[JobResult]:
+        """Run jobs (cache-first, then parallel) in submission order."""
+        jobs = list(jobs)
+        for job in jobs:
+            experiment = registry.get(job.experiment)
+            registry.validate_params(experiment, job.params)
+
+        started = time.perf_counter()
+        results: list[Optional[JobResult]] = [None] * len(jobs)
+        keys: list[Optional[str]] = [None] * len(jobs)
+        pending: list[int] = []
+        for i, job in enumerate(jobs):
+            if self.cache is not None:
+                keys[i] = self.cache.key(job.experiment, job.params)
+                entry = self.cache.get(keys[i])
+                if entry is not None:
+                    results[i] = JobResult(
+                        job, rows=entry["rows"],
+                        elapsed_s=entry.get("elapsed_s", 0.0),
+                        cached=True, worker="cache")
+                    continue
+            pending.append(i)
+
+        executed = execute([jobs[i] for i in pending], mode=self.mode,
+                           max_workers=self.max_workers)
+        for i, result in zip(pending, executed):
+            results[i] = result
+            if (self.cache is not None and result.ok
+                    and keys[i] is not None):
+                self.cache.put(keys[i], result.job.experiment,
+                               result.job.params, result.rows,
+                               result.elapsed_s)
+
+        final = [r for r in results if r is not None]
+        self._record(final)
+        self.last_summary = RunSummary(
+            jobs=len(final),
+            cache_hits=sum(r.cached for r in final),
+            executed=len(pending),
+            errors=sum(not r.ok for r in final),
+            wall_s=time.perf_counter() - started,
+        )
+        return final
+
+    def run_sweep(self, sweep: Sweep) -> list[JobResult]:
+        """Expand a sweep's grid and run every job."""
+        return self.run_jobs(sweep.jobs())
+
+    def run_experiment(self, name: str, **params) -> JobResult:
+        """Convenience wrapper: run a single job and return its result."""
+        return self.run_jobs([Job(name, params)])[0]
+
+    # -- internals -------------------------------------------------------
+    def _record(self, results: list[JobResult]) -> None:
+        if self.store is None:
+            return
+        now = time.time()
+        for result in results:
+            # A cache hit costs ~nothing; its JobResult carries the
+            # ORIGINAL run's elapsed time, which must not be re-logged
+            # as if the work happened again.
+            elapsed = 0.0 if result.cached else result.elapsed_s
+            self.store.append(RunRecord(
+                run_id=new_run_id(),
+                experiment=result.job.experiment,
+                params=dict(result.job.params),
+                started=now - elapsed,
+                elapsed_s=elapsed,
+                cached=result.cached,
+                error=result.error,
+                row_count=len(result.rows or []),
+            ))

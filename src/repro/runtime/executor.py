@@ -1,0 +1,176 @@
+"""Parallel job execution on top of :mod:`concurrent.futures`.
+
+Workers receive only (experiment name, params) pairs and resolve the
+callable through the registry inside the worker, so process pools never
+pickle closures.  Results always come back in submission order; a job
+that raises is captured as a per-job error string instead of aborting
+the batch.  If the platform refuses process pools (restricted sandboxes
+without semaphores), execution transparently falls back to threads.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.runtime.spec import Job
+
+#: Recognised execution modes.
+MODES = ("auto", "process", "thread", "inline")
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: rows or an error, plus wall-time metadata.
+
+    Attributes:
+        job: the spec that produced this result.
+        rows: experiment rows on success, ``None`` on failure.
+        error: ``"ExcType: message"`` on failure, ``None`` on success.
+        elapsed_s: wall time of the experiment callable itself.
+        cached: rows were served from the result cache.
+        worker: where the job ran (process/thread/inline/cache).
+    """
+
+    job: Job
+    rows: Optional[list] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+    cached: bool = False
+    worker: str = "inline"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _call_experiment(name: str, params: dict) -> tuple[list, float]:
+    """Worker entry point: resolve by name and time the call."""
+    from repro.runtime import registry
+
+    start = time.perf_counter()
+    rows = registry.get(name).func(**params)
+    return rows, time.perf_counter() - start
+
+
+def resolve_mode(jobs: Sequence[Job], mode: str = "auto") -> str:
+    """Pick a concrete execution mode for this batch of jobs.
+
+    Experiments are pure-Python CPU-bound code, so the GIL makes
+    threads useless for speedup; auto mode therefore picks a process
+    pool for any multi-job batch (with a thread fallback only for
+    platforms that refuse process pools) and runs single jobs inline.
+    """
+    if mode not in MODES:
+        raise ConfigError(f"unknown execution mode {mode!r}; use "
+                          f"one of {', '.join(MODES)}")
+    if mode != "auto":
+        return mode
+    return "inline" if len(jobs) <= 1 else "process"
+
+
+def default_workers(n_jobs: int) -> int:
+    return max(1, min(n_jobs, os.cpu_count() or 2))
+
+
+def _execute_inline(jobs: Sequence[Job]) -> list[JobResult]:
+    results = []
+    for job in jobs:
+        try:
+            rows, elapsed = _call_experiment(job.experiment,
+                                             dict(job.params))
+            results.append(JobResult(job, rows=rows, elapsed_s=elapsed))
+        except Exception as exc:
+            results.append(JobResult(
+                job, error=f"{type(exc).__name__}: {exc}"))
+    return results
+
+
+def _execute_pool(jobs: Sequence[Job], pool_cls, label: str,
+                  max_workers: Optional[int]) -> list[JobResult]:
+    results: list[Optional[JobResult]] = [None] * len(jobs)
+    workers = max_workers or default_workers(len(jobs))
+    with pool_cls(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_call_experiment, job.experiment, dict(job.params))
+            for job in jobs
+        ]
+        for i, (job, future) in enumerate(zip(jobs, futures)):
+            try:
+                rows, elapsed = future.result()
+                results[i] = JobResult(job, rows=rows, elapsed_s=elapsed,
+                                       worker=label)
+            except BrokenExecutor:
+                raise
+            except Exception as exc:
+                results[i] = JobResult(
+                    job, error=f"{type(exc).__name__}: {exc}",
+                    worker=label)
+    return results  # type: ignore[return-value]
+
+
+def execute(jobs: Iterable[Job], mode: str = "auto",
+            max_workers: Optional[int] = None) -> list[JobResult]:
+    """Run jobs and return their results in submission order.
+
+    Errors raised by individual experiments are aggregated into the
+    corresponding :class:`JobResult`; they never abort the batch.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    mode = resolve_mode(jobs, mode)
+    if mode == "inline":
+        return _execute_inline(jobs)
+    if mode == "process":
+        try:
+            return _execute_pool(jobs, ProcessPoolExecutor, "process",
+                                 max_workers)
+        except (BrokenExecutor, OSError):
+            mode = "thread"  # sandboxes without fork/semaphores
+    return _execute_pool(jobs, ThreadPoolExecutor, "thread", max_workers)
+
+
+def parallel_map(func: Callable[..., Any],
+                 argtuples: Iterable[tuple],
+                 mode: str = "process",
+                 max_workers: Optional[int] = None) -> list[Any]:
+    """Order-preserving parallel map over argument tuples.
+
+    Unlike :func:`execute`, exceptions propagate to the caller (the
+    first failing item in submission order wins).  ``func`` must be a
+    module-level callable when ``mode="process"``.
+    """
+    items = list(argtuples)
+    if mode == "inline" or len(items) <= 1:
+        return [func(*args) for args in items]
+    pool_cls = {"process": ProcessPoolExecutor,
+                "thread": ThreadPoolExecutor}.get(mode)
+    if pool_cls is None:
+        raise ConfigError(f"unknown execution mode {mode!r}")
+    workers = max_workers or default_workers(len(items))
+    # Only pool-infrastructure failures may trigger the thread
+    # fallback; an OSError raised by ``func`` itself must propagate,
+    # not silently re-run the whole map.
+    try:
+        pool = pool_cls(max_workers=workers)
+        with pool:
+            futures = [pool.submit(func, *args) for args in items]
+    except (BrokenExecutor, OSError):
+        if mode != "process":
+            raise
+        return parallel_map(func, items, "thread", max_workers)
+    try:
+        return [future.result() for future in futures]
+    except BrokenExecutor:
+        if mode != "process":
+            raise
+        return parallel_map(func, items, "thread", max_workers)

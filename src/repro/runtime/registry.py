@@ -1,0 +1,96 @@
+"""The experiment registry: named callables the runtime can execute.
+
+Experiments register themselves (``repro.eval.experiments`` does so on
+import) and are thereafter addressable by name from job specs, the CLI
+and worker processes — the runtime never pickles callables, only names,
+so lambdas and process pools cannot collide.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment.
+
+    Attributes:
+        name: registry key (CLI name).
+        func: callable returning a list of dict rows.
+        description: one-line summary shown by ``repro list``.
+        figure: part of the paper-figure suite run by ``repro all``.
+    """
+
+    name: str
+    func: Callable[..., list[dict]]
+    description: str
+    figure: bool = True
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register_experiment(name: str, func: Callable[..., list[dict]],
+                        description: str,
+                        figure: bool = True) -> Experiment:
+    """Register ``func`` under ``name``; replaces any previous entry."""
+    experiment = Experiment(name, func, description, figure)
+    _REGISTRY[name] = experiment
+    return experiment
+
+
+def unregister_experiment(name: str) -> None:
+    """Drop ``name`` from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def ensure_default_experiments() -> None:
+    """Load the stock paper-figure experiments into the registry."""
+    import repro.eval.experiments  # noqa: F401  (registers on import)
+
+
+def get(name: str) -> Experiment:
+    """Look up one experiment.
+
+    Raises:
+        ConfigError: if the name is not registered.
+    """
+    ensure_default_experiments()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {name!r}; try 'python -m repro list'"
+        ) from None
+
+
+def names() -> list[str]:
+    """All registered names, in registration order."""
+    ensure_default_experiments()
+    return list(_REGISTRY)
+
+
+def all_experiments() -> list[Experiment]:
+    """All registered experiments, in registration order."""
+    ensure_default_experiments()
+    return list(_REGISTRY.values())
+
+
+def validate_params(experiment: Experiment,
+                    params: Mapping[str, Any]) -> None:
+    """Check ``params`` binds to the experiment's signature.
+
+    Raises:
+        ConfigError: on unknown parameter names.
+    """
+    try:
+        inspect.signature(experiment.func).bind_partial(**params)
+    except TypeError as exc:
+        raise ConfigError(
+            f"bad parameters for {experiment.name!r}: {exc}"
+        ) from exc

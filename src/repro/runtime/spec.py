@@ -1,0 +1,113 @@
+"""Declarative job specifications for the experiment runtime.
+
+A :class:`Job` names one registered experiment plus the keyword
+parameters it should run with; a :class:`Sweep` is a parameter grid
+over one experiment that expands into the cartesian product of jobs.
+Both are plain frozen dataclasses so they can be constructed in specs,
+logged, hashed and shipped to worker processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigError
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """Canonical JSON encoding of a parameter mapping.
+
+    Keys are sorted so that two mappings with the same items produce the
+    same string; the result is the unit the cache hashes.
+
+    Raises:
+        ConfigError: if a value is not JSON-serialisable.
+    """
+    try:
+        return json.dumps(dict(params), sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"experiment parameters must be JSON-serialisable: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class Job:
+    """One experiment invocation: a registered name plus parameters.
+
+    Attributes:
+        experiment: registry name of the experiment callable.
+        params: keyword arguments passed to the callable.
+    """
+
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.experiment or not isinstance(self.experiment, str):
+            raise ConfigError("a Job needs a non-empty experiment name")
+        object.__setattr__(self, "params", dict(self.params))
+        canonical_params(self.params)  # fail fast on bad values
+
+    @property
+    def label(self) -> str:
+        """Human-readable label, e.g. ``design_space[frequency=2]``."""
+        if not self.params:
+            return self.experiment
+        inner = ",".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.experiment}[{inner}]"
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A parameter grid over one experiment.
+
+    Attributes:
+        experiment: registry name of the experiment callable.
+        grid: parameter name -> sequence of values to sweep.
+        base: parameters shared by every job (overridden by the grid).
+    """
+
+    experiment: str
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    base: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.experiment or not isinstance(self.experiment, str):
+            raise ConfigError("a Sweep needs a non-empty experiment name")
+        grid = {}
+        for name, values in dict(self.grid).items():
+            if isinstance(values, (str, bytes)) or not isinstance(
+                    values, Sequence):
+                raise ConfigError(
+                    f"sweep axis {name!r} must be a sequence of values"
+                )
+            if not values:
+                raise ConfigError(f"sweep axis {name!r} is empty")
+            grid[name] = list(values)
+        object.__setattr__(self, "grid", grid)
+        object.__setattr__(self, "base", dict(self.base))
+        canonical_params(self.base)
+
+    @property
+    def size(self) -> int:
+        """Number of jobs the grid expands into."""
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n
+
+    def jobs(self) -> list[Job]:
+        """Expand the grid into jobs, in deterministic axis order."""
+        if not self.grid:
+            return [Job(self.experiment, dict(self.base))]
+        axes = list(self.grid)
+        jobs = []
+        for combo in itertools.product(*(self.grid[a] for a in axes)):
+            params = dict(self.base)
+            params.update(zip(axes, combo))
+            jobs.append(Job(self.experiment, params))
+        return jobs

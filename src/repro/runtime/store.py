@@ -1,0 +1,108 @@
+"""Persistent run store: a JSONL ledger of past experiment runs.
+
+Every job the runtime executes (or serves from cache) appends one line
+with its parameters, timing and outcome, so ``python -m repro runs``
+can answer "what ran, when, and how long did it take" across sessions.
+Malformed lines are skipped on read — a truncated tail (crash mid-
+write) never poisons the ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+#: Environment variable overriding the default ledger path.
+RUN_STORE_ENV = "REPRO_RUN_STORE"
+
+#: Default ledger path, relative to the working directory.
+DEFAULT_RUN_STORE = ".repro-cache/runs.jsonl"
+
+
+def new_run_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ledger line.
+
+    Attributes:
+        run_id: unique id for this execution.
+        experiment: registry name that ran.
+        params: parameters the job ran with.
+        started: POSIX timestamp the job started.
+        elapsed_s: wall time of the experiment callable.
+        cached: rows came from the result cache.
+        error: failure string, or ``None`` on success.
+        row_count: number of rows produced.
+    """
+
+    run_id: str
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    started: float = 0.0
+    elapsed_s: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+    row_count: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        data = json.loads(line)
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__
+                      if k in data})
+
+
+class RunStore:
+    """Append-only JSONL ledger of :class:`RunRecord` lines."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(
+            path or os.environ.get(RUN_STORE_ENV) or DEFAULT_RUN_STORE
+        )
+
+    def append(self, record: RunRecord) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(record.to_json() + "\n")
+
+    def records(self) -> list[RunRecord]:
+        """Every parseable record, oldest first."""
+        if not self.path.exists():
+            return []
+        out = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(RunRecord.from_json(line))
+            except (json.JSONDecodeError, TypeError):
+                continue
+        return out
+
+    def recent(self, limit: int = 20) -> list[RunRecord]:
+        """The last ``limit`` records, newest first."""
+        return list(reversed(self.records()[-limit:]))
+
+    def for_experiment(self, name: str) -> list[RunRecord]:
+        """All records of one experiment, oldest first."""
+        return [r for r in self.records() if r.experiment == name]
+
+    def clear(self) -> int:
+        """Delete the ledger; returns how many records were dropped."""
+        count = len(self.records())
+        if self.path.exists():
+            self.path.unlink()
+        return count
+
+    def __len__(self) -> int:
+        return len(self.records())

@@ -1,0 +1,13 @@
+"""Shared fixtures: keep runtime state out of the working directory."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_runtime_state(tmp_path, monkeypatch):
+    """Point the result cache and run ledger at a per-test tmp dir."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setenv("REPRO_RUN_STORE",
+                       str(tmp_path / "repro-cache" / "runs.jsonl"))

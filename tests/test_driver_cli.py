@@ -1,8 +1,10 @@
 """Tests for the network compiler driver and the CLI entry point."""
 
+import json
+
 import pytest
 
-from repro.__main__ import EXPERIMENTS, main
+from repro.__main__ import EXPERIMENTS, main, run
 from repro.compiler.driver import NetworkCompiler
 from repro.cryomem import TABLE1
 from repro.cryomem.validation import ARRAY_DEMO_DATA
@@ -62,6 +64,139 @@ class TestCli:
         assert main(["tab2"]) == 0
         out = capsys.readouterr().out
         assert "ntron" in out
+
+    def test_json_flag_emits_machine_readable_rows(self, capsys):
+        assert main(["--json", "tab2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment"] == "tab2"
+        assert {r["component"] for r in payload[0]["rows"]} >= {"ntron"}
+
+    def test_second_run_is_served_from_cache(self, capsys):
+        assert main(["tab2"]) == 0
+        capsys.readouterr()
+        assert main(["--json", "tab2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["cached"] is True
+
+    def test_serial_and_no_cache_flags(self, capsys):
+        assert main(["--serial", "--no-cache", "tab2"]) == 0
+        assert "ntron" in capsys.readouterr().out
+
+    def test_bad_workers_value(self, capsys):
+        assert main(["--workers", "zero", "tab2"]) == 2
+
+    def test_workers_typo_is_not_a_flag(self, capsys):
+        # `--workersX 4` must not silently configure anything
+        assert main(["--workersX", "4", "tab2"]) == 2
+
+    def test_empty_workers_value_rejected(self, capsys):
+        assert main(["--workers=", "4", "tab2"]) == 2
+
+
+@pytest.fixture
+def empty_experiment():
+    from repro.runtime import register_experiment, unregister_experiment
+
+    register_experiment("_empty_test", lambda: [],
+                        "returns no rows", figure=False)
+    yield "_empty_test"
+    unregister_experiment("_empty_test")
+
+
+class TestZeroRows:
+    def test_main_prints_notice_instead_of_crashing(self, capsys,
+                                                    empty_experiment):
+        assert main([empty_experiment]) == 0
+        assert "(no rows)" in capsys.readouterr().out
+
+    def test_run_helper_prints_notice(self, capsys, empty_experiment):
+        run(empty_experiment)  # regression: used to raise IndexError
+        assert "(no rows)" in capsys.readouterr().out
+
+
+class TestSweepCli:
+    def test_sweep_runs_grid_and_reports_hits_on_rerun(self, capsys):
+        args = ["sweep", "design_space", "--param", "frequency=0.5,1"]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "design_space[frequency=0.5]" in cold
+        assert "design_space[frequency=1]" in cold
+        assert "2 job(s)" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "2 cache hit(s), 0 executed" in warm
+
+    def test_sweep_json_output(self, capsys):
+        assert main(["--json", "sweep", "design_space",
+                     "--param", "frequency=1,2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["params"]["frequency"] for p in payload] == [1, 2]
+        assert all(p["error"] is None for p in payload)
+
+    def test_sweep_unknown_experiment(self, capsys):
+        assert main(["sweep", "fig99", "--param", "x=1"]) == 2
+
+    def test_sweep_unknown_parameter(self, capsys):
+        assert main(["sweep", "design_space",
+                     "--param", "bogus=1"]) == 2
+
+    def test_sweep_tuple_values(self, capsys):
+        from repro.__main__ import _parse_param
+
+        axis, values = _parse_param("sizes_kb=(16,32),(64,128)")
+        assert axis == "sizes_kb"
+        assert values == [(16, 32), (64, 128)]
+
+    def test_sweep_bad_param_syntax(self, capsys):
+        assert main(["sweep", "design_space", "--param",
+                     "frequency"]) == 2
+
+    def test_sweep_without_experiment(self, capsys):
+        assert main(["sweep"]) == 2
+
+    def test_failing_job_exits_1(self, capsys):
+        # 20 GHz exceeds the nTron ceiling -> ConfigError inside the job
+        assert main(["sweep", "design_space",
+                     "--param", "frequency=1,20"]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR: ConfigError" in out
+        assert "1 error(s)" in out
+
+
+class TestRunsAndCacheCli:
+    def test_runs_lists_the_ledger(self, capsys):
+        assert main(["tab2"]) == 0
+        capsys.readouterr()
+        assert main(["runs"]) == 0
+        out = capsys.readouterr().out
+        assert "tab2" in out
+
+    def test_runs_json_and_limit(self, capsys):
+        main(["tab2"])
+        main(["tab1"])
+        capsys.readouterr()
+        assert main(["--json", "--limit", "1", "runs"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["experiment"] == "tab1"  # newest first
+
+    def test_cache_stats_and_clear(self, capsys):
+        main(["tab2"])
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        assert "tab2" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert main(["cache"]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_unknown_subcommand(self, capsys):
+        assert main(["cache", "explode"]) == 2
+
+    def test_runs_rejects_positional_arguments(self, capsys):
+        # `runs 5` is a natural typo for `runs --limit 5`
+        assert main(["runs", "5"]) == 2
+        assert "--limit" in capsys.readouterr().out
 
 
 class TestArrayDemoData:

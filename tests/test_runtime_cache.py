@@ -1,0 +1,114 @@
+"""Tests for the content-addressed result cache."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(cache_dir=tmp_path / "cache", memory_slots=4)
+
+
+ROWS = [{"x": 1, "y": 2.5}, {"x": 2, "y": 5.0}]
+
+
+class TestKeys:
+    def test_same_spec_same_key(self, cache):
+        assert (cache.key("fig18", {"a": 1, "b": 2})
+                == cache.key("fig18", {"b": 2, "a": 1}))
+
+    def test_changed_parameter_changes_key(self, cache):
+        assert cache.key("fig18", {"a": 1}) != cache.key("fig18", {"a": 2})
+
+    def test_changed_experiment_changes_key(self, cache):
+        assert cache.key("fig18", {}) != cache.key("fig19", {})
+
+    def test_changed_code_version_changes_key(self, cache):
+        assert (cache.key("fig18", {}, version="v1")
+                != cache.key("fig18", {}, version="v2"))
+
+    def test_non_serialisable_params_rejected(self, cache):
+        with pytest.raises(ConfigError):
+            cache.key("fig18", {"f": lambda: None})
+
+
+class TestStore:
+    def test_round_trip(self, cache):
+        key = cache.key("fig18", {"a": 1})
+        assert cache.get(key) is None
+        cache.put(key, "fig18", {"a": 1}, ROWS, elapsed_s=0.5)
+        entry = cache.get(key)
+        assert entry["rows"] == ROWS
+        assert entry["elapsed_s"] == 0.5
+
+    def test_persists_across_instances(self, tmp_path):
+        first = ResultCache(cache_dir=tmp_path / "cache")
+        key = first.key("fig18", {})
+        first.put(key, "fig18", {}, ROWS)
+        second = ResultCache(cache_dir=tmp_path / "cache")
+        assert second.get(key)["rows"] == ROWS
+
+    def test_float_rows_survive_json_round_trip(self, tmp_path):
+        value = 0.1 + 0.2  # not exactly representable
+        first = ResultCache(cache_dir=tmp_path / "cache")
+        key = first.key("x", {})
+        first.put(key, "x", {}, [{"v": value}])
+        second = ResultCache(cache_dir=tmp_path / "cache")
+        assert second.get(key)["rows"][0]["v"] == value
+
+    def test_stats_count_hits_and_misses(self, cache):
+        key = cache.key("fig18", {})
+        cache.get(key)
+        cache.put(key, "fig18", {}, ROWS)
+        cache.get(key)
+        cache.get(key)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        key = cache.key("fig18", {})
+        cache.put(key, "fig18", {}, ROWS)
+        cache._memory.clear()
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+
+
+class TestLru:
+    def test_eviction_keeps_disk_copy(self, cache):
+        keys = [cache.key("fig18", {"i": i}) for i in range(6)]
+        for i, key in enumerate(keys):
+            cache.put(key, "fig18", {"i": i}, ROWS)
+        assert len(cache._memory) == 4  # memory_slots
+        assert keys[0] not in cache._memory
+        assert cache.get(keys[0])["rows"] == ROWS  # served from disk
+
+    def test_recently_used_survives(self, cache):
+        keys = [cache.key("fig18", {"i": i}) for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, "fig18", {"i": i}, ROWS)
+        cache.get(keys[0])  # touch the oldest
+        cache.put(cache.key("fig18", {"i": 99}), "fig18", {"i": 99}, ROWS)
+        assert keys[0] in cache._memory
+        assert keys[1] not in cache._memory
+
+
+class TestMaintenance:
+    def test_entries_metadata(self, cache):
+        cache.put(cache.key("fig18", {"a": 1}), "fig18", {"a": 1}, ROWS,
+                  elapsed_s=1.0)
+        (entry,) = cache.entries()
+        assert entry["experiment"] == "fig18"
+        assert entry["rows"] == 2
+        assert entry["bytes"] > 0
+
+    def test_clear(self, cache):
+        for i in range(3):
+            cache.put(cache.key("fig18", {"i": i}), "fig18", {"i": i},
+                      ROWS)
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        assert cache.get(cache.key("fig18", {"i": 0})) is None

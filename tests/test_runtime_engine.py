@@ -1,0 +1,135 @@
+"""End-to-end tests for the Runtime orchestration engine."""
+
+import pytest
+
+from repro.core import explore_design_space
+from repro.errors import ConfigError
+from repro.runtime import (
+    Job,
+    ResultCache,
+    RunStore,
+    Runtime,
+    Sweep,
+    register_experiment,
+    unregister_experiment,
+)
+from repro.units import GHZ
+
+CALLS = {"count": 0}
+
+
+def _counting(n: int = 2, fail: bool = False) -> list[dict]:
+    CALLS["count"] += 1
+    if fail:
+        raise ValueError("boom")
+    return [{"i": i} for i in range(n)]
+
+
+@pytest.fixture
+def counting_experiment():
+    CALLS["count"] = 0
+    register_experiment("_counting_test", _counting,
+                        "counting test experiment", figure=False)
+    yield "_counting_test"
+    unregister_experiment("_counting_test")
+
+
+@pytest.fixture
+def runtime(tmp_path):
+    return Runtime(cache=ResultCache(tmp_path / "cache"),
+                   store=RunStore(tmp_path / "runs.jsonl"),
+                   mode="inline")
+
+
+class TestCaching:
+    def test_same_spec_hits_cache(self, runtime, counting_experiment):
+        first = runtime.run_experiment(counting_experiment, n=3)
+        second = runtime.run_experiment(counting_experiment, n=3)
+        assert CALLS["count"] == 1
+        assert not first.cached and second.cached
+        assert second.rows == first.rows
+        assert runtime.last_summary.cache_hits == 1
+
+    def test_changed_parameter_misses(self, runtime,
+                                      counting_experiment):
+        runtime.run_experiment(counting_experiment, n=3)
+        result = runtime.run_experiment(counting_experiment, n=4)
+        assert CALLS["count"] == 2
+        assert not result.cached
+        assert len(result.rows) == 4
+
+    def test_errors_are_not_cached(self, runtime, counting_experiment):
+        first = runtime.run_experiment(counting_experiment, fail=True)
+        second = runtime.run_experiment(counting_experiment, fail=True)
+        assert "ValueError" in first.error
+        assert not second.cached
+        assert CALLS["count"] == 2
+
+    def test_cache_disabled(self, tmp_path, counting_experiment):
+        runtime = Runtime(store=RunStore(tmp_path / "r.jsonl"),
+                          mode="inline", use_cache=False)
+        runtime.run_experiment(counting_experiment)
+        runtime.run_experiment(counting_experiment)
+        assert CALLS["count"] == 2
+
+
+class TestValidation:
+    def test_unknown_experiment_rejected(self, runtime):
+        with pytest.raises(ConfigError):
+            runtime.run_experiment("no_such_experiment")
+
+    def test_unknown_parameter_rejected(self, runtime,
+                                        counting_experiment):
+        with pytest.raises(ConfigError):
+            runtime.run_experiment(counting_experiment, bogus=1)
+
+
+class TestSweeps:
+    def test_sweep_matches_serial_design_space(self, runtime):
+        frequencies = (0.5, 1.0, 2.0, 4.0)
+        results = runtime.run_sweep(Sweep(
+            "design_space", grid={"frequency": list(frequencies)}))
+        swept = [row for r in results for row in r.rows]
+        serial = explore_design_space(
+            frequencies=tuple(f * GHZ for f in frequencies))
+        assert len(swept) == len(serial)
+        for row, point in zip(swept, serial):
+            assert row["frequency_ghz"] == pytest.approx(
+                point.frequency / GHZ)
+            assert row["leakage_mw"] == pytest.approx(
+                point.leakage_power * 1e3)
+            assert row["subbank_mats"] == point.subbank_mats
+
+    def test_parallel_explore_matches_serial(self):
+        serial = explore_design_space()
+        parallel = explore_design_space(parallel=True)
+        assert parallel == serial
+
+    def test_sweep_ordering_is_deterministic(self, runtime,
+                                             counting_experiment):
+        sweep = Sweep(counting_experiment, grid={"n": [1, 2, 3]})
+        results = runtime.run_sweep(sweep)
+        assert [r.job.params["n"] for r in results] == [1, 2, 3]
+
+
+class TestLedger:
+    def test_every_job_is_recorded(self, runtime, counting_experiment):
+        runtime.run_jobs([Job(counting_experiment, {"n": 2}),
+                          Job(counting_experiment, {"fail": True})])
+        records = runtime.store.records()
+        assert len(records) == 2
+        ok = [r for r in records if r.error is None]
+        bad = [r for r in records if r.error is not None]
+        assert ok[0].row_count == 2
+        assert ok[0].elapsed_s > 0.0
+        assert "ValueError" in bad[0].error
+
+    def test_cached_runs_are_recorded_as_cached(self, runtime,
+                                                counting_experiment):
+        runtime.run_experiment(counting_experiment)
+        runtime.run_experiment(counting_experiment)
+        records = runtime.store.records()
+        assert [r.cached for r in records] == [False, True]
+        # the cache hit must not re-log the original run's duration
+        assert records[0].elapsed_s > 0.0
+        assert records[1].elapsed_s == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the parallel executor: ordering, errors, mode resolution."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import (
+    Job,
+    execute,
+    parallel_map,
+    register_experiment,
+    resolve_mode,
+    unregister_experiment,
+)
+
+
+def _squares(n: int = 3, fail: bool = False) -> list[dict]:
+    if fail:
+        raise ValueError("boom")
+    return [{"i": i, "sq": i * i} for i in range(n)]
+
+
+def _read_text(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+@pytest.fixture
+def squares_experiment():
+    register_experiment("_squares_test", _squares,
+                        "test experiment", figure=False)
+    yield "_squares_test"
+    unregister_experiment("_squares_test")
+
+
+class TestResolveMode:
+    def test_single_job_runs_inline(self, squares_experiment):
+        assert resolve_mode([Job(squares_experiment)]) == "inline"
+
+    def test_batch_uses_processes(self, squares_experiment):
+        # pure-Python CPU-bound experiments gain nothing from threads
+        jobs = [Job(squares_experiment, {"n": n}) for n in (1, 2)]
+        assert resolve_mode(jobs) == "process"
+
+    def test_explicit_mode_wins(self, squares_experiment):
+        jobs = [Job(squares_experiment), Job(squares_experiment)]
+        assert resolve_mode(jobs, "inline") == "inline"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_mode([], "warp")
+
+
+class TestExecute:
+    @pytest.mark.parametrize("mode", ["inline", "thread", "process"])
+    def test_modes_agree_and_preserve_order(self, squares_experiment,
+                                            mode):
+        jobs = [Job(squares_experiment, {"n": n}) for n in (1, 3, 2)]
+        results = execute(jobs, mode=mode)
+        assert [r.job for r in results] == jobs
+        assert [len(r.rows) for r in results] == [1, 3, 2]
+        assert all(r.ok for r in results)
+
+    def test_wall_time_captured(self, squares_experiment):
+        (result,) = execute([Job(squares_experiment)], mode="inline")
+        assert result.elapsed_s > 0.0
+
+    @pytest.mark.parametrize("mode", ["inline", "thread", "process"])
+    def test_errors_are_aggregated_not_raised(self, squares_experiment,
+                                              mode):
+        jobs = [
+            Job(squares_experiment, {"n": 2}),
+            Job(squares_experiment, {"fail": True}),
+            Job(squares_experiment, {"n": 1}),
+        ]
+        results = execute(jobs, mode=mode)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert results[1].rows is None
+        assert "ValueError: boom" in results[1].error
+
+    def test_empty_batch(self):
+        assert execute([]) == []
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        results = parallel_map(pow, [(2, 3), (3, 2), (2, 5)],
+                               mode="thread")
+        assert results == [8, 9, 32]
+
+    def test_process_mode(self):
+        results = parallel_map(pow, [(2, n) for n in range(4)],
+                               mode="process")
+        assert results == [1, 2, 4, 8]
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(divmod, [(1, 1), (1, 0)], mode="thread")
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_user_oserror_propagates_without_rerun(self, tmp_path, mode):
+        # an OSError raised by func is a user error, not a pool
+        # failure; it must propagate instead of re-running the map
+        present = tmp_path / "present.txt"
+        present.write_text("ok")
+        with pytest.raises(FileNotFoundError):
+            parallel_map(_read_text,
+                         [(str(present),),
+                          (str(tmp_path / "missing.txt"),)],
+                         mode=mode)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            parallel_map(pow, [(1, 1), (2, 2)], mode="warp")

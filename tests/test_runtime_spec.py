@@ -1,0 +1,76 @@
+"""Tests for the declarative Job/Sweep specs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import Job, Sweep, canonical_params
+
+
+class TestJob:
+    def test_label_without_params(self):
+        assert Job("fig18").label == "fig18"
+
+    def test_label_with_params(self):
+        job = Job("design_space", {"frequency": 2, "banks": 128})
+        assert job.label == "design_space[frequency=2,banks=128]"
+
+    def test_params_are_copied(self):
+        params = {"frequency": 1}
+        job = Job("design_space", params)
+        params["frequency"] = 99
+        assert job.params["frequency"] == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            Job("")
+
+    def test_non_serialisable_params_rejected(self):
+        with pytest.raises(ConfigError):
+            Job("fig18", {"callback": object()})
+
+
+class TestCanonicalParams:
+    def test_key_order_insensitive(self):
+        assert (canonical_params({"a": 1, "b": 2})
+                == canonical_params({"b": 2, "a": 1}))
+
+    def test_distinct_values_distinct(self):
+        assert (canonical_params({"a": 1})
+                != canonical_params({"a": 2}))
+
+
+class TestSweep:
+    def test_grid_expansion_size_and_order(self):
+        sweep = Sweep("design_space",
+                      grid={"frequency": [1, 2], "banks": [64, 256]})
+        jobs = sweep.jobs()
+        assert sweep.size == 4
+        assert [j.params for j in jobs] == [
+            {"frequency": 1, "banks": 64},
+            {"frequency": 1, "banks": 256},
+            {"frequency": 2, "banks": 64},
+            {"frequency": 2, "banks": 256},
+        ]
+
+    def test_expansion_is_deterministic(self):
+        sweep = Sweep("design_space",
+                      grid={"frequency": [1, 2, 4], "banks": [64, 256]})
+        assert sweep.jobs() == sweep.jobs()
+
+    def test_base_params_merged_and_overridden(self):
+        sweep = Sweep("design_space", grid={"frequency": [1]},
+                      base={"banks": 128, "frequency": 9})
+        (job,) = sweep.jobs()
+        assert job.params == {"banks": 128, "frequency": 1}
+
+    def test_empty_grid_yields_single_job(self):
+        jobs = Sweep("fig18").jobs()
+        assert jobs == [Job("fig18")]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            Sweep("design_space", grid={"frequency": []})
+
+    def test_string_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            Sweep("design_space", grid={"frequency": "1,2"})

@@ -1,0 +1,76 @@
+"""Tests for the persistent JSONL run store."""
+
+import pytest
+
+from repro.runtime import RunRecord, RunStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "runs.jsonl")
+
+
+def _record(run_id: str, experiment: str = "fig18",
+            elapsed_s: float = 1.0) -> RunRecord:
+    return RunRecord(run_id=run_id, experiment=experiment,
+                     params={"a": 1}, started=100.0,
+                     elapsed_s=elapsed_s, cached=False, error=None,
+                     row_count=6)
+
+
+class TestRoundTrip:
+    def test_append_and_read_back(self, store):
+        record = _record("abc123")
+        store.append(record)
+        assert store.records() == [record]
+
+    def test_survives_reopen(self, tmp_path):
+        RunStore(tmp_path / "runs.jsonl").append(_record("abc"))
+        assert RunStore(tmp_path / "runs.jsonl").records()[0].run_id == \
+            "abc"
+
+    def test_error_field_round_trips(self, store):
+        record = RunRecord(run_id="x", experiment="fig18",
+                           error="ValueError: boom")
+        store.append(record)
+        assert store.records()[0].error == "ValueError: boom"
+
+
+class TestQueries:
+    def test_recent_is_newest_first_and_limited(self, store):
+        for i in range(5):
+            store.append(_record(f"run{i}"))
+        recent = store.recent(limit=3)
+        assert [r.run_id for r in recent] == ["run4", "run3", "run2"]
+
+    def test_for_experiment_filters(self, store):
+        store.append(_record("a", experiment="fig18"))
+        store.append(_record("b", experiment="fig19"))
+        store.append(_record("c", experiment="fig18"))
+        assert [r.run_id for r in store.for_experiment("fig18")] == \
+            ["a", "c"]
+
+    def test_len(self, store):
+        assert len(store) == 0
+        store.append(_record("a"))
+        assert len(store) == 1
+
+
+class TestRobustness:
+    def test_missing_file_is_empty(self, store):
+        assert store.records() == []
+        assert store.recent() == []
+
+    def test_malformed_lines_skipped(self, store):
+        store.append(_record("good1"))
+        with store.path.open("a") as handle:
+            handle.write("{truncated json\n")
+            handle.write("\n")
+        store.append(_record("good2"))
+        assert [r.run_id for r in store.records()] == ["good1", "good2"]
+
+    def test_clear(self, store):
+        store.append(_record("a"))
+        store.append(_record("b"))
+        assert store.clear() == 2
+        assert store.records() == []
