@@ -7,6 +7,8 @@ Usage::
     python -m repro fig7 fig24 tab1       # several at once (parallel)
     python -m repro all                   # everything (cached+parallel)
     python -m repro sweep design_space --param frequency=0.5,1,2,4
+    python -m repro serve-sim             # serving percentiles, all scenarios
+    python -m repro serve-sim bursty --policy fixed --replicas 4
     python -m repro runs                  # recent runs from the ledger
     python -m repro cache                 # result-cache statistics
     python -m repro cache clear           # drop every cached result
@@ -228,6 +230,93 @@ def _cmd_sweep(args: list[str], opts: CliOptions) -> int:
     return 1 if any(r.error for r in results) else 0
 
 
+def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
+    """Serve simulated request traffic and print percentile rows."""
+    from repro.serving import LayerMemoCache, POLICIES, get_scenario
+    from repro.serving.experiments import serving_grid
+    from repro.serving.simulator import DISPATCH_STRATEGIES
+
+    scenarios: list[str] = []
+    policies = list(POLICIES)
+    requests, replicas, batch_size, seed = 2000, 2, 8, 7
+    accelerator, dispatch = "SMART", "round_robin"
+    try:
+        i = 0
+        while i < len(args):
+            token = args[i]
+            if token in ("--requests", "--replicas", "--batch-size",
+                         "--seed"):
+                if i + 1 >= len(args):
+                    raise ConfigError(f"{token} needs a value")
+                try:
+                    value = int(args[i + 1])
+                except ValueError:
+                    raise ConfigError(
+                        f"{token} needs a number, got {args[i + 1]!r}"
+                    ) from None
+                if token != "--seed" and value < 1:
+                    raise ConfigError(f"{token} must be >= 1")
+                if token == "--requests":
+                    requests = value
+                elif token == "--replicas":
+                    replicas = value
+                elif token == "--batch-size":
+                    batch_size = value
+                else:
+                    seed = value
+                i += 2
+            elif token in ("--policy", "--accelerator", "--dispatch"):
+                if i + 1 >= len(args):
+                    raise ConfigError(f"{token} needs a value")
+                value = args[i + 1]
+                if token == "--policy":
+                    policies = value.split(",")
+                    for name in policies:
+                        if name not in POLICIES:
+                            raise ConfigError(
+                                f"unknown batching policy '{name}'; "
+                                f"known: {', '.join(POLICIES)}"
+                            )
+                elif token == "--dispatch":
+                    if value not in DISPATCH_STRATEGIES:
+                        raise ConfigError(
+                            f"unknown dispatch '{value}'; known: "
+                            f"{', '.join(DISPATCH_STRATEGIES)}"
+                        )
+                    dispatch = value
+                else:
+                    accelerator = value
+                i += 2
+            elif token.startswith("-"):
+                raise ConfigError(f"unknown serve-sim flag {token!r}")
+            else:
+                scenarios.append(token)
+                i += 1
+        from repro.core import make_accelerator
+        make_accelerator(accelerator)  # validate before the grid runs
+        for name in scenarios:
+            get_scenario(name)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    cache = LayerMemoCache()
+    rows = serving_grid(
+        requests=requests, accelerator=accelerator, replicas=replicas,
+        batch_size=batch_size, dispatch=dispatch, seed=seed,
+        scenarios=scenarios or None, policies=policies, cache=cache,
+    )
+    if opts.as_json:
+        print(report.to_json(rows))
+        return 0
+    print(f"\n=== serve-sim: {accelerator} x{replicas} "
+          f"({dispatch}), {requests} requests/scenario ===")
+    print(report.render_rows(rows))
+    print(f"\nlayer-memo: {len(cache)} distinct layer x batch results, "
+          f"{cache.stats.hit_rate:.1%} hit rate")
+    return 0
+
+
 def _cmd_runs(args: list[str], opts: CliOptions) -> int:
     if args:
         print(f"unknown runs argument(s) {' '.join(args)!r}; "
@@ -292,6 +381,8 @@ def main(argv: list[str]) -> int:
         return _cmd_list()
     if args[0] == "sweep":
         return _cmd_sweep(args[1:], opts)
+    if args[0] == "serve-sim":
+        return _cmd_serve_sim(args[1:], opts)
     if args[0] == "runs":
         return _cmd_runs(args[1:], opts)
     if args[0] == "cache":

@@ -548,6 +548,8 @@ def _register_defaults() -> None:
     for name, func, description in _FIGURE_EXPERIMENTS:
         register_experiment(name, func, description)
     # Parametric experiments: sweep targets, not part of ``repro all``.
+    # (The serving_* targets self-register from
+    # repro.serving.experiments, loaded by the registry alongside us.)
     register_experiment(
         "design_space", design_space,
         "pipelined array design point(s); params: frequency (GHz), "

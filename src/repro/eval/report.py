@@ -23,6 +23,23 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Raises:
+        ConfigError: on empty input or ``q`` outside [0, 100].
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise ConfigError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError("percentile rank must be in [0, 100]")
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
 def format_table(headers: Sequence[str],
                  rows: Sequence[Sequence[object]]) -> str:
     """Render rows as a fixed-width text table."""

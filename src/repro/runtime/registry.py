@@ -50,8 +50,9 @@ def unregister_experiment(name: str) -> None:
 
 
 def ensure_default_experiments() -> None:
-    """Load the stock paper-figure experiments into the registry."""
+    """Load the stock experiments into the registry."""
     import repro.eval.experiments  # noqa: F401  (registers on import)
+    import repro.serving.experiments  # noqa: F401  (ditto)
 
 
 def get(name: str) -> Experiment:

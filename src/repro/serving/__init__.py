@@ -1,0 +1,56 @@
+"""Request-serving simulation on top of the accelerator models.
+
+The production-facing layer: request traffic (Poisson / bursty / ramp
+arrivals over the model zoo), dynamic batching, multi-accelerator
+dispatch, and a layer-result memo cache that makes million-request
+traces cheap.  See :mod:`repro.serving.simulator` for the event loop.
+"""
+
+from repro.serving.batching import (
+    FixedSizeBatching,
+    POLICIES,
+    TimeoutBatching,
+    make_policy,
+)
+from repro.serving.memo import CacheStats, LayerMemoCache
+from repro.serving.simulator import (
+    BatchRecord,
+    DISPATCH_STRATEGIES,
+    ServingResult,
+    ServingSimulator,
+)
+from repro.serving.workload import (
+    ARRIVAL_SHAPES,
+    BurstyProcess,
+    ModelMix,
+    PoissonProcess,
+    RampProcess,
+    Request,
+    SCENARIOS,
+    Scenario,
+    generate_trace,
+    get_scenario,
+)
+
+__all__ = [
+    "ARRIVAL_SHAPES",
+    "BatchRecord",
+    "BurstyProcess",
+    "CacheStats",
+    "DISPATCH_STRATEGIES",
+    "FixedSizeBatching",
+    "LayerMemoCache",
+    "ModelMix",
+    "POLICIES",
+    "PoissonProcess",
+    "RampProcess",
+    "Request",
+    "SCENARIOS",
+    "Scenario",
+    "ServingResult",
+    "ServingSimulator",
+    "TimeoutBatching",
+    "generate_trace",
+    "get_scenario",
+    "make_policy",
+]

@@ -1,0 +1,98 @@
+"""Dynamic batching policies for the serving simulator.
+
+Requests for the *same* model queue together (a systolic batch shares
+one weight deployment, so cross-model batching is meaningless); a
+policy decides when a queue flushes into one accelerator batch:
+
+- **fixed**: flush exactly every ``batch_size`` requests — maximum
+  throughput, unbounded tail latency under light traffic;
+- **timeout**: flush at ``max_batch`` requests *or* once the oldest
+  queued request has waited ``max_wait`` seconds — the knob real
+  serving stacks (Triton/TF-Serving style) expose.
+
+Policies are pure decision objects; the event loop in
+:mod:`repro.serving.simulator` owns the queues and the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.serving.workload import Request
+
+
+@dataclass(frozen=True)
+class FixedSizeBatching:
+    """Flush a model queue whenever it holds ``batch_size`` requests."""
+
+    batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError("batch size must be >= 1")
+
+    name = "fixed"
+
+    @property
+    def max_batch(self) -> int:
+        """Largest batch this policy ever emits."""
+        return self.batch_size
+
+    def ready(self, queue: Sequence[Request]) -> bool:
+        """Whether the queue should flush immediately."""
+        return len(queue) >= self.batch_size
+
+    def deadline(self, queue: Sequence[Request]) -> Optional[float]:
+        """Latest instant the queue may keep waiting (None = forever)."""
+        return None
+
+
+@dataclass(frozen=True)
+class TimeoutBatching:
+    """Flush at ``max_batch`` requests or after ``max_wait`` seconds."""
+
+    max_batch: int = 8
+    max_wait: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError("batch size must be >= 1")
+        if self.max_wait <= 0:
+            raise ConfigError("batching timeout must be positive")
+
+    name = "timeout"
+
+    def ready(self, queue: Sequence[Request]) -> bool:
+        """Whether the queue should flush immediately."""
+        return len(queue) >= self.max_batch
+
+    def deadline(self, queue: Sequence[Request]) -> Optional[float]:
+        """The oldest request's arrival plus the wait budget."""
+        if not queue:
+            return None
+        return queue[0].arrival + self.max_wait
+
+
+#: Policy factories by CLI name.
+POLICIES = {
+    "fixed": FixedSizeBatching,
+    "timeout": TimeoutBatching,
+}
+
+
+def make_policy(name: str, batch_size: int = 8,
+                max_wait: float = 200e-6):
+    """Build a policy from its CLI name.
+
+    Raises:
+        ConfigError: for unknown policy names.
+    """
+    if name == "fixed":
+        return FixedSizeBatching(batch_size=batch_size)
+    if name == "timeout":
+        return TimeoutBatching(max_batch=batch_size, max_wait=max_wait)
+    raise ConfigError(
+        f"unknown batching policy '{name}'; known: {', '.join(POLICIES)}"
+    )

@@ -1,0 +1,92 @@
+"""Registry-facing serving experiments (``serving_*`` sweep targets).
+
+These return plain dict rows like every other experiment, so the
+runtime can cache them, sweep their parameters and render them through
+the shared reporting path::
+
+    repro sweep serving_grid --param replicas=1,2,4
+    repro sweep serving_scaling --param replicas=1,2,4,8
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import make_accelerator
+from repro.serving.batching import POLICIES, make_policy
+from repro.serving.memo import LayerMemoCache
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import SCENARIOS, get_scenario
+
+
+def serving_grid(requests: int = 2000, accelerator: str = "SMART",
+                 replicas: int = 2, batch_size: int = 8,
+                 dispatch: str = "round_robin", seed: int = 7,
+                 scenarios: Optional[Sequence[str]] = None,
+                 policies: Optional[Sequence[str]] = None,
+                 cache: Optional[LayerMemoCache] = None) -> list[dict]:
+    """Percentile rows for scenario x batching-policy cells.
+
+    Defaults to every stock scenario and policy; ``repro serve-sim``
+    narrows the grid through ``scenarios``/``policies``.  One shared
+    memo cache serves the whole grid, so only the first cell pays for
+    fresh layer simulations.
+    """
+    config = make_accelerator(accelerator)
+    cache = cache if cache is not None else LayerMemoCache()
+    rows = []
+    for scenario in [get_scenario(n) for n in scenarios or SCENARIOS]:
+        for policy_name in policies or POLICIES:
+            simulator = ServingSimulator(
+                accelerator=config, replicas=replicas,
+                policy=make_policy(policy_name, batch_size=batch_size),
+                dispatch=dispatch, cache=cache,
+            )
+            result = simulator.run_scenario(scenario, requests, seed=seed)
+            rows.append(result.to_row())
+    return rows
+
+
+def serving_scaling(scenario: str = "steady", policy: str = "timeout",
+                    requests: int = 2000, accelerator: str = "SMART",
+                    replicas: int | None = None, batch_size: int = 8,
+                    dispatch: str = "least_loaded",
+                    seed: int = 7) -> list[dict]:
+    """Throughput/latency scaling with cluster width.
+
+    ``replicas=None`` reports the 1/2/4/8 curve in one call; a single
+    value makes it a one-row sweep target.
+    """
+    widths = (1, 2, 4, 8) if replicas is None else (int(replicas),)
+    config = make_accelerator(accelerator)
+    cache = LayerMemoCache()
+    rows = []
+    for width in widths:
+        simulator = ServingSimulator(
+            accelerator=config, replicas=width,
+            policy=make_policy(policy, batch_size=batch_size),
+            dispatch=dispatch, cache=cache,
+        )
+        result = simulator.run_scenario(scenario, requests, seed=seed)
+        row = result.to_row()
+        row["replicas"] = width
+        rows.append(row)
+    return rows
+
+
+def _register() -> None:
+    from repro.runtime.registry import register_experiment
+
+    register_experiment(
+        "serving_grid", serving_grid,
+        "serving percentiles, every scenario x policy; params: "
+        "requests, accelerator, replicas, batch_size, dispatch, seed",
+        figure=False)
+    register_experiment(
+        "serving_scaling", serving_scaling,
+        "serving throughput vs cluster width; params: scenario, "
+        "policy, requests, accelerator, replicas, batch_size, "
+        "dispatch, seed", figure=False)
+
+
+_register()

@@ -1,0 +1,115 @@
+"""The network-level layer-result memo cache.
+
+A serving trace asks for the same (accelerator, layer, batch) triples
+millions of times: every batch of ``b`` ResNet50 images replays the
+same 50-odd layer simulations.  :class:`LayerMemoCache` memoises
+:meth:`AcceleratorModel.simulate_layer` on exactly that triple — all
+three key parts are frozen dataclasses, so the key is their structural
+value, not object identity — which makes simulating a million-request
+trace cost O(distinct layer x batch pairs) instead of
+O(requests x layers).
+
+A second, derived level memoises whole-network :class:`RunResult`s and
+their energy totals so repeated batches do not even re-sum layers.
+Identical layers *shared between networks* (every zoo model ends in
+the same FC-sized tails, ResNet blocks repeat internally) hit the
+layer level too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.systolic.layers import ConvLayer, Network
+from repro.systolic.simulator import AcceleratorModel, LayerResult, RunResult
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting at the layer-simulation level.
+
+    Attributes:
+        hits: layer simulations served from the memo.
+        misses: layer simulations actually evaluated.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total layer-simulation requests."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LayerMemoCache:
+    """Memoises per-layer, per-network and per-energy simulations.
+
+    Args:
+        enabled: when False every lookup misses and nothing is stored
+            — the uncached reference path, with identical results.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._layers: dict[tuple, LayerResult] = {}
+        self._runs: dict[tuple, RunResult] = {}
+        self._energy: dict[tuple, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def simulate_layer(self, accelerator: AcceleratorModel,
+                       layer: ConvLayer, batch: int) -> LayerResult:
+        """Memoised :meth:`AcceleratorModel.simulate_layer`."""
+        key = (accelerator, layer, batch)
+        if self.enabled:
+            cached = self._layers.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+        self.stats.misses += 1
+        result = accelerator.simulate_layer(layer, batch)
+        if self.enabled:
+            self._layers[key] = result
+        return result
+
+    def simulate(self, accelerator: AcceleratorModel, network: Network,
+                 batch: int) -> RunResult:
+        """Memoised whole-network simulation (per-layer granularity)."""
+        run_key = (accelerator, network, batch)
+        if self.enabled:
+            cached = self._runs.get(run_key)
+            if cached is not None:
+                self.stats.hits += len(network.layers)
+                return cached
+        layers = tuple(self.simulate_layer(accelerator, layer, batch)
+                       for layer in network.layers)
+        run = RunResult(network=network, batch=batch, layers=layers)
+        if self.enabled:
+            self._runs[run_key] = run
+        return run
+
+    def energy_total(self, accelerator: AcceleratorModel,
+                     network: Network, batch: int) -> float:
+        """Memoised whole-batch energy (J) of one network run.
+
+        The energy model is derived from the accelerator configuration
+        (the only thing the memo key can see), not passed in — a
+        caller-supplied model could silently collide across calls.
+        """
+        key = (accelerator, network, batch)
+        if self.enabled and key in self._energy:
+            return self._energy[key]
+        from repro.core import make_energy_model
+        run = self.simulate(accelerator, network, batch)
+        total = make_energy_model(accelerator).evaluate(run).total
+        if self.enabled:
+            self._energy[key] = total
+        return total

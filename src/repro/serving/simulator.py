@@ -1,0 +1,314 @@
+"""Event-driven request-serving simulation over accelerator clusters.
+
+:class:`ServingSimulator` drives a request trace through per-model
+batching queues onto a cluster of identical accelerator replicas and
+reports the serving metrics a production fleet is judged on: latency
+percentiles (p50/p95/p99), sustained throughput, and energy per
+request.
+
+The event loop is exact but cheap: arrivals are processed in time
+order, a queue flushes when its batching policy fires (size reached,
+or the oldest request's wait budget expires between arrivals), and the
+flushed batch occupies one replica for the *simulated* batch latency
+of that model — served through the :class:`LayerMemoCache`, so a
+million-request trace costs O(distinct layer x batch pairs) of actual
+simulation work.
+
+Dispatch strategies:
+
+- ``round_robin``: batches rotate across replicas;
+- ``least_loaded``: each batch goes to the replica that frees first;
+- ``shard``: each model is pinned to one replica (keyed on a stable
+  hash of its name), trading load balance for perfect weight locality.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core import make_accelerator
+from repro.errors import ConfigError
+from repro.eval.report import percentile
+from repro.models import get_model
+from repro.serving.batching import FixedSizeBatching, TimeoutBatching
+from repro.serving.memo import CacheStats, LayerMemoCache
+from repro.serving.workload import Request, Scenario, generate_trace
+from repro.systolic.layers import Network
+from repro.systolic.simulator import AcceleratorModel
+
+DISPATCH_STRATEGIES = ("round_robin", "least_loaded", "shard")
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch.
+
+    Attributes:
+        model: network the batch ran.
+        size: images in the batch.
+        replica: replica index that served it.
+        flush: instant the batch left its queue (s).
+        start: instant the replica began serving it (s).
+        done: completion instant (s).
+        energy: whole-batch energy (J).
+    """
+
+    model: str
+    size: int
+    replica: int
+    flush: float
+    start: float
+    done: float
+    energy: float
+
+    @property
+    def service(self) -> float:
+        """Pure accelerator service time (s)."""
+        return self.done - self.start
+
+
+@dataclass
+class ServingResult:
+    """Outcome of serving one request trace.
+
+    Attributes:
+        accelerator: accelerator name.
+        replicas: cluster width.
+        scenario: scenario name ("" for ad-hoc traces).
+        policy: batching policy name.
+        rate: offered arrival rate (requests/s).
+        requests: the trace, in request-id order.
+        latencies: per-request latency (s), indexed like ``requests``.
+        energy_per_request: per-request energy (J), same indexing.
+        batches: every dispatched batch, in dispatch order.
+        cache: layer-memo statistics for this run.
+    """
+
+    accelerator: str
+    replicas: int
+    scenario: str
+    policy: str
+    rate: float
+    requests: tuple[Request, ...]
+    latencies: tuple[float, ...]
+    energy_per_request: tuple[float, ...]
+    batches: tuple[BatchRecord, ...]
+    cache: CacheStats
+
+    @property
+    def makespan(self) -> float:
+        """First arrival to last completion (s)."""
+        return max(b.done for b in self.batches) - self.requests[0].arrival
+
+    @property
+    def throughput_rps(self) -> float:
+        """Sustained requests per second over the makespan."""
+        return len(self.requests) / self.makespan
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the cluster over the makespan."""
+        busy = sum(b.service for b in self.batches)
+        return busy / (self.replicas * self.makespan)
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean dispatched batch size."""
+        return len(self.requests) / len(self.batches)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` (s)."""
+        return percentile(self.latencies, q)
+
+    def to_row(self) -> dict:
+        """The reporting row ``repro serve-sim`` prints."""
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "requests": len(self.requests),
+            "rate_rps": self.rate,
+            "p50_us": self.latency_percentile(50) * 1e6,
+            "p95_us": self.latency_percentile(95) * 1e6,
+            "p99_us": self.latency_percentile(99) * 1e6,
+            "throughput_rps": self.throughput_rps,
+            "energy_per_req_uj": (sum(self.energy_per_request)
+                                  / len(self.requests) * 1e6),
+            "mean_batch": self.mean_batch,
+            "utilization": self.utilization,
+            "cache_hit_rate": self.cache.hit_rate,
+        }
+
+
+class ServingSimulator:
+    """Serve request traffic on a cluster of accelerator replicas.
+
+    Args:
+        accelerator: the replica configuration, or a scheme name for
+            :func:`repro.core.make_accelerator`.
+        replicas: identical accelerators in the cluster.
+        policy: batching policy (fixed or timeout).
+        dispatch: one of :data:`DISPATCH_STRATEGIES`.
+        cache: layer-memo to use; a fresh enabled one by default.
+            Pass a shared instance to reuse results across runs, or a
+            disabled one for the uncached reference path.
+        networks: optional name -> Network override; defaults to the
+            model zoo.
+    """
+
+    def __init__(self, accelerator: AcceleratorModel | str = "SMART",
+                 replicas: int = 1,
+                 policy: FixedSizeBatching | TimeoutBatching | None = None,
+                 dispatch: str = "round_robin",
+                 cache: Optional[LayerMemoCache] = None,
+                 networks: Optional[Mapping[str, Network]] = None) -> None:
+        if isinstance(accelerator, str):
+            accelerator = make_accelerator(accelerator)
+        if replicas < 1:
+            raise ConfigError("cluster needs at least one replica")
+        if dispatch not in DISPATCH_STRATEGIES:
+            raise ConfigError(
+                f"unknown dispatch '{dispatch}'; known: "
+                f"{', '.join(DISPATCH_STRATEGIES)}"
+            )
+        self.accelerator = accelerator
+        self.replicas = replicas
+        self.policy = policy or TimeoutBatching()
+        self.dispatch = dispatch
+        self.cache = cache if cache is not None else LayerMemoCache()
+        self._networks = networks
+
+    # -- model / capacity helpers ---------------------------------------
+    def network(self, model: str) -> Network:
+        """Resolve a model name to its network."""
+        if self._networks is not None:
+            try:
+                return self._networks[model]
+            except KeyError:
+                raise ConfigError(f"unknown model '{model}'") from None
+        return get_model(model)
+
+    def batch_latency(self, model: str, batch: int) -> float:
+        """Memoised batch latency of one model (s)."""
+        return self.cache.simulate(self.accelerator, self.network(model),
+                                   batch).latency
+
+    def capacity_rps(self, scenario: Scenario) -> float:
+        """Calibrated cluster capacity for a scenario's mix (req/s).
+
+        One replica serving the mix at the policy's full batch size
+        sustains ``1 / sum(frac_m * T_m(b) / b)`` requests per second.
+        """
+        b = self.policy.max_batch
+        per_request = sum(
+            frac * self.batch_latency(model, b) / b
+            for model, frac in scenario.mix.fractions().items()
+        )
+        return self.replicas / per_request
+
+    # -- event loop ------------------------------------------------------
+    def run(self, requests: Sequence[Request], scenario: str = "",
+            rate: float = 0.0) -> ServingResult:
+        """Serve an explicit trace and collect per-request metrics."""
+        requests = tuple(sorted(requests, key=lambda r: r.arrival))
+        if not requests:
+            raise ConfigError("cannot serve an empty trace")
+        hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
+        self._busy = [0.0] * self.replicas
+        self._rr_next = 0
+        self._queues: dict[str, list[Request]] = {}
+        self._batches: list[BatchRecord] = []
+        self._done: dict[int, tuple[float, float]] = {}
+
+        for request in requests:
+            self._flush_due(request.arrival)
+            queue = self._queues.setdefault(request.model, [])
+            queue.append(request)
+            while self.policy.ready(queue):
+                self._dispatch(request.model,
+                               queue[: self.policy.max_batch],
+                               flush=request.arrival)
+                del queue[: self.policy.max_batch]
+        self._drain(requests[-1].arrival)
+
+        latencies = tuple(self._done[r.request_id][0] - r.arrival
+                          for r in requests)
+        energy = tuple(self._done[r.request_id][1] for r in requests)
+        return ServingResult(
+            accelerator=self.accelerator.name, replicas=self.replicas,
+            scenario=scenario, policy=self.policy.name, rate=rate,
+            requests=requests, latencies=latencies,
+            energy_per_request=energy, batches=tuple(self._batches),
+            # per-run delta, so a memo shared across runs still reports
+            # this trace's own hit rate
+            cache=CacheStats(hits=self.cache.stats.hits - hits0,
+                             misses=self.cache.stats.misses - misses0),
+        )
+
+    def run_scenario(self, scenario: Scenario | str, n_requests: int,
+                     seed: int = 0) -> ServingResult:
+        """Calibrate the rate, generate a trace, and serve it."""
+        if isinstance(scenario, str):
+            from repro.serving.workload import get_scenario
+            scenario = get_scenario(scenario)
+        rate = scenario.load * self.capacity_rps(scenario)
+        trace = generate_trace(scenario, rate, n_requests, seed)
+        return self.run(trace, scenario=scenario.name, rate=rate)
+
+    # -- internals -------------------------------------------------------
+    def _flush_due(self, now: float) -> None:
+        """Flush every queue whose wait budget expires by ``now``."""
+        while True:
+            due = [
+                (deadline, model)
+                for model, queue in self._queues.items()
+                if queue
+                for deadline in (self.policy.deadline(queue),)
+                if deadline is not None and deadline <= now
+            ]
+            if not due:
+                return
+            deadline, model = min(due)
+            queue = self._queues[model]
+            self._dispatch(model, queue[: self.policy.max_batch],
+                           flush=deadline)
+            del queue[: self.policy.max_batch]
+
+    def _drain(self, end: float) -> None:
+        """Flush every remaining request at the end of the trace."""
+        self._flush_due(float("inf"))
+        for model in sorted(self._queues):
+            queue = self._queues[model]
+            while queue:
+                self._dispatch(model, queue[: self.policy.max_batch],
+                               flush=end)
+                del queue[: self.policy.max_batch]
+
+    def _pick_replica(self, model: str) -> int:
+        if self.dispatch == "shard":
+            return zlib.crc32(model.encode()) % self.replicas
+        if self.dispatch == "least_loaded":
+            return min(range(self.replicas), key=self._busy.__getitem__)
+        picked = self._rr_next
+        self._rr_next = (self._rr_next + 1) % self.replicas
+        return picked
+
+    def _dispatch(self, model: str, batch: Sequence[Request],
+                  flush: float) -> None:
+        """Serve one flushed batch on a replica."""
+        size = len(batch)
+        network = self.network(model)
+        service = self.cache.simulate(self.accelerator, network,
+                                      size).latency
+        energy = self.cache.energy_total(self.accelerator, network, size)
+        replica = self._pick_replica(model)
+        start = max(flush, self._busy[replica])
+        done = start + service
+        self._busy[replica] = done
+        self._batches.append(BatchRecord(
+            model=model, size=size, replica=replica, flush=flush,
+            start=start, done=done, energy=energy,
+        ))
+        for request in batch:
+            self._done[request.request_id] = (done, energy / size)

@@ -1,0 +1,270 @@
+"""Inference request-traffic generation for the serving simulator.
+
+A trace is a time-ordered tuple of :class:`Request` objects, each
+naming a model-zoo network and an arrival instant.  Arrival shapes are
+the three regimes a production fleet actually sees:
+
+- **poisson**: memoryless steady-state traffic at a constant rate;
+- **bursty**: an on/off process — back-to-back bursts at a multiple of
+  the base rate separated by quiet stretches (same mean rate);
+- **ramp**: a flash crowd — the rate climbs linearly from a fraction
+  of the target to its peak across the trace.
+
+Rates are *relative*: a :class:`Scenario` carries a ``load`` factor
+(offered load as a fraction of cluster capacity) and the serving
+simulator calibrates the absolute requests/second against the
+accelerator under test, so the same scenario is meaningful for a TPU
+and for SMART.  Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.models import model_names
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    Attributes:
+        request_id: position in the trace (unique, ascending).
+        model: model-zoo network name.
+        arrival: arrival time (s) from the start of the trace.
+    """
+
+    request_id: int
+    model: str
+    arrival: float
+
+
+@dataclass(frozen=True)
+class ModelMix:
+    """A weighted mix of model-zoo networks.
+
+    Attributes:
+        weights: ``(model, weight)`` pairs; weights need not sum to 1.
+    """
+
+    weights: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ConfigError("model mix cannot be empty")
+        if any(w <= 0 for _, w in self.weights):
+            raise ConfigError("model-mix weights must be positive")
+
+    @staticmethod
+    def uniform_zoo() -> "ModelMix":
+        """Every zoo model with equal weight."""
+        return ModelMix(tuple((name, 1.0) for name in model_names()))
+
+    @staticmethod
+    def hot(model: str, share: float = 0.5) -> "ModelMix":
+        """One hot model taking ``share`` of traffic, rest uniform."""
+        if not 0.0 < share < 1.0:
+            raise ConfigError("hot share must be in (0, 1)")
+        others = [n for n in model_names() if n != model]
+        if len(others) == len(model_names()):
+            raise ConfigError(f"unknown model '{model}'")
+        cold = (1.0 - share) / len(others)
+        return ModelMix(((model, share),)
+                        + tuple((n, cold) for n in others))
+
+    def models(self) -> tuple[str, ...]:
+        """The distinct models in the mix."""
+        return tuple(name for name, _ in self.weights)
+
+    def fractions(self) -> dict[str, float]:
+        """Normalised traffic share per model."""
+        total = sum(w for _, w in self.weights)
+        return {name: w / total for name, w in self.weights}
+
+    def sample(self, rng: _random.Random) -> str:
+        """Draw one model name."""
+        names = [n for n, _ in self.weights]
+        weights = [w for _, w in self.weights]
+        return rng.choices(names, weights=weights, k=1)[0]
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PoissonProcess:
+    """Memoryless arrivals at a constant ``rate`` (requests/s)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError("arrival rate must be positive")
+
+    def generate(self, n: int, rng: _random.Random) -> list[float]:
+        """``n`` ascending arrival times (s)."""
+        times, t = [], 0.0
+        for _ in range(n):
+            t += rng.expovariate(self.rate)
+            times.append(t)
+        return times
+
+
+@dataclass(frozen=True)
+class BurstyProcess:
+    """On/off arrivals: bursts at ``burst_factor`` x the base rate.
+
+    Each burst delivers ``burst_size`` requests back-to-back at the
+    elevated rate, then the process idles long enough that the mean
+    rate stays ``rate``.
+    """
+
+    rate: float
+    burst_factor: float = 5.0
+    burst_size: int = 20
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError("arrival rate must be positive")
+        if self.burst_factor <= 1.0:
+            raise ConfigError("burst factor must exceed 1")
+        if self.burst_size < 1:
+            raise ConfigError("burst size must be >= 1")
+
+    def generate(self, n: int, rng: _random.Random) -> list[float]:
+        """``n`` ascending arrival times (s)."""
+        # mean gap that restores the target rate after a fast burst
+        idle_mean = self.burst_size * (1.0 / self.rate
+                                       - 1.0 / (self.rate
+                                                * self.burst_factor))
+        times, t = [], 0.0
+        while len(times) < n:
+            for _ in range(min(self.burst_size, n - len(times))):
+                t += rng.expovariate(self.rate * self.burst_factor)
+                times.append(t)
+            t += rng.expovariate(1.0 / idle_mean)
+        return times
+
+
+@dataclass(frozen=True)
+class RampProcess:
+    """A flash crowd: the rate climbs linearly to ``rate`` (peak).
+
+    The instantaneous rate at request ``i`` of ``n`` interpolates from
+    ``start_fraction * rate`` up to ``rate``.
+    """
+
+    rate: float
+    start_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError("arrival rate must be positive")
+        if not 0.0 < self.start_fraction <= 1.0:
+            raise ConfigError("start fraction must be in (0, 1]")
+
+    def generate(self, n: int, rng: _random.Random) -> list[float]:
+        """``n`` ascending arrival times (s)."""
+        times, t = [], 0.0
+        for i in range(n):
+            frac = i / max(1, n - 1)
+            instant = self.rate * (self.start_fraction
+                                   + (1.0 - self.start_fraction) * frac)
+            t += rng.expovariate(instant)
+            times.append(t)
+        return times
+
+
+ARRIVAL_SHAPES = {
+    "poisson": PoissonProcess,
+    "bursty": BurstyProcess,
+    "ramp": RampProcess,
+}
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """A named traffic scenario: arrival shape + offered load + mix.
+
+    Attributes:
+        name: scenario key.
+        shape: one of :data:`ARRIVAL_SHAPES`.
+        load: offered load as a fraction of calibrated cluster
+            capacity (the simulator turns this into requests/s).
+        mix: traffic mix over the model zoo.
+        description: one-line summary for reports.
+    """
+
+    name: str
+    shape: str
+    load: float
+    mix: ModelMix = field(default_factory=ModelMix.uniform_zoo)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.shape not in ARRIVAL_SHAPES:
+            raise ConfigError(
+                f"unknown arrival shape '{self.shape}'; known: "
+                f"{', '.join(ARRIVAL_SHAPES)}"
+            )
+        if not 0.0 < self.load < 1.0:
+            raise ConfigError("load must be in (0, 1)")
+
+    def process(self, rate: float):
+        """Instantiate the arrival process at an absolute rate."""
+        return ARRIVAL_SHAPES[self.shape](rate)
+
+
+#: The stock scenarios ``repro serve-sim`` reports on.
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s for s in (
+        Scenario("steady", shape="poisson", load=0.6,
+                 description="steady Poisson traffic at 60% load"),
+        Scenario("bursty", shape="bursty", load=0.5,
+                 description="on/off bursts, 50% mean load"),
+        Scenario("ramp", shape="ramp", load=0.7,
+                 description="flash crowd ramping to 70% load"),
+        Scenario("hot-model", shape="poisson", load=0.6,
+                 mix=ModelMix.hot("ResNet50", 0.5),
+                 description="60% load, half the traffic on ResNet50"),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a stock scenario.
+
+    Raises:
+        ConfigError: for unknown names.
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario '{name}'; known: {', '.join(SCENARIOS)}"
+        ) from None
+
+
+def generate_trace(scenario: Scenario, rate: float, n: int,
+                   seed: int = 0) -> tuple[Request, ...]:
+    """A deterministic request trace for one scenario.
+
+    Args:
+        scenario: arrival shape + mix.
+        rate: absolute arrival rate (requests/s).
+        n: trace length.
+        seed: RNG seed; the same seed reproduces the same trace.
+    """
+    if n < 1:
+        raise ConfigError("trace needs at least one request")
+    rng = _random.Random(seed)
+    times = scenario.process(rate).generate(n, rng)
+    return tuple(
+        Request(request_id=i, model=scenario.mix.sample(rng), arrival=t)
+        for i, t in enumerate(times)
+    )

@@ -135,9 +135,13 @@ class RandomSpm:
         if self.line_bytes < 1:
             raise ConfigError("line size must be >= 1 byte")
 
-    def lines(self, words: int) -> int:
-        """Line accesses needed for ``words`` sequential words."""
-        return max(0, math.ceil(words / self.line_bytes))
+    def lines(self, nbytes: int) -> int:
+        """Line accesses needed for ``nbytes`` sequential bytes.
+
+        Byte-denominated, like :meth:`bulk_transfer_time` — callers
+        holding word counts must convert via ``WORD_BYTES`` first.
+        """
+        return max(0, math.ceil(nbytes / self.line_bytes))
 
     def bulk_transfer_time(self, nbytes: float, write: bool = False) -> float:
         """Time to move ``nbytes`` sequentially through the array (s)."""

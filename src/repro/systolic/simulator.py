@@ -25,7 +25,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
-from repro.systolic.layers import ConvLayer, Network
+from repro.systolic.layers import ConvLayer, Network, WORD_BYTES
 from repro.systolic.mapping import WeightStationaryMapping
 from repro.systolic.memsys import MemorySystem
 from repro.systolic.trace import LayerTrace, layer_trace
@@ -163,16 +163,24 @@ class AcceleratorModel:
         """Simulate one layer for ``batch`` images.
 
         When the batch exceeds the layer's on-chip capacity it runs as
-        ``ceil(batch / b_eff)`` sub-batches; the returned result is the
-        whole-batch total.
+        ``ceil(batch / b_eff)`` sub-batches: ``batch // b_eff`` full
+        passes plus, when ``batch % b_eff != 0``, one residual pass of
+        the leftover images.  Each pass charges its whole deploy and
+        stream time (the tile-iteration semantics trace-driven
+        simulators use); the returned result is the whole-batch total.
         """
         if batch < 1:
             raise ConfigError("batch must be >= 1")
         b_eff = self.effective_batch(layer, batch)
         if b_eff < batch:
-            sub = self._simulate_layer_whole(layer, b_eff)
-            passes = batch / b_eff
-            return _scale_result(sub, passes, batch)
+            full_passes, residual = divmod(batch, b_eff)
+            total = _scale_result(self._simulate_layer_whole(layer, b_eff),
+                                  float(full_passes), batch)
+            if residual:
+                total = _add_results(
+                    total, self._simulate_layer_whole(layer, residual), batch
+                )
+            return total
         return self._simulate_layer_whole(layer, batch)
 
     def _simulate_layer_whole(self, layer: ConvLayer,
@@ -312,9 +320,10 @@ class AcceleratorModel:
         out_service = random.stream_service(trace.outputs)
         port = in_service + w_service + out_service
         accesses = (
-            random.lines(trace.inputs.words) + trace.inputs.rand_fetches
-            + random.lines(trace.weights.words)
-            + random.lines(trace.outputs.words)
+            random.lines(trace.inputs.words * WORD_BYTES)
+            + trace.inputs.rand_fetches
+            + random.lines(trace.weights.words * WORD_BYTES)
+            + random.lines(trace.outputs.words * WORD_BYTES)
         )
         # the port is the data source, so it inherently overlaps the
         # compute streaming; time beyond streaming is exposed (max form)
@@ -355,9 +364,11 @@ class AcceleratorModel:
             1.0, 2.0 * window / hetero.input_shift.capacity_bytes
         )
         raw_input_bytes = float(layer.input_bytes * batch) * swap_factor
+        # bulk_transfer_time / lines are byte-denominated; the output
+        # stream is counted in data words, so convert before charging it
+        out_bytes = float(trace.outputs.words * WORD_BYTES)
         in_transfer = random.bulk_transfer_time(raw_input_bytes)
-        out_transfer = random.bulk_transfer_time(float(trace.outputs.words),
-                                                 write=True)
+        out_transfer = random.bulk_transfer_time(out_bytes, write=True)
         rand = trace.inputs.rand_fetches
         if hetero.prefetching:
             rand_time = rand * random.issue_interval
@@ -368,7 +379,7 @@ class AcceleratorModel:
             port = in_transfer + out_transfer
         accesses = (
             random.lines(int(raw_input_bytes))
-            + random.lines(trace.outputs.words)
+            + random.lines(int(out_bytes))
             + rand
         )
 
@@ -382,18 +393,12 @@ class AcceleratorModel:
                              spill=spill)
 
 
-def _sequential_only(stats):
-    """A copy of ``stats`` with jumps removed (runs already in SHIFT)."""
-    from repro.systolic.trace import StreamStats
-    return StreamStats(
-        words=stats.words, jumps=0, avg_jump_words=1.0,
-        stride_words=stats.stride_words, simultaneous=stats.simultaneous,
-        is_write=stats.is_write,
-    )
-
-
 def _scale_result(sub: LayerResult, passes: float, batch: int) -> LayerResult:
-    """Scale a sub-batch LayerResult to the whole batch."""
+    """Scale a sub-batch LayerResult over ``passes`` identical passes.
+
+    ``trace`` stays the per-pass trace (the energy model reads the
+    scaled counters, not the trace).
+    """
     return LayerResult(
         layer=sub.layer, batch=batch, trace=sub.trace,
         stream_time=sub.stream_time * passes,
@@ -405,4 +410,20 @@ def _scale_result(sub: LayerResult, passes: float, batch: int) -> LayerResult:
         random_accesses=sub.random_accesses * passes,
         spill_bytes=sub.spill_bytes * passes,
         total_time=sub.total_time * passes,
+    )
+
+
+def _add_results(a: LayerResult, b: LayerResult, batch: int) -> LayerResult:
+    """Sum two sub-batch results (full passes + the residual pass)."""
+    return LayerResult(
+        layer=a.layer, batch=batch, trace=a.trace,
+        stream_time=a.stream_time + b.stream_time,
+        deploy_time=a.deploy_time + b.deploy_time,
+        stall_time=a.stall_time + b.stall_time,
+        dram_time=a.dram_time + b.dram_time,
+        port_time=a.port_time + b.port_time,
+        shift_steps=a.shift_steps + b.shift_steps,
+        random_accesses=a.random_accesses + b.random_accesses,
+        spill_bytes=a.spill_bytes + b.spill_bytes,
+        total_time=a.total_time + b.total_time,
     )

@@ -163,6 +163,57 @@ class TestSweepCli:
         assert "1 error(s)" in out
 
 
+class TestServeSimCli:
+    FAST = ["--requests", "120", "--replicas", "1"]
+
+    def test_default_grid_covers_scenarios_and_policies(self, capsys):
+        assert main(["--json", "serve-sim", *self.FAST]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        scenarios = {r["scenario"] for r in rows}
+        policies = {r["policy"] for r in rows}
+        assert len(scenarios) >= 3
+        assert policies == {"fixed", "timeout"}
+        assert len(rows) == len(scenarios) * len(policies)
+        for row in rows:
+            assert 0 < row["p50_us"] <= row["p95_us"] <= row["p99_us"]
+
+    def test_single_scenario_and_policy(self, capsys):
+        assert main(["--json", "serve-sim", "steady",
+                     "--policy", "timeout", *self.FAST]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [(r["scenario"], r["policy"]) for r in rows] == [
+            ("steady", "timeout")
+        ]
+
+    def test_table_output_mentions_memo(self, capsys):
+        assert main(["serve-sim", "steady", "--policy", "fixed",
+                     *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "layer-memo" in out
+        assert "p99_us" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["serve-sim", "tsunami", *self.FAST]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self, capsys):
+        assert main(["serve-sim", "--policy", "adaptive"]) == 2
+        assert "unknown batching policy" in capsys.readouterr().out
+
+    def test_unknown_flag_rejected(self, capsys):
+        assert main(["serve-sim", "--burst"]) == 2
+
+    def test_bad_requests_value_rejected(self, capsys):
+        assert main(["serve-sim", "--requests", "many"]) == 2
+        assert main(["serve-sim", "--requests", "0"]) == 2
+
+    def test_missing_value_rejected(self, capsys):
+        assert main(["serve-sim", "--replicas"]) == 2
+
+    def test_unknown_accelerator_rejected(self, capsys):
+        assert main(["serve-sim", "--accelerator", "Quantum"]) == 2
+
+
 class TestRunsAndCacheCli:
     def test_runs_lists_the_ledger(self, capsys):
         assert main(["tab2"]) == 0

@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.errors import ConfigError
-from repro.eval.report import format_table, geomean, render_rows, to_json
+from repro.eval.report import (
+    format_table,
+    geomean,
+    percentile,
+    render_rows,
+    to_json,
+)
 
 
 class TestGeomean:
@@ -29,6 +35,32 @@ class TestGeomean:
 
     def test_accepts_any_iterable(self):
         assert geomean(v for v in (3.0, 3.0)) == pytest.approx(3.0)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_extremes(self):
+        assert percentile([5.0, 1.0], 0) == 1.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+
+    def test_rank_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([1.0], 101)
+        with pytest.raises(ConfigError):
+            percentile([1.0], -1)
 
 
 class TestFormatTable:

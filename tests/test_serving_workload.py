@@ -1,0 +1,153 @@
+"""Tests for request traces, model mixes and batching policies."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import model_names
+from repro.serving import (
+    ARRIVAL_SHAPES,
+    BurstyProcess,
+    FixedSizeBatching,
+    ModelMix,
+    PoissonProcess,
+    RampProcess,
+    SCENARIOS,
+    Scenario,
+    TimeoutBatching,
+    generate_trace,
+    get_scenario,
+    make_policy,
+)
+from repro.serving.workload import Request
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize("process", [
+        PoissonProcess(1000.0),
+        BurstyProcess(1000.0),
+        RampProcess(1000.0),
+    ])
+    def test_times_ascending_and_complete(self, process):
+        times = process.generate(500, random.Random(1))
+        assert len(times) == 500
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_poisson_mean_rate(self):
+        times = PoissonProcess(2000.0).generate(8000, random.Random(2))
+        realised = len(times) / times[-1]
+        assert realised == pytest.approx(2000.0, rel=0.1)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """Squared coefficient of variation of inter-arrivals > 1."""
+        rng = random.Random(3)
+        times = BurstyProcess(1000.0, burst_factor=8.0).generate(4000, rng)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert var / mean**2 > 1.5
+
+    def test_ramp_accelerates(self):
+        times = RampProcess(1000.0, start_fraction=0.2).generate(
+            2000, random.Random(4))
+        first_half = times[999] - times[0]
+        second_half = times[-1] - times[999]
+        assert second_half < first_half
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            PoissonProcess(0.0)
+        with pytest.raises(ConfigError):
+            BurstyProcess(100.0, burst_factor=1.0)
+        with pytest.raises(ConfigError):
+            RampProcess(100.0, start_fraction=0.0)
+
+
+class TestModelMix:
+    def test_uniform_zoo_covers_every_model(self):
+        mix = ModelMix.uniform_zoo()
+        assert set(mix.models()) == set(model_names())
+        fractions = mix.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_hot_mix_shares(self):
+        mix = ModelMix.hot("ResNet50", 0.5)
+        assert mix.fractions()["ResNet50"] == pytest.approx(0.5)
+
+    def test_hot_mix_rejects_unknown_model(self):
+        with pytest.raises(ConfigError):
+            ModelMix.hot("NotANet")
+
+    def test_empty_and_negative_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelMix(())
+        with pytest.raises(ConfigError):
+            ModelMix((("AlexNet", -1.0),))
+
+
+class TestScenarios:
+    def test_stock_scenarios_cover_three_shapes(self):
+        assert len(SCENARIOS) >= 3
+        assert {s.shape for s in SCENARIOS.values()} == set(ARRIVAL_SHAPES)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigError):
+            get_scenario("tsunami")
+
+    def test_bad_shape_and_load_rejected(self):
+        with pytest.raises(ConfigError):
+            Scenario("x", shape="constant", load=0.5)
+        with pytest.raises(ConfigError):
+            Scenario("x", shape="poisson", load=1.5)
+
+    def test_trace_is_deterministic(self):
+        scenario = get_scenario("steady")
+        a = generate_trace(scenario, 1000.0, 200, seed=5)
+        b = generate_trace(scenario, 1000.0, 200, seed=5)
+        c = generate_trace(scenario, 1000.0, 200, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_trace_requests_well_formed(self):
+        scenario = get_scenario("bursty")
+        trace = generate_trace(scenario, 1000.0, 300, seed=1)
+        assert [r.request_id for r in trace] == list(range(300))
+        assert all(r.model in model_names() for r in trace)
+        assert all(b.arrival > a.arrival for a, b in zip(trace, trace[1:]))
+
+
+def _requests(arrivals, model="AlexNet"):
+    return [Request(i, model, t) for i, t in enumerate(arrivals)]
+
+
+class TestBatchingPolicies:
+    def test_fixed_ready_at_size(self):
+        policy = FixedSizeBatching(batch_size=4)
+        assert not policy.ready(_requests([0.0, 1.0, 2.0]))
+        assert policy.ready(_requests([0.0, 1.0, 2.0, 3.0]))
+        assert policy.deadline(_requests([0.0])) is None
+
+    def test_timeout_deadline_tracks_oldest(self):
+        policy = TimeoutBatching(max_batch=8, max_wait=1e-4)
+        queue = _requests([2.0, 3.0])
+        assert policy.deadline(queue) == pytest.approx(2.0 + 1e-4)
+        assert policy.deadline([]) is None
+
+    def test_timeout_ready_at_max_batch(self):
+        policy = TimeoutBatching(max_batch=2, max_wait=1e-4)
+        assert policy.ready(_requests([0.0, 1.0]))
+
+    def test_make_policy(self):
+        assert make_policy("fixed", batch_size=16).batch_size == 16
+        timeout = make_policy("timeout", batch_size=4, max_wait=1e-3)
+        assert timeout.max_batch == 4
+        assert timeout.max_wait == pytest.approx(1e-3)
+        with pytest.raises(ConfigError):
+            make_policy("adaptive")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            FixedSizeBatching(0)
+        with pytest.raises(ConfigError):
+            TimeoutBatching(max_batch=4, max_wait=0.0)

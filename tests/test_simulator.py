@@ -11,7 +11,7 @@ from repro.core import (
     make_tpu,
 )
 from repro.models import batch_size_for, get_model
-from repro.systolic.layers import ConvLayer
+from repro.systolic.layers import ConvLayer, WORD_BYTES
 
 
 class TestBasicInvariants:
@@ -52,6 +52,127 @@ class TestBasicInvariants:
             single = acc.simulate(net, 1).latency
             batched = acc.simulate(net, 16).latency / 16
             assert batched <= single * 1.01
+
+
+class TestSubBatchScaling:
+    """Partial sub-batches must charge whole passes (not fractions)."""
+
+    #: Big enough per-image footprint that SMART sub-batches it.
+    BIG_LAYER = ConvLayer("vgg-conv1_2", 224, 224, 3, 64, 3, 3, padding=1)
+
+    def test_partial_pass_exceeds_fractional_scaling(self):
+        """Regression: batch % b_eff != 0 used to under-charge the
+        final pass by scaling the sub-batch result by batch/b_eff."""
+        acc = make_smart()
+        layer = self.BIG_LAYER
+        b_eff = acc.effective_batch(layer, 1000)
+        assert 1 < b_eff < 1000  # the layer really does sub-batch
+        batch = b_eff * 2 + max(1, b_eff // 2)
+        assert batch % b_eff != 0
+        sub = acc.simulate_layer(layer, b_eff)
+        fractional = sub.total_time * (batch / b_eff)
+        result = acc.simulate_layer(layer, batch)
+        assert result.total_time > fractional
+
+    def test_exact_multiple_matches_scaled_passes(self):
+        acc = make_smart()
+        layer = self.BIG_LAYER
+        b_eff = acc.effective_batch(layer, 1000)
+        sub = acc.simulate_layer(layer, b_eff)
+        result = acc.simulate_layer(layer, 3 * b_eff)
+        assert result.total_time == pytest.approx(3 * sub.total_time)
+        assert result.shift_steps == pytest.approx(3 * sub.shift_steps)
+
+    def test_residual_pass_decomposition(self):
+        """ceil semantics: full passes of b_eff plus one residual pass."""
+        acc = make_smart()
+        layer = self.BIG_LAYER
+        b_eff = acc.effective_batch(layer, 1000)
+        residual = max(1, b_eff // 2)
+        batch = 2 * b_eff + residual
+        expected = (2 * acc.simulate_layer(layer, b_eff).total_time
+                    + acc.simulate_layer(layer, residual).total_time)
+        assert acc.simulate_layer(layer, batch).total_time == (
+            pytest.approx(expected)
+        )
+
+    def test_energy_counters_cover_residual_pass(self):
+        acc = make_smart()
+        layer = self.BIG_LAYER
+        b_eff = acc.effective_batch(layer, 1000)
+        batch = b_eff + 1
+        per_pass = acc.simulate_layer(layer, b_eff)
+        result = acc.simulate_layer(layer, batch)
+        assert result.random_accesses > per_pass.random_accesses
+
+    def test_effective_batch_tiny_headroom_returns_one(self):
+        """headroom <= 0 (capacity below the weight-tile reserve)."""
+        from repro.systolic.memsys import DramModel, IdealSpm, MemorySystem
+        from repro.systolic.simulator import AcceleratorModel
+
+        acc = AcceleratorModel(
+            name="tiny", rows=8, cols=8, frequency=1e9,
+            memsys=MemorySystem(scheme="ideal", dram=DramModel(),
+                                total_capacity=64 * 1024,
+                                ideal=IdealSpm(64 * 1024)),
+        )
+        layer = ConvLayer("c", 8, 8, 4, 4, 3, 3, padding=1)
+        assert acc.effective_batch(layer, 32) == 1
+
+    def test_effective_batch_per_image_exceeding_capacity_returns_one(self):
+        acc = make_smart()
+        huge = ConvLayer("huge", 4096, 4096, 3, 3, 3, 3, padding=1)
+        assert (huge.input_bytes + huge.output_bytes
+                > acc.memsys.total_capacity)
+        assert acc.effective_batch(huge, 8) == 1
+
+    def test_effective_batch_capped_by_requested_batch(self):
+        acc = make_smart()
+        small = ConvLayer("small", 8, 8, 4, 4, 3, 3, padding=1)
+        assert acc.effective_batch(small, 5) == 5
+
+
+class TestHeterogeneousUnits:
+    """The RANDOM-port accounting must stay byte-denominated."""
+
+    def test_output_transfer_charged_in_bytes(self):
+        """Regression: the output path used to pass a word count where
+        bulk_transfer_time expects bytes."""
+        from repro.systolic.mapping import WeightStationaryMapping
+        from repro.systolic.trace import layer_trace
+
+        acc = make_accelerator("Heter", technology="SRAM")
+        layer = ConvLayer("c", 27, 27, 96, 128, 3, 3, padding=1)
+        mapping = WeightStationaryMapping(layer, acc.rows, acc.cols)
+        trace = layer_trace(mapping, batch=1)
+
+        hetero = acc.memsys.hetero
+        random = hetero.random
+        window = layer.kernel_h * layer.in_w * layer.in_c
+        swap = max(1.0, 2.0 * window / hetero.input_shift.capacity_bytes)
+        in_transfer = random.bulk_transfer_time(
+            layer.input_bytes * swap
+        )
+        out_transfer = random.bulk_transfer_time(
+            float(trace.outputs.words * WORD_BYTES), write=True
+        )
+        result = acc.simulate_layer(layer, 1)
+        assert result.port_time == pytest.approx(in_transfer + out_transfer)
+
+    def test_lines_is_byte_denominated(self):
+        from repro.systolic.memsys import RandomSpm
+
+        spm = RandomSpm(capacity_bytes=1024, banks=4, read_latency=1e-9,
+                        write_latency=1e-9, issue_interval=1e-9,
+                        line_bytes=64)
+        assert spm.lines(64) == 1
+        assert spm.lines(65) == 2
+        assert spm.lines(0) == 0
+
+    def test_dead_sequential_helper_removed(self):
+        import repro.systolic.simulator as sim
+
+        assert not hasattr(sim, "_sequential_only")
 
 
 class TestSchemeOrdering:

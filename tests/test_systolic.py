@@ -172,3 +172,47 @@ class TestSpmModels:
         assert spm.random_access_cost() == pytest.approx(
             0.103 * NS * RandomSpm.UNSCHEDULED_CONFLICT_SLOTS
         )
+
+
+class TestHidingFraction:
+    """Prefetch-depth hiding follows the Fig 24 shape."""
+
+    @staticmethod
+    def _hetero(depth, pipelined=True):
+        from repro.systolic.memsys import HeterogeneousSpm
+
+        shift = ShiftSpm(capacity_bytes=32 * KB, banks=256)
+        random = RandomSpm(28 * MB, 256, 1 * NS, 1 * NS, 0.103 * NS,
+                           line_bytes=64, pipelined=pipelined)
+        return HeterogeneousSpm(
+            input_shift=shift, weight_shift=shift, output_shift=shift,
+            random=random, prefetch_depth=depth,
+        )
+
+    def test_monotone_in_prefetch_depth(self):
+        fractions = [self._hetero(a).hiding_fraction()
+                     for a in range(1, 8)]
+        assert fractions == sorted(fractions)
+        assert all(f1 < f2 for f1, f2 in zip(fractions[1:], fractions[2:]))
+
+    def test_bounded_below_one(self):
+        for depth in range(1, 10):
+            assert 0.0 <= self._hetero(depth).hiding_fraction() < 1.0
+
+    def test_no_prefetch_pipelined_hides_half(self):
+        assert self._hetero(1).hiding_fraction() == pytest.approx(0.5)
+
+    def test_no_prefetch_conventional_hides_nothing(self):
+        hetero = self._hetero(1, pipelined=False)
+        assert hetero.hiding_fraction() == 0.0
+
+    def test_diminishing_returns(self):
+        """Past a=2 each extra lookahead step buys less than the last
+        (a=1 -> 2 crosses off the hardware double-buffer baseline, so
+        the geometric tail starts at a=2)."""
+        gains = []
+        for depth in range(3, 8):
+            gains.append(self._hetero(depth).hiding_fraction()
+                         - self._hetero(depth - 1).hiding_fraction())
+        assert gains == sorted(gains, reverse=True)
+        assert all(g > 0 for g in gains)
