@@ -1,0 +1,62 @@
+"""Serving-path performance smoke: event-engine throughput trajectory.
+
+Not a paper figure.  Each run appends one trajectory point (simulated
+requests per wall-second of a 10k-request trace through the
+discrete-event engine) to ``BENCH_serving.json`` at the repo root, so
+future PRs can see when a change slows the serving hot path down.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import show
+
+from repro.serving import (
+    ServingSimulator,
+    generate_trace,
+    get_scenario,
+    make_policy,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+N_REQUESTS = 10_000
+
+
+def test_bench_serving_event_engine(benchmark):
+    scenario = get_scenario("bursty")
+    simulator = ServingSimulator("SMART", replicas=2,
+                                 policy=make_policy("timeout"),
+                                 dispatch="least_loaded")
+    rate = scenario.load * simulator.capacity_rps(scenario)
+    trace = generate_trace(scenario, rate, N_REQUESTS, seed=7)
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(
+        lambda: simulator.run(trace, scenario=scenario.name, rate=rate),
+        iterations=1, rounds=1,
+    )
+    wall = time.perf_counter() - started
+
+    point = {
+        "requests": N_REQUESTS,
+        "wall_s": round(wall, 4),
+        "rps": round(N_REQUESTS / wall, 1),
+        "batches": len(result.batches),
+        "cache_hit_rate": round(result.cache.hit_rate, 4),
+        "created": time.time(),
+    }
+    history = []
+    if BENCH_PATH.exists():
+        try:
+            history = json.loads(BENCH_PATH.read_text())
+        except (OSError, json.JSONDecodeError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(point)
+    BENCH_PATH.write_text(json.dumps(history, indent=1) + "\n")
+
+    show("BENCH_serving: event-engine trajectory point", [point])
+    assert len(result.latencies) == N_REQUESTS
+    assert point["rps"] > 0

@@ -4,7 +4,9 @@ Walks the serving layer end to end: a 10k-request bursty trace over
 the model zoo, dynamic batching, a two-replica cluster, and the
 layer-result memo cache that makes the whole thing cost only
 O(distinct layer x batch pairs) of actual simulation — then re-serves
-the same trace uncached to show the difference.
+the same trace uncached to show the difference, and finishes with the
+discrete-event control plane: a diurnal wave under SLO-aware
+autoscaling, and a failure storm with batch re-dispatch.
 
 Run:  python examples/serving.py
 """
@@ -13,8 +15,11 @@ import time
 
 from repro.eval import render_rows
 from repro.serving import (
+    AutoscalePolicy,
+    FailurePlan,
     LayerMemoCache,
     ServingSimulator,
+    SloPolicy,
     get_scenario,
     generate_trace,
     make_policy,
@@ -73,6 +78,41 @@ def main() -> None:
                                   rate=rate).to_row())
     print("\n=== fixed vs timeout batching, same trace ===")
     print(render_rows(rows))
+
+    # The control plane: a diurnal wave served by an autoscaler that
+    # starts from one replica and follows the crest.
+    wave = get_scenario("diurnal")
+    scaled = ServingSimulator(
+        "SMART", replicas=1, policy=policy, dispatch="least_loaded",
+        cache=cluster.cache,
+        slo=SloPolicy(target=2000e-6),
+        autoscale=AutoscalePolicy(min_replicas=1, max_replicas=6),
+    )
+    outcome = scaled.run_scenario(wave, 5_000, seed=7)
+    ups = sum(1 for _, a in outcome.scale_events if a == "up")
+    downs = sum(1 for _, a in outcome.scale_events if a == "down")
+    print("\n=== diurnal wave, autoscaling 1..6 replicas ===")
+    print(render_rows([outcome.to_row()]))
+    print(f"pool swing          : {outcome.low_replicas} -> "
+          f"{outcome.peak_replicas} replicas "
+          f"({ups} scale-ups, {downs} scale-downs)")
+    print(f"SLO attainment      : {outcome.slo_attainment:.1%} "
+          f"within {outcome.slo_target * 1e6:.0f} us")
+
+    # A failure storm: replicas drop mid-trace, their in-flight
+    # batches re-dispatch to survivors, and everyone still finishes.
+    stormy = ServingSimulator(
+        "SMART", replicas=3, policy=policy, dispatch="least_loaded",
+        cache=cluster.cache,
+        failures=FailurePlan(count=3, downtime_frac=0.15, seed=7),
+    )
+    storm = stormy.run_scenario(get_scenario("steady"), 5_000, seed=7)
+    print("\n=== failure storm on 3 replicas ===")
+    print(render_rows([storm.to_row()]))
+    print(f"outage dip          : {storm.replicas} -> "
+          f"{storm.low_replicas} replicas; "
+          f"{storm.redispatched} batch(es) re-dispatched, "
+          f"{storm.wasted_energy * 1e6:.0f} uJ wasted")
 
 
 if __name__ == "__main__":

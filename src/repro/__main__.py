@@ -9,6 +9,9 @@ Usage::
     python -m repro sweep design_space --param frequency=0.5,1,2,4
     python -m repro serve-sim             # serving percentiles, all scenarios
     python -m repro serve-sim bursty --policy fixed --replicas 4
+    python -m repro serve-sim diurnal --autoscale 1:8   # scale on queue depth
+    python -m repro serve-sim overload --slo 1500 --shed 64   # SLO + shedding
+    python -m repro serve-sim steady --fail 2 --replicas 3    # outage storm
     python -m repro runs                  # recent runs from the ledger
     python -m repro cache                 # result-cache statistics
     python -m repro cache clear           # drop every cached result
@@ -233,19 +236,21 @@ def _cmd_sweep(args: list[str], opts: CliOptions) -> int:
 def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     """Serve simulated request traffic and print percentile rows."""
     from repro.serving import LayerMemoCache, POLICIES, get_scenario
-    from repro.serving.experiments import serving_grid
+    from repro.serving.experiments import (make_slo, parse_autoscale,
+                                           serving_grid)
     from repro.serving.simulator import DISPATCH_STRATEGIES
 
     scenarios: list[str] = []
     policies = list(POLICIES)
     requests, replicas, batch_size, seed = 2000, 2, 8, 7
     accelerator, dispatch = "SMART", "round_robin"
+    slo_us, shed_depth, autoscale, faults = 0.0, 0, "", 0
     try:
         i = 0
         while i < len(args):
             token = args[i]
             if token in ("--requests", "--replicas", "--batch-size",
-                         "--seed"):
+                         "--seed", "--shed", "--fail"):
                 if i + 1 >= len(args):
                     raise ConfigError(f"{token} needs a value")
                 try:
@@ -254,16 +259,40 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     raise ConfigError(
                         f"{token} needs a number, got {args[i + 1]!r}"
                     ) from None
-                if token != "--seed" and value < 1:
+                if token not in ("--seed", "--fail") and value < 1:
                     raise ConfigError(f"{token} must be >= 1")
+                if token == "--fail" and value < 0:
+                    raise ConfigError(f"{token} must be >= 0")
                 if token == "--requests":
                     requests = value
                 elif token == "--replicas":
                     replicas = value
                 elif token == "--batch-size":
                     batch_size = value
+                elif token == "--shed":
+                    shed_depth = value
+                elif token == "--fail":
+                    faults = value
                 else:
                     seed = value
+                i += 2
+            elif token == "--slo":
+                if i + 1 >= len(args):
+                    raise ConfigError("--slo needs a value")
+                try:
+                    slo_us = float(args[i + 1])
+                except ValueError:
+                    raise ConfigError(
+                        f"--slo needs microseconds, got {args[i + 1]!r}"
+                    ) from None
+                if slo_us <= 0:
+                    raise ConfigError("--slo must be positive")
+                i += 2
+            elif token == "--autoscale":
+                if i + 1 >= len(args):
+                    raise ConfigError("--autoscale needs MIN:MAX")
+                autoscale = args[i + 1]
+                parse_autoscale(autoscale)  # validate the spec early
                 i += 2
             elif token in ("--policy", "--accelerator", "--dispatch"):
                 if i + 1 >= len(args):
@@ -294,6 +323,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                 i += 1
         from repro.core import make_accelerator
         make_accelerator(accelerator)  # validate before the grid runs
+        make_slo(slo_us, shed_depth)
         for name in scenarios:
             get_scenario(name)
     except ConfigError as exc:
@@ -305,12 +335,22 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
         requests=requests, accelerator=accelerator, replicas=replicas,
         batch_size=batch_size, dispatch=dispatch, seed=seed,
         scenarios=scenarios or None, policies=policies, cache=cache,
+        slo_us=slo_us, shed_depth=shed_depth, autoscale=autoscale,
+        faults=faults,
     )
     if opts.as_json:
         print(report.to_json(rows))
         return 0
+    extras = "".join(
+        part for part, on in (
+            (f", slo {slo_us:g}us", slo_us),
+            (f", shed@{shed_depth}", shed_depth),
+            (f", autoscale {autoscale}", autoscale),
+            (f", {faults} fault(s)", faults),
+        ) if on
+    )
     print(f"\n=== serve-sim: {accelerator} x{replicas} "
-          f"({dispatch}), {requests} requests/scenario ===")
+          f"({dispatch}), {requests} requests/scenario{extras} ===")
     print(report.render_rows(rows))
     print(f"\nlayer-memo: {len(cache)} distinct layer x batch results, "
           f"{cache.stats.hit_rate:.1%} hit rate")

@@ -40,6 +40,22 @@ def percentile(values: Iterable[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+def fraction_within(values: Iterable[float], bound: float) -> float:
+    """Fraction of ``values`` at or below ``bound`` (SLO attainment).
+
+    Non-finite entries (e.g. shed requests carrying ``inf``) count as
+    misses.
+
+    Raises:
+        ConfigError: on empty input.
+    """
+    values = list(values)
+    if not values:
+        raise ConfigError("attainment of empty sequence")
+    within = sum(1 for v in values if math.isfinite(v) and v <= bound)
+    return within / len(values)
+
+
 def format_table(headers: Sequence[str],
                  rows: Sequence[Sequence[object]]) -> str:
     """Render rows as a fixed-width text table."""

@@ -14,6 +14,7 @@ import hashlib
 import json
 import os
 import time
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -106,7 +107,14 @@ class ResultCache:
 
     def put(self, key: str, experiment: str, params: Mapping[str, Any],
             rows: list, elapsed_s: float = 0.0) -> dict:
-        """Store rows under ``key`` (atomic write) and return the entry."""
+        """Store rows under ``key`` (atomic write) and return the entry.
+
+        The temporary file carries a per-writer (pid + random) suffix:
+        two pool workers storing the same key concurrently each write
+        their own temp file and race only on the atomic ``os.replace``,
+        never on the bytes — a shared ``<key>.tmp`` could interleave
+        writes and publish a torn entry.
+        """
         entry = {
             "experiment": experiment,
             "params": dict(params),
@@ -116,9 +124,18 @@ class ResultCache:
         }
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry))
-        os.replace(tmp, path)
+        tmp = self.cache_dir / (
+            f"{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(entry))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         self._remember(key, entry)
         self.stats.stores += 1
         return entry

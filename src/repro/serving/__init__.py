@@ -1,9 +1,12 @@
 """Request-serving simulation on top of the accelerator models.
 
 The production-facing layer: request traffic (Poisson / bursty / ramp
-arrivals over the model zoo), dynamic batching, multi-accelerator
-dispatch, and a layer-result memo cache that makes million-request
-traces cheap.  See :mod:`repro.serving.simulator` for the event loop.
+/ diurnal arrivals over the model zoo), dynamic batching, clusters of
+homogeneous or mixed accelerator replicas, and a control plane —
+SLO-aware autoscaling, failure injection with batch re-dispatch, and
+admission control — all running on the discrete-event engine in
+:mod:`repro.serving.events`.  A layer-result memo cache keeps
+million-request traces cheap.
 """
 
 from repro.serving.batching import (
@@ -12,16 +15,28 @@ from repro.serving.batching import (
     TimeoutBatching,
     make_policy,
 )
+from repro.serving.events import (
+    AutoscalePolicy,
+    ClusterEngine,
+    DISPATCH_STRATEGIES,
+    Event,
+    EventKind,
+    EventQueue,
+    FailurePlan,
+    Outage,
+    Replica,
+    SloPolicy,
+)
 from repro.serving.memo import CacheStats, LayerMemoCache
 from repro.serving.simulator import (
     BatchRecord,
-    DISPATCH_STRATEGIES,
     ServingResult,
     ServingSimulator,
 )
 from repro.serving.workload import (
     ARRIVAL_SHAPES,
     BurstyProcess,
+    DiurnalProcess,
     ModelMix,
     PoissonProcess,
     RampProcess,
@@ -34,21 +49,31 @@ from repro.serving.workload import (
 
 __all__ = [
     "ARRIVAL_SHAPES",
+    "AutoscalePolicy",
     "BatchRecord",
     "BurstyProcess",
     "CacheStats",
+    "ClusterEngine",
     "DISPATCH_STRATEGIES",
+    "DiurnalProcess",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FailurePlan",
     "FixedSizeBatching",
     "LayerMemoCache",
     "ModelMix",
+    "Outage",
     "POLICIES",
     "PoissonProcess",
     "RampProcess",
+    "Replica",
     "Request",
     "SCENARIOS",
     "Scenario",
     "ServingResult",
     "ServingSimulator",
+    "SloPolicy",
     "TimeoutBatching",
     "generate_trace",
     "get_scenario",

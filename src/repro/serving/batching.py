@@ -10,8 +10,11 @@ policy decides when a queue flushes into one accelerator batch:
   queued request has waited ``max_wait`` seconds — the knob real
   serving stacks (Triton/TF-Serving style) expose.
 
-Policies are pure decision objects; the event loop in
-:mod:`repro.serving.simulator` owns the queues and the clock.
+Policies are pure decision objects; the discrete-event engine in
+:mod:`repro.serving.events` owns the queues and the clock.  A policy
+whose ``deadline`` is ever non-None drives flush-deadline events at
+their exact instants; deadline-less queues drain once at the end of
+the trace.
 """
 
 from __future__ import annotations

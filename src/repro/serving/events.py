@@ -1,0 +1,718 @@
+"""Discrete-event core of the serving simulator.
+
+The arrival-driven loop PR 2 shipped observed timeout flushes, replica
+frees and drain work retroactively, at the *next* arrival.  That is
+exact for static clusters (dispatch reads replica free times, which
+are known at flush time) but cannot express anything that must react
+to the clock itself: autoscaling ticks, replica failures mid-batch,
+admission decisions against a live queue depth.  This module replaces
+it with a true discrete-event engine:
+
+- a heap-ordered :class:`EventQueue` of arrival / flush-deadline /
+  batch-done / failure / recovery / control-tick / drain events;
+- :class:`ClusterEngine`, which owns the queues, the replica pool and
+  the clock, and on which the control plane runs:
+
+  * **heterogeneous replicas** — each :class:`Replica` carries its own
+    accelerator configuration, and the ``fastest_finish`` dispatch
+    strategy picks the replica that *completes* a batch earliest
+    (per-replica service times), not merely the one that frees first;
+  * **SLO-aware autoscaling** (:class:`AutoscalePolicy`) — scale on
+    queue depth or windowed p95 latency, with warm-up delay before a
+    new replica serves and a cooldown between actions;
+  * **failure injection** (:class:`FailurePlan`) — a replica drops
+    mid-trace, its in-flight batches are re-dispatched to survivors,
+    and it rejoins at recovery;
+  * **admission control** (:class:`SloPolicy`) — shed arrivals once
+    the cluster queue exceeds a depth bound, and report per-request
+    SLO attainment.
+
+Event ordering at equal timestamps mirrors the retired loop exactly
+(due flushes fire before the arrival that made them due; simultaneous
+flushes fire in (deadline, model) order; the end-of-trace drain runs
+after the final arrival), so a static cluster reproduces PR 2's
+per-request latencies bit for bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random as _random
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.eval.report import percentile
+from repro.serving.workload import Request
+
+#: Replica-selection strategies the engine understands.
+DISPATCH_STRATEGIES = ("round_robin", "least_loaded", "shard",
+                       "fastest_finish")
+
+
+class EventKind(IntEnum):
+    """Event types, ordered by priority at equal timestamps.
+
+    The order encodes the retired arrival-driven loop's semantics: a
+    flush whose deadline lands exactly on an arrival fires *before*
+    that arrival is enqueued; completions and control actions follow
+    arrivals; the end-of-trace drain runs after the last arrival.
+    """
+
+    FLUSH = 0
+    ARRIVAL = 1
+    BATCH_DONE = 2
+    FAIL = 3
+    RECOVER = 4
+    CONTROL = 5
+    DRAIN = 6
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event.
+
+    Attributes:
+        time: simulation instant (s).
+        kind: event type (also its tie-break priority).
+        key: secondary tie-break — the model name for FLUSH events, so
+            simultaneous deadlines fire in (deadline, model) order.
+        payload: kind-specific data.
+    """
+
+    time: float
+    kind: EventKind
+    key: str = ""
+    payload: object = None
+
+
+class EventQueue:
+    """A heap-ordered event queue with deterministic tie-breaking.
+
+    Events at the same instant pop in (kind, key, insertion) order;
+    insertion order makes simultaneous same-kind events (e.g. two
+    arrivals with identical timestamps) deterministic and stable.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, str, int, Event]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, kind: EventKind, key: str = "",
+             payload: object = None) -> None:
+        """Schedule one event."""
+        event = Event(time=time, kind=kind, key=key, payload=payload)
+        heapq.heappush(self._heap,
+                       (time, int(kind), key, self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)[-1]
+
+
+# ---------------------------------------------------------------------------
+# Control-plane policies
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SloPolicy:
+    """Per-request latency SLO plus optional admission control.
+
+    Attributes:
+        target: per-request latency objective (s); a request attains
+            the SLO when it completes within ``target`` of arriving.
+        shed_depth: when set, an arrival is shed (rejected, SLO miss)
+            while this many admitted requests are still in the system
+            — queued *or* dispatched but unfinished, the concurrency
+            bound real admission controllers enforce.
+    """
+
+    target: float
+    shed_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ConfigError("SLO target must be positive")
+        if self.shed_depth is not None and self.shed_depth < 1:
+            raise ConfigError("shed depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Replica autoscaling driven by queue depth or windowed p95.
+
+    Attributes:
+        min_replicas, max_replicas: pool bounds.
+        metric: ``"queue"`` scales on in-system requests (queued *or*
+            dispatched but unfinished) per alive replica; ``"p95"`` on
+            the p95 of a sliding window of completed-request latencies
+            (needs ``target_p95``).
+        high_queue: scale up when in-system > high_queue x alive.
+        low_queue: scale down when in-system < low_queue x alive.
+        target_p95: p95 objective (s) for the ``"p95"`` metric; scale
+            up above it, down below half of it.
+        tick: control-loop interval (s).
+        warmup: delay before a fresh replica can start serving (s).
+        cooldown: minimum spacing between scale actions (s).
+        window: completed-request latencies the p95 metric looks at.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    metric: str = "queue"
+    high_queue: int = 12
+    low_queue: int = 2
+    target_p95: Optional[float] = None
+    tick: float = 200e-6
+    warmup: float = 1e-3
+    cooldown: float = 500e-6
+    window: int = 256
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ConfigError(
+                "autoscale needs 1 <= min_replicas <= max_replicas"
+            )
+        if self.metric not in ("queue", "p95"):
+            raise ConfigError("autoscale metric must be 'queue' or 'p95'")
+        if self.metric == "p95" and (self.target_p95 is None
+                                     or self.target_p95 <= 0):
+            raise ConfigError("p95 autoscaling needs a positive target_p95")
+        if self.high_queue < 1 or self.low_queue < 0:
+            raise ConfigError("queue thresholds must be sensible")
+        if self.low_queue >= self.high_queue:
+            raise ConfigError("low_queue must sit below high_queue")
+        if self.tick <= 0 or self.warmup < 0 or self.cooldown < 0:
+            raise ConfigError("autoscale times must be non-negative "
+                              "(tick positive)")
+        if self.window < 1:
+            raise ConfigError("latency window must be >= 1")
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One resolved replica outage: down at ``at``, back at ``until``."""
+
+    replica: int
+    at: float
+    until: float
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ConfigError("outage replica index must be >= 0")
+        if self.until <= self.at:
+            raise ConfigError("outage must end after it starts")
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Seeded replica failure/recovery injection.
+
+    Either carries explicit :class:`Outage` windows, or samples
+    ``count`` of them (uniform instants over the middle 80% of the
+    trace span, round-robin over replicas with a seeded shuffle), each
+    lasting ``downtime_frac`` of the span.
+
+    Attributes:
+        count: sampled outages when ``outages`` is empty.
+        downtime_frac: sampled outage length as a fraction of the
+            trace span.
+        seed: RNG seed for sampling.
+        outages: explicit outage windows (skips sampling).
+    """
+
+    count: int = 2
+    downtime_frac: float = 0.1
+    seed: int = 0
+    outages: tuple[Outage, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigError("failure count must be >= 0")
+        if not 0.0 < self.downtime_frac < 1.0:
+            raise ConfigError("downtime fraction must be in (0, 1)")
+
+    def resolve(self, start: float, end: float,
+                replicas: int) -> tuple[Outage, ...]:
+        """Concrete outage windows for a trace spanning [start, end].
+
+        Overlapping windows on one replica are merged, so a replica is
+        down for the union of its outages — without the merge, the
+        first RECOVER to pop would end every overlapping window early.
+        """
+        if self.outages:
+            return _merge_outages(self.outages)
+        span = max(end - start, 1e-12)
+        rng = _random.Random(self.seed)
+        order = list(range(replicas))
+        rng.shuffle(order)
+        downtime = self.downtime_frac * span
+        outages = []
+        for i in range(self.count):
+            at = start + span * (0.1 + 0.8 * rng.random())
+            outages.append(Outage(replica=order[i % replicas], at=at,
+                                  until=at + downtime))
+        return _merge_outages(outages)
+
+
+def _merge_outages(outages) -> tuple[Outage, ...]:
+    """Union overlapping/touching windows per replica, time-ordered."""
+    spans: dict[int, list[list[float]]] = {}
+    for outage in sorted(outages, key=lambda o: (o.replica, o.at)):
+        windows = spans.setdefault(outage.replica, [])
+        if windows and outage.at <= windows[-1][1]:
+            windows[-1][1] = max(windows[-1][1], outage.until)
+        else:
+            windows.append([outage.at, outage.until])
+    return tuple(sorted(
+        (Outage(replica=replica, at=at, until=until)
+         for replica, windows in spans.items()
+         for at, until in windows),
+        key=lambda o: (o.at, o.replica),
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Cluster state
+# ---------------------------------------------------------------------------
+@dataclass
+class Replica:
+    """Mutable state of one accelerator replica.
+
+    Attributes:
+        index: stable identity (dispatch order, shard target).
+        accelerator: this replica's accelerator configuration.
+        free_at: when its last scheduled batch completes (s).
+        available_at: warm-up gate — no batch starts before this (s).
+        up: serving (or warming); False while failed / retired.
+        failed: down because of an injected outage (so only the
+            matching recovery revives it — a recovery must not
+            resurrect a replica the autoscaler retired).
+        draining: finishing in-flight work before retirement.
+        pending: in-flight batch ids (dispatch order).
+    """
+
+    index: int
+    accelerator: object
+    free_at: float = 0.0
+    available_at: float = 0.0
+    up: bool = True
+    failed: bool = False
+    draining: bool = False
+    pending: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch.
+
+    Attributes:
+        model: network the batch ran.
+        size: images in the batch.
+        replica: replica index that served it.
+        flush: instant the batch left its queue (s).
+        start: instant the replica began serving it (s).
+        done: completion instant (s).
+        energy: whole-batch energy (J).
+    """
+
+    model: str
+    size: int
+    replica: int
+    flush: float
+    start: float
+    done: float
+    energy: float
+
+    @property
+    def service(self) -> float:
+        """Pure accelerator service time (s)."""
+        return self.done - self.start
+
+
+@dataclass
+class _InFlight:
+    """Engine-side bookkeeping for one dispatched batch."""
+
+    record: BatchRecord
+    requests: tuple[Request, ...]
+    alive: bool = True
+
+
+@dataclass
+class EngineRun:
+    """Raw outcome of one :meth:`ClusterEngine.run`.
+
+    Attributes:
+        batches: successfully served batches, in dispatch order.
+        done: request_id -> (completion instant, energy share).
+        shed: request ids rejected by admission control.
+        replica_trace: (time, up-replica count) at every change.
+        scale_events: (time, "up"/"down") autoscale actions.
+        redispatched: batches re-dispatched after a replica failure.
+        wasted_energy: energy burnt on aborted partial executions (J).
+    """
+
+    batches: tuple[BatchRecord, ...]
+    done: dict[int, tuple[float, float]]
+    shed: tuple[int, ...]
+    replica_trace: tuple[tuple[float, int], ...]
+    scale_events: tuple[tuple[float, str], ...]
+    redispatched: int
+    wasted_energy: float
+
+
+class ClusterEngine:
+    """The discrete-event serving engine.
+
+    Args:
+        replicas: one accelerator configuration per initial replica
+            (mixed configurations make a heterogeneous pool).
+        policy: batching policy (``ready``/``deadline``/``max_batch``).
+        dispatch: one of :data:`DISPATCH_STRATEGIES`.
+        service_fn: (accelerator, model, batch) -> batch latency (s);
+            routed through the layer-memo cache by the caller, which
+            keeps the engine O(distinct layer x batch) in simulation
+            work regardless of trace length.
+        energy_fn: (accelerator, model, batch) -> batch energy (J).
+        slo: SLO / admission-control policy, or None.
+        autoscale: autoscaling policy, or None for a static pool.
+            Replicas added by a scale-up clone the *first* replica's
+            accelerator configuration.
+        failures: failure-injection plan, or None.
+    """
+
+    def __init__(self, replicas: Sequence[object], policy,
+                 dispatch: str,
+                 service_fn: Callable[[object, str, int], float],
+                 energy_fn: Callable[[object, str, int], float],
+                 slo: Optional[SloPolicy] = None,
+                 autoscale: Optional[AutoscalePolicy] = None,
+                 failures: Optional[FailurePlan] = None) -> None:
+        if not replicas:
+            raise ConfigError("cluster needs at least one replica")
+        if dispatch not in DISPATCH_STRATEGIES:
+            raise ConfigError(
+                f"unknown dispatch '{dispatch}'; known: "
+                f"{', '.join(DISPATCH_STRATEGIES)}"
+            )
+        self.policy = policy
+        self.dispatch = dispatch
+        self.service_fn = service_fn
+        self.energy_fn = energy_fn
+        self.slo = slo
+        self.autoscale = autoscale
+        self.failures = failures
+        self._initial = list(replicas)
+
+    # -- run -------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> EngineRun:
+        """Serve a time-ordered trace and return the raw outcome."""
+        if not requests:
+            raise ConfigError("cannot serve an empty trace")
+        t0, t_end = requests[0].arrival, requests[-1].arrival
+
+        self._replicas = [
+            Replica(index=i, accelerator=acc)
+            for i, acc in enumerate(self._initial)
+        ]
+        self._queues: dict[str, list[Request]] = {}
+        self._armed: dict[str, float] = {}
+        self._inflight: dict[int, _InFlight] = {}
+        self._batch_order: list[int] = []
+        self._next_batch = 0
+        self._rr_next = 0
+        self._waiting: deque[tuple[str, tuple[Request, ...], float]] = deque()
+        self._done: dict[int, tuple[float, float]] = {}
+        self._shed: list[int] = []
+        self._trace: list[tuple[float, int]] = [(t0, len(self._replicas))]
+        self._scale_events: list[tuple[float, str]] = []
+        self._redispatched = 0
+        self._wasted = 0.0
+        self._in_system = 0
+        self._remaining = len(requests)
+        self._last_scale = float("-inf")
+        window = self.autoscale.window if self.autoscale else 1
+        self._latency_window: deque[float] = deque(maxlen=window)
+
+        events = EventQueue()
+        self._events = events
+        for request in requests:
+            events.push(request.arrival, EventKind.ARRIVAL, payload=request)
+        events.push(t_end, EventKind.DRAIN)
+        if self.failures is not None:
+            for outage in self.failures.resolve(t0, t_end,
+                                                len(self._replicas)):
+                if outage.replica >= len(self._replicas):
+                    raise ConfigError(
+                        f"outage targets replica {outage.replica} but the "
+                        f"pool has {len(self._replicas)}"
+                    )
+                events.push(outage.at, EventKind.FAIL,
+                            payload=outage.replica)
+                events.push(outage.until, EventKind.RECOVER,
+                            payload=outage.replica)
+        if self.autoscale is not None:
+            events.push(t0 + self.autoscale.tick, EventKind.CONTROL)
+
+        handlers = {
+            EventKind.FLUSH: self._on_flush,
+            EventKind.ARRIVAL: self._on_arrival,
+            EventKind.BATCH_DONE: self._on_batch_done,
+            EventKind.FAIL: self._on_fail,
+            EventKind.RECOVER: self._on_recover,
+            EventKind.CONTROL: self._on_control,
+            EventKind.DRAIN: self._on_drain,
+        }
+        while len(events):
+            event = events.pop()
+            handlers[event.kind](event)
+
+        batches = tuple(self._inflight[i].record
+                        for i in self._batch_order
+                        if self._inflight[i].alive)
+        return EngineRun(
+            batches=batches, done=self._done, shed=tuple(self._shed),
+            replica_trace=tuple(self._trace),
+            scale_events=tuple(self._scale_events),
+            redispatched=self._redispatched, wasted_energy=self._wasted,
+        )
+
+    # -- event handlers --------------------------------------------------
+    def _on_arrival(self, event: Event) -> None:
+        request: Request = event.payload
+        self._remaining -= 1
+        if (self.slo is not None
+                and self.slo.shed_depth is not None
+                and self._in_system >= self.slo.shed_depth):
+            self._shed.append(request.request_id)
+            return
+        self._in_system += 1
+        queue = self._queues.setdefault(request.model, [])
+        queue.append(request)
+        while self.policy.ready(queue):
+            batch = tuple(queue[: self.policy.max_batch])
+            del queue[: self.policy.max_batch]
+            self._dispatch(request.model, batch, flush=event.time)
+        self._arm_flush(request.model)
+
+    def _on_flush(self, event: Event) -> None:
+        model, deadline = event.payload
+        if self._armed.get(model) == deadline:
+            del self._armed[model]
+        queue = self._queues.get(model)
+        if not queue or self.policy.deadline(queue) != deadline:
+            return  # stale: the queue flushed or re-headed meanwhile
+        batch = tuple(queue[: self.policy.max_batch])
+        del queue[: self.policy.max_batch]
+        self._dispatch(model, batch, flush=deadline)
+        self._arm_flush(model)
+
+    def _on_batch_done(self, event: Event) -> None:
+        batch_id: int = event.payload
+        batch = self._inflight[batch_id]
+        if not batch.alive:
+            return  # aborted by a failure and re-dispatched
+        record = batch.record
+        share = record.energy / record.size
+        self._in_system -= record.size
+        for request in batch.requests:
+            self._done[request.request_id] = (record.done, share)
+            self._latency_window.append(record.done - request.arrival)
+        replica = self._replicas[record.replica]
+        if batch_id in replica.pending:
+            replica.pending.remove(batch_id)
+        if replica.draining and not replica.pending:
+            replica.draining = False
+            replica.up = False
+            self._trace.append((event.time, self._n_up()))
+
+    def _on_fail(self, event: Event) -> None:
+        replica = self._replicas[event.payload]
+        if not replica.up:
+            return
+        replica.up = False
+        replica.failed = True
+        replica.draining = False
+        self._trace.append((event.time, self._n_up()))
+        victims, replica.pending = list(replica.pending), []
+        for batch_id in victims:
+            batch = self._inflight[batch_id]
+            batch.alive = False
+            record = batch.record
+            if record.start < event.time and record.service > 0:
+                progress = min(1.0, (event.time - record.start)
+                               / record.service)
+                self._wasted += record.energy * progress
+        for batch_id in victims:
+            batch = self._inflight[batch_id]
+            self._redispatched += 1
+            self._dispatch(batch.record.model, batch.requests,
+                           flush=batch.record.flush, now=event.time)
+
+    def _on_recover(self, event: Event) -> None:
+        replica = self._replicas[event.payload]
+        if replica.up or not replica.failed:
+            # not down, or down by the autoscaler's choice — a stale
+            # recovery must not resurrect a retired replica
+            return
+        replica.up = True
+        replica.failed = False
+        replica.draining = False
+        replica.free_at = event.time
+        replica.available_at = event.time
+        self._trace.append((event.time, self._n_up()))
+        self._drain_waiting(event.time)
+
+    def _on_control(self, event: Event) -> None:
+        policy = self.autoscale
+        alive = [r for r in self._replicas if r.up and not r.draining]
+        queued = self._in_system  # queued + in-flight: the real backlog
+        action = 0
+        if policy.metric == "queue":
+            if queued > policy.high_queue * len(alive):
+                action = 1
+            elif queued < policy.low_queue * len(alive):
+                action = -1
+        elif self._latency_window:
+            p95 = percentile(self._latency_window, 95)
+            if p95 > policy.target_p95:
+                action = 1
+            elif (p95 < 0.5 * policy.target_p95
+                  and queued <= policy.low_queue * len(alive)):
+                action = -1
+        if action and event.time - self._last_scale >= policy.cooldown:
+            if action > 0 and len(alive) < policy.max_replicas:
+                self._scale_up(event.time)
+                self._last_scale = event.time
+            elif action < 0 and len(alive) > policy.min_replicas:
+                self._scale_down(event.time, alive)
+                self._last_scale = event.time
+        if (self._remaining or queued
+                or any(r.pending for r in self._replicas)):
+            self._events.push(event.time + policy.tick, EventKind.CONTROL)
+
+    def _on_drain(self, event: Event) -> None:
+        """Flush deadline-less leftovers at the end of the trace.
+
+        Queues under a deadline policy drain through their own FLUSH
+        events at the true instants; only fixed-style policies need
+        this sweep, at the last arrival, in stable model order.
+        """
+        for model in sorted(self._queues):
+            queue = self._queues[model]
+            if queue and self.policy.deadline(queue) is not None:
+                continue
+            while queue:
+                batch = tuple(queue[: self.policy.max_batch])
+                del queue[: self.policy.max_batch]
+                self._dispatch(model, batch, flush=event.time)
+
+    # -- internals -------------------------------------------------------
+    def _n_up(self) -> int:
+        return sum(1 for r in self._replicas if r.up)
+
+    def _arm_flush(self, model: str) -> None:
+        """Schedule the queue's current deadline, once per deadline."""
+        queue = self._queues.get(model)
+        if not queue:
+            return
+        deadline = self.policy.deadline(queue)
+        if deadline is None or self._armed.get(model) == deadline:
+            return
+        self._armed[model] = deadline
+        self._events.push(deadline, EventKind.FLUSH, key=model,
+                          payload=(model, deadline))
+
+    def _candidates(self) -> list[Replica]:
+        return [r for r in self._replicas if r.up and not r.draining]
+
+    def _pick_replica(self, model: str, size: int, floor: float,
+                      candidates: Sequence[Replica]) -> Replica:
+        """Pick a replica for a batch that can start at ``floor``."""
+        if self.dispatch == "shard":
+            # stable pin over the *initial* pool, so one replica's
+            # failure never remaps models homed on healthy replicas;
+            # only the dead replica's models fall back (deterministic)
+            digest = zlib.crc32(model.encode())
+            home = self._replicas[digest % len(self._initial)]
+            if home.up and not home.draining:
+                return home
+            return candidates[digest % len(candidates)]
+        if self.dispatch == "least_loaded":
+            return min(candidates,
+                       key=lambda r: (max(r.free_at, r.available_at),
+                                      r.index))
+        if self.dispatch == "fastest_finish":
+            def finish(replica: Replica) -> tuple[float, int]:
+                start = max(floor, replica.free_at, replica.available_at)
+                service = self.service_fn(replica.accelerator, model, size)
+                return (start + service, replica.index)
+            return min(candidates, key=finish)
+        picked = candidates[self._rr_next % len(candidates)]
+        self._rr_next = (self._rr_next + 1) % len(candidates)
+        return picked
+
+    def _dispatch(self, model: str, batch: tuple[Request, ...],
+                  flush: float, now: Optional[float] = None) -> None:
+        """Serve one flushed batch on a replica (or park it).
+
+        ``now`` is the re-dispatch instant after a failure; fresh
+        flushes start no earlier than ``flush`` anyway.
+        """
+        candidates = self._candidates()
+        if not candidates:
+            self._waiting.append((model, batch, flush))
+            return
+        floor = flush if now is None else max(flush, now)
+        replica = self._pick_replica(model, len(batch), floor, candidates)
+        service = self.service_fn(replica.accelerator, model, len(batch))
+        energy = self.energy_fn(replica.accelerator, model, len(batch))
+        start = max(floor, replica.free_at, replica.available_at)
+        done = start + service
+        replica.free_at = done
+        batch_id = self._next_batch
+        self._next_batch += 1
+        record = BatchRecord(model=model, size=len(batch),
+                             replica=replica.index, flush=flush,
+                             start=start, done=done, energy=energy)
+        self._inflight[batch_id] = _InFlight(record=record, requests=batch)
+        self._batch_order.append(batch_id)
+        replica.pending.append(batch_id)
+        self._events.push(done, EventKind.BATCH_DONE, payload=batch_id)
+
+    def _drain_waiting(self, now: float) -> None:
+        while self._waiting and self._candidates():
+            model, batch, flush = self._waiting.popleft()
+            self._dispatch(model, batch, flush=flush, now=now)
+
+    def _scale_up(self, now: float) -> None:
+        policy = self.autoscale
+        for replica in self._replicas:
+            if replica.up and replica.draining:
+                replica.draining = False  # cancel a retirement instead
+                self._scale_events.append((now, "up"))
+                self._drain_waiting(now)
+                return
+        replica = Replica(index=len(self._replicas),
+                          accelerator=self._initial[0], free_at=now,
+                          available_at=now + policy.warmup)
+        self._replicas.append(replica)
+        self._trace.append((now, self._n_up()))
+        self._scale_events.append((now, "up"))
+        self._drain_waiting(now)
+
+    def _scale_down(self, now: float, alive: Sequence[Replica]) -> None:
+        victim = min(alive, key=lambda r: (len(r.pending), -r.index))
+        if victim.pending:
+            victim.draining = True
+        else:
+            victim.up = False
+            self._trace.append((now, self._n_up()))
+        self._scale_events.append((now, "down"))

@@ -6,6 +6,12 @@ the shared reporting path::
 
     repro sweep serving_grid --param replicas=1,2,4
     repro sweep serving_scaling --param replicas=1,2,4,8
+    repro sweep serving_slo --param shed_depth=0,32,128
+    repro sweep serving_autoscale --param scenario=diurnal,bursty
+
+Control-plane knobs arrive as plain scalars (microseconds, counts,
+``"min:max"`` strings) so sweep parameters stay JSON-serialisable for
+the content-addressed result cache.
 """
 
 from __future__ import annotations
@@ -13,10 +19,56 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core import make_accelerator
+from repro.errors import ConfigError
 from repro.serving.batching import POLICIES, make_policy
+from repro.serving.events import AutoscalePolicy, FailurePlan, SloPolicy
 from repro.serving.memo import LayerMemoCache
 from repro.serving.simulator import ServingSimulator
 from repro.serving.workload import SCENARIOS, get_scenario
+
+
+def parse_autoscale(spec: str, metric: str = "queue",
+                    target_p95_us: float = 0.0
+                    ) -> Optional[AutoscalePolicy]:
+    """Build an :class:`AutoscalePolicy` from a ``"min:max"`` spec.
+
+    Empty spec means no autoscaling; ``target_p95_us`` switches the
+    metric to windowed p95 when positive.
+
+    Raises:
+        ConfigError: on malformed specs.
+    """
+    if not spec:
+        return None
+    head, sep, tail = spec.partition(":")
+    try:
+        low = int(head)
+        high = int(tail) if sep else low
+    except ValueError:
+        raise ConfigError(
+            f"bad autoscale spec {spec!r}; expected MIN:MAX"
+        ) from None
+    if target_p95_us > 0:
+        return AutoscalePolicy(min_replicas=low, max_replicas=high,
+                               metric="p95",
+                               target_p95=target_p95_us * 1e-6)
+    return AutoscalePolicy(min_replicas=low, max_replicas=high,
+                           metric=metric)
+
+
+def make_slo(slo_us: float, shed_depth: int = 0) -> Optional[SloPolicy]:
+    """Build an :class:`SloPolicy` from microsecond / depth scalars.
+
+    Raises:
+        ConfigError: when shedding is requested without an SLO target.
+    """
+    if slo_us <= 0:
+        if shed_depth:
+            raise ConfigError("admission control needs an SLO target "
+                              "(set slo_us / --slo)")
+        return None
+    return SloPolicy(target=slo_us * 1e-6,
+                     shed_depth=shed_depth or None)
 
 
 def serving_grid(requests: int = 2000, accelerator: str = "SMART",
@@ -24,23 +76,31 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
                  dispatch: str = "round_robin", seed: int = 7,
                  scenarios: Optional[Sequence[str]] = None,
                  policies: Optional[Sequence[str]] = None,
-                 cache: Optional[LayerMemoCache] = None) -> list[dict]:
+                 cache: Optional[LayerMemoCache] = None,
+                 slo_us: float = 0.0, shed_depth: int = 0,
+                 autoscale: str = "", faults: int = 0) -> list[dict]:
     """Percentile rows for scenario x batching-policy cells.
 
     Defaults to every stock scenario and policy; ``repro serve-sim``
-    narrows the grid through ``scenarios``/``policies``.  One shared
-    memo cache serves the whole grid, so only the first cell pays for
-    fresh layer simulations.
+    narrows the grid through ``scenarios``/``policies`` and switches
+    the control plane on through ``slo_us``/``shed_depth`` (SLO +
+    admission control), ``autoscale`` (``"min:max"``) and ``faults``
+    (injected outages).  One shared memo cache serves the whole grid,
+    so only the first cell pays for fresh layer simulations.
     """
     config = make_accelerator(accelerator)
     cache = cache if cache is not None else LayerMemoCache()
+    slo = make_slo(slo_us, shed_depth)
+    scaling = parse_autoscale(autoscale)
+    failures = FailurePlan(count=faults, seed=seed) if faults else None
     rows = []
     for scenario in [get_scenario(n) for n in scenarios or SCENARIOS]:
         for policy_name in policies or POLICIES:
             simulator = ServingSimulator(
                 accelerator=config, replicas=replicas,
                 policy=make_policy(policy_name, batch_size=batch_size),
-                dispatch=dispatch, cache=cache,
+                dispatch=dispatch, cache=cache, slo=slo,
+                autoscale=scaling, failures=failures,
             )
             result = simulator.run_scenario(scenario, requests, seed=seed)
             rows.append(result.to_row())
@@ -74,19 +134,82 @@ def serving_scaling(scenario: str = "steady", policy: str = "timeout",
     return rows
 
 
+def serving_slo(scenario: str = "overload", policy: str = "timeout",
+                requests: int = 2000, accelerator: str = "SMART",
+                replicas: int = 2, batch_size: int = 8,
+                dispatch: str = "least_loaded", seed: int = 7,
+                slo_us: float = 1500.0,
+                shed_depth: int = 0) -> list[dict]:
+    """SLO attainment under load, with and without admission control.
+
+    One row per call; sweep ``shed_depth`` (0 = never shed) or
+    ``slo_us`` to map the attainment/shed-rate trade-off.
+    """
+    simulator = ServingSimulator(
+        accelerator=make_accelerator(accelerator), replicas=replicas,
+        policy=make_policy(policy, batch_size=batch_size),
+        dispatch=dispatch, slo=make_slo(slo_us, shed_depth),
+    )
+    result = simulator.run_scenario(scenario, requests, seed=seed)
+    row = result.to_row()
+    row["shed_depth"] = shed_depth
+    return [row]
+
+
+def serving_autoscale(scenario: str = "diurnal", policy: str = "timeout",
+                      requests: int = 2000, accelerator: str = "SMART",
+                      min_replicas: int = 1, max_replicas: int = 8,
+                      metric: str = "queue", target_p95_us: float = 0.0,
+                      batch_size: int = 8,
+                      dispatch: str = "least_loaded",
+                      seed: int = 7) -> list[dict]:
+    """Autoscaler behaviour on one scenario: pool swing + percentiles.
+
+    ``target_p95_us > 0`` scales on windowed p95 instead of queue
+    depth.
+    """
+    spec = f"{min_replicas}:{max_replicas}"
+    simulator = ServingSimulator(
+        accelerator=make_accelerator(accelerator), replicas=min_replicas,
+        policy=make_policy(policy, batch_size=batch_size),
+        dispatch=dispatch,
+        autoscale=parse_autoscale(spec, metric=metric,
+                                  target_p95_us=target_p95_us),
+    )
+    result = simulator.run_scenario(scenario, requests, seed=seed)
+    row = result.to_row()
+    row.setdefault("replicas_low", result.low_replicas)
+    row.setdefault("replicas_peak", result.peak_replicas)
+    row["scale_ups"] = sum(1 for _, a in result.scale_events if a == "up")
+    row["scale_downs"] = sum(1 for _, a in result.scale_events
+                             if a == "down")
+    return [row]
+
+
 def _register() -> None:
     from repro.runtime.registry import register_experiment
 
     register_experiment(
         "serving_grid", serving_grid,
         "serving percentiles, every scenario x policy; params: "
-        "requests, accelerator, replicas, batch_size, dispatch, seed",
+        "requests, accelerator, replicas, batch_size, dispatch, seed, "
+        "slo_us, shed_depth, autoscale, faults",
         figure=False)
     register_experiment(
         "serving_scaling", serving_scaling,
         "serving throughput vs cluster width; params: scenario, "
         "policy, requests, accelerator, replicas, batch_size, "
         "dispatch, seed", figure=False)
+    register_experiment(
+        "serving_slo", serving_slo,
+        "SLO attainment / shed-rate under load; params: scenario, "
+        "policy, requests, replicas, slo_us, shed_depth, dispatch, "
+        "seed", figure=False)
+    register_experiment(
+        "serving_autoscale", serving_autoscale,
+        "autoscaler pool swing + percentiles; params: scenario, "
+        "policy, requests, min_replicas, max_replicas, metric, "
+        "target_p95_us, dispatch, seed", figure=False)
 
 
 _register()

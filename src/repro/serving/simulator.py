@@ -1,72 +1,61 @@
-"""Event-driven request-serving simulation over accelerator clusters.
+"""Request-serving simulation over accelerator clusters.
 
 :class:`ServingSimulator` drives a request trace through per-model
-batching queues onto a cluster of identical accelerator replicas and
-reports the serving metrics a production fleet is judged on: latency
-percentiles (p50/p95/p99), sustained throughput, and energy per
-request.
+batching queues onto a cluster of accelerator replicas and reports the
+serving metrics a production fleet is judged on: latency percentiles
+(p50/p95/p99), sustained throughput, energy per request, and — when a
+:class:`~repro.serving.events.SloPolicy` is set — per-request SLO
+attainment and shed rate.
 
-The event loop is exact but cheap: arrivals are processed in time
-order, a queue flushes when its batching policy fires (size reached,
-or the oldest request's wait budget expires between arrivals), and the
-flushed batch occupies one replica for the *simulated* batch latency
-of that model — served through the :class:`LayerMemoCache`, so a
-million-request trace costs O(distinct layer x batch pairs) of actual
-simulation work.
+The clock lives in :class:`~repro.serving.events.ClusterEngine`, a
+heap-ordered discrete-event engine (arrival / flush-deadline /
+batch-done / failure / recovery / control-tick events).  On top of the
+exact event core this layer configures:
 
-Dispatch strategies:
+- **clusters**, homogeneous (``replicas=N``) or heterogeneous
+  (``accelerators=[...]`` with mixed configurations);
+- **dispatch** strategies (:data:`DISPATCH_STRATEGIES`): round-robin,
+  least-loaded, per-model sharding, and ``fastest_finish`` — the
+  heterogeneity-aware strategy that weighs each replica's own service
+  time, not just its queue;
+- **autoscaling** (:class:`~repro.serving.events.AutoscalePolicy`),
+  **failure injection** (:class:`~repro.serving.events.FailurePlan`)
+  and **admission control** via the engine's control plane.
 
-- ``round_robin``: batches rotate across replicas;
-- ``least_loaded``: each batch goes to the replica that frees first;
-- ``shard``: each model is pinned to one replica (keyed on a stable
-  hash of its name), trading load balance for perfect weight locality.
+Batch latencies and energies are served through the
+:class:`LayerMemoCache`, so a million-request trace costs O(distinct
+accelerator x layer x batch) of actual simulation work.
 """
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from repro.core import make_accelerator
 from repro.errors import ConfigError
-from repro.eval.report import percentile
+from repro.eval.report import fraction_within, percentile
 from repro.models import get_model
 from repro.serving.batching import FixedSizeBatching, TimeoutBatching
+from repro.serving.events import (
+    AutoscalePolicy,
+    BatchRecord,
+    ClusterEngine,
+    DISPATCH_STRATEGIES,
+    FailurePlan,
+    SloPolicy,
+)
 from repro.serving.memo import CacheStats, LayerMemoCache
 from repro.serving.workload import Request, Scenario, generate_trace
 from repro.systolic.layers import Network
 from repro.systolic.simulator import AcceleratorModel
 
-DISPATCH_STRATEGIES = ("round_robin", "least_loaded", "shard")
-
-
-@dataclass(frozen=True)
-class BatchRecord:
-    """One dispatched batch.
-
-    Attributes:
-        model: network the batch ran.
-        size: images in the batch.
-        replica: replica index that served it.
-        flush: instant the batch left its queue (s).
-        start: instant the replica began serving it (s).
-        done: completion instant (s).
-        energy: whole-batch energy (J).
-    """
-
-    model: str
-    size: int
-    replica: int
-    flush: float
-    start: float
-    done: float
-    energy: float
-
-    @property
-    def service(self) -> float:
-        """Pure accelerator service time (s)."""
-        return self.done - self.start
+__all__ = [
+    "BatchRecord",
+    "DISPATCH_STRATEGIES",
+    "ServingResult",
+    "ServingSimulator",
+]
 
 
 @dataclass
@@ -74,16 +63,24 @@ class ServingResult:
     """Outcome of serving one request trace.
 
     Attributes:
-        accelerator: accelerator name.
-        replicas: cluster width.
+        accelerator: accelerator name (first replica's, for mixed
+            pools).
+        replicas: initial cluster width.
         scenario: scenario name ("" for ad-hoc traces).
         policy: batching policy name.
         rate: offered arrival rate (requests/s).
         requests: the trace, in request-id order.
-        latencies: per-request latency (s), indexed like ``requests``.
+        latencies: per-request latency (s), indexed like ``requests``;
+            ``inf`` for shed requests.
         energy_per_request: per-request energy (J), same indexing.
-        batches: every dispatched batch, in dispatch order.
+        batches: every served batch, in dispatch order.
         cache: layer-memo statistics for this run.
+        slo_target: per-request latency SLO (s); 0 when unset.
+        shed: request ids rejected by admission control.
+        replica_trace: (time, up-replica count) at every change.
+        scale_events: (time, "up"/"down") autoscale actions.
+        redispatched: batches re-dispatched after replica failures.
+        wasted_energy: energy burnt on aborted partial batches (J).
     """
 
     accelerator: str
@@ -96,35 +93,98 @@ class ServingResult:
     energy_per_request: tuple[float, ...]
     batches: tuple[BatchRecord, ...]
     cache: CacheStats
+    slo_target: float = 0.0
+    shed: tuple[int, ...] = ()
+    replica_trace: tuple[tuple[float, int], ...] = ()
+    scale_events: tuple[tuple[float, str], ...] = ()
+    redispatched: int = 0
+    wasted_energy: float = 0.0
+
+    @property
+    def served_latencies(self) -> tuple[float, ...]:
+        """Latencies of the requests that were actually served."""
+        return tuple(l for l in self.latencies if l != float("inf"))
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of the trace rejected by admission control."""
+        return len(self.shed) / len(self.requests)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *all* requests meeting the SLO (shed = miss)."""
+        if not self.slo_target:
+            return 1.0
+        return fraction_within(self.latencies, self.slo_target)
 
     @property
     def makespan(self) -> float:
         """First arrival to last completion (s)."""
+        if not self.batches:
+            return 0.0
         return max(b.done for b in self.batches) - self.requests[0].arrival
 
     @property
     def throughput_rps(self) -> float:
-        """Sustained requests per second over the makespan."""
-        return len(self.requests) / self.makespan
+        """Sustained served requests per second over the makespan."""
+        if not self.makespan:
+            return 0.0
+        return (len(self.requests) - len(self.shed)) / self.makespan
+
+    @property
+    def replica_seconds(self) -> float:
+        """Replica-time available over the makespan (autoscale-aware)."""
+        if not self.batches:
+            return 0.0
+        end = max(b.done for b in self.batches)
+        if not self.replica_trace:
+            return self.replicas * self.makespan
+        total, points = 0.0, list(self.replica_trace) + [(end, 0)]
+        for (t, n), (t_next, _) in zip(points, points[1:]):
+            total += n * max(0.0, min(t_next, end) - t)
+        return total
 
     @property
     def utilization(self) -> float:
-        """Busy fraction of the cluster over the makespan."""
+        """Busy fraction of the available replica-time."""
+        if not self.replica_seconds:
+            return 0.0
         busy = sum(b.service for b in self.batches)
-        return busy / (self.replicas * self.makespan)
+        return busy / self.replica_seconds
 
     @property
     def mean_batch(self) -> float:
         """Mean dispatched batch size."""
-        return len(self.requests) / len(self.batches)
+        if not self.batches:
+            return 0.0
+        return (len(self.requests) - len(self.shed)) / len(self.batches)
+
+    @property
+    def peak_replicas(self) -> int:
+        """Most replicas ever up at once."""
+        if not self.replica_trace:
+            return self.replicas
+        return max(n for _, n in self.replica_trace)
+
+    @property
+    def low_replicas(self) -> int:
+        """Fewest replicas ever up at once."""
+        if not self.replica_trace:
+            return self.replicas
+        return min(n for _, n in self.replica_trace)
 
     def latency_percentile(self, q: float) -> float:
-        """Latency percentile ``q`` (s)."""
-        return percentile(self.latencies, q)
+        """Served-request latency percentile ``q`` (s)."""
+        return percentile(self.served_latencies, q)
 
     def to_row(self) -> dict:
-        """The reporting row ``repro serve-sim`` prints."""
-        return {
+        """The reporting row ``repro serve-sim`` prints.
+
+        Static stock runs keep the exact PR 2 column set; SLO,
+        autoscale and failure columns appear only when those features
+        were active, so existing reports stay byte-compatible.
+        """
+        row = {
             "scenario": self.scenario,
             "policy": self.policy,
             "requests": len(self.requests),
@@ -133,12 +193,24 @@ class ServingResult:
             "p95_us": self.latency_percentile(95) * 1e6,
             "p99_us": self.latency_percentile(99) * 1e6,
             "throughput_rps": self.throughput_rps,
+            # over *served* requests: shed entries carry 0 J and would
+            # deflate the metric exactly when shedding kicks in
             "energy_per_req_uj": (sum(self.energy_per_request)
-                                  / len(self.requests) * 1e6),
+                                  / max(1, len(self.requests)
+                                        - len(self.shed)) * 1e6),
             "mean_batch": self.mean_batch,
             "utilization": self.utilization,
             "cache_hit_rate": self.cache.hit_rate,
         }
+        if self.slo_target:
+            row["slo_attain"] = self.slo_attainment
+            row["shed_rate"] = self.shed_rate
+        if self.scale_events or self.peak_replicas != self.low_replicas:
+            row["replicas_low"] = self.low_replicas
+            row["replicas_peak"] = self.peak_replicas
+        if self.redispatched:
+            row["redispatched"] = self.redispatched
+        return row
 
 
 class ServingSimulator:
@@ -147,7 +219,8 @@ class ServingSimulator:
     Args:
         accelerator: the replica configuration, or a scheme name for
             :func:`repro.core.make_accelerator`.
-        replicas: identical accelerators in the cluster.
+        replicas: identical accelerators in the cluster (ignored when
+            ``accelerators`` is given).
         policy: batching policy (fixed or timeout).
         dispatch: one of :data:`DISPATCH_STRATEGIES`.
         cache: layer-memo to use; a fresh enabled one by default.
@@ -155,6 +228,13 @@ class ServingSimulator:
             disabled one for the uncached reference path.
         networks: optional name -> Network override; defaults to the
             model zoo.
+        accelerators: optional per-replica configurations (models or
+            scheme names) forming a heterogeneous pool.
+        slo: latency SLO + admission control, or None.
+        autoscale: autoscaling policy, or None for a static pool;
+            scale-ups clone the first replica's configuration, so a
+            heterogeneous pool grows with copies of its lead config.
+        failures: failure-injection plan, or None.
     """
 
     def __init__(self, accelerator: AcceleratorModel | str = "SMART",
@@ -162,11 +242,25 @@ class ServingSimulator:
                  policy: FixedSizeBatching | TimeoutBatching | None = None,
                  dispatch: str = "round_robin",
                  cache: Optional[LayerMemoCache] = None,
-                 networks: Optional[Mapping[str, Network]] = None) -> None:
+                 networks: Optional[Mapping[str, Network]] = None,
+                 accelerators: Optional[Sequence[AcceleratorModel | str]]
+                 = None,
+                 slo: Optional[SloPolicy] = None,
+                 autoscale: Optional[AutoscalePolicy] = None,
+                 failures: Optional[FailurePlan] = None) -> None:
         if isinstance(accelerator, str):
             accelerator = make_accelerator(accelerator)
-        if replicas < 1:
-            raise ConfigError("cluster needs at least one replica")
+        if accelerators is not None:
+            pool = [make_accelerator(a) if isinstance(a, str) else a
+                    for a in accelerators]
+            if not pool:
+                raise ConfigError("cluster needs at least one replica")
+            accelerator = pool[0]
+            replicas = len(pool)
+        else:
+            if replicas < 1:
+                raise ConfigError("cluster needs at least one replica")
+            pool = [accelerator] * replicas
         if dispatch not in DISPATCH_STRATEGIES:
             raise ConfigError(
                 f"unknown dispatch '{dispatch}'; known: "
@@ -174,10 +268,19 @@ class ServingSimulator:
             )
         self.accelerator = accelerator
         self.replicas = replicas
+        self.pool = tuple(pool)
         self.policy = policy or TimeoutBatching()
         self.dispatch = dispatch
         self.cache = cache if cache is not None else LayerMemoCache()
+        self.slo = slo
+        self.autoscale = autoscale
+        self.failures = failures
         self._networks = networks
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether the pool mixes accelerator configurations."""
+        return any(acc != self.pool[0] for acc in self.pool[1:])
 
     # -- model / capacity helpers ---------------------------------------
     def network(self, model: str) -> Network:
@@ -189,61 +292,83 @@ class ServingSimulator:
                 raise ConfigError(f"unknown model '{model}'") from None
         return get_model(model)
 
-    def batch_latency(self, model: str, batch: int) -> float:
+    def batch_latency(self, model: str, batch: int,
+                      accelerator: Optional[AcceleratorModel]
+                      = None) -> float:
         """Memoised batch latency of one model (s)."""
-        return self.cache.simulate(self.accelerator, self.network(model),
+        accelerator = accelerator or self.accelerator
+        return self.cache.simulate(accelerator, self.network(model),
                                    batch).latency
 
     def capacity_rps(self, scenario: Scenario) -> float:
         """Calibrated cluster capacity for a scenario's mix (req/s).
 
         One replica serving the mix at the policy's full batch size
-        sustains ``1 / sum(frac_m * T_m(b) / b)`` requests per second.
+        sustains ``1 / sum(frac_m * T_m(b) / b)`` requests per second;
+        a heterogeneous pool sums each replica's own capacity.
         """
         b = self.policy.max_batch
-        per_request = sum(
-            frac * self.batch_latency(model, b) / b
-            for model, frac in scenario.mix.fractions().items()
-        )
-        return self.replicas / per_request
+        fractions = scenario.mix.fractions().items()
 
-    # -- event loop ------------------------------------------------------
+        def per_request(acc: AcceleratorModel) -> float:
+            return sum(frac * self.batch_latency(model, b, acc) / b
+                       for model, frac in fractions)
+
+        if not self.heterogeneous:
+            return self.replicas / per_request(self.accelerator)
+        return sum(1.0 / per_request(acc) for acc in self.pool)
+
+    # -- runs ------------------------------------------------------------
     def run(self, requests: Sequence[Request], scenario: str = "",
-            rate: float = 0.0) -> ServingResult:
-        """Serve an explicit trace and collect per-request metrics."""
+            rate: float = 0.0,
+            failures: Optional[FailurePlan] = None) -> ServingResult:
+        """Serve an explicit trace and collect per-request metrics.
+
+        ``failures`` overrides the simulator-level plan for this run
+        (used by :meth:`run_scenario` for fault-carrying scenarios).
+        """
         requests = tuple(sorted(requests, key=lambda r: r.arrival))
         if not requests:
             raise ConfigError("cannot serve an empty trace")
-        hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
-        self._busy = [0.0] * self.replicas
-        self._rr_next = 0
-        self._queues: dict[str, list[Request]] = {}
-        self._batches: list[BatchRecord] = []
-        self._done: dict[int, tuple[float, float]] = {}
-
         for request in requests:
-            self._flush_due(request.arrival)
-            queue = self._queues.setdefault(request.model, [])
-            queue.append(request)
-            while self.policy.ready(queue):
-                self._dispatch(request.model,
-                               queue[: self.policy.max_batch],
-                               flush=request.arrival)
-                del queue[: self.policy.max_batch]
-        self._drain(requests[-1].arrival)
+            self.network(request.model)  # fail fast on unknown models
+        hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
 
-        latencies = tuple(self._done[r.request_id][0] - r.arrival
-                          for r in requests)
-        energy = tuple(self._done[r.request_id][1] for r in requests)
+        engine = ClusterEngine(
+            replicas=self.pool, policy=self.policy, dispatch=self.dispatch,
+            service_fn=lambda acc, model, size:
+                self.cache.simulate(acc, self.network(model), size).latency,
+            energy_fn=lambda acc, model, size:
+                self.cache.energy_total(acc, self.network(model), size),
+            slo=self.slo, autoscale=self.autoscale,
+            failures=failures if failures is not None else self.failures,
+        )
+        outcome = engine.run(requests)
+
+        shed = frozenset(outcome.shed)
+        latencies = tuple(
+            float("inf") if r.request_id in shed
+            else outcome.done[r.request_id][0] - r.arrival
+            for r in requests
+        )
+        energy = tuple(
+            0.0 if r.request_id in shed else outcome.done[r.request_id][1]
+            for r in requests
+        )
         return ServingResult(
             accelerator=self.accelerator.name, replicas=self.replicas,
             scenario=scenario, policy=self.policy.name, rate=rate,
             requests=requests, latencies=latencies,
-            energy_per_request=energy, batches=tuple(self._batches),
+            energy_per_request=energy, batches=outcome.batches,
             # per-run delta, so a memo shared across runs still reports
             # this trace's own hit rate
             cache=CacheStats(hits=self.cache.stats.hits - hits0,
                              misses=self.cache.stats.misses - misses0),
+            slo_target=self.slo.target if self.slo else 0.0,
+            shed=outcome.shed, replica_trace=outcome.replica_trace,
+            scale_events=outcome.scale_events,
+            redispatched=outcome.redispatched,
+            wasted_energy=outcome.wasted_energy,
         )
 
     def run_scenario(self, scenario: Scenario | str, n_requests: int,
@@ -254,61 +379,8 @@ class ServingSimulator:
             scenario = get_scenario(scenario)
         rate = scenario.load * self.capacity_rps(scenario)
         trace = generate_trace(scenario, rate, n_requests, seed)
-        return self.run(trace, scenario=scenario.name, rate=rate)
-
-    # -- internals -------------------------------------------------------
-    def _flush_due(self, now: float) -> None:
-        """Flush every queue whose wait budget expires by ``now``."""
-        while True:
-            due = [
-                (deadline, model)
-                for model, queue in self._queues.items()
-                if queue
-                for deadline in (self.policy.deadline(queue),)
-                if deadline is not None and deadline <= now
-            ]
-            if not due:
-                return
-            deadline, model = min(due)
-            queue = self._queues[model]
-            self._dispatch(model, queue[: self.policy.max_batch],
-                           flush=deadline)
-            del queue[: self.policy.max_batch]
-
-    def _drain(self, end: float) -> None:
-        """Flush every remaining request at the end of the trace."""
-        self._flush_due(float("inf"))
-        for model in sorted(self._queues):
-            queue = self._queues[model]
-            while queue:
-                self._dispatch(model, queue[: self.policy.max_batch],
-                               flush=end)
-                del queue[: self.policy.max_batch]
-
-    def _pick_replica(self, model: str) -> int:
-        if self.dispatch == "shard":
-            return zlib.crc32(model.encode()) % self.replicas
-        if self.dispatch == "least_loaded":
-            return min(range(self.replicas), key=self._busy.__getitem__)
-        picked = self._rr_next
-        self._rr_next = (self._rr_next + 1) % self.replicas
-        return picked
-
-    def _dispatch(self, model: str, batch: Sequence[Request],
-                  flush: float) -> None:
-        """Serve one flushed batch on a replica."""
-        size = len(batch)
-        network = self.network(model)
-        service = self.cache.simulate(self.accelerator, network,
-                                      size).latency
-        energy = self.cache.energy_total(self.accelerator, network, size)
-        replica = self._pick_replica(model)
-        start = max(flush, self._busy[replica])
-        done = start + service
-        self._busy[replica] = done
-        self._batches.append(BatchRecord(
-            model=model, size=size, replica=replica, flush=flush,
-            start=start, done=done, energy=energy,
-        ))
-        for request in batch:
-            self._done[request.request_id] = (done, energy / size)
+        failures = self.failures
+        if failures is None and scenario.faults:
+            failures = FailurePlan(count=scenario.faults)
+        return self.run(trace, scenario=scenario.name, rate=rate,
+                        failures=failures)

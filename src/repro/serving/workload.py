@@ -8,7 +8,9 @@ the three regimes a production fleet actually sees:
 - **bursty**: an on/off process — back-to-back bursts at a multiple of
   the base rate separated by quiet stretches (same mean rate);
 - **ramp**: a flash crowd — the rate climbs linearly from a fraction
-  of the target to its peak across the trace.
+  of the target to its peak across the trace;
+- **diurnal**: a day/night wave — the rate swings sinusoidally around
+  the mean, trough first (the autoscaler's bread and butter).
 
 Rates are *relative*: a :class:`Scenario` carries a ``load`` factor
 (offered load as a fraction of cluster capacity) and the serving
@@ -19,6 +21,7 @@ and for SMART.  Everything is seeded and deterministic.
 
 from __future__ import annotations
 
+import math
 import random as _random
 from dataclasses import dataclass, field
 
@@ -177,11 +180,52 @@ class RampProcess:
         return times
 
 
+@dataclass(frozen=True)
+class DiurnalProcess:
+    """A day/night wave: the rate swings sinusoidally around ``rate``.
+
+    The instantaneous rate at request ``i`` of ``n`` is
+    ``rate * (1 - amplitude * cos(2 pi * cycles * i / n))`` — trough
+    first (night), cresting to ``(1 + amplitude) x`` mid-cycle, with
+    the mean over whole cycles staying ``rate``.
+    """
+
+    rate: float
+    amplitude: float = 0.6
+    cycles: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError("arrival rate must be positive")
+        if not 0.0 < self.amplitude < 1.0:
+            raise ConfigError("diurnal amplitude must be in (0, 1)")
+        if self.cycles <= 0:
+            raise ConfigError("diurnal cycle count must be positive")
+
+    def generate(self, n: int, rng: _random.Random) -> list[float]:
+        """``n`` ascending arrival times (s)."""
+        times, t = [], 0.0
+        for i in range(n):
+            frac = i / max(1, n - 1)
+            instant = self.rate * (
+                1.0 - self.amplitude
+                * math.cos(2.0 * math.pi * self.cycles * frac)
+            )
+            t += rng.expovariate(instant)
+            times.append(t)
+        return times
+
+
 ARRIVAL_SHAPES = {
     "poisson": PoissonProcess,
     "bursty": BurstyProcess,
     "ramp": RampProcess,
+    "diurnal": DiurnalProcess,
 }
+
+#: Offered load ceiling; > 1 deliberately outruns calibrated capacity
+#: (the overload scenario), anything past this is almost surely a bug.
+MAX_LOAD = 4.0
 
 
 # ---------------------------------------------------------------------------
@@ -195,9 +239,12 @@ class Scenario:
         name: scenario key.
         shape: one of :data:`ARRIVAL_SHAPES`.
         load: offered load as a fraction of calibrated cluster
-            capacity (the simulator turns this into requests/s).
+            capacity (the simulator turns this into requests/s);
+            values above 1 deliberately overload the cluster.
         mix: traffic mix over the model zoo.
         description: one-line summary for reports.
+        faults: replica failures to inject when the simulator has no
+            explicit failure plan (0 = none).
     """
 
     name: str
@@ -205,6 +252,7 @@ class Scenario:
     load: float
     mix: ModelMix = field(default_factory=ModelMix.uniform_zoo)
     description: str = ""
+    faults: int = 0
 
     def __post_init__(self) -> None:
         if self.shape not in ARRIVAL_SHAPES:
@@ -212,8 +260,10 @@ class Scenario:
                 f"unknown arrival shape '{self.shape}'; known: "
                 f"{', '.join(ARRIVAL_SHAPES)}"
             )
-        if not 0.0 < self.load < 1.0:
-            raise ConfigError("load must be in (0, 1)")
+        if not 0.0 < self.load <= MAX_LOAD:
+            raise ConfigError(f"load must be in (0, {MAX_LOAD:g}]")
+        if self.faults < 0:
+            raise ConfigError("fault count must be >= 0")
 
     def process(self, rate: float):
         """Instantiate the arrival process at an absolute rate."""
@@ -232,6 +282,15 @@ SCENARIOS: dict[str, Scenario] = {
         Scenario("hot-model", shape="poisson", load=0.6,
                  mix=ModelMix.hot("ResNet50", 0.5),
                  description="60% load, half the traffic on ResNet50"),
+        Scenario("diurnal", shape="diurnal", load=0.6,
+                 description="day/night wave around 60% load"),
+        Scenario("overload", shape="poisson", load=1.3,
+                 description="sustained 130% load; pairs with "
+                             "admission control"),
+        Scenario("failure-storm", shape="poisson", load=0.55,
+                 faults=3,
+                 description="steady 55% load with three replica "
+                             "outages"),
     )
 }
 

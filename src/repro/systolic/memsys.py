@@ -43,6 +43,24 @@ from repro.units import GB, NS
 JUMP_BATCH_RESIDUAL = 0.45
 
 
+def amortised_jumps(jumps: float, batch: int) -> float:
+    """Jump count surviving batch-interleaved layout amortisation.
+
+    The single amortisation rule shared by the SHIFT timing model
+    (:meth:`ShiftSpm.stream_stall`) and the energy-side rotation-step
+    accounting, so the two can never disagree on how many rotations a
+    batched stream pays.
+
+    Raises:
+        ConfigError: for batch < 1.
+    """
+    if batch < 1:
+        raise ConfigError("batch must be >= 1")
+    if batch == 1:
+        return jumps
+    return jumps * (1.0 + (batch - 1) * JUMP_BATCH_RESIDUAL) / batch
+
+
 @dataclass(frozen=True)
 class ShiftSpm:
     """A SHIFT SPM serving one operand class.
@@ -70,8 +88,8 @@ class ShiftSpm:
         lane_bytes = self.capacity_bytes / self.banks
         return max(1, int(lane_bytes * 8 / self.word_bits))
 
-    def jump_cost(self, avg_jump_words: float) -> float:
-        """Rotation time of one jump (s), clamped to a full circle.
+    def jump_steps(self, avg_jump_words: float) -> float:
+        """Lane-advance steps of one jump, clamped to a full circle.
 
         ``avg_jump_words`` is a delta in *data* words (bytes).  The lane
         is ``word_bits`` wide, but the data-alignment unit re-aligns a
@@ -79,8 +97,11 @@ class ShiftSpm:
         so the rotation cost is the byte delta over that granularity.
         """
         positions = avg_jump_words / self.rotation_granularity_bytes
-        steps = min(max(positions, 1.0), float(self.lane_words))
-        return steps * self.cell_time
+        return min(max(positions, 1.0), float(self.lane_words))
+
+    def jump_cost(self, avg_jump_words: float) -> float:
+        """Rotation time of one jump (s)."""
+        return self.jump_steps(avg_jump_words) * self.cell_time
 
     def stream_stall(self, stats: StreamStats, batch: int = 1) -> float:
         """Stall beyond compute streaming for one stream (s).
@@ -91,14 +112,8 @@ class ShiftSpm:
         ``stats`` must already reflect the batch (words scale with it);
         the batch amortisation applies to the jump count only.
         """
-        if batch < 1:
-            raise ConfigError("batch must be >= 1")
-        amortised = stats.jumps
-        if batch > 1:
-            amortised = stats.jumps * (
-                (1.0 + (batch - 1) * JUMP_BATCH_RESIDUAL) / batch
-            )
-        return amortised * self.jump_cost(stats.avg_jump_words)
+        return (amortised_jumps(stats.jumps, batch)
+                * self.jump_cost(stats.avg_jump_words))
 
 
 @dataclass(frozen=True)

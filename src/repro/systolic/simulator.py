@@ -285,19 +285,21 @@ class AcceleratorModel:
                              spill=spill)
 
     def _rotation_steps(self, shift, trace, batch) -> float:
-        """Lane-advance steps spent rotating (for energy accounting)."""
+        """Lane-advance steps spent rotating (for energy accounting).
+
+        Mirrors the timing side of :meth:`_simulate_shift` exactly —
+        the same :func:`~repro.systolic.memsys.amortised_jumps` rule,
+        per stream with the same batch arguments (inputs and outputs
+        amortise across the batch; weights are deployed once per fold
+        regardless of batch), so SHIFT dynamic energy and SHIFT stall
+        time always count the same rotations.
+        """
+        from repro.systolic.memsys import amortised_jumps
         total = 0.0
-        from repro.systolic.memsys import JUMP_BATCH_RESIDUAL
-        for stats in (trace.inputs, trace.weights, trace.outputs):
-            jumps = stats.jumps
-            if batch > 1 and stats is trace.inputs:
-                jumps = stats.jumps * (
-                    (1.0 + (batch - 1) * JUMP_BATCH_RESIDUAL) / batch
-                )
-            positions = (stats.avg_jump_words
-                         / shift.rotation_granularity_bytes)
-            steps = min(max(positions, 1.0), float(shift.lane_words))
-            total += jumps * steps
+        for stats, b in ((trace.inputs, batch), (trace.weights, 1),
+                         (trace.outputs, batch)):
+            total += (amortised_jumps(stats.jumps, b)
+                      * shift.jump_steps(stats.avg_jump_words))
         return total
 
     def _simulate_homogeneous(self, layer, batch, mapping, trace,

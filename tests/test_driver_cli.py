@@ -213,6 +213,41 @@ class TestServeSimCli:
     def test_unknown_accelerator_rejected(self, capsys):
         assert main(["serve-sim", "--accelerator", "Quantum"]) == 2
 
+    def test_autoscale_flag_swings_the_pool(self, capsys):
+        assert main(["--json", "serve-sim", "diurnal",
+                     "--policy", "timeout", "--autoscale", "1:4",
+                     "--requests", "300", "--replicas", "1"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["replicas_peak"] > rows[0]["replicas_low"] == 1
+
+    def test_slo_and_shed_flags_report_attainment(self, capsys):
+        assert main(["--json", "serve-sim", "overload",
+                     "--policy", "timeout", "--slo", "1500",
+                     "--shed", "48", "--requests", "200"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert 0.0 <= rows[0]["slo_attain"] <= 1.0
+        assert 0.0 <= rows[0]["shed_rate"] < 1.0
+
+    def test_fail_flag_drops_replicas_mid_trace(self, capsys):
+        assert main(["--json", "serve-sim", "steady",
+                     "--policy", "timeout", "--fail", "1",
+                     "--replicas", "2", "--requests", "200"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["replicas_low"] < rows[0]["replicas_peak"] == 2
+
+    def test_bad_autoscale_spec_rejected(self, capsys):
+        assert main(["serve-sim", "--autoscale", "fast"]) == 2
+        assert "autoscale" in capsys.readouterr().out
+
+    def test_shed_without_slo_rejected(self, capsys):
+        assert main(["serve-sim", "steady", "--shed", "10",
+                     *self.FAST]) == 2
+        assert "SLO target" in capsys.readouterr().out
+
+    def test_bad_slo_rejected(self, capsys):
+        assert main(["serve-sim", "--slo", "soon"]) == 2
+        assert main(["serve-sim", "--slo", "-5"]) == 2
+
 
 class TestRunsAndCacheCli:
     def test_runs_lists_the_ledger(self, capsys):

@@ -7,6 +7,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.eval.report import (
     format_table,
+    fraction_within,
     geomean,
     percentile,
     render_rows,
@@ -35,6 +36,19 @@ class TestGeomean:
 
     def test_accepts_any_iterable(self):
         assert geomean(v for v in (3.0, 3.0)) == pytest.approx(3.0)
+
+
+class TestFractionWithin:
+    def test_counts_at_or_below_bound(self):
+        assert fraction_within([1.0, 2.0, 3.0, 4.0], 2.0) == 0.5
+
+    def test_non_finite_values_miss(self):
+        values = [1.0, float("inf"), float("nan")]
+        assert fraction_within(values, 10.0) == pytest.approx(1 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            fraction_within([], 1.0)
 
 
 class TestPercentile:

@@ -77,6 +77,45 @@ class TestStore:
         assert cache.get(key) is None
 
 
+class TestConcurrentPut:
+    def test_parallel_same_key_puts_never_tear(self, tmp_path):
+        """Regression: both writers used the fixed ``<key>.tmp`` name,
+        so concurrent puts could interleave bytes and publish a torn
+        JSON entry.  Unique per-writer temp names make the only race
+        the atomic rename."""
+        import json
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultCache(cache_dir=tmp_path / "cache")
+        key = cache.key("fig18", {"a": 1})
+        payloads = [[{"writer": w, "blob": "x" * (1000 + w)}]
+                    for w in range(8)]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(
+                lambda rows: cache.put(key, "fig18", {"a": 1}, rows),
+                payloads,
+            ))
+
+        # whoever won, the entry must be one writer's intact payload
+        path = cache.cache_dir / f"{key}.json"
+        entry = json.loads(path.read_text())
+        assert entry["rows"] in payloads
+        # and no temp droppings survive
+        assert list(cache.cache_dir.glob("*.tmp")) == []
+
+    def test_failed_write_cleans_its_temp_file(self, tmp_path, monkeypatch):
+        cache = ResultCache(cache_dir=tmp_path / "cache")
+        key = cache.key("fig18", {})
+        monkeypatch.setattr(
+            "repro.runtime.cache.os.replace",
+            lambda *a: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            cache.put(key, "fig18", {}, ROWS)
+        assert list((tmp_path / "cache").glob("*.tmp")) == []
+
+
 class TestLru:
     def test_eviction_keeps_disk_copy(self, cache):
         keys = [cache.key("fig18", {"i": i}) for i in range(6)]

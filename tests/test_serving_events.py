@@ -1,0 +1,452 @@
+"""Tests for the discrete-event engine and its control plane.
+
+Covers the event-ordering edge cases the retired arrival-driven loop
+could not express, plus autoscaling, failure injection with batch
+re-dispatch, admission control and heterogeneous replica pools.
+"""
+
+import pytest
+
+from repro.core import make_smart, make_tpu
+from repro.errors import ConfigError
+from repro.serving import (
+    AutoscalePolicy,
+    EventKind,
+    EventQueue,
+    FailurePlan,
+    FixedSizeBatching,
+    LayerMemoCache,
+    Outage,
+    ServingSimulator,
+    SloPolicy,
+    TimeoutBatching,
+    make_policy,
+)
+from repro.serving.workload import Request
+from repro.systolic.layers import ConvLayer, Network
+
+TOY = Network("toy", (
+    ConvLayer("c1", 16, 16, 8, 16, 3, 3, padding=1),
+    ConvLayer("c2", 16, 16, 16, 16, 3, 3, padding=1),
+    ConvLayer("fc", 1, 1, 4096, 10, 1, 1, kind="fc"),
+))
+TOY2 = Network("toy2", TOY.layers[:2])
+
+
+def toy_simulator(**kwargs):
+    kwargs.setdefault("policy", FixedSizeBatching(batch_size=4))
+    kwargs.setdefault("networks", {"toy": TOY, "toy2": TOY2})
+    return ServingSimulator(make_smart(), **kwargs)
+
+
+def toy_trace(n, gap=1e-5, model="toy", start_id=0):
+    return [Request(start_id + i, model, (i + 1) * gap) for i in range(n)]
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.ARRIVAL)
+        q.push(1.0, EventKind.BATCH_DONE)
+        assert q.pop().time == 1.0
+        assert q.pop().time == 2.0
+
+    def test_kind_priority_at_equal_time(self):
+        """A flush due exactly at an arrival fires first; the drain
+        runs after everything else — the retired loop's semantics."""
+        q = EventQueue()
+        q.push(1.0, EventKind.DRAIN)
+        q.push(1.0, EventKind.ARRIVAL)
+        q.push(1.0, EventKind.FLUSH, key="m")
+        q.push(1.0, EventKind.BATCH_DONE)
+        kinds = [q.pop().kind for _ in range(4)]
+        assert kinds == [EventKind.FLUSH, EventKind.ARRIVAL,
+                         EventKind.BATCH_DONE, EventKind.DRAIN]
+
+    def test_simultaneous_flushes_fire_in_model_order(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.FLUSH, key="zebra", payload="z")
+        q.push(1.0, EventKind.FLUSH, key="alex", payload="a")
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "z"
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.ARRIVAL, payload=1)
+        q.push(1.0, EventKind.ARRIVAL, payload=2)
+        assert [q.pop().payload, q.pop().payload] == [1, 2]
+
+
+class TestEventOrderingEdgeCases:
+    def test_deadline_strictly_between_arrivals_flushes_at_instant(self):
+        """A timeout deadline landing strictly between two arrivals
+        must flush at its own instant, not at the later arrival."""
+        policy = TimeoutBatching(max_batch=8, max_wait=1e-4)
+        sim = toy_simulator(policy=policy)
+        deadline = 2e-5 + 1e-4
+        trace = [Request(0, "toy", 0.0), Request(1, "toy", 2e-5),
+                 Request(2, "toy", 5.0)]  # deadline << second gap
+        result = sim.run(trace)
+        first = result.batches[0]
+        assert first.size == 2
+        assert first.flush == pytest.approx(1e-4)  # head's own budget
+        assert first.start == pytest.approx(1e-4)  # replica was idle
+        assert deadline < 5.0  # sanity: strictly between arrivals
+
+    def test_fixed_policy_stragglers_drain_deterministically(self):
+        """Leftovers of every model drain at the last arrival, in
+        stable (sorted-model) order, identically across runs."""
+        trace = (toy_trace(5, model="toy")
+                 + toy_trace(3, gap=1.1e-5, model="toy2", start_id=100))
+        end = max(r.arrival for r in trace)
+        first = toy_simulator().run(trace)
+        second = toy_simulator().run(trace)
+        stragglers = [b for b in first.batches if b.size < 4]
+        assert [b.model for b in stragglers] == ["toy", "toy2"]
+        assert all(b.flush == end for b in stragglers)
+        assert first.latencies == second.latencies
+        assert [b.replica for b in first.batches] == [
+            b.replica for b in second.batches
+        ]
+
+    def test_simultaneous_cross_model_arrivals_stable_and_cacheproof(self):
+        """Arrivals at the same instant across models dispatch in a
+        stable order; cached and uncached paths are byte-identical."""
+        trace = []
+        for i in range(8):
+            trace.append(Request(2 * i, "toy", 1e-5))
+            trace.append(Request(2 * i + 1, "toy2", 1e-5))
+        cached = toy_simulator(replicas=2).run(trace)
+        uncached = toy_simulator(
+            replicas=2, cache=LayerMemoCache(enabled=False)
+        ).run(trace)
+        # both queues fill at the same instant; "toy" saw its 4th
+        # request first in trace order, so it flushes first
+        assert [b.model for b in cached.batches] == [
+            "toy", "toy2", "toy", "toy2"
+        ]
+        assert cached.latencies == uncached.latencies
+        assert cached.energy_per_request == uncached.energy_per_request
+        assert [b.replica for b in cached.batches] == [
+            b.replica for b in uncached.batches
+        ]
+
+
+class TestAutoscaling:
+    # time constants sized to the toy network's ~0.4us batch service
+    POLICY = AutoscalePolicy(min_replicas=1, max_replicas=4,
+                             high_queue=6, low_queue=1,
+                             tick=5e-7, warmup=2e-6, cooldown=1e-6)
+
+    def overloaded(self, **kwargs):
+        sim = toy_simulator(replicas=1, dispatch="least_loaded",
+                            policy=TimeoutBatching(max_batch=4,
+                                                   max_wait=1e-6),
+                            **kwargs)
+        # 200 requests arriving far faster than one replica serves
+        return sim, toy_trace(200, gap=2e-8)
+
+    def test_scales_up_under_queue_pressure(self):
+        sim, trace = self.overloaded(autoscale=self.POLICY)
+        result = sim.run(trace)
+        assert result.peak_replicas > 1
+        assert any(a == "up" for _, a in result.scale_events)
+        assert result.to_row()["replicas_peak"] == result.peak_replicas
+
+    def test_warmup_delays_first_service(self):
+        sim, trace = self.overloaded(autoscale=self.POLICY)
+        result = sim.run(trace)
+        ups = [t for t, a in result.scale_events if a == "up"]
+        assert ups
+        for batch in result.batches:
+            if batch.replica >= 1:  # an autoscaled replica
+                born = min(t for t in ups)
+                assert batch.start >= born + self.POLICY.warmup
+
+    def test_scales_back_down_when_quiet(self):
+        """A long quiet tail retires the extra replicas to min."""
+        sim, trace = self.overloaded(autoscale=self.POLICY)
+        # quiet tail: one straggler model-toy request much later
+        tail = [Request(1000, "toy", 1e-3)]
+        result = sim.run(trace + tail)
+        assert any(a == "down" for _, a in result.scale_events)
+        assert result.low_replicas <= result.peak_replicas
+        assert result.replica_trace[-1][1] <= result.peak_replicas
+
+    def test_faster_than_static_single_replica(self):
+        sim, trace = self.overloaded(autoscale=self.POLICY)
+        static_sim, _ = self.overloaded()
+        scaled = sim.run(trace)
+        static = static_sim.run(trace)
+        assert scaled.latency_percentile(95) < \
+            static.latency_percentile(95)
+
+    def test_p95_metric_scales(self):
+        policy = AutoscalePolicy(min_replicas=1, max_replicas=4,
+                                 metric="p95", target_p95=1e-6,
+                                 tick=5e-7, warmup=2e-6, cooldown=1e-6)
+        sim, trace = self.overloaded(autoscale=policy)
+        result = sim.run(trace)
+        assert result.peak_replicas > 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            AutoscalePolicy(min_replicas=0)
+        with pytest.raises(ConfigError):
+            AutoscalePolicy(min_replicas=4, max_replicas=2)
+        with pytest.raises(ConfigError):
+            AutoscalePolicy(metric="cpu")
+        with pytest.raises(ConfigError):
+            AutoscalePolicy(metric="p95")  # needs target_p95
+        with pytest.raises(ConfigError):
+            AutoscalePolicy(high_queue=4, low_queue=6)
+        with pytest.raises(ConfigError):
+            AutoscalePolicy(tick=0.0)
+
+
+class TestFailureInjection:
+    def test_inflight_batches_redispatch_to_survivors(self):
+        # a burst builds a deep backlog on both replicas, then replica
+        # 0 dies mid-backlog with batches running and scheduled
+        outage = Outage(replica=0, at=5e-6, until=2e-5)
+        sim = toy_simulator(replicas=2, dispatch="least_loaded",
+                            failures=FailurePlan(outages=(outage,)))
+        trace = toy_trace(200, gap=2e-8)
+        result = sim.run(trace)
+        assert result.redispatched >= 1
+        assert result.wasted_energy > 0
+        # every request still completes, exactly once
+        assert len(result.latencies) == 200
+        assert all(l != float("inf") for l in result.latencies)
+        assert sum(b.size for b in result.batches) == 200
+        # no served batch overlaps the outage on the dead replica
+        for batch in result.batches:
+            if batch.replica == 0:
+                assert batch.done <= outage.at or batch.start >= outage.until
+        # the trajectory dips to 1 and recovers to 2
+        counts = [n for _, n in result.replica_trace]
+        assert min(counts) == 1
+        assert counts[-1] == 2
+
+    def test_total_outage_parks_work_until_recovery(self):
+        outage = Outage(replica=0, at=1e-5, until=3e-3)
+        sim = toy_simulator(replicas=1,
+                            failures=FailurePlan(outages=(outage,)))
+        trace = toy_trace(12, gap=2e-6)
+        result = sim.run(trace)
+        assert all(l != float("inf") for l in result.latencies)
+        # whatever was flushed during the outage waited for recovery
+        late = [b for b in result.batches if b.flush >= outage.at]
+        assert late
+        assert all(b.start >= outage.until for b in late)
+
+    def test_sampled_plan_is_deterministic(self):
+        plan = FailurePlan(count=2, downtime_frac=0.2, seed=9)
+        sim_a = toy_simulator(replicas=3, failures=plan)
+        sim_b = toy_simulator(replicas=3, failures=plan)
+        trace = toy_trace(80, gap=4e-6)
+        assert sim_a.run(trace).latencies == sim_b.run(trace).latencies
+
+    def test_failure_storm_scenario_carries_faults(self):
+        from repro.serving import get_scenario
+        assert get_scenario("failure-storm").faults > 0
+
+    def test_overlapping_outages_merge_to_their_union(self):
+        """Regression: with overlapping windows on one replica, the
+        first RECOVER to pop would end every later window early — the
+        replica must stay down for the union."""
+        plan = FailurePlan(outages=(
+            Outage(replica=0, at=1e-5, until=1e-4),
+            Outage(replica=0, at=4e-5, until=7e-5),   # nested
+            Outage(replica=0, at=9e-5, until=1.5e-4),  # overlaps tail
+            Outage(replica=1, at=2e-5, until=3e-5),    # other replica
+        ))
+        resolved = plan.resolve(0.0, 1e-3, 2)
+        assert resolved == (
+            Outage(replica=0, at=1e-5, until=1.5e-4),
+            Outage(replica=1, at=2e-5, until=3e-5),
+        )
+        # and the engine honours the union: nothing served on replica
+        # 0 inside the merged window
+        sim = toy_simulator(replicas=2, dispatch="least_loaded",
+                            failures=plan)
+        result = sim.run(toy_trace(200, gap=2e-8))
+        for batch in result.batches:
+            if batch.replica == 0:
+                assert batch.done <= 1e-5 or batch.start >= 1.5e-4
+
+    def test_recovery_does_not_resurrect_retired_replicas(self):
+        """Regression: a RECOVER whose FAIL was skipped (the replica
+        was already scaled down) must not force the replica back up —
+        only the autoscaler may grant capacity it retired."""
+        autoscale = AutoscalePolicy(min_replicas=1, max_replicas=2,
+                                    high_queue=50, low_queue=2,
+                                    tick=5e-7, warmup=2e-6,
+                                    cooldown=1e-6)
+        plan = FailurePlan(outages=(
+            Outage(replica=1, at=1e-4, until=1.5e-4),
+        ))
+        sim = toy_simulator(replicas=2, dispatch="least_loaded",
+                            policy=TimeoutBatching(max_batch=4,
+                                                   max_wait=1e-6),
+                            autoscale=autoscale, failures=plan)
+        # light traffic: the autoscaler retires one replica long
+        # before the outage window opens
+        result = sim.run(toy_trace(40, gap=5e-7))
+        assert any(a == "down" for _, a in result.scale_events)
+        downs = [t for t, a in result.scale_events if a == "down"]
+        assert downs[0] < 1e-4
+        # after the retirement, nothing ever lifts the pool back up
+        tail = [n for t, n in result.replica_trace if t >= downs[0]]
+        assert tail and all(n == 1 for n in tail)
+
+    def test_shard_pin_survives_other_replicas_failing(self):
+        """Regression: shard hashed into the shrinking candidate list,
+        remapping every model when any replica failed; the pin must
+        stay on the model's healthy home replica."""
+        import zlib
+        home = zlib.crc32(b"toy") % 3
+        other = (home + 1) % 3
+        plan = FailurePlan(outages=(
+            Outage(replica=other, at=3e-6, until=3e-5),
+        ))
+        sim = toy_simulator(replicas=3, dispatch="shard", failures=plan)
+        result = sim.run(toy_trace(200, gap=2e-8))
+        assert {b.replica for b in result.batches
+                if b.model == "toy"} == {home}
+
+    def test_plan_validation(self):
+        with pytest.raises(ConfigError):
+            FailurePlan(count=-1)
+        with pytest.raises(ConfigError):
+            FailurePlan(downtime_frac=1.5)
+        with pytest.raises(ConfigError):
+            Outage(replica=0, at=2.0, until=1.0)
+        with pytest.raises(ConfigError):
+            toy_simulator(failures=FailurePlan(
+                outages=(Outage(replica=9, at=1e-5, until=2e-5),)
+            )).run(toy_trace(4))
+
+
+class TestAdmissionControl:
+    def test_sheds_beyond_depth_and_reports_attainment(self):
+        slo = SloPolicy(target=2e-4, shed_depth=8)
+        sim = toy_simulator(replicas=1, slo=slo)
+        result = sim.run(toy_trace(40, gap=2e-8))
+        assert result.shed
+        assert 0 < result.shed_rate < 1
+        assert result.latencies[0] != float("inf")  # first always admitted
+        for rid in result.shed:
+            assert result.latencies[rid] == float("inf")
+            assert result.energy_per_request[rid] == 0.0
+        assert result.slo_attainment < 1.0
+        row = result.to_row()
+        assert row["shed_rate"] == pytest.approx(result.shed_rate)
+        assert row["slo_attain"] == pytest.approx(result.slo_attainment)
+        # percentiles are over served requests only
+        assert result.latency_percentile(99) != float("inf")
+        # energy is per *served* request: shed zeros must not deflate
+        served = len(result.requests) - len(result.shed)
+        assert row["energy_per_req_uj"] == pytest.approx(
+            sum(result.energy_per_request) / served * 1e6
+        )
+
+    def test_no_shedding_without_depth(self):
+        slo = SloPolicy(target=2e-4)
+        result = toy_simulator(replicas=1, slo=slo).run(
+            toy_trace(40, gap=2e-8))
+        assert not result.shed
+        assert 0.0 <= result.slo_attainment <= 1.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            SloPolicy(target=0.0)
+        with pytest.raises(ConfigError):
+            SloPolicy(target=1e-3, shed_depth=0)
+
+
+class TestHeterogeneousPool:
+    def test_mixed_pool_runs_and_reports_first_config(self):
+        sim = toy_simulator(accelerators=[make_smart(), make_tpu()],
+                            dispatch="fastest_finish")
+        result = sim.run(toy_trace(24, gap=1e-5))
+        assert sim.heterogeneous
+        assert result.replicas == 2
+        assert result.accelerator == make_smart().name
+        assert all(l > 0 for l in result.latencies)
+
+    def test_fastest_finish_prefers_faster_replica_when_idle(self):
+        """With big gaps both replicas are idle at every flush, so
+        every batch lands on whichever serves a batch quicker."""
+        smart, tpu = make_smart(), make_tpu()
+        sim = toy_simulator(accelerators=[tpu, smart],
+                            dispatch="fastest_finish")
+        result = sim.run(toy_trace(16, gap=5e-2))
+        cache = sim.cache
+        quicker = min(
+            (0, 1),
+            key=lambda i: cache.simulate([tpu, smart][i], TOY, 4).latency,
+        )
+        assert {b.replica for b in result.batches} == {quicker}
+
+    def test_heterogeneous_capacity_sums_per_replica(self):
+        from repro.serving import get_scenario
+        scenario = get_scenario("steady")
+        solo_smart = ServingSimulator(make_smart(), replicas=1)
+        solo_tpu = ServingSimulator(make_tpu(), replicas=1,
+                                    cache=solo_smart.cache)
+        mixed = ServingSimulator(accelerators=[make_smart(), make_tpu()],
+                                 cache=solo_smart.cache)
+        assert mixed.capacity_rps(scenario) == pytest.approx(
+            solo_smart.capacity_rps(scenario)
+            + solo_tpu.capacity_rps(scenario)
+        )
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigError):
+            ServingSimulator(accelerators=[])
+
+
+class TestExperimentHelpers:
+    def test_parse_autoscale(self):
+        from repro.serving.experiments import parse_autoscale
+        policy = parse_autoscale("2:6")
+        assert (policy.min_replicas, policy.max_replicas) == (2, 6)
+        assert parse_autoscale("") is None
+        p95 = parse_autoscale("1:4", target_p95_us=1500.0)
+        assert p95.metric == "p95"
+        assert p95.target_p95 == pytest.approx(1.5e-3)
+        with pytest.raises(ConfigError):
+            parse_autoscale("fast")
+
+    def test_make_slo(self):
+        from repro.serving.experiments import make_slo
+        assert make_slo(0.0) is None
+        policy = make_slo(1500.0, shed_depth=32)
+        assert policy.target == pytest.approx(1.5e-3)
+        assert policy.shed_depth == 32
+        with pytest.raises(ConfigError):
+            make_slo(0.0, shed_depth=32)
+
+    def test_serving_slo_and_autoscale_targets_registered(self):
+        from repro.runtime import registry
+        names = registry.names()
+        assert "serving_slo" in names
+        assert "serving_autoscale" in names
+
+    def test_serving_slo_rows(self):
+        from repro.serving.experiments import serving_slo
+        rows = serving_slo(scenario="overload", requests=150,
+                           replicas=1, slo_us=1500.0, shed_depth=24,
+                           seed=3)
+        assert len(rows) == 1
+        assert 0.0 <= rows[0]["slo_attain"] <= 1.0
+        assert rows[0]["shed_depth"] == 24
+
+    def test_serving_autoscale_rows(self):
+        from repro.serving.experiments import serving_autoscale
+        rows = serving_autoscale(scenario="bursty", requests=200,
+                                 min_replicas=1, max_replicas=4, seed=3)
+        assert len(rows) == 1
+        assert rows[0]["replicas_peak"] >= rows[0]["replicas_low"]
+        assert rows[0]["scale_ups"] >= 0

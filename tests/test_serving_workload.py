@@ -9,6 +9,7 @@ from repro.models import model_names
 from repro.serving import (
     ARRIVAL_SHAPES,
     BurstyProcess,
+    DiurnalProcess,
     FixedSizeBatching,
     ModelMix,
     PoissonProcess,
@@ -28,6 +29,7 @@ class TestArrivalProcesses:
         PoissonProcess(1000.0),
         BurstyProcess(1000.0),
         RampProcess(1000.0),
+        DiurnalProcess(1000.0),
     ])
     def test_times_ascending_and_complete(self, process):
         times = process.generate(500, random.Random(1))
@@ -54,6 +56,27 @@ class TestArrivalProcesses:
         first_half = times[999] - times[0]
         second_half = times[-1] - times[999]
         assert second_half < first_half
+
+    def test_diurnal_crest_is_denser_than_trough(self):
+        """The mid-cycle crest packs more arrivals per unit time than
+        the opening trough (cosine wave, trough first)."""
+        process = DiurnalProcess(1000.0, amplitude=0.8, cycles=1.0)
+        times = process.generate(4000, random.Random(5))
+        span = times[-1] - times[0]
+        third = span / 3.0
+        counts = [
+            sum(1 for t in times
+                if times[0] + k * third <= t < times[0] + (k + 1) * third)
+            for k in range(3)
+        ]
+        assert counts[1] > counts[0]
+        assert counts[1] > counts[2]
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ConfigError):
+            DiurnalProcess(1000.0, amplitude=1.5)
+        with pytest.raises(ConfigError):
+            DiurnalProcess(1000.0, cycles=0.0)
 
     def test_invalid_rates_rejected(self):
         with pytest.raises(ConfigError):
@@ -98,8 +121,11 @@ class TestScenarios:
     def test_bad_shape_and_load_rejected(self):
         with pytest.raises(ConfigError):
             Scenario("x", shape="constant", load=0.5)
+        # overload scenarios may exceed capacity, but not absurdly
         with pytest.raises(ConfigError):
-            Scenario("x", shape="poisson", load=1.5)
+            Scenario("x", shape="poisson", load=5.0)
+        with pytest.raises(ConfigError):
+            Scenario("x", shape="poisson", load=0.5, faults=-1)
 
     def test_trace_is_deterministic(self):
         scenario = get_scenario("steady")

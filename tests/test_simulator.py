@@ -10,6 +10,7 @@ from repro.core import (
     make_supernpu,
     make_tpu,
 )
+from repro.errors import ConfigError
 from repro.models import batch_size_for, get_model
 from repro.systolic.layers import ConvLayer, WORD_BYTES
 
@@ -130,6 +131,80 @@ class TestSubBatchScaling:
         acc = make_smart()
         small = ConvLayer("small", 8, 8, 4, 4, 3, 3, padding=1)
         assert acc.effective_batch(small, 5) == 5
+
+
+class TestShiftRotationAmortisation:
+    """SHIFT energy must amortise the same rotations as the timing.
+
+    Regression: ``_rotation_steps`` amortised only the *input* jumps
+    at batch > 1 while ``_simulate_shift`` amortised inputs *and*
+    outputs via ``stream_stall(..., batch)``, so SHIFT dynamic energy
+    overcounted output rotations for every batched run.
+    """
+
+    LAYER = ConvLayer("conv", 28, 28, 32, 32, 3, 3, padding=1)
+
+    def test_energy_steps_match_timing_amortisation(self):
+        from repro.systolic.memsys import amortised_jumps
+        from repro.systolic.trace import layer_trace
+        from repro.systolic.mapping import WeightStationaryMapping
+
+        acc = make_supernpu()
+        batch = 4
+        result = acc.simulate_layer(self.LAYER, batch)
+        mapping = WeightStationaryMapping(self.LAYER, acc.rows, acc.cols)
+        trace = layer_trace(mapping, batch)
+        shift = acc.memsys.shift
+        words = float(trace.inputs.words + trace.weights.words
+                      + trace.outputs.words)
+        expected = words + sum(
+            amortised_jumps(stats.jumps, b)
+            * shift.jump_steps(stats.avg_jump_words)
+            for stats, b in ((trace.inputs, batch), (trace.weights, 1),
+                             (trace.outputs, batch))
+        )
+        assert result.shift_steps == pytest.approx(expected)
+
+    def test_batched_outputs_amortise(self):
+        """Per-image rotation steps must drop from batch 1 to batch 4
+        by more than input amortisation alone ever could if outputs
+        still paid full price (the old accounting)."""
+        from repro.systolic.memsys import amortised_jumps
+        from repro.systolic.trace import layer_trace
+        from repro.systolic.mapping import WeightStationaryMapping
+
+        acc = make_supernpu()
+        batch = 4
+        single = acc.simulate_layer(self.LAYER, 1)
+        batched = acc.simulate_layer(self.LAYER, batch)
+
+        mapping = WeightStationaryMapping(self.LAYER, acc.rows, acc.cols)
+        trace = layer_trace(mapping, batch)
+        shift = acc.memsys.shift
+        words = float(trace.inputs.words + trace.weights.words
+                      + trace.outputs.words)
+        # the retired accounting: outputs unamortised at batch > 1
+        stale = words + (
+            amortised_jumps(trace.inputs.jumps, batch)
+            * shift.jump_steps(trace.inputs.avg_jump_words)
+            + trace.weights.jumps
+            * shift.jump_steps(trace.weights.avg_jump_words)
+            + trace.outputs.jumps
+            * shift.jump_steps(trace.outputs.avg_jump_words)
+        )
+        assert batched.shift_steps < stale
+        assert batched.shift_steps < batch * single.shift_steps
+
+    def test_amortised_jumps_shared_helper(self):
+        from repro.systolic.memsys import (JUMP_BATCH_RESIDUAL,
+                                           amortised_jumps)
+
+        assert amortised_jumps(100.0, 1) == 100.0
+        assert amortised_jumps(100.0, 4) == pytest.approx(
+            100.0 * (1.0 + 3 * JUMP_BATCH_RESIDUAL) / 4
+        )
+        with pytest.raises(ConfigError):
+            amortised_jumps(10.0, 0)
 
 
 class TestHeterogeneousUnits:
