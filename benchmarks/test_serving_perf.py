@@ -1,14 +1,28 @@
 """Serving-path performance smoke: event-engine throughput trajectory.
 
-Not a paper figure.  Each run appends one trajectory point (simulated
-requests per wall-second of a 10k-request trace through the
-discrete-event engine) to ``BENCH_serving.json`` at the repo root, so
-future PRs can see when a change slows the serving hot path down.
+Not a paper figure.  Each run appends one trajectory point per matrix
+cell (simulated requests per wall-second through the discrete-event
+engine) to ``BENCH_serving.json`` at the repo root, so future PRs can
+see when a change slows the serving hot path down.  The CI
+figure-smoke job feeds the fresh points to ``tools/bench_guard.py``,
+which warns (non-blocking) on a >20% throughput drop against the last
+committed point of the same cell.
+
+The matrix covers 10k- and 100k-request traces on the bursty and
+diurnal scenarios; every point carries ``scenario`` / ``n_requests``
+labels (points older than PR 4 predate the labels and are implicitly
+the bursty/10k cell).  ``rps`` measures the *steady-state* hot path —
+a warm-up round populates the layer memo first, because cold layer
+simulations are a one-time O(distinct layer x batch) cost amortised
+across any sweep — while ``cold_rps`` records the same trace served
+with that cost still in line.
 """
 
 import json
 import time
 from pathlib import Path
+
+import pytest
 
 from conftest import show
 
@@ -20,32 +34,18 @@ from repro.serving import (
 )
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
-N_REQUESTS = 10_000
+
+#: (scenario, trace length) cells the trajectory tracks.  The
+#: bursty/10k cell is the historical one every PR has recorded.
+MATRIX = [
+    ("bursty", 10_000),
+    ("bursty", 100_000),
+    ("diurnal", 10_000),
+    ("diurnal", 100_000),
+]
 
 
-def test_bench_serving_event_engine(benchmark):
-    scenario = get_scenario("bursty")
-    simulator = ServingSimulator("SMART", replicas=2,
-                                 policy=make_policy("timeout"),
-                                 dispatch="least_loaded")
-    rate = scenario.load * simulator.capacity_rps(scenario)
-    trace = generate_trace(scenario, rate, N_REQUESTS, seed=7)
-
-    started = time.perf_counter()
-    result = benchmark.pedantic(
-        lambda: simulator.run(trace, scenario=scenario.name, rate=rate),
-        iterations=1, rounds=1,
-    )
-    wall = time.perf_counter() - started
-
-    point = {
-        "requests": N_REQUESTS,
-        "wall_s": round(wall, 4),
-        "rps": round(N_REQUESTS / wall, 1),
-        "batches": len(result.batches),
-        "cache_hit_rate": round(result.cache.hit_rate, 4),
-        "created": time.time(),
-    }
+def append_point(point: dict) -> None:
     history = []
     if BENCH_PATH.exists():
         try:
@@ -57,6 +57,43 @@ def test_bench_serving_event_engine(benchmark):
     history.append(point)
     BENCH_PATH.write_text(json.dumps(history, indent=1) + "\n")
 
-    show("BENCH_serving: event-engine trajectory point", [point])
-    assert len(result.latencies) == N_REQUESTS
+
+@pytest.mark.parametrize("scenario_name,n_requests", MATRIX)
+def test_bench_serving_event_engine(benchmark, scenario_name, n_requests):
+    scenario = get_scenario(scenario_name)
+    simulator = ServingSimulator("SMART", replicas=2,
+                                 policy=make_policy("timeout"),
+                                 dispatch="least_loaded")
+    rate = scenario.load * simulator.capacity_rps(scenario)
+    trace = generate_trace(scenario, rate, n_requests, seed=7)
+
+    walls = []
+
+    def timed():
+        started = time.perf_counter()
+        outcome = simulator.run(trace, scenario=scenario.name, rate=rate)
+        walls.append(time.perf_counter() - started)
+        return outcome
+
+    result = benchmark.pedantic(timed, iterations=1, rounds=1,
+                                warmup_rounds=1)
+    cold_wall, wall = walls[0], walls[-1]
+
+    point = {
+        "requests": n_requests,
+        "wall_s": round(wall, 4),
+        "rps": round(n_requests / wall, 1),
+        "batches": len(result.batches),
+        "cache_hit_rate": round(result.cache.hit_rate, 4),
+        "created": time.time(),
+        "scenario": scenario_name,
+        "n_requests": n_requests,
+        "cold_wall_s": round(cold_wall, 4),
+        "cold_rps": round(n_requests / cold_wall, 1),
+    }
+    append_point(point)
+
+    show(f"BENCH_serving: {scenario_name}/{n_requests} trajectory point",
+         [point])
+    assert len(result.latencies) == n_requests
     assert point["rps"] > 0

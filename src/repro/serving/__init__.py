@@ -27,7 +27,7 @@ from repro.serving.events import (
     Replica,
     SloPolicy,
 )
-from repro.serving.memo import CacheStats, LayerMemoCache
+from repro.serving.memo import CacheStats, Interner, LayerMemoCache
 from repro.serving.simulator import (
     BatchRecord,
     ServingResult,
@@ -61,6 +61,7 @@ __all__ = [
     "EventQueue",
     "FailurePlan",
     "FixedSizeBatching",
+    "Interner",
     "LayerMemoCache",
     "ModelMix",
     "Outage",

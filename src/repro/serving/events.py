@@ -32,6 +32,19 @@ Event ordering at equal timestamps mirrors the retired loop exactly
 flushes fire in (deadline, model) order; the end-of-trace drain runs
 after the final arrival), so a static cluster reproduces PR 2's
 per-request latencies bit for bit.
+
+The hot path is tuned for trace scale (see ``BENCH_serving.json``):
+the heap holds raw ``(time, kind, key, seq, payload)`` tuples rather
+than :class:`Event` objects, arrivals are merge-scanned out of the
+(time-ordered) trace instead of being heap-resident, per-(replica
+configuration, model, batch-size) service/energy rates are memoised
+outside the dispatch inner loop, and the windowed-p95 autoscale metric
+is maintained incrementally (:class:`_LatencyWindow`) instead of
+re-sorting the window every control tick.  None of this changes a
+single emitted float: ``repro.serving.reference`` retains the
+straightforward pre-optimisation engine as a test oracle, and the
+equivalence suite holds every stock scenario x policy x dispatch cell
+to exact per-request tuple equality.
 """
 
 from __future__ import annotations
@@ -39,13 +52,14 @@ from __future__ import annotations
 import heapq
 import random as _random
 import zlib
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass, field
 from enum import IntEnum
+from math import ceil
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigError
-from repro.eval.report import percentile
 from repro.serving.workload import Request
 
 #: Replica-selection strategies the engine understands.
@@ -71,7 +85,18 @@ class EventKind(IntEnum):
     DRAIN = 6
 
 
-@dataclass(frozen=True)
+# Hot-loop aliases: heap entries carry the plain int so tuple
+# comparisons and handler dispatch never touch the enum machinery.
+_FLUSH = int(EventKind.FLUSH)
+_ARRIVAL = int(EventKind.ARRIVAL)
+_BATCH_DONE = int(EventKind.BATCH_DONE)
+_FAIL = int(EventKind.FAIL)
+_RECOVER = int(EventKind.RECOVER)
+_CONTROL = int(EventKind.CONTROL)
+_DRAIN = int(EventKind.DRAIN)
+
+
+@dataclass(frozen=True, slots=True)
 class Event:
     """One scheduled event.
 
@@ -95,11 +120,18 @@ class EventQueue:
     Events at the same instant pop in (kind, key, insertion) order;
     insertion order makes simultaneous same-kind events (e.g. two
     arrivals with identical timestamps) deterministic and stable.
+
+    The heap stores raw ``(time, kind, key, seq, payload)`` tuples —
+    no per-event object allocation on ``push``; :meth:`pop` wraps the
+    head back into an :class:`Event` for callers that want one.  The
+    engine's run loop reads the raw tuples directly.
     """
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, str, int, Event]] = []
-        self._seq = 0
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self, first_seq: int = 0) -> None:
+        self._heap: list[tuple[float, int, str, int, object]] = []
+        self._seq = first_seq
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -107,14 +139,59 @@ class EventQueue:
     def push(self, time: float, kind: EventKind, key: str = "",
              payload: object = None) -> None:
         """Schedule one event."""
-        event = Event(time=time, kind=kind, key=key, payload=payload)
         heapq.heappush(self._heap,
-                       (time, int(kind), key, self._seq, event))
+                       (time, int(kind), key, self._seq, payload))
         self._seq += 1
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
-        return heapq.heappop(self._heap)[-1]
+        time, kind, key, _seq, payload = heapq.heappop(self._heap)
+        return Event(time=time, kind=EventKind(kind), key=key,
+                     payload=payload)
+
+
+class _LatencyWindow:
+    """Sliding window of completed-request latencies, sorted as it goes.
+
+    The p95 autoscale metric needs an order statistic over the last
+    ``size`` latencies every control tick; re-sorting the window each
+    tick is O(w log w) per tick.  This keeps a FIFO of the window
+    contents plus a bisect-maintained sorted copy, so appends (with
+    exact removal of the evicted element) are O(log w) and percentile
+    reads are O(1) — and, being plain order statistics over the same
+    multiset, bit-identical to :func:`repro.eval.report.percentile`
+    over the equivalent deque.
+    """
+
+    __slots__ = ("_fifo", "_sorted", "_size")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigError("latency window must be >= 1")
+        self._fifo: deque[float] = deque()
+        self._sorted: list[float] = []
+        self._size = size
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def append(self, value: float) -> None:
+        """Add one latency, evicting the oldest beyond the window."""
+        fifo = self._fifo
+        ordered = self._sorted
+        if len(fifo) == self._size:
+            del ordered[bisect_left(ordered, fifo.popleft())]
+        fifo.append(value)
+        insort(ordered, value)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, matching ``report.percentile``."""
+        ordered = self._sorted
+        if not ordered:
+            raise ConfigError("percentile of empty window")
+        if q == 0.0:
+            return ordered[0]
+        return ordered[ceil(q / 100.0 * len(ordered)) - 1]
 
 
 # ---------------------------------------------------------------------------
@@ -281,7 +358,7 @@ def _merge_outages(outages) -> tuple[Outage, ...]:
 # ---------------------------------------------------------------------------
 # Cluster state
 # ---------------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class Replica:
     """Mutable state of one accelerator replica.
 
@@ -308,7 +385,7 @@ class Replica:
     pending: list[int] = field(default_factory=list)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchRecord:
     """One dispatched batch.
 
@@ -336,7 +413,7 @@ class BatchRecord:
         return self.done - self.start
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     """Engine-side bookkeeping for one dispatched batch."""
 
@@ -386,6 +463,12 @@ class ClusterEngine:
             Replicas added by a scale-up clone the *first* replica's
             accelerator configuration.
         failures: failure-injection plan, or None.
+        memoize_rates: memoise (replica configuration, model, batch
+            size) -> (service, energy) for the run, hoisting the
+            service-fn calls out of the dispatch inner loop.  Both fns
+            are deterministic so the emitted floats are unchanged;
+            turn this off to route *every* dispatch through the fns —
+            the uncached reference path counts each lookup.
     """
 
     def __init__(self, replicas: Sequence[object], policy,
@@ -394,7 +477,8 @@ class ClusterEngine:
                  energy_fn: Callable[[object, str, int], float],
                  slo: Optional[SloPolicy] = None,
                  autoscale: Optional[AutoscalePolicy] = None,
-                 failures: Optional[FailurePlan] = None) -> None:
+                 failures: Optional[FailurePlan] = None,
+                 memoize_rates: bool = True) -> None:
         if not replicas:
             raise ConfigError("cluster needs at least one replica")
         if dispatch not in DISPATCH_STRATEGIES:
@@ -409,6 +493,7 @@ class ClusterEngine:
         self.slo = slo
         self.autoscale = autoscale
         self.failures = failures
+        self.memoize_rates = memoize_rates
         self._initial = list(replicas)
 
     # -- run -------------------------------------------------------------
@@ -416,7 +501,17 @@ class ClusterEngine:
         """Serve a time-ordered trace and return the raw outcome."""
         if not requests:
             raise ConfigError("cannot serve an empty trace")
-        t0, t_end = requests[0].arrival, requests[-1].arrival
+        n = len(requests)
+        ordered = requests
+        if any(ordered[i].arrival > ordered[i + 1].arrival
+               for i in range(n - 1)):
+            # stable, so equal arrivals keep their trace order — the
+            # same tie-break the heap's insertion seq used to provide
+            ordered = sorted(requests, key=lambda r: r.arrival)
+        # trace span from the *time* order, never the input order: the
+        # DRAIN must land at the true last arrival or late requests
+        # under a deadline-less policy would sit in their queues forever
+        t0, t_end = ordered[0].arrival, ordered[-1].arrival
 
         self._replicas = [
             Replica(index=i, accelerator=acc)
@@ -436,15 +531,30 @@ class ClusterEngine:
         self._redispatched = 0
         self._wasted = 0.0
         self._in_system = 0
-        self._remaining = len(requests)
+        self._remaining = n
         self._last_scale = float("-inf")
-        window = self.autoscale.window if self.autoscale else 1
-        self._latency_window: deque[float] = deque(maxlen=window)
+        # the window only feeds the p95 autoscale metric; appending is
+        # per completed request, so skip the bookkeeping entirely when
+        # nothing will ever read it
+        self._window = (_LatencyWindow(self.autoscale.window)
+                        if self.autoscale is not None
+                        and self.autoscale.metric == "p95" else None)
+        # hoisted per-run hot-path state
+        self._rates: dict[tuple[int, str, int], tuple[float, float]] = {}
+        self._max_batch = self.policy.max_batch
+        self._ready_fn = self.policy.ready
+        self._deadline_fn = self.policy.deadline
+        self._shed_depth = (self.slo.shed_depth
+                            if self.slo is not None else None)
 
-        events = EventQueue()
+        # Arrivals stay in the (time-ordered) trace and are merge-
+        # scanned against the heap, which only ever holds the sparse
+        # flush/done/control events.  Arrival ``seq`` is the trace
+        # index; heap events start numbering after the trace, so every
+        # same-instant tie resolves exactly as when arrivals were
+        # pushed first (kind, key, then insertion order).
+        events = EventQueue(first_seq=n)
         self._events = events
-        for request in requests:
-            events.push(request.arrival, EventKind.ARRIVAL, payload=request)
         events.push(t_end, EventKind.DRAIN)
         if self.failures is not None:
             for outage in self.failures.resolve(t0, t_end,
@@ -461,22 +571,39 @@ class ClusterEngine:
         if self.autoscale is not None:
             events.push(t0 + self.autoscale.tick, EventKind.CONTROL)
 
-        handlers = {
-            EventKind.FLUSH: self._on_flush,
-            EventKind.ARRIVAL: self._on_arrival,
-            EventKind.BATCH_DONE: self._on_batch_done,
-            EventKind.FAIL: self._on_fail,
-            EventKind.RECOVER: self._on_recover,
-            EventKind.CONTROL: self._on_control,
-            EventKind.DRAIN: self._on_drain,
-        }
-        while len(events):
-            event = events.pop()
-            handlers[event.kind](event)
+        handlers = (
+            self._on_flush,       # FLUSH
+            None,                 # ARRIVAL (merge-scanned, never heaped)
+            self._on_batch_done,  # BATCH_DONE
+            self._on_fail,        # FAIL
+            self._on_recover,     # RECOVER
+            self._on_control,     # CONTROL
+            self._on_drain,       # DRAIN
+        )
+        heap = events._heap
+        heappop = heapq.heappop
+        on_arrival = self._on_arrival
+        i = 0
+        while True:
+            if i < n:
+                request = ordered[i]
+                if heap and heap[0] < (request.arrival, _ARRIVAL, "", i):
+                    time, kind, _key, _seq, payload = heappop(heap)
+                    handlers[kind](time, payload)
+                else:
+                    on_arrival(request.arrival, request)
+                    i += 1
+            elif heap:
+                time, kind, _key, _seq, payload = heappop(heap)
+                handlers[kind](time, payload)
+            else:
+                break
 
-        batches = tuple(self._inflight[i].record
-                        for i in self._batch_order
-                        if self._inflight[i].alive)
+        inflight = self._inflight
+        batches = tuple(entry.record
+                        for entry in map(inflight.__getitem__,
+                                         self._batch_order)
+                        if entry.alive)
         return EngineRun(
             batches=batches, done=self._done, shed=tuple(self._shed),
             replica_trace=tuple(self._trace),
@@ -485,79 +612,92 @@ class ClusterEngine:
         )
 
     # -- event handlers --------------------------------------------------
-    def _on_arrival(self, event: Event) -> None:
-        request: Request = event.payload
+    # Handlers take (time, payload) — the engine never materialises
+    # Event objects on its own queue.
+    def _on_arrival(self, time: float, request: Request) -> None:
         self._remaining -= 1
-        if (self.slo is not None
-                and self.slo.shed_depth is not None
-                and self._in_system >= self.slo.shed_depth):
+        shed_depth = self._shed_depth
+        if shed_depth is not None and self._in_system >= shed_depth:
             self._shed.append(request.request_id)
             return
         self._in_system += 1
-        queue = self._queues.setdefault(request.model, [])
-        queue.append(request)
-        while self.policy.ready(queue):
-            batch = tuple(queue[: self.policy.max_batch])
-            del queue[: self.policy.max_batch]
-            self._dispatch(request.model, batch, flush=event.time)
-        self._arm_flush(request.model)
-
-    def _on_flush(self, event: Event) -> None:
-        model, deadline = event.payload
-        if self._armed.get(model) == deadline:
-            del self._armed[model]
+        model = request.model
         queue = self._queues.get(model)
-        if not queue or self.policy.deadline(queue) != deadline:
-            return  # stale: the queue flushed or re-headed meanwhile
-        batch = tuple(queue[: self.policy.max_batch])
-        del queue[: self.policy.max_batch]
-        self._dispatch(model, batch, flush=deadline)
+        if queue is None:
+            queue = self._queues[model] = []
+        queue.append(request)
+        max_batch = self._max_batch
+        ready = self._ready_fn
+        while ready(queue):
+            batch = tuple(queue[:max_batch])
+            del queue[:max_batch]
+            self._dispatch(model, batch, flush=time)
         self._arm_flush(model)
 
-    def _on_batch_done(self, event: Event) -> None:
-        batch_id: int = event.payload
+    def _on_flush(self, time: float, model: str) -> None:
+        # a FLUSH fires at its own deadline, so ``time`` *is* the
+        # deadline it was armed for
+        if self._armed.get(model) == time:
+            del self._armed[model]
+        queue = self._queues.get(model)
+        if not queue or self._deadline_fn(queue) != time:
+            return  # stale: the queue flushed or re-headed meanwhile
+        max_batch = self._max_batch
+        batch = tuple(queue[:max_batch])
+        del queue[:max_batch]
+        self._dispatch(model, batch, flush=time)
+        self._arm_flush(model)
+
+    def _on_batch_done(self, time: float, batch_id: int) -> None:
         batch = self._inflight[batch_id]
         if not batch.alive:
             return  # aborted by a failure and re-dispatched
         record = batch.record
-        share = record.energy / record.size
         self._in_system -= record.size
-        for request in batch.requests:
-            self._done[request.request_id] = (record.done, share)
-            self._latency_window.append(record.done - request.arrival)
+        done = self._done
+        outcome = (record.done, record.energy / record.size)
+        window = self._window
+        if window is None:
+            for request in batch.requests:
+                done[request.request_id] = outcome
+        else:
+            record_done = record.done
+            for request in batch.requests:
+                done[request.request_id] = outcome
+                window.append(record_done - request.arrival)
         replica = self._replicas[record.replica]
         if batch_id in replica.pending:
             replica.pending.remove(batch_id)
         if replica.draining and not replica.pending:
             replica.draining = False
             replica.up = False
-            self._trace.append((event.time, self._n_up()))
+            self._trace.append((time, self._n_up()))
 
-    def _on_fail(self, event: Event) -> None:
-        replica = self._replicas[event.payload]
+    def _on_fail(self, time: float, index: int) -> None:
+        replica = self._replicas[index]
         if not replica.up:
             return
         replica.up = False
         replica.failed = True
         replica.draining = False
-        self._trace.append((event.time, self._n_up()))
+        self._trace.append((time, self._n_up()))
         victims, replica.pending = list(replica.pending), []
         for batch_id in victims:
             batch = self._inflight[batch_id]
             batch.alive = False
             record = batch.record
-            if record.start < event.time and record.service > 0:
-                progress = min(1.0, (event.time - record.start)
+            if record.start < time and record.service > 0:
+                progress = min(1.0, (time - record.start)
                                / record.service)
                 self._wasted += record.energy * progress
         for batch_id in victims:
             batch = self._inflight[batch_id]
             self._redispatched += 1
             self._dispatch(batch.record.model, batch.requests,
-                           flush=batch.record.flush, now=event.time)
+                           flush=batch.record.flush, now=time)
 
-    def _on_recover(self, event: Event) -> None:
-        replica = self._replicas[event.payload]
+    def _on_recover(self, time: float, index: int) -> None:
+        replica = self._replicas[index]
         if replica.up or not replica.failed:
             # not down, or down by the autoscaler's choice — a stale
             # recovery must not resurrect a retired replica
@@ -565,12 +705,12 @@ class ClusterEngine:
         replica.up = True
         replica.failed = False
         replica.draining = False
-        replica.free_at = event.time
-        replica.available_at = event.time
-        self._trace.append((event.time, self._n_up()))
-        self._drain_waiting(event.time)
+        replica.free_at = time
+        replica.available_at = time
+        self._trace.append((time, self._n_up()))
+        self._drain_waiting(time)
 
-    def _on_control(self, event: Event) -> None:
+    def _on_control(self, time: float, _payload: object) -> None:
         policy = self.autoscale
         alive = [r for r in self._replicas if r.up and not r.draining]
         queued = self._in_system  # queued + in-flight: the real backlog
@@ -580,39 +720,40 @@ class ClusterEngine:
                 action = 1
             elif queued < policy.low_queue * len(alive):
                 action = -1
-        elif self._latency_window:
-            p95 = percentile(self._latency_window, 95)
+        elif self._window is not None and len(self._window):
+            p95 = self._window.percentile(95)
             if p95 > policy.target_p95:
                 action = 1
             elif (p95 < 0.5 * policy.target_p95
                   and queued <= policy.low_queue * len(alive)):
                 action = -1
-        if action and event.time - self._last_scale >= policy.cooldown:
+        if action and time - self._last_scale >= policy.cooldown:
             if action > 0 and len(alive) < policy.max_replicas:
-                self._scale_up(event.time)
-                self._last_scale = event.time
+                self._scale_up(time)
+                self._last_scale = time
             elif action < 0 and len(alive) > policy.min_replicas:
-                self._scale_down(event.time, alive)
-                self._last_scale = event.time
+                self._scale_down(time, alive)
+                self._last_scale = time
         if (self._remaining or queued
                 or any(r.pending for r in self._replicas)):
-            self._events.push(event.time + policy.tick, EventKind.CONTROL)
+            self._events.push(time + policy.tick, EventKind.CONTROL)
 
-    def _on_drain(self, event: Event) -> None:
+    def _on_drain(self, time: float, _payload: object) -> None:
         """Flush deadline-less leftovers at the end of the trace.
 
         Queues under a deadline policy drain through their own FLUSH
         events at the true instants; only fixed-style policies need
         this sweep, at the last arrival, in stable model order.
         """
+        max_batch = self._max_batch
         for model in sorted(self._queues):
             queue = self._queues[model]
-            if queue and self.policy.deadline(queue) is not None:
+            if queue and self._deadline_fn(queue) is not None:
                 continue
             while queue:
-                batch = tuple(queue[: self.policy.max_batch])
-                del queue[: self.policy.max_batch]
-                self._dispatch(model, batch, flush=event.time)
+                batch = tuple(queue[:max_batch])
+                del queue[:max_batch]
+                self._dispatch(model, batch, flush=time)
 
     # -- internals -------------------------------------------------------
     def _n_up(self) -> int:
@@ -623,12 +764,30 @@ class ClusterEngine:
         queue = self._queues.get(model)
         if not queue:
             return
-        deadline = self.policy.deadline(queue)
+        deadline = self._deadline_fn(queue)
         if deadline is None or self._armed.get(model) == deadline:
             return
         self._armed[model] = deadline
         self._events.push(deadline, EventKind.FLUSH, key=model,
-                          payload=(model, deadline))
+                          payload=model)
+
+    def _rate(self, accelerator, model: str,
+              size: int) -> tuple[float, float]:
+        """(service, energy) of one batch on one replica configuration.
+
+        Keyed by configuration identity — replica configurations live
+        for the whole run — so the steady-state dispatch path is one
+        small-tuple dict hit instead of a trip through the memo cache's
+        structural lookup.
+        """
+        key = (id(accelerator), model, size)
+        rates = self._rates.get(key)
+        if rates is None:
+            rates = (self.service_fn(accelerator, model, size),
+                     self.energy_fn(accelerator, model, size))
+            if self.memoize_rates:
+                self._rates[key] = rates
+        return rates
 
     def _candidates(self) -> list[Replica]:
         return [r for r in self._replicas if r.up and not r.draining]
@@ -652,7 +811,7 @@ class ClusterEngine:
         if self.dispatch == "fastest_finish":
             def finish(replica: Replica) -> tuple[float, int]:
                 start = max(floor, replica.free_at, replica.available_at)
-                service = self.service_fn(replica.accelerator, model, size)
+                service = self._rate(replica.accelerator, model, size)[0]
                 return (start + service, replica.index)
             return min(candidates, key=finish)
         picked = candidates[self._rr_next % len(candidates)]
@@ -666,20 +825,26 @@ class ClusterEngine:
         ``now`` is the re-dispatch instant after a failure; fresh
         flushes start no earlier than ``flush`` anyway.
         """
-        candidates = self._candidates()
+        candidates = [r for r in self._replicas if r.up and not r.draining]
         if not candidates:
             self._waiting.append((model, batch, flush))
             return
         floor = flush if now is None else max(flush, now)
-        replica = self._pick_replica(model, len(batch), floor, candidates)
-        service = self.service_fn(replica.accelerator, model, len(batch))
-        energy = self.energy_fn(replica.accelerator, model, len(batch))
-        start = max(floor, replica.free_at, replica.available_at)
+        size = len(batch)
+        # no single-candidate shortcut: round_robin advances (and with
+        # one candidate, resets) ``_rr_next`` on every pick, so even a
+        # degenerate pool must route through ``_pick_replica``
+        replica = self._pick_replica(model, size, floor, candidates)
+        service, energy = self._rate(replica.accelerator, model, size)
+        free_at, available_at = replica.free_at, replica.available_at
+        start = floor if floor >= free_at else free_at
+        if start < available_at:
+            start = available_at
         done = start + service
         replica.free_at = done
         batch_id = self._next_batch
-        self._next_batch += 1
-        record = BatchRecord(model=model, size=len(batch),
+        self._next_batch = batch_id + 1
+        record = BatchRecord(model=model, size=size,
                              replica=replica.index, flush=flush,
                              start=start, done=done, energy=energy)
         self._inflight[batch_id] = _InFlight(record=record, requests=batch)
@@ -697,6 +862,20 @@ class ClusterEngine:
         for replica in self._replicas:
             if replica.up and replica.draining:
                 replica.draining = False  # cancel a retirement instead
+                self._scale_events.append((now, "up"))
+                self._drain_waiting(now)
+                return
+        for replica in self._replicas:
+            if not replica.up and not replica.failed and not replica.pending:
+                # revive a retired replica (fresh warm-up) instead of
+                # growing the pool: under oscillating load, appending
+                # a new Replica per scale cycle made the pool list —
+                # which every dispatch scans — grow without bound
+                replica.up = True
+                replica.draining = False
+                replica.free_at = now
+                replica.available_at = now + policy.warmup
+                self._trace.append((now, self._n_up()))
                 self._scale_events.append((now, "up"))
                 self._drain_waiting(now)
                 return

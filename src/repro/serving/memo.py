@@ -3,11 +3,20 @@
 A serving trace asks for the same (accelerator, layer, batch) triples
 millions of times: every batch of ``b`` ResNet50 images replays the
 same 50-odd layer simulations.  :class:`LayerMemoCache` memoises
-:meth:`AcceleratorModel.simulate_layer` on exactly that triple — all
-three key parts are frozen dataclasses, so the key is their structural
-value, not object identity — which makes simulating a million-request
-trace cost O(distinct layer x batch pairs) instead of
+:meth:`AcceleratorModel.simulate_layer` on exactly that triple — keyed
+by *structural* value, not object identity — which makes simulating a
+million-request trace cost O(distinct layer x batch pairs) instead of
 O(requests x layers).
+
+Hashing those deep frozen-dataclass triples used to dominate the
+serving hot path, so lookups now go through an :class:`Interner`:
+every distinct accelerator / layer / network value maps to a small
+integer id (identity-keyed fast path, structural fallback for
+equal-but-distinct objects), and the memo keys are plain
+``(int, int, int)`` tuples.  The steady-state 98%+-hit path is one
+small-tuple dict hit; a deep hash happens once per object *identity*
+ever seen (and the hashed dataclasses cache their own hash, so even
+the structural fallback amortises).
 
 A second, derived level memoises whole-network :class:`RunResult`s and
 their energy totals so repeated batches do not even re-sum layers.
@@ -24,17 +33,53 @@ from repro.systolic.layers import ConvLayer, Network
 from repro.systolic.simulator import AcceleratorModel, LayerResult, RunResult
 
 
-@dataclass
+class Interner:
+    """Maps structurally-equal objects to one small integer id.
+
+    The fast path is identity: an object seen before resolves through
+    an ``id()``-keyed dict without hashing its value.  A new identity
+    falls back to one structural lookup (hash + equality on the value)
+    and is then pinned — interned objects are kept alive so their
+    ``id()`` can never be recycled onto a different object.
+    """
+
+    __slots__ = ("_by_identity", "_by_value", "_pinned")
+
+    def __init__(self) -> None:
+        self._by_identity: dict[int, int] = {}
+        self._by_value: dict[object, int] = {}
+        self._pinned: list[object] = []
+
+    def __len__(self) -> int:
+        """Distinct structural values seen."""
+        return len(self._by_value)
+
+    def intern(self, obj: object) -> int:
+        """The small-int id of ``obj``'s structural value."""
+        token = self._by_identity.get(id(obj))
+        if token is None:
+            token = self._by_value.setdefault(obj, len(self._by_value))
+            self._by_identity[id(obj)] = token
+            self._pinned.append(obj)
+        return token
+
+
+@dataclass(slots=True)
 class CacheStats:
-    """Hit/miss accounting at the layer-simulation level.
+    """Hit/miss accounting for the memo cache.
 
     Attributes:
         hits: layer simulations served from the memo.
         misses: layer simulations actually evaluated.
+        energy_hits: whole-batch energy totals served from the memo.
+        energy_misses: energy totals actually evaluated (each also
+            drives the layer-level counters through its network run).
     """
 
     hits: int = 0
     misses: int = 0
+    energy_hits: int = 0
+    energy_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -43,8 +88,13 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the memo."""
+        """Fraction of layer lookups served from the memo."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def energy_lookups(self) -> int:
+        """Total whole-batch energy requests."""
+        return self.energy_hits + self.energy_misses
 
 
 class LayerMemoCache:
@@ -58,9 +108,10 @@ class LayerMemoCache:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.stats = CacheStats()
-        self._layers: dict[tuple, LayerResult] = {}
-        self._runs: dict[tuple, RunResult] = {}
-        self._energy: dict[tuple, float] = {}
+        self._intern = Interner()
+        self._layers: dict[tuple[int, int, int], LayerResult] = {}
+        self._runs: dict[tuple[int, int, int], RunResult] = {}
+        self._energy: dict[tuple[int, int, int], float] = {}
 
     def __len__(self) -> int:
         return len(self._layers)
@@ -68,8 +119,9 @@ class LayerMemoCache:
     def simulate_layer(self, accelerator: AcceleratorModel,
                        layer: ConvLayer, batch: int) -> LayerResult:
         """Memoised :meth:`AcceleratorModel.simulate_layer`."""
-        key = (accelerator, layer, batch)
         if self.enabled:
+            intern = self._intern.intern
+            key = (intern(accelerator), intern(layer), batch)
             cached = self._layers.get(key)
             if cached is not None:
                 self.stats.hits += 1
@@ -83,8 +135,9 @@ class LayerMemoCache:
     def simulate(self, accelerator: AcceleratorModel, network: Network,
                  batch: int) -> RunResult:
         """Memoised whole-network simulation (per-layer granularity)."""
-        run_key = (accelerator, network, batch)
         if self.enabled:
+            intern = self._intern.intern
+            run_key = (intern(accelerator), intern(network), batch)
             cached = self._runs.get(run_key)
             if cached is not None:
                 self.stats.hits += len(network.layers)
@@ -104,9 +157,14 @@ class LayerMemoCache:
         (the only thing the memo key can see), not passed in — a
         caller-supplied model could silently collide across calls.
         """
-        key = (accelerator, network, batch)
-        if self.enabled and key in self._energy:
-            return self._energy[key]
+        if self.enabled:
+            intern = self._intern.intern
+            key = (intern(accelerator), intern(network), batch)
+            cached = self._energy.get(key)
+            if cached is not None:
+                self.stats.energy_hits += 1
+                return cached
+        self.stats.energy_misses += 1
         from repro.core import make_energy_model
         run = self.simulate(accelerator, network, batch)
         total = make_energy_model(accelerator).evaluate(run).total

@@ -330,18 +330,28 @@ class ServingSimulator:
         requests = tuple(sorted(requests, key=lambda r: r.arrival))
         if not requests:
             raise ConfigError("cannot serve an empty trace")
+        # resolve every model once, up front: fails fast on unknown
+        # names and keeps name->Network resolution out of the
+        # engine's dispatch path
+        networks: dict[str, Network] = {}
         for request in requests:
-            self.network(request.model)  # fail fast on unknown models
-        hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
+            if request.model not in networks:
+                networks[request.model] = self.network(request.model)
+        cache = self.cache
+        stats0 = (cache.stats.hits, cache.stats.misses,
+                  cache.stats.energy_hits, cache.stats.energy_misses)
 
         engine = ClusterEngine(
             replicas=self.pool, policy=self.policy, dispatch=self.dispatch,
             service_fn=lambda acc, model, size:
-                self.cache.simulate(acc, self.network(model), size).latency,
+                cache.simulate(acc, networks[model], size).latency,
             energy_fn=lambda acc, model, size:
-                self.cache.energy_total(acc, self.network(model), size),
+                cache.energy_total(acc, networks[model], size),
             slo=self.slo, autoscale=self.autoscale,
             failures=failures if failures is not None else self.failures,
+            # with the memo disabled the run is the uncached reference
+            # path: every dispatch must reach the fns (and count)
+            memoize_rates=cache.enabled,
         )
         outcome = engine.run(requests)
 
@@ -362,8 +372,12 @@ class ServingSimulator:
             energy_per_request=energy, batches=outcome.batches,
             # per-run delta, so a memo shared across runs still reports
             # this trace's own hit rate
-            cache=CacheStats(hits=self.cache.stats.hits - hits0,
-                             misses=self.cache.stats.misses - misses0),
+            cache=CacheStats(
+                hits=cache.stats.hits - stats0[0],
+                misses=cache.stats.misses - stats0[1],
+                energy_hits=cache.stats.energy_hits - stats0[2],
+                energy_misses=cache.stats.energy_misses - stats0[3],
+            ),
             slo_target=self.slo.target if self.slo else 0.0,
             shed=outcome.shed, replica_trace=outcome.replica_trace,
             scale_events=outcome.scale_events,
@@ -381,6 +395,9 @@ class ServingSimulator:
         trace = generate_trace(scenario, rate, n_requests, seed)
         failures = self.failures
         if failures is None and scenario.faults:
-            failures = FailurePlan(count=scenario.faults)
+            # sample the outages from the run's seed, like the
+            # explicit --fail path does — otherwise every seed of a
+            # fault-carrying scenario replays seed-0 outage instants
+            failures = FailurePlan(count=scenario.faults, seed=seed)
         return self.run(trace, scenario=scenario.name, rate=rate,
                         failures=failures)

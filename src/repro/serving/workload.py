@@ -29,9 +29,12 @@ from repro.errors import ConfigError
 from repro.models import model_names
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One inference request.
+
+    A trace holds one of these per request — slots keep the millions
+    of instances a long trace materialises compact.
 
     Attributes:
         request_id: position in the trace (unique, ascending).

@@ -69,6 +69,19 @@ class ConvLayer:
         if self.out_h < 1 or self.out_w < 1:
             raise ConfigError(f"{self.name}: output shrinks to nothing")
 
+    def __hash__(self) -> int:
+        # Same field tuple the generated dataclass hash would use, but
+        # computed once per instance — layer values key the serving
+        # memo cache's structural fallback.  Safe: the dataclass is
+        # frozen.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.in_h, self.in_w, self.in_c,
+                      self.out_c, self.kernel_h, self.kernel_w,
+                      self.stride, self.padding, self.kind))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------
@@ -161,6 +174,15 @@ class Network:
         names = [layer.name for layer in self.layers]
         if len(set(names)) != len(names):
             raise ConfigError(f"network {self.name} has duplicate layer names")
+
+    def __hash__(self) -> int:
+        # One hash per instance (the layers tuple re-hashes every
+        # ConvLayer otherwise); see ConvLayer.__hash__.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.layers))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     @property
     def total_macs(self) -> int:

@@ -126,6 +126,20 @@ class AcceleratorModel:
         if self.frequency <= 0:
             raise ConfigError("frequency must be positive")
 
+    def __hash__(self) -> int:
+        # Structural hash over the same field tuple the generated
+        # dataclass hash uses, computed once per instance: the serving
+        # memo's structural fallback keys on accelerator values, and
+        # re-walking the nested memory-system dataclasses on every
+        # lookup dominated the serving hot path.  Safe because the
+        # dataclass is frozen.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.rows, self.cols, self.frequency,
+                      self.memsys))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @property
     def clock(self) -> float:
         """Clock period (s)."""

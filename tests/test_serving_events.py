@@ -11,6 +11,7 @@ from repro.core import make_smart, make_tpu
 from repro.errors import ConfigError
 from repro.serving import (
     AutoscalePolicy,
+    Event,
     EventKind,
     EventQueue,
     FailurePlan,
@@ -76,6 +77,64 @@ class TestEventQueue:
         q.push(1.0, EventKind.ARRIVAL, payload=2)
         assert [q.pop().payload, q.pop().payload] == [1, 2]
 
+    def test_thousands_of_same_timestamp_events_pop_stably(self):
+        """Tie-break stress: with every event at the same instant, the
+        pop order must be exactly a stable sort by (kind, key,
+        insertion) — the raw-tuple heap may not perturb a single tie."""
+        import random
+
+        rng = random.Random(42)
+        kinds = list(EventKind)
+        pushed = []
+        q = EventQueue()
+        for i in range(5000):
+            kind = rng.choice(kinds)
+            key = rng.choice(["", "alex", "m", "zebra"])
+            q.push(1.0, kind, key=key, payload=i)
+            pushed.append((kind, key, i))
+        expected = sorted(pushed, key=lambda p: (int(p[0]), p[1], p[2]))
+        popped = [q.pop() for _ in range(5000)]
+        assert [(e.kind, e.key, e.payload) for e in popped] == expected
+        assert all(e.time == 1.0 for e in popped)
+        assert len(q) == 0
+
+    def test_pop_rebuilds_event_objects(self):
+        q = EventQueue()
+        q.push(2.5, EventKind.FLUSH, key="m", payload=("m", 2.5))
+        event = q.pop()
+        assert isinstance(event, Event)
+        assert event.kind is EventKind.FLUSH
+        assert (event.time, event.key, event.payload) == (2.5, "m", ("m", 2.5))
+
+
+class TestLatencyWindow:
+    def test_matches_percentile_with_eviction(self):
+        """The incremental window must agree with a full re-sort of
+        the equivalent deque at every step, across evictions."""
+        import random
+        from collections import deque
+
+        from repro.eval.report import percentile
+        from repro.serving.events import _LatencyWindow
+
+        rng = random.Random(9)
+        window = _LatencyWindow(32)
+        shadow = deque(maxlen=32)
+        for _ in range(500):
+            value = rng.choice([rng.uniform(0, 1), rng.choice([0.25, 0.5])])
+            window.append(value)
+            shadow.append(value)
+            for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+                assert window.percentile(q) == percentile(shadow, q)
+
+    def test_empty_window_rejected(self):
+        from repro.serving.events import _LatencyWindow
+
+        with pytest.raises(ConfigError):
+            _LatencyWindow(0)
+        with pytest.raises(ConfigError):
+            _LatencyWindow(4).percentile(95)
+
 
 class TestEventOrderingEdgeCases:
     def test_deadline_strictly_between_arrivals_flushes_at_instant(self):
@@ -132,6 +191,26 @@ class TestEventOrderingEdgeCases:
         ]
 
 
+class TestUnsortedTraces:
+    def test_engine_drains_at_the_true_last_arrival(self):
+        """Regression: the end-of-trace drain was scheduled at the
+        *input-order* last arrival, so an unsorted trace under a
+        deadline-less policy left late requests queued forever."""
+        from repro.serving import ClusterEngine
+
+        engine = ClusterEngine(
+            [make_smart()], FixedSizeBatching(batch_size=4),
+            "round_robin",
+            service_fn=lambda acc, model, size: 1e-6,
+            energy_fn=lambda acc, model, size: 1e-9,
+        )
+        trace = [Request(0, "toy", 0.0), Request(2, "toy", 2e-3),
+                 Request(1, "toy", 1e-3)]  # out of time order
+        run = engine.run(trace)
+        assert set(run.done) == {0, 1, 2}
+        assert run.batches[-1].flush == pytest.approx(2e-3)
+
+
 class TestAutoscaling:
     # time constants sized to the toy network's ~0.4us batch service
     POLICY = AutoscalePolicy(min_replicas=1, max_replicas=4,
@@ -180,6 +259,32 @@ class TestAutoscaling:
         static = static_sim.run(trace)
         assert scaled.latency_percentile(95) < \
             static.latency_percentile(95)
+
+    def test_oscillating_load_revives_retired_replicas(self):
+        """Regression: every scale-up appended a brand-new Replica, so
+        burst/quiet cycles grew the pool list (which every dispatch
+        scans) without bound; a scale-up must revive a retired replica
+        instead, keeping indices within the policy's max."""
+        policy = AutoscalePolicy(min_replicas=1, max_replicas=2,
+                                 high_queue=4, low_queue=1,
+                                 tick=5e-7, warmup=1e-6, cooldown=1e-6)
+        sim = toy_simulator(replicas=1, dispatch="least_loaded",
+                            policy=TimeoutBatching(max_batch=4,
+                                                   max_wait=1e-6),
+                            autoscale=policy)
+        trace, rid = [], 0
+        for cycle in range(12):  # bursts split by long quiet gaps
+            base = cycle * 1e-3
+            for i in range(24):
+                trace.append(Request(rid, "toy", base + i * 2e-8))
+                rid += 1
+        result = sim.run(trace)
+        ups = sum(1 for _, a in result.scale_events if a == "up")
+        downs = sum(1 for _, a in result.scale_events if a == "down")
+        assert ups >= 3 and downs >= 2  # the pool really oscillated
+        assert all(b.replica < policy.max_replicas
+                   for b in result.batches)
+        assert result.peak_replicas <= policy.max_replicas
 
     def test_p95_metric_scales(self):
         policy = AutoscalePolicy(min_replicas=1, max_replicas=4,
@@ -250,6 +355,23 @@ class TestFailureInjection:
     def test_failure_storm_scenario_carries_faults(self):
         from repro.serving import get_scenario
         assert get_scenario("failure-storm").faults > 0
+
+    def test_scenario_faults_sample_from_the_run_seed(self):
+        """Regression: the scenario-carried plan pinned seed 0, so
+        sweeping the run seed varied the arrivals but replayed the
+        same outage pattern every time."""
+        sim = ServingSimulator("SMART", replicas=3,
+                               policy=TimeoutBatching())
+        dips_by_seed = []
+        for seed in (1, 2):
+            result = sim.run_scenario("failure-storm", 150, seed=seed)
+            span = result.requests[-1].arrival - result.requests[0].arrival
+            dips_by_seed.append(tuple(
+                round((t - result.requests[0].arrival) / span, 3)
+                for t, n in result.replica_trace[1:] if n < 3
+            ))
+        assert dips_by_seed[0] and dips_by_seed[1]
+        assert dips_by_seed[0] != dips_by_seed[1]
 
     def test_overlapping_outages_merge_to_their_union(self):
         """Regression: with overlapping windows on one replica, the

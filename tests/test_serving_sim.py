@@ -186,6 +186,53 @@ class TestMemoCache:
         cache.simulate_layer(make_smart(), layer, 3)
         assert cache.stats.hit_rate == pytest.approx(1 / 3)
 
+    def test_energy_path_counts_into_stats(self):
+        """The energy memo level reports hits/misses like the layer
+        level (it used to be invisible in CacheStats)."""
+        cache = LayerMemoCache()
+        acc = make_smart()
+        first = cache.energy_total(acc, TOY, 4)
+        assert (cache.stats.energy_hits, cache.stats.energy_misses) == (0, 1)
+        assert cache.energy_total(acc, TOY, 4) == first
+        assert (cache.stats.energy_hits, cache.stats.energy_misses) == (1, 1)
+        assert cache.stats.energy_lookups == 2
+        # a structurally equal accelerator hits the same entry
+        assert cache.energy_total(make_smart(), TOY, 4) == first
+        assert cache.stats.energy_hits == 2
+
+    def test_disabled_cache_energy_always_misses(self):
+        cache = LayerMemoCache(enabled=False)
+        acc = make_smart()
+        cache.energy_total(acc, TOY, 2)
+        cache.energy_total(acc, TOY, 2)
+        assert cache.stats.energy_hits == 0
+        assert cache.stats.energy_misses == 2
+
+    def test_run_reports_energy_stats_delta(self):
+        result = toy_simulator().run(toy_trace(8))
+        assert result.cache.energy_misses > 0
+        assert result.cache.energy_lookups >= result.cache.energy_misses
+
+
+class TestInterner:
+    def test_structural_values_share_one_id(self):
+        from repro.serving import Interner
+
+        interner = Interner()
+        a, b = make_smart(), make_smart()
+        assert a is not b
+        assert interner.intern(a) == interner.intern(b)
+        assert interner.intern(a) == interner.intern(a)  # identity path
+        assert len(interner) == 1
+
+    def test_distinct_values_get_distinct_ids(self):
+        from repro.serving import Interner
+
+        interner = Interner()
+        small = Network("toy", TOY.layers[:1])
+        assert interner.intern(TOY) != interner.intern(small)
+        assert len(interner) == 2
+
 
 class TestScenarioRuns:
     @pytest.mark.parametrize("name", ["steady", "bursty", "ramp"])

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Serving-bench regression guard for CI.
+
+Compares the freshly-benchmarked ``BENCH_serving.json`` against the
+last committed copy and emits a GitHub Actions warning annotation
+(``::warning``) for every matrix cell whose simulated requests/s
+dropped by more than the threshold (default 20%).  Non-blocking by
+design: the exit code is always 0 — machine noise and runner
+heterogeneity make a hard gate on wall-clock throughput flaky, but a
+surfaced warning on the PR is enough to catch a real hot-path
+regression.
+
+Usage:
+    python tools/bench_guard.py BASELINE.json FRESH.json [--threshold 0.2]
+
+Points are grouped by their (scenario, n_requests) labels; points
+predating PR 4 carry neither label and are treated as the historical
+bursty/10k cell.  The last point of each group on each side is
+compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_points(path: Path) -> list[dict]:
+    """The point list in ``path``, or [] when absent/unreadable."""
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(history, list):
+        return []
+    return [p for p in history if isinstance(p, dict) and "rps" in p]
+
+
+def cell_of(point: dict) -> tuple[str, int]:
+    """(scenario, n_requests) of a point; legacy points (pre-label)
+    are the historical bursty/10k cell."""
+    scenario = point.get("scenario", "bursty")
+    n_requests = point.get("n_requests", point.get("requests", 10_000))
+    return (str(scenario), int(n_requests))
+
+
+def latest_per_cell(points: list[dict]) -> dict[tuple[str, int], dict]:
+    latest: dict[tuple[str, int], dict] = {}
+    for point in points:  # file order is append order
+        latest[cell_of(point)] = point
+    return latest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path,
+                        help="last committed BENCH_serving.json")
+    parser.add_argument("fresh", type=Path,
+                        help="BENCH_serving.json after the bench run")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="fractional rps drop that trips a warning")
+    args = parser.parse_args(argv)
+
+    baseline = latest_per_cell(load_points(args.baseline))
+    fresh = latest_per_cell(load_points(args.fresh))
+    if not baseline:
+        print("bench-guard: no baseline points; nothing to compare")
+        return 0
+    if not fresh:
+        print("bench-guard: no fresh points; bench likely did not run")
+        return 0
+
+    regressions = 0
+    for cell, base_point in sorted(baseline.items()):
+        fresh_point = fresh.get(cell)
+        if fresh_point is None or fresh_point is base_point:
+            continue
+        base_rps, fresh_rps = base_point["rps"], fresh_point["rps"]
+        if base_rps <= 0:
+            continue
+        drop = 1.0 - fresh_rps / base_rps
+        label = f"{cell[0]}/{cell[1]}"
+        if drop > args.threshold:
+            regressions += 1
+            print(f"::warning title=Serving perf regression::"
+                  f"{label}: {base_rps:.0f} -> {fresh_rps:.0f} rps "
+                  f"({drop:.0%} drop > {args.threshold:.0%} threshold, "
+                  f"non-blocking)")
+        else:
+            print(f"bench-guard: {label}: {base_rps:.0f} -> "
+                  f"{fresh_rps:.0f} rps ok ({-drop:+.0%})")
+    if not regressions:
+        print("bench-guard: no serving-path regressions past the "
+              f"{args.threshold:.0%} threshold")
+    return 0  # never blocks: the annotation is the signal
+
+
+if __name__ == "__main__":
+    sys.exit(main())
