@@ -16,6 +16,13 @@ a warm-up round populates the layer memo first, because cold layer
 simulations are a one-time O(distinct layer x batch) cost amortised
 across any sweep — while ``cold_rps`` records the same trace served
 with that cost still in line.
+
+Two control-plane cells ride along with a ``variant`` label (so
+``tools/bench_guard.py`` tracks them separately): ``forecast`` runs
+the diurnal/10k trace under predictive (Holt) autoscaling, and
+``persist`` measures the cold-start path with the layer memo warmed
+from the persisted cross-run totals pool — the ROADMAP's remaining
+cold-start headroom — against the plain cold start.
 """
 
 import json
@@ -26,11 +33,17 @@ import pytest
 
 from conftest import show
 
+from repro.runtime import ResultCache
 from repro.serving import (
+    ForecastScalePolicy,
+    LayerMemoCache,
     ServingSimulator,
+    SloPolicy,
     generate_trace,
     get_scenario,
+    load_persistent_memo,
     make_policy,
+    store_persistent_memo,
 )
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
@@ -97,3 +110,107 @@ def test_bench_serving_event_engine(benchmark, scenario_name, n_requests):
          [point])
     assert len(result.latencies) == n_requests
     assert point["rps"] > 0
+
+
+def test_bench_forecast_autoscale_cell(benchmark):
+    """The predictive-autoscale cell: diurnal/10k under Holt forecast
+    scaling with an SLO — the control plane (rate tracking, forecast
+    updates, scale actions) rides the hot path here, so a slowdown in
+    the policy seam shows up in this cell's rps."""
+    n_requests = 10_000
+    scenario = get_scenario("diurnal")
+    simulator = ServingSimulator(
+        "SMART", replicas=1, policy=make_policy("timeout"),
+        dispatch="least_loaded", slo=SloPolicy(target=2000e-6),
+        autoscale=ForecastScalePolicy(min_replicas=1, max_replicas=6,
+                                      mode="holt",
+                                      target_utilization=0.6))
+    rate = scenario.load * simulator.capacity_rps(scenario)
+    trace = generate_trace(scenario, rate, n_requests, seed=7)
+
+    walls = []
+
+    def timed():
+        started = time.perf_counter()
+        outcome = simulator.run(trace, scenario=scenario.name,
+                                rate=rate)
+        walls.append(time.perf_counter() - started)
+        return outcome
+
+    result = benchmark.pedantic(timed, iterations=1, rounds=1,
+                                warmup_rounds=1)
+    cold_wall, wall = walls[0], walls[-1]
+    point = {
+        "requests": n_requests,
+        "wall_s": round(wall, 4),
+        "rps": round(n_requests / wall, 1),
+        "batches": len(result.batches),
+        "cache_hit_rate": round(result.cache.hit_rate, 4),
+        "created": time.time(),
+        "scenario": "diurnal",
+        "n_requests": n_requests,
+        "variant": "forecast",
+        "cold_wall_s": round(cold_wall, 4),
+        "cold_rps": round(n_requests / cold_wall, 1),
+        "slo_attain": round(result.slo_attainment, 4),
+        "replicas_peak": result.peak_replicas,
+    }
+    append_point(point)
+    show("BENCH_serving: diurnal/10000/forecast trajectory point",
+         [point])
+    assert result.peak_replicas > 1  # the forecaster really scaled
+    assert point["rps"] > 0
+
+
+def test_bench_persisted_memo_cold_start(tmp_path):
+    """The persisted-memo cell: cold-start throughput with the layer
+    memo warmed from the cross-run totals pool vs a plain cold start
+    on the tracked bursty/10k trace.  ``rps`` is the persisted-warm
+    cold start (what the guard tracks); ``cold_rps`` the unpersisted
+    one; ``warm_speedup`` their ratio — the cold-start headroom the
+    ROADMAP called out, now lifted."""
+    n_requests = 10_000
+    scenario = get_scenario("bursty")
+    store = ResultCache(cache_dir=tmp_path)
+
+    def run_once(cache):
+        simulator = ServingSimulator("SMART", replicas=2,
+                                     policy=make_policy("timeout"),
+                                     dispatch="least_loaded",
+                                     cache=cache)
+        rate = scenario.load * simulator.capacity_rps(scenario)
+        trace = generate_trace(scenario, rate, n_requests, seed=7)
+        started = time.perf_counter()
+        result = simulator.run(trace, scenario=scenario.name,
+                               rate=rate)
+        return result, time.perf_counter() - started
+
+    cold_cache = LayerMemoCache()
+    cold_result, cold_wall = run_once(cold_cache)
+    store_persistent_memo(cold_cache, store)
+
+    warm_cache = LayerMemoCache()
+    load_persistent_memo(warm_cache, store)
+    warm_result, warm_wall = run_once(warm_cache)
+
+    assert warm_result.latencies == cold_result.latencies
+    assert warm_cache.stats.misses == 0  # not one layer simulated
+
+    point = {
+        "requests": n_requests,
+        "wall_s": round(warm_wall, 4),
+        "rps": round(n_requests / warm_wall, 1),
+        "batches": len(warm_result.batches),
+        "cache_hit_rate": round(warm_result.cache.hit_rate, 4),
+        "created": time.time(),
+        "scenario": "bursty",
+        "n_requests": n_requests,
+        "variant": "persist",
+        "cold_wall_s": round(cold_wall, 4),
+        "cold_rps": round(n_requests / cold_wall, 1),
+        "warm_speedup": round(cold_wall / warm_wall, 2),
+    }
+    append_point(point)
+    show("BENCH_serving: bursty/10000/persist cold-vs-warm delta",
+         [point])
+    assert point["rps"] > point["cold_rps"]  # persistence really helps

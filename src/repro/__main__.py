@@ -10,8 +10,12 @@ Usage::
     python -m repro serve-sim             # serving percentiles, all scenarios
     python -m repro serve-sim bursty --policy fixed --replicas 4
     python -m repro serve-sim diurnal --autoscale 1:8   # scale on queue depth
+    python -m repro serve-sim diurnal --scale holt --slo 2000  # predictive
     python -m repro serve-sim overload --slo 1500 --shed 64   # SLO + shedding
     python -m repro serve-sim steady --fail 2 --replicas 3    # outage storm
+    python -m repro serve-sim hot-model --flush edf --priority ResNet50=1
+    python -m repro serve-sim bursty --steal --dispatch round_robin
+    python -m repro serve-sim --persist-memo    # warm layer memo across runs
     python -m repro runs                  # recent runs from the ledger
     python -m repro cache                 # result-cache statistics
     python -m repro cache clear           # drop every cached result
@@ -235,9 +239,14 @@ def _cmd_sweep(args: list[str], opts: CliOptions) -> int:
 
 def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     """Serve simulated request traffic and print percentile rows."""
+    from repro.models import model_names
     from repro.serving import LayerMemoCache, POLICIES, get_scenario
     from repro.serving.experiments import (make_slo, parse_autoscale,
+                                           parse_priorities,
                                            serving_grid)
+    from repro.serving.memo import (load_persistent_memo,
+                                    store_persistent_memo)
+    from repro.serving.policies import make_flush, make_scale
     from repro.serving.simulator import DISPATCH_STRATEGIES
 
     scenarios: list[str] = []
@@ -245,6 +254,8 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     requests, replicas, batch_size, seed = 2000, 2, 8, 7
     accelerator, dispatch = "SMART", "round_robin"
     slo_us, shed_depth, autoscale, faults = 0.0, 0, "", 0
+    flush, scale, steal, persist_memo = "fifo", "", False, False
+    priority_specs: list[str] = []
     try:
         i = 0
         while i < len(args):
@@ -294,6 +305,29 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                 autoscale = args[i + 1]
                 parse_autoscale(autoscale)  # validate the spec early
                 i += 2
+            elif token == "--flush":
+                if i + 1 >= len(args):
+                    raise ConfigError("--flush needs a policy name "
+                                      "(fifo or edf)")
+                flush = args[i + 1]
+                i += 2
+            elif token == "--scale":
+                if i + 1 >= len(args):
+                    raise ConfigError("--scale needs a policy name "
+                                      "(reactive, ewma or holt)")
+                scale = args[i + 1]
+                i += 2
+            elif token == "--priority":
+                if i + 1 >= len(args):
+                    raise ConfigError("--priority needs model=N")
+                priority_specs.append(args[i + 1])
+                i += 2
+            elif token == "--steal":
+                steal = True
+                i += 1
+            elif token == "--persist-memo":
+                persist_memo = True
+                i += 1
             elif token in ("--policy", "--accelerator", "--dispatch"):
                 if i + 1 >= len(args):
                     raise ConfigError(f"{token} needs a value")
@@ -324,6 +358,17 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
         from repro.core import make_accelerator
         make_accelerator(accelerator)  # validate before the grid runs
         make_slo(slo_us, shed_depth)
+        priority = ",".join(priority_specs)
+        priorities = parse_priorities(priority)
+        for model in priorities:
+            if model not in model_names():
+                raise ConfigError(
+                    f"unknown model '{model}' in --priority; known: "
+                    f"{', '.join(model_names())}"
+                )
+        make_flush(flush, priorities or None)  # validate the pair
+        if scale:
+            make_scale(scale, parse_autoscale(autoscale))
         for name in scenarios:
             get_scenario(name)
     except ConfigError as exc:
@@ -331,13 +376,19 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
         return 2
 
     cache = LayerMemoCache()
+    memo_store = ResultCache() if persist_memo else None
+    loaded = (load_persistent_memo(cache, memo_store)
+              if persist_memo else 0)
     rows = serving_grid(
         requests=requests, accelerator=accelerator, replicas=replicas,
         batch_size=batch_size, dispatch=dispatch, seed=seed,
         scenarios=scenarios or None, policies=policies, cache=cache,
         slo_us=slo_us, shed_depth=shed_depth, autoscale=autoscale,
-        faults=faults,
+        faults=faults, flush=flush, priority=priority, scale=scale,
+        steal=steal,
     )
+    stored = (store_persistent_memo(cache, memo_store)
+              if persist_memo else 0)
     if opts.as_json:
         print(report.to_json(rows))
         return 0
@@ -346,14 +397,27 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             (f", slo {slo_us:g}us", slo_us),
             (f", shed@{shed_depth}", shed_depth),
             (f", autoscale {autoscale}", autoscale),
+            (f", scale {scale}", scale),
+            (f", flush {flush}", flush != "fifo"),
+            (", stealing", steal),
             (f", {faults} fault(s)", faults),
         ) if on
     )
     print(f"\n=== serve-sim: {accelerator} x{replicas} "
           f"({dispatch}), {requests} requests/scenario{extras} ===")
     print(report.render_rows(rows))
-    print(f"\nlayer-memo: {len(cache)} distinct layer x batch results, "
-          f"{cache.stats.hit_rate:.1%} hit rate")
+    if persist_memo and loaded and not len(cache):
+        # a fully warm start: every lookup came from persisted totals,
+        # so the layer-level memo never saw a single simulation
+        print(f"\nlayer-memo: warm start, every lookup served from "
+              f"the persisted pool ({cache.stats.hit_rate:.1%} hit "
+              f"rate, 0 layer simulations)")
+    else:
+        print(f"\nlayer-memo: {len(cache)} distinct layer x batch "
+              f"results, {cache.stats.hit_rate:.1%} hit rate")
+    if persist_memo:
+        print(f"persisted memo: {loaded} totals loaded, "
+              f"{stored} stored")
     return 0
 
 

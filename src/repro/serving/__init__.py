@@ -5,8 +5,11 @@ The production-facing layer: request traffic (Poisson / bursty / ramp
 homogeneous or mixed accelerator replicas, and a control plane —
 SLO-aware autoscaling, failure injection with batch re-dispatch, and
 admission control — all running on the discrete-event engine in
-:mod:`repro.serving.events`.  A layer-result memo cache keeps
-million-request traces cheap.
+:mod:`repro.serving.events`.  Scheduling decisions (replica dispatch,
+flush ordering, scaling, admission, work stealing) are pluggable
+policies from :mod:`repro.serving.policies`.  A layer-result memo
+cache keeps million-request traces cheap, and can persist its totals
+across runs through the runtime result cache.
 """
 
 from repro.serving.batching import (
@@ -27,7 +30,34 @@ from repro.serving.events import (
     Replica,
     SloPolicy,
 )
-from repro.serving.memo import CacheStats, Interner, LayerMemoCache
+from repro.serving.memo import (
+    CacheStats,
+    Interner,
+    LayerMemoCache,
+    load_persistent_memo,
+    store_persistent_memo,
+)
+from repro.serving.policies import (
+    AdmissionPolicy,
+    DISPATCH_POLICIES,
+    DepthAdmission,
+    DispatchPolicy,
+    EdfFlush,
+    FLUSH_POLICIES,
+    FastestFinishDispatch,
+    FifoFlush,
+    FlushPolicy,
+    ForecastScalePolicy,
+    LeastLoadedDispatch,
+    ReactiveScalePolicy,
+    RoundRobinDispatch,
+    ScalePolicy,
+    ShardDispatch,
+    WorkStealPolicy,
+    make_dispatch,
+    make_flush,
+    make_scale,
+)
 from repro.serving.simulator import (
     BatchRecord,
     ServingResult,
@@ -49,34 +79,55 @@ from repro.serving.workload import (
 
 __all__ = [
     "ARRIVAL_SHAPES",
+    "AdmissionPolicy",
     "AutoscalePolicy",
     "BatchRecord",
     "BurstyProcess",
     "CacheStats",
     "ClusterEngine",
+    "DISPATCH_POLICIES",
     "DISPATCH_STRATEGIES",
+    "DepthAdmission",
+    "DispatchPolicy",
     "DiurnalProcess",
+    "EdfFlush",
     "Event",
     "EventKind",
     "EventQueue",
+    "FLUSH_POLICIES",
     "FailurePlan",
+    "FastestFinishDispatch",
+    "FifoFlush",
     "FixedSizeBatching",
+    "FlushPolicy",
+    "ForecastScalePolicy",
     "Interner",
     "LayerMemoCache",
+    "LeastLoadedDispatch",
     "ModelMix",
     "Outage",
     "POLICIES",
     "PoissonProcess",
     "RampProcess",
+    "ReactiveScalePolicy",
     "Replica",
     "Request",
+    "RoundRobinDispatch",
     "SCENARIOS",
+    "ScalePolicy",
     "Scenario",
     "ServingResult",
     "ServingSimulator",
+    "ShardDispatch",
     "SloPolicy",
     "TimeoutBatching",
+    "WorkStealPolicy",
     "generate_trace",
     "get_scenario",
+    "load_persistent_memo",
+    "make_dispatch",
+    "make_flush",
     "make_policy",
+    "make_scale",
+    "store_persistent_memo",
 ]

@@ -27,6 +27,27 @@ it with a true discrete-event engine:
     the cluster queue exceeds a depth bound, and report per-request
     SLO attainment.
 
+Every scheduling *decision* the engine takes is delegated to the
+policy seams in :mod:`repro.serving.policies`: replica selection to a
+:class:`~repro.serving.policies.DispatchPolicy` (the four stock
+strategies reproduce the retired string branches bit for bit), flush
+tie-breaking / drain ordering / parked-batch re-dispatch to a
+:class:`~repro.serving.policies.FlushPolicy`, the control-tick pool
+decision to a :class:`~repro.serving.policies.ScalePolicy` (an
+:class:`AutoscalePolicy` is wrapped reactively; predictive policies
+consume the per-tick arrival-rate history the engine keeps for them),
+and arrival admission to an
+:class:`~repro.serving.policies.AdmissionPolicy`.  A
+:class:`~repro.serving.policies.WorkStealPolicy` additionally lets
+control ticks re-dispatch the most-backlogged replica's last
+unstarted batch to whichever replica finishes it soonest.
+
+One faithfulness charge rides the dispatch path: when a replica
+serves a *different* model than the one whose weights it last
+deployed, the incoming batch pays a weight-deployment switch charge
+(``switch_fn``) before service — back-to-back batches of one model
+keep their weights resident, contended replicas do not.
+
 Event ordering at equal timestamps mirrors the retired loop exactly
 (due flushes fire before the arrival that made them due; simultaneous
 flushes fire in (deadline, model) order; the end-of-trace drain runs
@@ -51,7 +72,6 @@ from __future__ import annotations
 
 import heapq
 import random as _random
-import zlib
 from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass, field
@@ -60,9 +80,21 @@ from math import ceil
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.serving.policies import (
+    AdmissionPolicy,
+    DepthAdmission,
+    DispatchPolicy,
+    FifoFlush,
+    FlushPolicy,
+    ReactiveScalePolicy,
+    ScalePolicy,
+    WorkStealPolicy,
+    make_dispatch,
+)
 from repro.serving.workload import Request
 
-#: Replica-selection strategies the engine understands.
+#: Replica-selection strategies the engine understands (the stock
+#: :data:`repro.serving.policies.DISPATCH_POLICIES` names).
 DISPATCH_STRATEGIES = ("round_robin", "least_loaded", "shard",
                        "fastest_finish")
 
@@ -373,6 +405,12 @@ class Replica:
             resurrect a replica the autoscaler retired).
         draining: finishing in-flight work before retirement.
         pending: in-flight batch ids (dispatch order).
+        last_model: model whose weights the array holds once pending
+            work completes (None after a cold start / power cycle);
+            dispatching a different model charges the switch fee.
+        done_model: model of the last *completed* batch (maintained
+            only when work stealing runs, which may need to roll
+            ``last_model`` back after emptying ``pending``).
     """
 
     index: int
@@ -383,6 +421,8 @@ class Replica:
     failed: bool = False
     draining: bool = False
     pending: list[int] = field(default_factory=list)
+    last_model: Optional[str] = None
+    done_model: Optional[str] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -434,6 +474,7 @@ class EngineRun:
         scale_events: (time, "up"/"down") autoscale actions.
         redispatched: batches re-dispatched after a replica failure.
         wasted_energy: energy burnt on aborted partial executions (J).
+        stolen: batches work stealing moved to a faster replica.
     """
 
     batches: tuple[BatchRecord, ...]
@@ -443,6 +484,7 @@ class EngineRun:
     scale_events: tuple[tuple[float, str], ...]
     redispatched: int
     wasted_energy: float
+    stolen: int = 0
 
 
 class ClusterEngine:
@@ -452,16 +494,19 @@ class ClusterEngine:
         replicas: one accelerator configuration per initial replica
             (mixed configurations make a heterogeneous pool).
         policy: batching policy (``ready``/``deadline``/``max_batch``).
-        dispatch: one of :data:`DISPATCH_STRATEGIES`.
+        dispatch: one of :data:`DISPATCH_STRATEGIES`, or a
+            :class:`~repro.serving.policies.DispatchPolicy` instance.
         service_fn: (accelerator, model, batch) -> batch latency (s);
             routed through the layer-memo cache by the caller, which
             keeps the engine O(distinct layer x batch) in simulation
             work regardless of trace length.
         energy_fn: (accelerator, model, batch) -> batch energy (J).
         slo: SLO / admission-control policy, or None.
-        autoscale: autoscaling policy, or None for a static pool.
-            Replicas added by a scale-up clone the *first* replica's
-            accelerator configuration.
+        autoscale: scaling — an :class:`AutoscalePolicy` (wrapped in
+            the stock reactive :class:`ScalePolicy`), a
+            :class:`~repro.serving.policies.ScalePolicy` directly, or
+            None for a static pool.  Replicas added by a scale-up
+            clone the *first* replica's accelerator configuration.
         failures: failure-injection plan, or None.
         memoize_rates: memoise (replica configuration, model, batch
             size) -> (service, energy) for the run, hoisting the
@@ -469,29 +514,51 @@ class ClusterEngine:
             are deterministic so the emitted floats are unchanged;
             turn this off to route *every* dispatch through the fns —
             the uncached reference path counts each lookup.
+        switch_fn: (accelerator, model, batch) -> weight-deployment
+            switch charge (s) paid when the replica last served a
+            *different* model; None charges nothing.
+        flush: flush-ordering policy; None means the stock FIFO.
+        admission: admission policy; None derives the stock depth
+            bound from ``slo.shed_depth``.
+        steal: work stealing on control ticks, or None.
     """
 
     def __init__(self, replicas: Sequence[object], policy,
-                 dispatch: str,
+                 dispatch: str | DispatchPolicy,
                  service_fn: Callable[[object, str, int], float],
                  energy_fn: Callable[[object, str, int], float],
                  slo: Optional[SloPolicy] = None,
-                 autoscale: Optional[AutoscalePolicy] = None,
+                 autoscale: Optional[AutoscalePolicy | ScalePolicy]
+                 = None,
                  failures: Optional[FailurePlan] = None,
-                 memoize_rates: bool = True) -> None:
+                 memoize_rates: bool = True,
+                 switch_fn: Optional[Callable[[object, str, int],
+                                              float]] = None,
+                 flush: Optional[FlushPolicy] = None,
+                 admission: Optional[AdmissionPolicy] = None,
+                 steal: Optional[WorkStealPolicy] = None) -> None:
         if not replicas:
             raise ConfigError("cluster needs at least one replica")
-        if dispatch not in DISPATCH_STRATEGIES:
-            raise ConfigError(
-                f"unknown dispatch '{dispatch}'; known: "
-                f"{', '.join(DISPATCH_STRATEGIES)}"
-            )
         self.policy = policy
-        self.dispatch = dispatch
+        self.dispatch = (dispatch.name
+                         if isinstance(dispatch, DispatchPolicy)
+                         else dispatch)
+        self._dispatch_policy = make_dispatch(dispatch)
         self.service_fn = service_fn
         self.energy_fn = energy_fn
+        self.switch_fn = switch_fn
         self.slo = slo
         self.autoscale = autoscale
+        self.scale: Optional[ScalePolicy] = (
+            ReactiveScalePolicy(autoscale)
+            if isinstance(autoscale, AutoscalePolicy) else autoscale
+        )
+        self.flush = flush if flush is not None else FifoFlush()
+        if admission is None and slo is not None \
+                and slo.shed_depth is not None:
+            admission = DepthAdmission(slo.shed_depth)
+        self.admission = admission
+        self.steal = steal
         self.failures = failures
         self.memoize_rates = memoize_rates
         self._initial = list(replicas)
@@ -522,30 +589,59 @@ class ClusterEngine:
         self._inflight: dict[int, _InFlight] = {}
         self._batch_order: list[int] = []
         self._next_batch = 0
-        self._rr_next = 0
         self._waiting: deque[tuple[str, tuple[Request, ...], float]] = deque()
         self._done: dict[int, tuple[float, float]] = {}
         self._shed: list[int] = []
         self._trace: list[tuple[float, int]] = [(t0, len(self._replicas))]
         self._scale_events: list[tuple[float, str]] = []
         self._redispatched = 0
+        self._stolen = 0
         self._wasted = 0.0
         self._in_system = 0
         self._remaining = n
         self._last_scale = float("-inf")
-        # the window only feeds the p95 autoscale metric; appending is
-        # per completed request, so skip the bookkeeping entirely when
-        # nothing will ever read it
-        self._window = (_LatencyWindow(self.autoscale.window)
-                        if self.autoscale is not None
-                        and self.autoscale.metric == "p95" else None)
+        scale = self.scale
+        if scale is not None:
+            scale.reset()
+        self._dispatch_policy.reset(self)
+        # the window only feeds latency-driven scale metrics;
+        # appending is per completed request, so skip the bookkeeping
+        # entirely when nothing will ever read it
+        window_size = scale.window_size if scale is not None else 0
+        self._window = (_LatencyWindow(window_size)
+                        if window_size else None)
+        # per-tick arrival counting only when a scale policy asks
+        self._track_rate = scale is not None and scale.needs_rate
+        self._tick_arrivals = 0
         # hoisted per-run hot-path state
         self._rates: dict[tuple[int, str, int], tuple[float, float]] = {}
+        self._switch_rates: dict[tuple[int, str, int], float] = {}
         self._max_batch = self.policy.max_batch
         self._ready_fn = self.policy.ready
         self._deadline_fn = self.policy.deadline
-        self._shed_depth = (self.slo.shed_depth
-                            if self.slo is not None else None)
+        self._pick = self._dispatch_policy.pick
+        # the stock FIFO flush policy keeps the allocation-free fast
+        # paths (model-name heap key, popleft, sorted drain); anything
+        # else routes through the policy's own ordering hooks
+        flush_policy = self.flush
+        stock_flush = type(flush_policy) is FifoFlush
+        self._flush_key = None if stock_flush else flush_policy.flush_key
+        self._waiting_pick = (None if stock_flush
+                              else flush_policy.pick_waiting)
+        # stock depth admission stays an int compare on the arrival
+        # hot path; custom policies — including DepthAdmission
+        # subclasses with their own admit() — take the full call
+        admission = self.admission
+        if type(admission) is DepthAdmission:
+            self._shed_depth: Optional[int] = admission.depth
+            self._admit_fn = None
+        else:
+            self._shed_depth = None
+            self._admit_fn = (admission.admit if admission is not None
+                              else None)
+        self._control_tick = (scale.tick if scale is not None
+                              else self.steal.tick
+                              if self.steal is not None else 0.0)
 
         # Arrivals stay in the (time-ordered) trace and are merge-
         # scanned against the heap, which only ever holds the sparse
@@ -568,8 +664,8 @@ class ClusterEngine:
                             payload=outage.replica)
                 events.push(outage.until, EventKind.RECOVER,
                             payload=outage.replica)
-        if self.autoscale is not None:
-            events.push(t0 + self.autoscale.tick, EventKind.CONTROL)
+        if self._control_tick:
+            events.push(t0 + self._control_tick, EventKind.CONTROL)
 
         handlers = (
             self._on_flush,       # FLUSH
@@ -609,6 +705,7 @@ class ClusterEngine:
             replica_trace=tuple(self._trace),
             scale_events=tuple(self._scale_events),
             redispatched=self._redispatched, wasted_energy=self._wasted,
+            stolen=self._stolen,
         )
 
     # -- event handlers --------------------------------------------------
@@ -616,8 +713,15 @@ class ClusterEngine:
     # Event objects on its own queue.
     def _on_arrival(self, time: float, request: Request) -> None:
         self._remaining -= 1
+        if self._track_rate:
+            # offered load, so shed arrivals still count into the rate
+            self._tick_arrivals += 1
         shed_depth = self._shed_depth
         if shed_depth is not None and self._in_system >= shed_depth:
+            self._shed.append(request.request_id)
+            return
+        if self._admit_fn is not None and not self._admit_fn(
+                time, request, self._in_system):
             self._shed.append(request.request_id)
             return
         self._in_system += 1
@@ -666,6 +770,10 @@ class ClusterEngine:
                 done[request.request_id] = outcome
                 window.append(record_done - request.arrival)
         replica = self._replicas[record.replica]
+        if self.steal is not None:
+            # stealing may empty ``pending`` and needs to know which
+            # model's weights the idle array is left holding
+            replica.done_model = record.model
         if batch_id in replica.pending:
             replica.pending.remove(batch_id)
         if replica.draining and not replica.pending:
@@ -707,46 +815,45 @@ class ClusterEngine:
         replica.draining = False
         replica.free_at = time
         replica.available_at = time
+        replica.last_model = None  # the power cycle cleared the array
+        replica.done_model = None
         self._trace.append((time, self._n_up()))
         self._drain_waiting(time)
 
     def _on_control(self, time: float, _payload: object) -> None:
-        policy = self.autoscale
-        alive = [r for r in self._replicas if r.up and not r.draining]
+        scale = self.scale
         queued = self._in_system  # queued + in-flight: the real backlog
-        action = 0
-        if policy.metric == "queue":
-            if queued > policy.high_queue * len(alive):
-                action = 1
-            elif queued < policy.low_queue * len(alive):
-                action = -1
-        elif self._window is not None and len(self._window):
-            p95 = self._window.percentile(95)
-            if p95 > policy.target_p95:
-                action = 1
-            elif (p95 < 0.5 * policy.target_p95
-                  and queued <= policy.low_queue * len(alive)):
-                action = -1
-        if action and time - self._last_scale >= policy.cooldown:
-            if action > 0 and len(alive) < policy.max_replicas:
-                self._scale_up(time)
-                self._last_scale = time
-            elif action < 0 and len(alive) > policy.min_replicas:
-                self._scale_down(time, alive)
-                self._last_scale = time
+        if scale is not None:
+            alive = [r for r in self._replicas
+                     if r.up and not r.draining]
+            arrivals, self._tick_arrivals = self._tick_arrivals, 0
+            action = scale.decide(time, queued, len(alive),
+                                  self._window, arrivals,
+                                  self._control_tick)
+            if action and time - self._last_scale >= scale.cooldown:
+                if action > 0 and len(alive) < scale.max_replicas:
+                    self._scale_up(time)
+                    self._last_scale = time
+                elif action < 0 and len(alive) > scale.min_replicas:
+                    self._scale_down(time, alive)
+                    self._last_scale = time
+        if self.steal is not None:
+            self._work_steal(time)
         if (self._remaining or queued
                 or any(r.pending for r in self._replicas)):
-            self._events.push(time + policy.tick, EventKind.CONTROL)
+            self._events.push(time + self._control_tick,
+                              EventKind.CONTROL)
 
     def _on_drain(self, time: float, _payload: object) -> None:
         """Flush deadline-less leftovers at the end of the trace.
 
         Queues under a deadline policy drain through their own FLUSH
         events at the true instants; only fixed-style policies need
-        this sweep, at the last arrival, in stable model order.
+        this sweep, at the last arrival, in the flush policy's model
+        order (stable sorted order for the stock FIFO).
         """
         max_batch = self._max_batch
-        for model in sorted(self._queues):
+        for model in self.flush.drain_order(self._queues):
             queue = self._queues[model]
             if queue and self._deadline_fn(queue) is not None:
                 continue
@@ -768,7 +875,10 @@ class ClusterEngine:
         if deadline is None or self._armed.get(model) == deadline:
             return
         self._armed[model] = deadline
-        self._events.push(deadline, EventKind.FLUSH, key=model,
+        flush_key = self._flush_key
+        self._events.push(deadline, EventKind.FLUSH,
+                          key=(model if flush_key is None
+                               else flush_key(model, deadline)),
                           payload=model)
 
     def _rate(self, accelerator, model: str,
@@ -792,38 +902,45 @@ class ClusterEngine:
     def _candidates(self) -> list[Replica]:
         return [r for r in self._replicas if r.up and not r.draining]
 
-    def _pick_replica(self, model: str, size: int, floor: float,
-                      candidates: Sequence[Replica]) -> Replica:
-        """Pick a replica for a batch that can start at ``floor``."""
-        if self.dispatch == "shard":
-            # stable pin over the *initial* pool, so one replica's
-            # failure never remaps models homed on healthy replicas;
-            # only the dead replica's models fall back (deterministic)
-            digest = zlib.crc32(model.encode())
-            home = self._replicas[digest % len(self._initial)]
-            if home.up and not home.draining:
-                return home
-            return candidates[digest % len(candidates)]
-        if self.dispatch == "least_loaded":
-            return min(candidates,
-                       key=lambda r: (max(r.free_at, r.available_at),
-                                      r.index))
-        if self.dispatch == "fastest_finish":
-            def finish(replica: Replica) -> tuple[float, int]:
-                start = max(floor, replica.free_at, replica.available_at)
-                service = self._rate(replica.accelerator, model, size)[0]
-                return (start + service, replica.index)
-            return min(candidates, key=finish)
-        picked = candidates[self._rr_next % len(candidates)]
-        self._rr_next = (self._rr_next + 1) % len(candidates)
-        return picked
+    def _switch(self, accelerator, model: str, size: int) -> float:
+        """Memoised weight-deployment switch charge (s)."""
+        key = (id(accelerator), model, size)
+        charge = self._switch_rates.get(key)
+        if charge is None:
+            charge = self.switch_fn(accelerator, model, size)
+            if self.memoize_rates:
+                self._switch_rates[key] = charge
+        return charge
+
+    def _service_with_switch(self, replica: Replica, model: str,
+                             size: int) -> tuple[float, float]:
+        """(busy time, energy) of one batch on ``replica`` *now*.
+
+        Busy time is the service rate plus the weight-deployment
+        switch charge when the replica's resident weights belong to a
+        different model.  Both the dispatch path and the steal
+        estimate go through here, so what stealing predicts is
+        exactly what dispatching charges.
+        """
+        service, energy = self._rate(replica.accelerator, model, size)
+        last_model = replica.last_model
+        if (last_model is not None and last_model != model
+                and self.switch_fn is not None):
+            # the array holds another model's weights: the incoming
+            # batch's deployment cannot overlap and is charged whole
+            service = service + self._switch(replica.accelerator,
+                                             model, size)
+        return service, energy
 
     def _dispatch(self, model: str, batch: tuple[Request, ...],
-                  flush: float, now: Optional[float] = None) -> None:
+                  flush: float, now: Optional[float] = None,
+                  to: Optional[Replica] = None) -> None:
         """Serve one flushed batch on a replica (or park it).
 
-        ``now`` is the re-dispatch instant after a failure; fresh
-        flushes start no earlier than ``flush`` anyway.
+        ``now`` is the re-dispatch instant after a failure or a steal;
+        fresh flushes start no earlier than ``flush`` anyway.  ``to``
+        forces the target replica (work stealing has already chosen),
+        bypassing the dispatch policy.
         """
         candidates = [r for r in self._replicas if r.up and not r.draining]
         if not candidates:
@@ -831,15 +948,19 @@ class ClusterEngine:
             return
         floor = flush if now is None else max(flush, now)
         size = len(batch)
-        # no single-candidate shortcut: round_robin advances (and with
-        # one candidate, resets) ``_rr_next`` on every pick, so even a
-        # degenerate pool must route through ``_pick_replica``
-        replica = self._pick_replica(model, size, floor, candidates)
-        service, energy = self._rate(replica.accelerator, model, size)
+        if to is not None:
+            replica = to
+        else:
+            # no single-candidate shortcut: round_robin advances (and
+            # with one candidate, resets) its cursor on every pick, so
+            # even a degenerate pool must route through the policy
+            replica = self._pick(self, model, size, floor, candidates)
+        service, energy = self._service_with_switch(replica, model, size)
         free_at, available_at = replica.free_at, replica.available_at
         start = floor if floor >= free_at else free_at
         if start < available_at:
             start = available_at
+        replica.last_model = model
         done = start + service
         replica.free_at = done
         batch_id = self._next_batch
@@ -853,12 +974,69 @@ class ClusterEngine:
         self._events.push(done, EventKind.BATCH_DONE, payload=batch_id)
 
     def _drain_waiting(self, now: float) -> None:
-        while self._waiting and self._candidates():
-            model, batch, flush = self._waiting.popleft()
+        waiting = self._waiting
+        pick_waiting = self._waiting_pick
+        while waiting and self._candidates():
+            if pick_waiting is None:
+                model, batch, flush = waiting.popleft()
+            else:
+                index = pick_waiting(waiting)
+                model, batch, flush = waiting[index]
+                del waiting[index]
             self._dispatch(model, batch, flush=flush, now=now)
 
+    def _work_steal(self, now: float) -> None:
+        """Re-dispatch tail batches from backlogged to idle replicas.
+
+        Only the victim's *last* scheduled batch is eligible (so its
+        earlier schedule keeps every promised start time) and only if
+        it has not started; the thief is whichever live replica
+        completes it earliest under its own service rate and switch
+        charge.  The stolen batch keeps its original flush instant —
+        requests neither vanish nor duplicate, their batch simply
+        completes sooner.
+        """
+        policy = self.steal
+        for _ in range(policy.max_steals):
+            candidates = self._candidates()
+            if len(candidates) < 2:
+                return
+            victim = max(candidates, key=lambda r: (r.free_at, r.index))
+            if not victim.pending:
+                return
+            batch_id = victim.pending[-1]
+            entry = self._inflight[batch_id]
+            record = entry.record
+            if record.start <= now:
+                return  # already running; nothing movable
+            model, size = record.model, record.size
+            best, best_done = None, record.done - policy.min_gain
+            for replica in candidates:
+                if replica is victim:
+                    continue
+                service = self._service_with_switch(replica, model,
+                                                    size)[0]
+                done = max(now, replica.free_at,
+                           replica.available_at) + service
+                if done < best_done:
+                    best, best_done = replica, done
+            if best is None:
+                return
+            victim.pending.pop()
+            entry.alive = False
+            if victim.pending:
+                tail = self._inflight[victim.pending[-1]].record
+                victim.free_at = tail.done
+                victim.last_model = tail.model
+            else:
+                victim.free_at = now
+                victim.last_model = victim.done_model
+            self._stolen += 1
+            self._dispatch(model, entry.requests, flush=record.flush,
+                           now=now, to=best)
+
     def _scale_up(self, now: float) -> None:
-        policy = self.autoscale
+        policy = self.scale
         for replica in self._replicas:
             if replica.up and replica.draining:
                 replica.draining = False  # cancel a retirement instead
@@ -875,6 +1053,8 @@ class ClusterEngine:
                 replica.draining = False
                 replica.free_at = now
                 replica.available_at = now + policy.warmup
+                replica.last_model = None  # power-gated while retired
+                replica.done_model = None
                 self._trace.append((now, self._n_up()))
                 self._scale_events.append((now, "up"))
                 self._drain_waiting(now)
@@ -887,7 +1067,8 @@ class ClusterEngine:
         self._scale_events.append((now, "up"))
         self._drain_waiting(now)
 
-    def _scale_down(self, now: float, alive: Sequence[Replica]) -> None:
+    def _scale_down(self, now: float,
+                    alive: Sequence[Replica]) -> None:
         victim = min(alive, key=lambda r: (len(r.pending), -r.index))
         if victim.pending:
             victim.draining = True

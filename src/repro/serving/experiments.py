@@ -8,21 +8,29 @@ the shared reporting path::
     repro sweep serving_scaling --param replicas=1,2,4,8
     repro sweep serving_slo --param shed_depth=0,32,128
     repro sweep serving_autoscale --param scenario=diurnal,bursty
+    repro sweep serving_forecast --param scale=reactive-p95,ewma,holt
 
 Control-plane knobs arrive as plain scalars (microseconds, counts,
-``"min:max"`` strings) so sweep parameters stay JSON-serialisable for
-the content-addressed result cache.
+``"min:max"`` / ``"model=N"`` strings) so sweep parameters stay
+JSON-serialisable for the content-addressed result cache; the policy
+*objects* (:mod:`repro.serving.policies`) are built here.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.core import make_accelerator
 from repro.errors import ConfigError
 from repro.serving.batching import POLICIES, make_policy
 from repro.serving.events import AutoscalePolicy, FailurePlan, SloPolicy
 from repro.serving.memo import LayerMemoCache
+from repro.serving.policies import (
+    ForecastScalePolicy,
+    WorkStealPolicy,
+    make_flush,
+    make_scale,
+)
 from repro.serving.simulator import ServingSimulator
 from repro.serving.workload import SCENARIOS, get_scenario
 
@@ -56,6 +64,38 @@ def parse_autoscale(spec: str, metric: str = "queue",
                            metric=metric)
 
 
+def parse_priorities(spec) -> dict[str, int]:
+    """Per-model priority classes from ``"model=N,model2=M"`` (or a
+    mapping, passed through normalised).  Higher N is more urgent.
+
+    Raises:
+        ConfigError: on malformed entries or non-integer classes.
+    """
+    if not spec:
+        return {}
+    if isinstance(spec, Mapping):
+        items = spec.items()
+    else:
+        items = []
+        for chunk in str(spec).split(","):
+            model, eq, value = chunk.partition("=")
+            if not eq or not model:
+                raise ConfigError(
+                    f"bad priority {chunk!r}; expected model=N"
+                )
+            items.append((model, value))
+    priorities = {}
+    for model, value in items:
+        try:
+            priorities[str(model)] = int(value)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"priority class for '{model}' must be an integer, "
+                f"got {value!r}"
+            ) from None
+    return priorities
+
+
 def make_slo(slo_us: float, shed_depth: int = 0) -> Optional[SloPolicy]:
     """Build an :class:`SloPolicy` from microsecond / depth scalars.
 
@@ -78,20 +118,32 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
                  policies: Optional[Sequence[str]] = None,
                  cache: Optional[LayerMemoCache] = None,
                  slo_us: float = 0.0, shed_depth: int = 0,
-                 autoscale: str = "", faults: int = 0) -> list[dict]:
+                 autoscale: str = "", faults: int = 0,
+                 flush: str = "fifo", priority=None,
+                 scale: str = "", steal: bool = False) -> list[dict]:
     """Percentile rows for scenario x batching-policy cells.
 
     Defaults to every stock scenario and policy; ``repro serve-sim``
     narrows the grid through ``scenarios``/``policies`` and switches
     the control plane on through ``slo_us``/``shed_depth`` (SLO +
-    admission control), ``autoscale`` (``"min:max"``) and ``faults``
-    (injected outages).  One shared memo cache serves the whole grid,
-    so only the first cell pays for fresh layer simulations.
+    admission control), ``autoscale`` (``"min:max"``), ``faults``
+    (injected outages), ``flush``/``priority`` (``"edf"`` +
+    ``"model=N"`` classes), ``scale`` (``"reactive"`` / ``"ewma"`` /
+    ``"holt"`` over the autoscale bounds) and ``steal`` (work
+    stealing on control ticks).  One shared memo cache serves the
+    whole grid, so only the first cell pays for fresh layer
+    simulations.
     """
     config = make_accelerator(accelerator)
     cache = cache if cache is not None else LayerMemoCache()
     slo = make_slo(slo_us, shed_depth)
-    scaling = parse_autoscale(autoscale)
+    bounds = parse_autoscale(autoscale)
+    if scale:
+        make_scale(scale, bounds)  # fail fast on a bad spec
+    # flush policies are stateless (an immutable priority map), so one
+    # instance serves the whole grid; scale policies carry forecast
+    # state + calibration and are built fresh per cell below
+    flush_policy = make_flush(flush, parse_priorities(priority) or None)
     failures = FailurePlan(count=faults, seed=seed) if faults else None
     rows = []
     for scenario in [get_scenario(n) for n in scenarios or SCENARIOS]:
@@ -100,7 +152,10 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
                 accelerator=config, replicas=replicas,
                 policy=make_policy(policy_name, batch_size=batch_size),
                 dispatch=dispatch, cache=cache, slo=slo,
-                autoscale=scaling, failures=failures,
+                autoscale=(make_scale(scale, bounds) if scale
+                           else bounds),
+                failures=failures, flush=flush_policy,
+                steal=WorkStealPolicy() if steal else None,
             )
             result = simulator.run_scenario(scenario, requests, seed=seed)
             rows.append(result.to_row())
@@ -186,6 +241,79 @@ def serving_autoscale(scenario: str = "diurnal", policy: str = "timeout",
     return [row]
 
 
+#: Scale-policy specs ``serving_forecast`` compares by default.
+FORECAST_MODES = ("reactive-queue", "reactive-p95", "ewma", "holt")
+
+
+def serving_forecast(scenario: str = "diurnal", policy: str = "timeout",
+                     requests: int = 2000, accelerator: str = "SMART",
+                     min_replicas: int = 1, max_replicas: int = 6,
+                     batch_size: int = 8,
+                     dispatch: str = "least_loaded", seed: int = 7,
+                     slo_us: float = 2000.0, alpha: float = 0.3,
+                     beta: float = 0.1,
+                     target_utilization: float = 0.6,
+                     scale: str = "") -> list[dict]:
+    """Reactive vs predictive autoscaling: SLO attainment per joule.
+
+    One row per scale policy (all of :data:`FORECAST_MODES` unless
+    ``scale`` picks one), each serving the same diurnal-style trace
+    from ``min_replicas`` with the same SLO: the reactive policies
+    chase the crest (queue depth, or windowed p95 against the SLO
+    target), the predictive ones (:class:`ForecastScalePolicy`
+    EWMA / Holt) scale ahead of it off the engine's arrival-rate
+    history.  ``attain_per_j`` = SLO attainment / total energy
+    (served + wasted) is the figure of merit.
+    """
+    modes = (scale,) if scale else FORECAST_MODES
+    cache = LayerMemoCache()
+    rows = []
+    for mode in modes:
+        if mode == "reactive-queue":
+            scaling = AutoscalePolicy(min_replicas=min_replicas,
+                                      max_replicas=max_replicas,
+                                      metric="queue")
+        elif mode == "reactive-p95":
+            scaling = AutoscalePolicy(min_replicas=min_replicas,
+                                      max_replicas=max_replicas,
+                                      metric="p95",
+                                      target_p95=slo_us * 1e-6)
+        elif mode in ("ewma", "holt"):
+            scaling = ForecastScalePolicy(
+                min_replicas=min_replicas, max_replicas=max_replicas,
+                mode=mode, alpha=alpha, beta=beta,
+                target_utilization=target_utilization)
+        else:
+            raise ConfigError(
+                f"unknown forecast mode '{mode}'; known: "
+                f"{', '.join(FORECAST_MODES)}"
+            )
+        simulator = ServingSimulator(
+            accelerator=make_accelerator(accelerator),
+            replicas=min_replicas,
+            policy=make_policy(policy, batch_size=batch_size),
+            dispatch=dispatch, cache=cache, slo=make_slo(slo_us),
+            autoscale=scaling,
+        )
+        result = simulator.run_scenario(scenario, requests, seed=seed)
+        rows.append({
+            "scale": mode,
+            "scenario": result.scenario,
+            "slo_attain": result.slo_attainment,
+            "p95_us": result.latency_percentile(95) * 1e6,
+            "p99_us": result.latency_percentile(99) * 1e6,
+            "energy_total_uj": result.total_energy * 1e6,
+            "attain_per_j": result.attainment_per_joule,
+            "replicas_low": result.low_replicas,
+            "replicas_peak": result.peak_replicas,
+            "scale_ups": sum(1 for _, a in result.scale_events
+                             if a == "up"),
+            "scale_downs": sum(1 for _, a in result.scale_events
+                               if a == "down"),
+        })
+    return rows
+
+
 def _register() -> None:
     from repro.runtime.registry import register_experiment
 
@@ -210,6 +338,12 @@ def _register() -> None:
         "autoscaler pool swing + percentiles; params: scenario, "
         "policy, requests, min_replicas, max_replicas, metric, "
         "target_p95_us, dispatch, seed", figure=False)
+    register_experiment(
+        "serving_forecast", serving_forecast,
+        "reactive vs predictive autoscaling, SLO attainment/joule; "
+        "params: scenario, policy, requests, min_replicas, "
+        "max_replicas, slo_us, alpha, beta, target_utilization, "
+        "scale, dispatch, seed", figure=False)
 
 
 _register()

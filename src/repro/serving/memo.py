@@ -19,18 +19,36 @@ ever seen (and the hashed dataclasses cache their own hash, so even
 the structural fallback amortises).
 
 A second, derived level memoises whole-network :class:`RunResult`s and
-their energy totals so repeated batches do not even re-sum layers.
-Identical layers *shared between networks* (every zoo model ends in
-the same FC-sized tails, ResNet blocks repeat internally) hit the
-layer level too.
+their scalar totals — batch latency, batch energy, and the summed
+weight-deployment time the engine's model-switch charge needs — so
+repeated batches do not even re-sum layers.  Identical layers *shared
+between networks* (every zoo model ends in the same FC-sized tails,
+ResNet blocks repeat internally) hit the layer level too.
+
+The scalar-totals level is also what persists across runs: ROADMAP
+noted the cold path is dominated by first-touch layer simulations, so
+:func:`load_persistent_memo` / :func:`store_persistent_memo` round the
+(latency, energy, deploy) totals through the runtime
+:class:`~repro.runtime.cache.ResultCache` — content-addressed by
+*stable structural fingerprints* (SHA-256 of the dataclass reprs;
+Python object hashes are salted per process and useless on disk) and
+keyed by the package code version, so editing any model invalidates
+the persisted pool instead of serving stale physics.  A warm start
+then serves every totals lookup without a single layer simulation.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.systolic.layers import ConvLayer, Network
 from repro.systolic.simulator import AcceleratorModel, LayerResult, RunResult
+
+#: Experiment name the persisted memo pool is stored under in the
+#: runtime result cache (one pool per code version).
+MEMO_EXPERIMENT = "serving_memo"
 
 
 class Interner:
@@ -112,6 +130,14 @@ class LayerMemoCache:
         self._layers: dict[tuple[int, int, int], LayerResult] = {}
         self._runs: dict[tuple[int, int, int], RunResult] = {}
         self._energy: dict[tuple[int, int, int], float] = {}
+        self._latency: dict[tuple[int, int, int], float] = {}
+        self._deploy: dict[tuple[int, int, int], float] = {}
+        # persisted totals keyed by stable structural fingerprints,
+        # consulted once per (accelerator, network, batch) miss and
+        # then promoted into the interned-key dicts above
+        self._seeded: dict[tuple[str, str, int],
+                           tuple[float, float, float]] = {}
+        self._fingerprints: dict[int, str] = {}
 
     def __len__(self) -> int:
         return len(self._layers)
@@ -164,6 +190,9 @@ class LayerMemoCache:
             if cached is not None:
                 self.stats.energy_hits += 1
                 return cached
+        if self.enabled and self._seed(key, accelerator, network, batch):
+            self.stats.energy_hits += 1
+            return self._energy[key]
         self.stats.energy_misses += 1
         from repro.core import make_energy_model
         run = self.simulate(accelerator, network, batch)
@@ -171,3 +200,176 @@ class LayerMemoCache:
         if self.enabled:
             self._energy[key] = total
         return total
+
+    def latency_total(self, accelerator: AcceleratorModel,
+                      network: Network, batch: int) -> float:
+        """Memoised whole-batch latency (s) of one network run.
+
+        The scalar twin of :meth:`simulate`: a hit (memoised or
+        persisted) counts like a run-level hit — one saved simulation
+        per network layer — so the stats read identically whether the
+        caller takes the :class:`RunResult` or just its latency.
+        """
+        if not self.enabled:
+            return self.simulate(accelerator, network, batch).latency
+        intern = self._intern.intern
+        key = (intern(accelerator), intern(network), batch)
+        cached = self._latency.get(key)
+        if cached is None and self._seed(key, accelerator, network,
+                                         batch):
+            cached = self._latency[key]
+        if cached is not None:
+            self.stats.hits += len(network.layers)
+            return cached
+        value = self.simulate(accelerator, network, batch).latency
+        self._latency[key] = value
+        return value
+
+    def deploy_total(self, accelerator: AcceleratorModel,
+                     network: Network, batch: int) -> float:
+        """Memoised whole-network weight-deployment time (s).
+
+        The engine charges this when a replica switches models
+        back-to-back: another model's weights were resident, so the
+        incoming network's deployments cannot overlap and are paid
+        whole, on top of the batch latency (which already includes
+        the steady-state deploy component).
+        """
+        if not self.enabled:
+            run = self.simulate(accelerator, network, batch)
+            return sum(l.deploy_time for l in run.layers)
+        intern = self._intern.intern
+        key = (intern(accelerator), intern(network), batch)
+        cached = self._deploy.get(key)
+        if cached is None and self._seed(key, accelerator, network,
+                                         batch):
+            cached = self._deploy[key]
+        if cached is not None:
+            self.stats.hits += len(network.layers)
+            return cached
+        run = self.simulate(accelerator, network, batch)
+        value = sum(l.deploy_time for l in run.layers)
+        self._deploy[key] = value
+        return value
+
+    # -- cross-run persistence -------------------------------------------
+    def _fingerprint(self, token: int, obj: object) -> str:
+        """Stable structural fingerprint of one interned object."""
+        fingerprint = self._fingerprints.get(token)
+        if fingerprint is None:
+            digest = hashlib.sha256(repr(obj).encode()).hexdigest()[:20]
+            fingerprint = self._fingerprints[token] = digest
+        return fingerprint
+
+    def _seed(self, key: tuple[int, int, int],
+              accelerator: AcceleratorModel, network: Network,
+              batch: int) -> bool:
+        """Promote a persisted totals triple under ``key``, if any."""
+        if not self._seeded:
+            return False
+        a_token, n_token, _ = key
+        seeded = self._seeded.get(
+            (self._fingerprint(a_token, accelerator),
+             self._fingerprint(n_token, network), batch)
+        )
+        if seeded is None:
+            return False
+        latency, energy, deploy = seeded
+        self._latency[key] = latency
+        self._energy[key] = energy
+        self._deploy[key] = deploy
+        return True
+
+    def export_totals(self) -> list[list]:
+        """Serialisable (latency, energy, deploy) totals of this run.
+
+        Rows are ``[accelerator_fp, network_fp, batch, latency,
+        energy, deploy]`` with stable structural fingerprints, so a
+        future process (same code version) can :meth:`load_totals`
+        them and serve every totals lookup without simulating.  Only
+        complete triples export — a key missing its energy or deploy
+        total would leave a warm start half cold.  Loaded totals this
+        run never touched are carried forward, so re-persisting after
+        a narrow run does not shrink the pool.
+        """
+        tokens = {token: obj
+                  for obj, token in self._intern._by_value.items()}
+        exported = {fp_key: list(triple)
+                    for fp_key, triple in self._seeded.items()}
+        for key in sorted(set(self._runs) | set(self._latency)):
+            a_token, n_token, batch = key
+            run = self._runs.get(key)
+            latency = self._latency.get(
+                key, run.latency if run is not None else None)
+            deploy = self._deploy.get(key)
+            if deploy is None and run is not None:
+                deploy = sum(l.deploy_time for l in run.layers)
+            energy = self._energy.get(key)
+            if energy is None and run is not None:
+                # a calibration-only key (e.g. capacity probing at the
+                # policy's full batch) never dispatched, so no energy
+                # total exists — evaluate it off the cached run now
+                # (cheap: no layer re-simulation) or the warm start
+                # would re-simulate exactly these keys
+                from repro.core import make_energy_model
+                energy = self._energy[key] = make_energy_model(
+                    tokens[a_token]).evaluate(run).total
+            if latency is None or energy is None or deploy is None:
+                continue
+            fp_key = (self._fingerprint(a_token, tokens[a_token]),
+                      self._fingerprint(n_token, tokens[n_token]),
+                      batch)
+            exported[fp_key] = [latency, energy, deploy]
+        return [[a_fp, n_fp, batch, *triple]
+                for (a_fp, n_fp, batch), triple
+                in sorted(exported.items())]
+
+    def load_totals(self, rows: list) -> int:
+        """Seed persisted totals; returns how many rows were loaded."""
+        loaded = 0
+        for row in rows:
+            try:
+                a_fp, n_fp, batch, latency, energy, deploy = row
+                key = (str(a_fp), str(n_fp), int(batch))
+                triple = (float(latency), float(energy), float(deploy))
+            except (TypeError, ValueError):
+                continue  # a foreign/corrupt row must not poison the run
+            self._seeded[key] = triple
+            loaded += 1
+        return loaded
+
+
+def load_persistent_memo(cache: LayerMemoCache,
+                         result_cache=None) -> int:
+    """Warm ``cache`` from the persisted cross-run totals pool.
+
+    The pool lives in the runtime result cache under
+    :data:`MEMO_EXPERIMENT`, content-addressed by the package code
+    version — editing any model silently starts a fresh pool rather
+    than serving stale physics.  Returns the number of seeded totals
+    (0 when no pool exists yet).
+    """
+    from repro.runtime import ResultCache
+    store = result_cache if result_cache is not None else ResultCache()
+    entry = store.get(store.key(MEMO_EXPERIMENT, {}))
+    if not entry:
+        return 0
+    return cache.load_totals(entry.get("rows") or [])
+
+
+def store_persistent_memo(cache: LayerMemoCache,
+                          result_cache=None,
+                          elapsed_s: float = 0.0) -> int:
+    """Persist ``cache``'s totals into the cross-run pool.
+
+    Overwrites the pool for the current code version with the union
+    of what was loaded and what this run touched (loaded totals are
+    re-exported once promoted).  Returns the number of stored rows.
+    """
+    from repro.runtime import ResultCache
+    store = result_cache if result_cache is not None else ResultCache()
+    rows = cache.export_totals()
+    if rows:
+        store.put(store.key(MEMO_EXPERIMENT, {}), MEMO_EXPERIMENT, {},
+                  rows, elapsed_s=elapsed_s)
+    return len(rows)

@@ -20,7 +20,14 @@ Two PR 3 defects are fixed here in lockstep with the optimised engine
 (so the oracle keeps matching it): the end-of-trace drain is scheduled
 at the *time-order* last arrival rather than the input-order last, and
 a scale-up revives a retired replica instead of growing the pool list
-without bound under oscillating load.  Everything else is verbatim.
+without bound under oscillating load.  PR 5's faithfulness fix is
+likewise applied in lockstep: a batch whose replica last deployed a
+*different* model's weights pays the ``switch_fn`` weight-deployment
+charge before service.  Everything else is verbatim — in particular
+this engine keeps the original string-matched dispatch branches and
+inline control-tick logic, so it is also the oracle proving the
+optimised engine's policy-object seams
+(:mod:`repro.serving.policies`) introduced zero drift.
 
 Nothing in the production path imports this module; it exists for
 tests and for anyone auditing the optimised engine against a simpler
@@ -91,7 +98,9 @@ class ReferenceEngine:
                  energy_fn: Callable[[object, str, int], float],
                  slo: Optional[SloPolicy] = None,
                  autoscale: Optional[AutoscalePolicy] = None,
-                 failures: Optional[FailurePlan] = None) -> None:
+                 failures: Optional[FailurePlan] = None,
+                 switch_fn: Optional[Callable[[object, str, int],
+                                              float]] = None) -> None:
         if not replicas:
             raise ConfigError("cluster needs at least one replica")
         if dispatch not in DISPATCH_STRATEGIES:
@@ -103,6 +112,7 @@ class ReferenceEngine:
         self.dispatch = dispatch
         self.service_fn = service_fn
         self.energy_fn = energy_fn
+        self.switch_fn = switch_fn
         self.slo = slo
         self.autoscale = autoscale
         self.failures = failures
@@ -268,6 +278,8 @@ class ReferenceEngine:
         replica.draining = False
         replica.free_at = event.time
         replica.available_at = event.time
+        replica.last_model = None  # the power cycle cleared the array
+        replica.done_model = None
         self._trace.append((event.time, self._n_up()))
         self._drain_waiting(event.time)
 
@@ -363,6 +375,14 @@ class ReferenceEngine:
         replica = self._pick_replica(model, len(batch), floor, candidates)
         service = self.service_fn(replica.accelerator, model, len(batch))
         energy = self.energy_fn(replica.accelerator, model, len(batch))
+        if (replica.last_model is not None
+                and replica.last_model != model
+                and self.switch_fn is not None):
+            # lockstep with the optimised engine: a model switch pays
+            # the weight-deployment charge before service
+            service += self.switch_fn(replica.accelerator, model,
+                                      len(batch))
+        replica.last_model = model
         start = max(floor, replica.free_at, replica.available_at)
         done = start + service
         replica.free_at = done
@@ -397,6 +417,8 @@ class ReferenceEngine:
                 replica.draining = False
                 replica.free_at = now
                 replica.available_at = now + policy.warmup
+                replica.last_model = None  # power-gated while retired
+                replica.done_model = None
                 self._trace.append((now, self._n_up()))
                 self._scale_events.append((now, "up"))
                 self._drain_waiting(now)
@@ -430,7 +452,37 @@ def run_reference(simulator, requests: Sequence[Request],
 
     ``failures`` overrides the simulator-level plan, mirroring
     :meth:`ServingSimulator.run`.
+
+    The reference predates the policy seams and only implements the
+    stock configuration (string dispatches, FIFO flush ordering,
+    reactive :class:`AutoscalePolicy`, depth admission, no stealing);
+    auditing a simulator that uses any other policy raises a clean
+    :class:`~repro.errors.ConfigError` rather than silently comparing
+    against an engine that ignores it.
     """
+    from repro.serving.policies import FifoFlush
+    if simulator.autoscale is not None and not isinstance(
+            simulator.autoscale, AutoscalePolicy):
+        raise ConfigError(
+            "the reference engine only implements the stock reactive "
+            "AutoscalePolicy; it cannot audit custom ScalePolicy runs"
+        )
+    if simulator.flush is not None and type(simulator.flush) \
+            is not FifoFlush:
+        raise ConfigError(
+            "the reference engine only implements the stock FIFO "
+            "flush ordering; it cannot audit custom FlushPolicy runs"
+        )
+    if simulator.admission is not None:
+        raise ConfigError(
+            "the reference engine only implements the stock depth "
+            "admission (slo.shed_depth); it cannot audit custom "
+            "AdmissionPolicy runs"
+        )
+    if simulator.steal is not None:
+        raise ConfigError(
+            "the reference engine does not implement work stealing"
+        )
     requests = tuple(sorted(requests, key=lambda r: r.arrival))
     engine = ReferenceEngine(
         replicas=simulator.pool, policy=simulator.policy,
@@ -438,6 +490,8 @@ def run_reference(simulator, requests: Sequence[Request],
         service_fn=lambda acc, model, size: simulator.cache.simulate(
             acc, simulator.network(model), size).latency,
         energy_fn=lambda acc, model, size: simulator.cache.energy_total(
+            acc, simulator.network(model), size),
+        switch_fn=lambda acc, model, size: simulator.cache.deploy_total(
             acc, simulator.network(model), size),
         slo=simulator.slo, autoscale=simulator.autoscale,
         failures=failures if failures is not None else simulator.failures,

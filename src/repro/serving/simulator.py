@@ -29,6 +29,7 @@ accelerator x layer x batch) of actual simulation work.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -46,6 +47,14 @@ from repro.serving.events import (
     SloPolicy,
 )
 from repro.serving.memo import CacheStats, LayerMemoCache
+from repro.serving.policies import (
+    AdmissionPolicy,
+    DispatchPolicy,
+    FlushPolicy,
+    ScalePolicy,
+    WorkStealPolicy,
+    make_dispatch,
+)
 from repro.serving.workload import Request, Scenario, generate_trace
 from repro.systolic.layers import Network
 from repro.systolic.simulator import AcceleratorModel
@@ -81,6 +90,7 @@ class ServingResult:
         scale_events: (time, "up"/"down") autoscale actions.
         redispatched: batches re-dispatched after replica failures.
         wasted_energy: energy burnt on aborted partial batches (J).
+        stolen: batches work stealing moved to a faster replica.
     """
 
     accelerator: str
@@ -99,6 +109,7 @@ class ServingResult:
     scale_events: tuple[tuple[float, str], ...] = ()
     redispatched: int = 0
     wasted_energy: float = 0.0
+    stolen: int = 0
 
     @property
     def served_latencies(self) -> tuple[float, ...]:
@@ -210,7 +221,22 @@ class ServingResult:
             row["replicas_peak"] = self.peak_replicas
         if self.redispatched:
             row["redispatched"] = self.redispatched
+        if self.stolen:
+            row["stolen"] = self.stolen
         return row
+
+    @property
+    def total_energy(self) -> float:
+        """All energy the trace cost (J): served batches + work burnt
+        on batches a failure aborted mid-flight."""
+        return sum(self.energy_per_request) + self.wasted_energy
+
+    @property
+    def attainment_per_joule(self) -> float:
+        """SLO attainment bought per joule (the reactive-vs-predictive
+        autoscaling figure of merit)."""
+        total = self.total_energy
+        return self.slo_attainment / total if total else 0.0
 
 
 class ServingSimulator:
@@ -222,7 +248,8 @@ class ServingSimulator:
         replicas: identical accelerators in the cluster (ignored when
             ``accelerators`` is given).
         policy: batching policy (fixed or timeout).
-        dispatch: one of :data:`DISPATCH_STRATEGIES`.
+        dispatch: one of :data:`DISPATCH_STRATEGIES`, or a
+            :class:`~repro.serving.policies.DispatchPolicy` instance.
         cache: layer-memo to use; a fresh enabled one by default.
             Pass a shared instance to reuse results across runs, or a
             disabled one for the uncached reference path.
@@ -231,23 +258,38 @@ class ServingSimulator:
         accelerators: optional per-replica configurations (models or
             scheme names) forming a heterogeneous pool.
         slo: latency SLO + admission control, or None.
-        autoscale: autoscaling policy, or None for a static pool;
-            scale-ups clone the first replica's configuration, so a
-            heterogeneous pool grows with copies of its lead config.
+        autoscale: an :class:`AutoscalePolicy` (stock reactive), a
+            :class:`~repro.serving.policies.ScalePolicy` (e.g.
+            :class:`~repro.serving.policies.ForecastScalePolicy`), or
+            None for a static pool; scale-ups clone the first
+            replica's configuration, so a heterogeneous pool grows
+            with copies of its lead config.  An uncalibrated forecast
+            policy is calibrated against the trace's own model mix
+            before each run.
         failures: failure-injection plan, or None.
+        flush: flush-ordering policy (stock FIFO by default); pass
+            :class:`~repro.serving.policies.EdfFlush` for earliest-
+            deadline-first with per-model priority classes.
+        admission: admission policy; None derives the stock depth
+            bound from ``slo.shed_depth``.
+        steal: work stealing on control ticks, or None.
     """
 
     def __init__(self, accelerator: AcceleratorModel | str = "SMART",
                  replicas: int = 1,
                  policy: FixedSizeBatching | TimeoutBatching | None = None,
-                 dispatch: str = "round_robin",
+                 dispatch: str | DispatchPolicy = "round_robin",
                  cache: Optional[LayerMemoCache] = None,
                  networks: Optional[Mapping[str, Network]] = None,
                  accelerators: Optional[Sequence[AcceleratorModel | str]]
                  = None,
                  slo: Optional[SloPolicy] = None,
-                 autoscale: Optional[AutoscalePolicy] = None,
-                 failures: Optional[FailurePlan] = None) -> None:
+                 autoscale: Optional[AutoscalePolicy | ScalePolicy]
+                 = None,
+                 failures: Optional[FailurePlan] = None,
+                 flush: Optional[FlushPolicy] = None,
+                 admission: Optional[AdmissionPolicy] = None,
+                 steal: Optional[WorkStealPolicy] = None) -> None:
         if isinstance(accelerator, str):
             accelerator = make_accelerator(accelerator)
         if accelerators is not None:
@@ -261,20 +303,19 @@ class ServingSimulator:
             if replicas < 1:
                 raise ConfigError("cluster needs at least one replica")
             pool = [accelerator] * replicas
-        if dispatch not in DISPATCH_STRATEGIES:
-            raise ConfigError(
-                f"unknown dispatch '{dispatch}'; known: "
-                f"{', '.join(DISPATCH_STRATEGIES)}"
-            )
         self.accelerator = accelerator
         self.replicas = replicas
         self.pool = tuple(pool)
         self.policy = policy or TimeoutBatching()
-        self.dispatch = dispatch
+        self.dispatch_policy = make_dispatch(dispatch)
+        self.dispatch = self.dispatch_policy.name
         self.cache = cache if cache is not None else LayerMemoCache()
         self.slo = slo
         self.autoscale = autoscale
         self.failures = failures
+        self.flush = flush
+        self.admission = admission
+        self.steal = steal
         self._networks = networks
 
     @property
@@ -297,26 +338,35 @@ class ServingSimulator:
                       = None) -> float:
         """Memoised batch latency of one model (s)."""
         accelerator = accelerator or self.accelerator
-        return self.cache.simulate(accelerator, self.network(model),
-                                   batch).latency
+        return self.cache.latency_total(accelerator, self.network(model),
+                                        batch)
+
+    def _per_request_s(self, fractions: Mapping[str, float],
+                       accelerator: AcceleratorModel) -> float:
+        """Mean per-request service time of one replica on a mix (s).
+
+        The single definition of the capacity model — ``sum(frac_m *
+        T_m(b) / b)`` at the policy's full batch size — shared by the
+        scenario calibration and the forecast-policy calibration so
+        the two can never drift apart.
+        """
+        b = self.policy.max_batch
+        return sum(frac * self.batch_latency(model, b, accelerator) / b
+                   for model, frac in fractions.items())
 
     def capacity_rps(self, scenario: Scenario) -> float:
         """Calibrated cluster capacity for a scenario's mix (req/s).
 
-        One replica serving the mix at the policy's full batch size
-        sustains ``1 / sum(frac_m * T_m(b) / b)`` requests per second;
-        a heterogeneous pool sums each replica's own capacity.
+        One replica serving the mix sustains ``1 /`` its
+        :meth:`_per_request_s`; a heterogeneous pool sums each
+        replica's own capacity.
         """
-        b = self.policy.max_batch
-        fractions = scenario.mix.fractions().items()
-
-        def per_request(acc: AcceleratorModel) -> float:
-            return sum(frac * self.batch_latency(model, b, acc) / b
-                       for model, frac in fractions)
-
+        fractions = scenario.mix.fractions()
         if not self.heterogeneous:
-            return self.replicas / per_request(self.accelerator)
-        return sum(1.0 / per_request(acc) for acc in self.pool)
+            return (self.replicas
+                    / self._per_request_s(fractions, self.accelerator))
+        return sum(1.0 / self._per_request_s(fractions, acc)
+                   for acc in self.pool)
 
     # -- runs ------------------------------------------------------------
     def run(self, requests: Sequence[Request], scenario: str = "",
@@ -338,17 +388,32 @@ class ServingSimulator:
             if request.model not in networks:
                 networks[request.model] = self.network(request.model)
         cache = self.cache
+        scale = self.autoscale
+        # getattr: scale may also be a plain AutoscalePolicy, which
+        # predates the ScalePolicy seam and never needs calibration
+        if (scale is not None and getattr(scale, "needs_rate", False)
+                and not scale.capacity_pinned):
+            # a capacity-sizing policy (e.g. the forecasters) gets one
+            # replica's throughput calibrated against the trace's own
+            # model mix (scale-ups clone the lead config, so its
+            # capacity is the right unit) — every run, so a policy
+            # reused across simulators never keeps stale figures
+            scale.calibrate(self._mix_capacity_rps(requests))
         stats0 = (cache.stats.hits, cache.stats.misses,
                   cache.stats.energy_hits, cache.stats.energy_misses)
 
         engine = ClusterEngine(
-            replicas=self.pool, policy=self.policy, dispatch=self.dispatch,
+            replicas=self.pool, policy=self.policy,
+            dispatch=self.dispatch_policy,
             service_fn=lambda acc, model, size:
-                cache.simulate(acc, networks[model], size).latency,
+                cache.latency_total(acc, networks[model], size),
             energy_fn=lambda acc, model, size:
                 cache.energy_total(acc, networks[model], size),
+            switch_fn=lambda acc, model, size:
+                cache.deploy_total(acc, networks[model], size),
             slo=self.slo, autoscale=self.autoscale,
             failures=failures if failures is not None else self.failures,
+            flush=self.flush, admission=self.admission, steal=self.steal,
             # with the memo disabled the run is the uncached reference
             # path: every dispatch must reach the fns (and count)
             memoize_rates=cache.enabled,
@@ -383,7 +448,22 @@ class ServingSimulator:
             scale_events=outcome.scale_events,
             redispatched=outcome.redispatched,
             wasted_energy=outcome.wasted_energy,
+            stolen=outcome.stolen,
         )
+
+    def _mix_capacity_rps(self, requests: Sequence[Request]) -> float:
+        """One lead-config replica's throughput on the trace's mix.
+
+        The same capacity model as :meth:`capacity_rps`
+        (:meth:`_per_request_s`) weighed by the trace's actual model
+        frequencies, so forecast calibration works for explicit
+        traces that never named a scenario.
+        """
+        counts = Counter(request.model for request in requests)
+        total = len(requests)
+        fractions = {model: count / total
+                     for model, count in counts.items()}
+        return 1.0 / self._per_request_s(fractions, self.pool[0])
 
     def run_scenario(self, scenario: Scenario | str, n_requests: int,
                      seed: int = 0) -> ServingResult:

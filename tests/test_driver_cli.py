@@ -248,6 +248,73 @@ class TestServeSimCli:
         assert main(["serve-sim", "--slo", "soon"]) == 2
         assert main(["serve-sim", "--slo", "-5"]) == 2
 
+    def test_scale_flag_runs_predictive_autoscaling(self, capsys):
+        assert main(["--json", "serve-sim", "diurnal",
+                     "--policy", "timeout", "--scale", "holt",
+                     "--slo", "2000", "--requests", "300",
+                     "--replicas", "1"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["replicas_peak"] > rows[0]["replicas_low"] == 1
+        assert 0.0 <= rows[0]["slo_attain"] <= 1.0
+
+    def test_bad_scale_value_exits_cleanly(self, capsys):
+        """A bad --scale must exit 2 with a ConfigError message, not
+        a traceback."""
+        assert main(["serve-sim", "--scale", "warp"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown scale policy" in out
+        assert "Traceback" not in out
+        assert main(["serve-sim", "--scale"]) == 2
+        # reactive needs bounds to react within
+        assert main(["serve-sim", "--scale", "reactive"]) == 2
+        assert "autoscale" in capsys.readouterr().out
+
+    def test_bad_flush_value_exits_cleanly(self, capsys):
+        assert main(["serve-sim", "--flush", "lifo"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown flush policy" in out
+        assert "Traceback" not in out
+        assert main(["serve-sim", "--flush"]) == 2
+
+    def test_priority_flag_needs_edf_and_known_models(self, capsys):
+        assert main(["serve-sim", "--priority", "ResNet50=2"]) == 2
+        assert "edf" in capsys.readouterr().out
+        assert main(["serve-sim", "--flush", "edf",
+                     "--priority", "NotANet=2"]) == 2
+        assert "unknown model" in capsys.readouterr().out
+        assert main(["serve-sim", "--flush", "edf",
+                     "--priority", "ResNet50"]) == 2
+
+    def test_priority_flag_reorders_with_edf(self, capsys):
+        assert main(["--json", "serve-sim", "hot-model",
+                     "--policy", "timeout", "--flush", "edf",
+                     "--priority", "ResNet50=2",
+                     "--requests", "150", "--replicas", "1"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["scenario"] == "hot-model"
+
+    def test_steal_flag_accepted(self, capsys):
+        assert main(["--json", "serve-sim", "steady",
+                     "--policy", "timeout", "--steal",
+                     "--requests", "150", "--replicas", "2"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["scenario"] == "steady"
+
+    def test_persist_memo_round_trip(self, capsys, tmp_path,
+                                     monkeypatch):
+        from repro.runtime.cache import CACHE_DIR_ENV
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        args = ["serve-sim", "steady", "--policy", "timeout",
+                "--persist-memo", *self.FAST]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "persisted memo: 0 totals loaded" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 totals loaded" not in warm
+        assert "warm start" in warm
+        assert "0 layer simulations" in warm
+
 
 class TestRunsAndCacheCli:
     def test_runs_lists_the_ledger(self, capsys):

@@ -7,6 +7,13 @@ every stock scenario x policy x dispatch cell — plus autoscaling,
 admission-control and the 10k-request bench cell — must reproduce the
 reference engine's per-request latency and energy tuples *exactly*
 (tuple equality on floats, not approx).
+
+PR 5 extracted every scheduling decision behind the policy seams in
+``repro.serving.policies`` while the reference kept its original
+string-matched branches and inline control tick — so the same cells
+now also prove the *seam* introduced zero drift, both for the default
+string configuration and (``test_policy_object_cells_bit_identical``)
+for explicitly constructed policy objects.
 """
 
 import pytest
@@ -15,12 +22,14 @@ from repro.serving import (
     AutoscalePolicy,
     DISPATCH_STRATEGIES,
     FailurePlan,
+    FifoFlush,
     LayerMemoCache,
     SCENARIOS,
     ServingSimulator,
     SloPolicy,
     generate_trace,
     get_scenario,
+    make_dispatch,
     make_policy,
 )
 from repro.serving.reference import run_reference
@@ -84,6 +93,19 @@ def assert_identical(result, ref, trace):
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
 def test_stock_cell_bit_identical(scenario, policy, dispatch):
     result, ref, trace = run_cell(scenario, policy, dispatch)
+    assert_identical(result, ref, trace)
+
+
+@pytest.mark.parametrize("dispatch", DISPATCH_STRATEGIES)
+@pytest.mark.parametrize("policy", ["fixed", "timeout"])
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_policy_object_cells_bit_identical(scenario, policy, dispatch):
+    """The policy seam with explicitly constructed objects (stock
+    dispatch policies + FifoFlush) must still match the reference's
+    string-branch engine on every stock cell."""
+    result, ref, trace = run_cell(scenario, policy,
+                                  make_dispatch(dispatch),
+                                  flush=FifoFlush())
     assert_identical(result, ref, trace)
 
 

@@ -13,10 +13,13 @@ regression.
 Usage:
     python tools/bench_guard.py BASELINE.json FRESH.json [--threshold 0.2]
 
-Points are grouped by their (scenario, n_requests) labels; points
-predating PR 4 carry neither label and are treated as the historical
-bursty/10k cell.  The last point of each group on each side is
-compared.
+Points are grouped by their (scenario, n_requests, variant) labels;
+points predating PR 4 carry no labels and are treated as the
+historical bursty/10k cell, and the ``variant`` label (PR 5) keeps
+control-plane cells — the predictive-autoscale ``forecast`` cell and
+the persisted-memo ``persist`` cell — from colliding with the plain
+cells of the same scenario.  The last point of each group on each
+side is compared.
 """
 
 from __future__ import annotations
@@ -38,16 +41,25 @@ def load_points(path: Path) -> list[dict]:
     return [p for p in history if isinstance(p, dict) and "rps" in p]
 
 
-def cell_of(point: dict) -> tuple[str, int]:
-    """(scenario, n_requests) of a point; legacy points (pre-label)
-    are the historical bursty/10k cell."""
+def cell_of(point: dict) -> tuple[str, int, str]:
+    """(scenario, n_requests, variant) of a point; legacy points
+    (pre-label) are the historical bursty/10k cell, and unlabelled
+    variants are the plain serving path."""
     scenario = point.get("scenario", "bursty")
     n_requests = point.get("n_requests", point.get("requests", 10_000))
-    return (str(scenario), int(n_requests))
+    return (str(scenario), int(n_requests),
+            str(point.get("variant", "")))
 
 
-def latest_per_cell(points: list[dict]) -> dict[tuple[str, int], dict]:
-    latest: dict[tuple[str, int], dict] = {}
+def label_of(cell: tuple[str, int, str]) -> str:
+    scenario, n_requests, variant = cell
+    base = f"{scenario}/{n_requests}"
+    return f"{base}/{variant}" if variant else base
+
+
+def latest_per_cell(points: list[dict]
+                    ) -> dict[tuple[str, int, str], dict]:
+    latest: dict[tuple[str, int, str], dict] = {}
     for point in points:  # file order is append order
         latest[cell_of(point)] = point
     return latest
@@ -81,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
         if base_rps <= 0:
             continue
         drop = 1.0 - fresh_rps / base_rps
-        label = f"{cell[0]}/{cell[1]}"
+        label = label_of(cell)
         if drop > args.threshold:
             regressions += 1
             print(f"::warning title=Serving perf regression::"
