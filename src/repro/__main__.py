@@ -16,6 +16,10 @@ Usage::
     python -m repro serve-sim hot-model --flush edf --priority ResNet50=1
     python -m repro serve-sim bursty --steal --dispatch round_robin
     python -m repro serve-sim --persist-memo    # warm layer memo across runs
+    python -m repro serve-sim bursty --trace out.jsonl  # telemetry trace
+    python -m repro report                # fleet dashboard -> HTML
+    python -m repro report --json         # ... or the report as JSON
+    python -m repro report --rows grid.json --trace out.jsonl -o fleet.html
     python -m repro runs                  # recent runs from the ledger
     python -m repro cache                 # result-cache statistics
     python -m repro cache clear           # drop every cached result
@@ -240,7 +244,8 @@ def _cmd_sweep(args: list[str], opts: CliOptions) -> int:
 def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     """Serve simulated request traffic and print percentile rows."""
     from repro.models import model_names
-    from repro.serving import LayerMemoCache, POLICIES, get_scenario
+    from repro.serving import (LayerMemoCache, POLICIES, Telemetry,
+                               get_scenario)
     from repro.serving.experiments import (make_slo, parse_autoscale,
                                            parse_priorities,
                                            serving_grid)
@@ -255,6 +260,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     accelerator, dispatch = "SMART", "round_robin"
     slo_us, shed_depth, autoscale, faults = 0.0, 0, "", 0
     flush, scale, steal, persist_memo = "fifo", "", False, False
+    trace_path = ""
     priority_specs: list[str] = []
     try:
         i = 0
@@ -322,6 +328,11 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     raise ConfigError("--priority needs model=N")
                 priority_specs.append(args[i + 1])
                 i += 2
+            elif token == "--trace":
+                if i + 1 >= len(args):
+                    raise ConfigError("--trace needs an output path")
+                trace_path = args[i + 1]
+                i += 2
             elif token == "--steal":
                 steal = True
                 i += 1
@@ -379,16 +390,21 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     memo_store = ResultCache() if persist_memo else None
     loaded = (load_persistent_memo(cache, memo_store)
               if persist_memo else 0)
+    # 200us matches the autoscaler's default control-loop interval, so
+    # a traced run without --scale still gets a metrics timeline
+    telemetry = Telemetry(tick=200e-6) if trace_path else None
     rows = serving_grid(
         requests=requests, accelerator=accelerator, replicas=replicas,
         batch_size=batch_size, dispatch=dispatch, seed=seed,
         scenarios=scenarios or None, policies=policies, cache=cache,
         slo_us=slo_us, shed_depth=shed_depth, autoscale=autoscale,
         faults=faults, flush=flush, priority=priority, scale=scale,
-        steal=steal,
+        steal=steal, telemetry=telemetry,
     )
     stored = (store_persistent_memo(cache, memo_store)
               if persist_memo else 0)
+    if telemetry is not None:
+        telemetry.save(trace_path)
     if opts.as_json:
         print(report.to_json(rows))
         return 0
@@ -418,7 +434,96 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     if persist_memo:
         print(f"persisted memo: {loaded} totals loaded, "
               f"{stored} stored")
+    if telemetry is not None:
+        print(f"telemetry trace: {trace_path} "
+              f"({telemetry.counters['runs']} run(s), "
+              f"{len(telemetry.rows)} row(s))")
     return 0
+
+
+def _cmd_report(args: list[str], opts: CliOptions) -> int:
+    """Build the fleet report (JSON and/or the HTML dashboard)."""
+    from repro.eval.blocks import (load_bench, load_ledger,
+                                   load_rows, load_telemetry)
+    from repro.eval.dashboard import (DEFAULT_WINDOW, build_report,
+                                      render_html, summary_rows)
+
+    bench_path, ledger_path, out_path = "BENCH_serving.json", "", ""
+    rows_paths: list[str] = []
+    trace_paths: list[str] = []
+    window = DEFAULT_WINDOW
+    try:
+        i = 0
+        while i < len(args):
+            token = args[i]
+            if token in ("--bench", "--ledger", "--rows", "--trace",
+                         "--out", "-o", "--window"):
+                if i + 1 >= len(args):
+                    raise ConfigError(f"{token} needs a value")
+                value = args[i + 1]
+                if token == "--bench":
+                    bench_path = value
+                elif token == "--ledger":
+                    ledger_path = value
+                elif token == "--rows":
+                    rows_paths.append(value)
+                elif token == "--trace":
+                    trace_paths.append(value)
+                elif token == "--window":
+                    try:
+                        window = int(value)
+                    except ValueError:
+                        raise ConfigError(
+                            f"--window needs a number, got {value!r}"
+                        ) from None
+                    if window < 1:
+                        raise ConfigError("--window must be >= 1")
+                else:
+                    out_path = value
+            elif token.startswith("-"):
+                raise ConfigError(f"unknown report flag {token!r}")
+            else:
+                raise ConfigError(f"unexpected report argument {token!r}")
+            i += 2
+
+        grid_rows: list[dict] = []
+        for path in rows_paths:
+            grid_rows.extend(load_rows(path))
+        telemetry_rows: list[dict] = []
+        for path in trace_paths:
+            telemetry_rows.extend(load_telemetry(path))
+        fleet = build_report(
+            load_bench(bench_path),
+            ledger_rows=load_ledger(ledger_path or None),
+            grid_rows=grid_rows,
+            telemetry_rows=telemetry_rows,
+            window=window,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    if opts.as_json:
+        print(report.to_json(fleet))
+        if out_path:  # HTML only when a destination was asked for
+            _write_text(out_path, render_html(fleet))
+        return 0
+    out_path = out_path or "repro-report.html"
+    _write_text(out_path, render_html(fleet))
+    cells = summary_rows(fleet)
+    if cells:
+        print(report.render_rows(cells))
+    else:
+        print(f"no bench points in '{bench_path}'")
+    runs = fleet["runs"]
+    print(f"\nreport: {len(cells)} bench cell(s), {runs['total']} "
+          f"ledger run(s), {len(fleet['timeline'])} telemetry "
+          f"run(s) -> {out_path}")
+    return 0
+
+
+def _write_text(path: str, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
 
 
 def _cmd_runs(args: list[str], opts: CliOptions) -> int:
@@ -487,6 +592,8 @@ def main(argv: list[str]) -> int:
         return _cmd_sweep(args[1:], opts)
     if args[0] == "serve-sim":
         return _cmd_serve_sim(args[1:], opts)
+    if args[0] == "report":
+        return _cmd_report(args[1:], opts)
     if args[0] == "runs":
         return _cmd_runs(args[1:], opts)
     if args[0] == "cache":

@@ -1,0 +1,440 @@
+"""Composable analytics blocks over scenario-keyed result rows.
+
+The repo accumulates history with no analysis layer: the runtime's
+JSONL run ledger, the committed ``BENCH_serving.json`` trajectory,
+``--json`` sweep outputs and saved telemetry traces.  This module is
+the filter / aggregate / normalise / pivot pipeline over all of them —
+a row is a plain ``dict``, a :class:`Block` maps ``list[dict] ->
+list[dict]``, and a :class:`Pipeline` chains blocks::
+
+    rows = load_bench("BENCH_serving.json")
+    latest = Pipeline([
+        FilterBlock("scenario", ["bursty"]),
+        AggregateBlock(by=("cell",), metrics={"rps": "median",
+                                              "rps_last": ("rps", "last")}),
+    ]).apply(rows)
+
+Loaders normalise source-specific drift in one place — notably the
+bench file's legacy ``requests`` vs ``n_requests`` / ``variant`` label
+drift (points predating PR 4 carry no labels and are the historical
+bursty/10k cell) — so every downstream block sees uniform columns.
+``repro report`` and the statistical ``tools/bench_guard.py`` both
+build on these primitives.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.eval.report import geomean, percentile
+
+Row = dict  # one observation: column name -> value
+
+
+# ---------------------------------------------------------------------------
+# Blocks
+# ---------------------------------------------------------------------------
+class Block:
+    """One step of an analytics pipeline: rows in, rows out."""
+
+    def apply(self, rows: Sequence[Row]) -> list[Row]:
+        raise NotImplementedError
+
+    def __call__(self, rows: Sequence[Row]) -> list[Row]:
+        return self.apply(rows)
+
+
+class Pipeline(Block):
+    """Apply a sequence of blocks left to right."""
+
+    def __init__(self, blocks: Sequence[Block]) -> None:
+        self.blocks = tuple(blocks)
+
+    def apply(self, rows: Sequence[Row]) -> list[Row]:
+        out = list(rows)
+        for block in self.blocks:
+            out = block.apply(out)
+        return out
+
+
+class FilterBlock(Block):
+    """Keep rows whose ``column`` value is in ``values`` (or that
+    satisfy ``predicate``); ``exclude`` inverts the selection.
+
+    Args:
+        column: column the membership test reads.
+        values: accepted values (a single scalar is promoted).
+        predicate: row -> bool alternative to column/values.
+        exclude: drop the matching rows instead of keeping them.
+    """
+
+    def __init__(self, column: Optional[str] = None,
+                 values: Any = None,
+                 predicate: Optional[Callable[[Row], bool]] = None,
+                 exclude: bool = False) -> None:
+        if (column is None) == (predicate is None):
+            raise ConfigError(
+                "FilterBlock needs exactly one of column or predicate"
+            )
+        if column is not None and isinstance(values, (str, int, float,
+                                                      bool)):
+            values = (values,)
+        self.column = column
+        self.values = None if values is None else tuple(values)
+        self.predicate = predicate
+        self.exclude = exclude
+
+    def _match(self, row: Row) -> bool:
+        if self.predicate is not None:
+            return bool(self.predicate(row))
+        value = row.get(self.column)
+        return value in self.values if self.values is not None \
+            else value is not None
+
+    def apply(self, rows: Sequence[Row]) -> list[Row]:
+        return [r for r in rows if self._match(r) != self.exclude]
+
+
+def _finite(values: Iterable[Any]) -> list[float]:
+    out = []
+    for v in values:
+        if isinstance(v, bool):
+            out.append(float(v))
+        elif isinstance(v, (int, float)) and math.isfinite(v):
+            out.append(float(v))
+    return out
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+#: Named aggregation functions over the finite numeric values of a
+#: column (``first``/``last``/``count`` also accept non-numeric cells).
+AGGREGATORS: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "mean": lambda vs: sum(_finite(vs)) / len(_finite(vs)),
+    "median": lambda vs: _median(_finite(vs)),
+    "min": lambda vs: min(_finite(vs)),
+    "max": lambda vs: max(_finite(vs)),
+    "sum": lambda vs: sum(_finite(vs)),
+    "count": len,
+    "first": lambda vs: vs[0],
+    "last": lambda vs: vs[-1],
+    "geomean": lambda vs: geomean(_finite(vs)),
+    "p95": lambda vs: percentile(_finite(vs), 95.0),
+    "mad": lambda vs: _median([abs(v - _median(_finite(vs)))
+                               for v in _finite(vs)]),
+}
+
+
+class AggregateBlock(Block):
+    """Group rows and aggregate columns within each group.
+
+    Args:
+        by: grouping columns (group key order is first-seen order).
+        metrics: output column -> aggregation.  The value is either an
+            :data:`AGGREGATORS` name / callable applied to the column
+            of the *same* name, or a ``(source_column, aggregation)``
+            pair when the output is named differently (e.g. ``{"rps":
+            "median", "rps_last": ("rps", "last")}``).
+
+    Groups whose source column is entirely missing/non-numeric drop
+    that metric rather than crashing the pipeline.
+    """
+
+    def __init__(self, by: Sequence[str],
+                 metrics: Mapping[str, Any]) -> None:
+        if not metrics:
+            raise ConfigError("AggregateBlock needs at least one metric")
+        self.by = tuple(by)
+        resolved = []
+        for out_name, spec in metrics.items():
+            if isinstance(spec, tuple):
+                source, agg = spec
+            else:
+                source, agg = out_name, spec
+            if isinstance(agg, str):
+                if agg not in AGGREGATORS:
+                    raise ConfigError(
+                        f"unknown aggregator '{agg}'; known: "
+                        f"{', '.join(sorted(AGGREGATORS))}"
+                    )
+                agg = AGGREGATORS[agg]
+            resolved.append((out_name, source, agg))
+        self.metrics = tuple(resolved)
+
+    def apply(self, rows: Sequence[Row]) -> list[Row]:
+        groups: dict[tuple, list[Row]] = {}
+        for row in rows:
+            groups.setdefault(
+                tuple(row.get(c) for c in self.by), []
+            ).append(row)
+        out = []
+        for key, members in groups.items():
+            result: Row = dict(zip(self.by, key))
+            for out_name, source, agg in self.metrics:
+                values = [r[source] for r in members if source in r]
+                try:
+                    result[out_name] = agg(values)
+                except (ConfigError, ValueError, ZeroDivisionError,
+                        IndexError):
+                    continue  # no usable values in this group
+            out.append(result)
+        return out
+
+
+class NormalizeBlock(Block):
+    """Divide metric columns by a baseline row's value, per group.
+
+    The plotty-style normalisation: within each ``by`` group, the row
+    matching ``baseline`` (a column -> value selector) provides the
+    denominator; every row gains ``column + suffix`` columns.  Groups
+    with no (or a zero/non-numeric) baseline pass through unchanged.
+
+    Args:
+        columns: metric columns to normalise.
+        baseline: selector picking the baseline row within each group,
+            e.g. ``{"variant": ""}`` or ``{"policy": "fixed"}``.
+        by: grouping columns (default: one global group).
+        suffix: appended to each normalised column's name.
+    """
+
+    def __init__(self, columns: Sequence[str] | str,
+                 baseline: Mapping[str, Any],
+                 by: Sequence[str] = (),
+                 suffix: str = "_norm") -> None:
+        if not baseline:
+            raise ConfigError("NormalizeBlock needs a baseline selector")
+        self.columns = ((columns,) if isinstance(columns, str)
+                        else tuple(columns))
+        self.baseline = dict(baseline)
+        self.by = tuple(by)
+        self.suffix = suffix
+
+    def apply(self, rows: Sequence[Row]) -> list[Row]:
+        bases: dict[tuple, Row] = {}
+        for row in rows:
+            if all(row.get(c) == v for c, v in self.baseline.items()):
+                # last matching row wins, like latest_per_cell
+                bases[tuple(row.get(c) for c in self.by)] = row
+        out = []
+        for row in rows:
+            base = bases.get(tuple(row.get(c) for c in self.by))
+            row = dict(row)
+            if base is not None:
+                for column in self.columns:
+                    denom, value = base.get(column), row.get(column)
+                    if isinstance(denom, (int, float)) and denom \
+                            and isinstance(value, (int, float)):
+                        row[column + self.suffix] = value / denom
+            out.append(row)
+        return out
+
+
+class PivotBlock(Block):
+    """Reshape long rows into one wide row per ``index`` value.
+
+    Each distinct ``column`` value becomes an output column holding
+    that group's ``value``; collisions (several rows landing in one
+    cell) resolve through ``aggregate`` (default: last wins).
+    """
+
+    def __init__(self, index: Sequence[str] | str, column: str,
+                 value: str, aggregate: Any = "last") -> None:
+        self.index = (index,) if isinstance(index, str) else tuple(index)
+        self.column = column
+        self.value = value
+        if isinstance(aggregate, str):
+            if aggregate not in AGGREGATORS:
+                raise ConfigError(
+                    f"unknown aggregator '{aggregate}'; known: "
+                    f"{', '.join(sorted(AGGREGATORS))}"
+                )
+            aggregate = AGGREGATORS[aggregate]
+        self.aggregate = aggregate
+
+    def apply(self, rows: Sequence[Row]) -> list[Row]:
+        cells: dict[tuple, dict[str, list]] = {}
+        for row in rows:
+            if self.column not in row or self.value not in row:
+                continue
+            key = tuple(row.get(c) for c in self.index)
+            cells.setdefault(key, {}).setdefault(
+                str(row[self.column]), []
+            ).append(row[self.value])
+        out = []
+        for key, columns in cells.items():
+            result: Row = dict(zip(self.index, key))
+            for name, values in columns.items():
+                try:
+                    result[name] = self.aggregate(values)
+                except (ConfigError, ValueError, ZeroDivisionError,
+                        IndexError):
+                    continue
+            out.append(result)
+        return out
+
+
+class SortBlock(Block):
+    """Stable sort by one or more columns (missing values sort first)."""
+
+    def __init__(self, by: Sequence[str] | str,
+                 reverse: bool = False) -> None:
+        self.by = (by,) if isinstance(by, str) else tuple(by)
+        self.reverse = reverse
+
+    def apply(self, rows: Sequence[Row]) -> list[Row]:
+        def key(row: Row):
+            return tuple((row.get(c) is not None, row.get(c) or 0)
+                         if isinstance(row.get(c), (int, float))
+                         else (row.get(c) is not None, str(row.get(c)))
+                         for c in self.by)
+        return sorted(rows, key=key, reverse=self.reverse)
+
+
+# ---------------------------------------------------------------------------
+# Loaders: one normalisation point per history source
+# ---------------------------------------------------------------------------
+def bench_cell(point: Mapping[str, Any]) -> tuple[str, int, str]:
+    """(scenario, n_requests, variant) of one bench point.
+
+    Legacy points (pre-PR 4) carry no labels and are the historical
+    bursty/10k cell; ``requests`` is the pre-label spelling of
+    ``n_requests``; unlabelled variants are the plain serving path.
+    """
+    scenario = point.get("scenario", "bursty")
+    n_requests = point.get("n_requests", point.get("requests", 10_000))
+    return (str(scenario), int(n_requests),
+            str(point.get("variant", "")))
+
+
+def bench_label(cell: tuple[str, int, str]) -> str:
+    """Human label of a bench cell: ``scenario/n[/variant]``."""
+    scenario, n_requests, variant = cell
+    base = f"{scenario}/{n_requests}"
+    return f"{base}/{variant}" if variant else base
+
+
+def load_bench(path) -> list[Row]:
+    """``BENCH_serving.json`` points as uniform rows, file order.
+
+    Every row carries normalised ``scenario`` / ``n_requests`` /
+    ``variant`` / ``cell`` columns (see :func:`bench_cell` for the
+    legacy-label rules), a global ``seq`` and a per-cell ``cell_seq``
+    index, plus whatever metric columns the point recorded (``rps``,
+    ``cold_rps``, ``wall_s``, ...).  Missing/unreadable files load as
+    no rows, like the guard.
+    """
+    try:
+        history = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(history, list):
+        return []
+    rows: list[Row] = []
+    per_cell: dict[tuple[str, int, str], int] = {}
+    for seq, point in enumerate(history):
+        if not isinstance(point, dict) or "rps" not in point:
+            continue
+        cell = bench_cell(point)
+        row = dict(point)
+        row["scenario"], row["n_requests"], row["variant"] = cell
+        row["cell"] = bench_label(cell)
+        row["seq"] = seq
+        row["cell_seq"] = per_cell[cell] = per_cell.get(cell, -1) + 1
+        row.pop("requests", None)  # legacy spelling of n_requests
+        rows.append(row)
+    return rows
+
+
+def load_ledger(source=None) -> list[Row]:
+    """Run-ledger records as rows (oldest first).
+
+    ``source`` is a :class:`~repro.runtime.store.RunStore`, a path to
+    a JSONL ledger, or None for the default store.  Scalar job
+    parameters are hoisted into top-level columns (without clobbering
+    the record's own) so they can be filtered and grouped on; the full
+    mapping stays under ``params``.
+    """
+    from repro.runtime.store import RunStore
+
+    store = source if isinstance(source, RunStore) else RunStore(source)
+    rows = []
+    for record in store.records():
+        row: Row = {
+            "run_id": record.run_id,
+            "experiment": record.experiment,
+            "started": record.started,
+            "elapsed_s": record.elapsed_s,
+            "cached": record.cached,
+            "error": record.error,
+            "row_count": record.row_count,
+            "params": dict(record.params),
+        }
+        for name, value in record.params.items():
+            if isinstance(value, (str, int, float, bool)) \
+                    and name not in row:
+                row[name] = value
+        rows.append(row)
+    return rows
+
+
+def load_telemetry(path) -> list[Row]:
+    """A saved telemetry trace's rows (see
+    :func:`repro.serving.telemetry.load_trace`), with the source path
+    attached as a ``trace`` column."""
+    from repro.serving.telemetry import load_trace
+
+    _meta, rows = load_trace(path)
+    name = Path(path).name
+    for row in rows:
+        row["trace"] = name
+    return rows
+
+
+def load_rows(path) -> list[Row]:
+    """Result rows from a ``--json`` output file.
+
+    Accepts both shapes the CLI emits: a flat JSON array of row dicts
+    (``serve-sim --json``), or a list of job results carrying ``rows``
+    (``sweep --json`` / ``run --json``) — the latter is flattened with
+    the experiment name and sweep parameters merged into each row.
+
+    Raises:
+        ConfigError: when the file is missing or not JSON.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError:
+        raise ConfigError(f"no rows file at '{path}'") from None
+    except json.JSONDecodeError:
+        raise ConfigError(f"'{path}' is not JSON") from None
+    if not isinstance(payload, list):
+        raise ConfigError(f"'{path}' holds no row array")
+    out: list[Row] = []
+    for entry in payload:
+        if not isinstance(entry, dict):
+            continue
+        if isinstance(entry.get("rows"), list):  # sweep/job result
+            base = {"experiment": entry.get("experiment")}
+            params = entry.get("params")
+            if isinstance(params, dict):
+                for name, value in params.items():
+                    if isinstance(value, (str, int, float, bool)):
+                        base.setdefault(name, value)
+            for row in entry["rows"]:
+                if isinstance(row, dict):
+                    merged = dict(base)
+                    merged.update(row)
+                    out.append(merged)
+        else:
+            out.append(dict(entry))
+    return out

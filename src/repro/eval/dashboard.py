@@ -1,0 +1,565 @@
+"""The ``repro report`` fleet dashboard: JSON report + static HTML.
+
+:func:`build_report` condenses the repo's accumulated history — bench
+trajectory points, the run ledger, optional serving result rows and
+telemetry traces, all pre-loaded through :mod:`repro.eval.blocks` —
+into one deterministic, JSON-serialisable report dict (no wall-clock
+stamps, so golden-file tests hold it exactly).  :func:`render_html`
+turns that report into a self-contained static dashboard: inline CSS +
+SVG, no scripts, no external assets, light/dark via
+``prefers-color-scheme``.
+
+Sections:
+
+- **bench**: per-cell throughput trajectory (every committed
+  ``BENCH_serving.json`` point), with the median-of-last-N robust
+  baseline and the latest point's delta against it — the same
+  statistics ``tools/bench_guard.py`` gates on;
+- **variants**: the control-plane variant comparison each scenario's
+  bench cells imply (plain vs ``forecast`` vs ``persist``);
+- **policies** / **frontier**: scenario x policy comparison table and
+  the SLO-attainment-vs-energy frontier, when serving result rows
+  (``serve-sim --json`` / ``sweep --json`` files) are supplied;
+- **runs**: per-experiment ledger aggregates (runs, cache share,
+  errors, elapsed);
+- **timeline**: per-run metrics timelines from saved telemetry traces
+  (in-system requests, arrival rate, replicas, windowed p95, energy).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional, Sequence
+
+from repro.eval.blocks import (
+    AGGREGATORS,
+    AggregateBlock,
+    Row,
+    SortBlock,
+)
+
+#: Schema tag carried by every report.
+REPORT_SCHEMA = "repro-report/1"
+
+#: Bench points the robust baseline looks back over (median of the
+#: last N per cell), matching the guard's default window.
+DEFAULT_WINDOW = 5
+
+
+def _round(value, digits: int = 4):
+    return round(value, digits) if isinstance(value, float) else value
+
+
+# ---------------------------------------------------------------------------
+# Report assembly (pure data, deterministic)
+# ---------------------------------------------------------------------------
+def _bench_cells(bench_rows: Sequence[Row], window: int) -> list[Row]:
+    median = AGGREGATORS["median"]
+    mad = AGGREGATORS["mad"]
+    cells: dict[str, list[Row]] = {}
+    for row in bench_rows:
+        cells.setdefault(row["cell"], []).append(row)
+    out = []
+    for cell, points in sorted(cells.items()):
+        tail = [p["rps"] for p in points[-window:]]
+        latest = points[-1]
+        med = median(tail)
+        rel_mad = (mad(tail) / med) if med else 0.0
+        entry: Row = {
+            "cell": cell,
+            "scenario": latest["scenario"],
+            "n_requests": latest["n_requests"],
+            "variant": latest["variant"],
+            "points": len(points),
+            "latest_rps": _round(latest["rps"], 1),
+            "median_rps": _round(med, 1),
+            "delta_pct": _round(100.0 * (latest["rps"] / med - 1.0), 1)
+            if med else 0.0,
+            "noise_pct": _round(100.0 * rel_mad, 1),
+            "trajectory": [_round(p["rps"], 1) for p in points],
+        }
+        if isinstance(latest.get("cold_rps"), (int, float)):
+            entry["latest_cold_rps"] = _round(latest["cold_rps"], 1)
+        out.append(entry)
+    return out
+
+
+def _variant_table(bench_rows: Sequence[Row]) -> list[Row]:
+    """Latest rps per variant, one row per (scenario, n_requests)."""
+    latest: dict[tuple, dict[str, float]] = {}
+    for row in bench_rows:
+        key = (row["scenario"], row["n_requests"])
+        latest.setdefault(key, {})[row["variant"] or "plain"] = \
+            _round(row["rps"], 1)
+    out = []
+    for (scenario, n_requests), variants in sorted(latest.items()):
+        entry: Row = {"scenario": scenario, "n_requests": n_requests}
+        entry.update(dict(sorted(variants.items())))
+        out.append(entry)
+    return out
+
+
+#: Serving-row columns the policy comparison keeps, in display order.
+_POLICY_METRICS = ("p50_us", "p95_us", "p99_us", "throughput_rps",
+                   "energy_per_req_uj", "mean_batch", "utilization",
+                   "slo_attain", "shed_rate")
+
+
+def _policy_table(grid_rows: Sequence[Row]) -> list[Row]:
+    present = [m for m in _POLICY_METRICS
+               if any(isinstance(r.get(m), (int, float))
+                      for r in grid_rows)]
+    if not present:
+        return []
+    by = [c for c in ("scenario", "policy", "scale", "dispatch")
+          if any(r.get(c) is not None for r in grid_rows)]
+    if not by:
+        return []
+    rows = AggregateBlock(
+        by=by, metrics={m: "mean" for m in present}
+    ).apply(list(grid_rows))
+    rows = SortBlock(by).apply(rows)
+    return [{k: _round(v) for k, v in row.items()} for row in rows]
+
+
+def _frontier(grid_rows: Sequence[Row]) -> list[Row]:
+    """SLO-attainment vs energy points, labelled by their policy."""
+    out = []
+    for row in grid_rows:
+        attain = row.get("slo_attain")
+        energy = row.get("energy_total_uj", row.get("energy_per_req_uj"))
+        if not isinstance(attain, (int, float)) \
+                or not isinstance(energy, (int, float)):
+            continue
+        label = str(row.get("scale") or row.get("policy") or "?")
+        if row.get("scenario"):
+            label = f"{row['scenario']}/{label}"
+        out.append({"label": label, "energy_uj": _round(energy),
+                    "slo_attain": _round(attain)})
+    return SortBlock("label").apply(out)
+
+
+def _ledger_summary(ledger_rows: Sequence[Row]) -> Row:
+    rows = list(ledger_rows)
+    per_experiment = AggregateBlock(
+        by=("experiment",),
+        metrics={
+            "runs": ("run_id", "count"),
+            "cached": ("cached", "sum"),
+            "errors": ("error", lambda vs: sum(1 for v in vs if v)),
+            "median_elapsed_s": ("elapsed_s", "median"),
+            "rows_total": ("row_count", "sum"),
+        },
+    ).apply(rows)
+    per_experiment = SortBlock("experiment").apply(per_experiment)
+    return {
+        "total": len(rows),
+        "cached": sum(1 for r in rows if r.get("cached")),
+        "errors": sum(1 for r in rows if r.get("error")),
+        "experiments": [{k: _round(v) for k, v in row.items()}
+                        for row in per_experiment],
+    }
+
+
+def _timeline_runs(telemetry_rows: Sequence[Row]) -> list[Row]:
+    """One timeline per (trace, run): meta + the sample series."""
+    metas: dict[tuple, Row] = {}
+    samples: dict[tuple, list[Row]] = {}
+    counts: dict[tuple, int] = {}
+    for row in telemetry_rows:
+        key = (row.get("trace", ""), row.get("run", 0))
+        kind = row.get("ev")
+        if kind == "run":
+            metas[key] = row
+        elif kind == "sample":
+            samples.setdefault(key, []).append(row)
+        else:
+            counts[key] = counts.get(key, 0) + 1
+    out = []
+    for key in sorted(set(metas) | set(samples), key=str):
+        meta = metas.get(key, {})
+        series = samples.get(key, [])
+        entry: Row = {
+            "trace": key[0],
+            "run": key[1],
+            "scenario": meta.get("scenario", ""),
+            "policy": meta.get("policy", ""),
+            "events": counts.get(key, 0),
+            "samples": [{
+                "t": s.get("t"),
+                "in_system": s.get("in_system"),
+                "replicas": s.get("replicas"),
+                "rate_rps": _round(s.get("rate_rps", 0.0), 1),
+                "p95_s": s.get("p95_s"),
+                "energy_j": s.get("energy_j"),
+            } for s in series],
+        }
+        out.append(entry)
+    return out
+
+
+def build_report(bench_rows: Sequence[Row],
+                 ledger_rows: Sequence[Row] = (),
+                 grid_rows: Sequence[Row] = (),
+                 telemetry_rows: Sequence[Row] = (),
+                 window: int = DEFAULT_WINDOW) -> dict:
+    """Assemble the report dict all surfaces render from.
+
+    Inputs are pre-loaded rows (see the :mod:`repro.eval.blocks`
+    loaders); the output contains nothing non-deterministic, so equal
+    inputs always produce an equal report.
+    """
+    grid_rows = list(grid_rows)
+    return {
+        "schema": REPORT_SCHEMA,
+        "window": window,
+        "bench": {"cells": _bench_cells(list(bench_rows), window)},
+        "variants": _variant_table(list(bench_rows)),
+        "policies": _policy_table(grid_rows),
+        "frontier": _frontier(grid_rows),
+        "runs": _ledger_summary(list(ledger_rows)),
+        "timeline": _timeline_runs(list(telemetry_rows)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering: inline CSS + SVG, zero scripts / external assets
+# ---------------------------------------------------------------------------
+_CSS = """
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --plane: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --good: #006300; --critical: #d03b3b;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--plane); color: var(--ink-1);
+  margin: 0; padding: 24px; line-height: 1.45;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --plane: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --good: #0ca30c; --critical: #d03b3b;
+  }
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 2px; }
+.viz-root h2 { font-size: 15px; margin: 28px 0 8px; }
+.viz-root .sub { color: var(--ink-2); font-size: 13px; margin: 0 0 18px; }
+.viz-root .cards { display: flex; flex-wrap: wrap; gap: 12px; }
+.viz-root .card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 14px;
+}
+.viz-root .card .t { font-size: 12px; color: var(--ink-2); margin: 0 0 4px; }
+.viz-root table {
+  border-collapse: collapse; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px;
+  font-size: 12.5px; margin: 6px 0;
+}
+.viz-root th, .viz-root td {
+  padding: 5px 10px; text-align: right;
+  font-variant-numeric: tabular-nums;
+  border-bottom: 1px solid var(--grid);
+}
+.viz-root th {
+  color: var(--ink-2); font-weight: 600; text-align: right;
+  border-bottom: 1px solid var(--axis);
+}
+.viz-root th:first-child, .viz-root td:first-child { text-align: left; }
+.viz-root tr:last-child td { border-bottom: none; }
+.viz-root .up { color: var(--good); }
+.viz-root .down { color: var(--critical); }
+.viz-root svg text {
+  font-family: inherit; font-size: 10px; fill: var(--muted);
+  font-variant-numeric: tabular-nums;
+}
+.viz-root svg .lbl { fill: var(--ink-2); }
+"""
+
+
+def _fmt(value, digits: int = 1) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return ""
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}".rstrip("0").rstrip(".") or "0"
+    if isinstance(value, int) and abs(value) >= 1000:
+        return f"{value:,}"
+    return str(value)
+
+
+def _table(rows: Sequence[Row], columns: Sequence[str],
+           classes: Optional[dict] = None) -> str:
+    head = "".join(f"<th>{html.escape(c)}</th>" for c in columns)
+    body = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column)
+            cls = (classes or {}).get(column, lambda v: "")(value) \
+                if classes and column in classes else ""
+            attr = f' class="{cls}"' if cls else ""
+            cells.append(f"<td{attr}>{html.escape(_fmt(value))}</td>")
+        body.append("<tr>" + "".join(cells) + "</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
+
+
+def _scale(values: Sequence[float]) -> tuple[float, float]:
+    low, high = min(values), max(values)
+    if low == high:
+        pad = abs(low) * 0.1 or 1.0
+        return low - pad, high + pad
+    pad = (high - low) * 0.08
+    return low - pad, high + pad
+
+
+def _line_chart(values: Sequence[float], *, width: int = 300,
+                height: int = 90, reference: Optional[float] = None,
+                unit: str = "", tooltip: str = "point {i}: {v}",
+                color: str = "var(--series-1)") -> str:
+    """One single-series line: 2px stroke, hairline grid, recessive
+    min/max axis labels, dashed reference line, last point marked and
+    direct-labelled, native ``<title>`` tooltips per point."""
+    pad_l, pad_r, pad_t, pad_b = 44, 10, 8, 14
+    inner_w = width - pad_l - pad_r
+    inner_h = height - pad_t - pad_b
+    domain = list(values) + ([reference] if reference is not None else [])
+    lo, hi = _scale(domain)
+
+    def x(i: int) -> float:
+        return pad_l + (inner_w * i / max(1, len(values) - 1))
+
+    def y(v: float) -> float:
+        return pad_t + inner_h * (1.0 - (v - lo) / (hi - lo))
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img">']
+    for frac, value in ((0.0, hi), (1.0, lo)):
+        gy = pad_t + inner_h * frac
+        parts.append(f'<line x1="{pad_l}" y1="{gy:.1f}" '
+                     f'x2="{width - pad_r}" y2="{gy:.1f}" '
+                     f'stroke="var(--grid)" stroke-width="1"/>')
+        parts.append(f'<text x="{pad_l - 4}" y="{gy + 3:.1f}" '
+                     f'text-anchor="end">{_fmt(value)}</text>')
+    if reference is not None:
+        ry = y(reference)
+        parts.append(f'<line x1="{pad_l}" y1="{ry:.1f}" '
+                     f'x2="{width - pad_r}" y2="{ry:.1f}" '
+                     f'stroke="var(--axis)" stroke-width="1" '
+                     f'stroke-dasharray="3 3"/>')
+    if len(values) > 1:
+        points = " ".join(f"{x(i):.1f},{y(v):.1f}"
+                          for i, v in enumerate(values))
+        parts.append(f'<polyline points="{points}" fill="none" '
+                     f'stroke="{color}" stroke-width="2" '
+                     f'stroke-linejoin="round"/>')
+    for i, value in enumerate(values):
+        last = i == len(values) - 1
+        r = 3.5 if last else 2.5
+        title = html.escape(tooltip.format(i=i, v=_fmt(value)))
+        parts.append(
+            f'<circle cx="{x(i):.1f}" cy="{y(value):.1f}" r="{r}" '
+            f'fill="{color}" stroke="var(--surface-1)" '
+            f'stroke-width="2"><title>{title}</title></circle>'
+        )
+    last_v = values[-1]
+    anchor = "end" if len(values) > 1 else "start"
+    lx = x(len(values) - 1) - (4 if anchor == "end" else -6)
+    ly = max(10.0, y(last_v) - 7)
+    parts.append(f'<text x="{lx:.1f}" y="{ly:.1f}" class="lbl" '
+                 f'text-anchor="{anchor}">{_fmt(last_v)}{unit}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _scatter_chart(points: Sequence[Row], *, x_key: str, y_key: str,
+                   label_key: str, width: int = 460,
+                   height: int = 220, x_label: str = "",
+                   y_label: str = "") -> str:
+    """Direct-labelled scatter: identity rides the text label beside
+    each marker, never color alone (single-hue markers)."""
+    pad_l, pad_r, pad_t, pad_b = 52, 96, 10, 26
+    inner_w = width - pad_l - pad_r
+    inner_h = height - pad_t - pad_b
+    xs = [p[x_key] for p in points]
+    ys = [p[y_key] for p in points]
+    x_lo, x_hi = _scale(xs)
+    y_lo, y_hi = _scale(ys)
+
+    def sx(v: float) -> float:
+        return pad_l + inner_w * (v - x_lo) / (x_hi - x_lo)
+
+    def sy(v: float) -> float:
+        return pad_t + inner_h * (1.0 - (v - y_lo) / (y_hi - y_lo))
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img">']
+    for frac in (0.0, 0.5, 1.0):
+        gy = pad_t + inner_h * frac
+        value = y_hi - (y_hi - y_lo) * frac
+        parts.append(f'<line x1="{pad_l}" y1="{gy:.1f}" '
+                     f'x2="{pad_l + inner_w}" y2="{gy:.1f}" '
+                     f'stroke="var(--grid)" stroke-width="1"/>')
+        parts.append(f'<text x="{pad_l - 4}" y="{gy + 3:.1f}" '
+                     f'text-anchor="end">{_fmt(value, 2)}</text>')
+    for frac in (0.0, 1.0):
+        gx = pad_l + inner_w * frac
+        value = x_lo + (x_hi - x_lo) * frac
+        parts.append(f'<text x="{gx:.1f}" y="{height - 8}" '
+                     f'text-anchor="middle">{_fmt(value)}</text>')
+    if x_label:
+        parts.append(f'<text x="{pad_l + inner_w / 2:.1f}" '
+                     f'y="{height - 8}" text-anchor="middle">'
+                     f'{html.escape(x_label)}</text>')
+    if y_label:
+        parts.append(f'<text x="{pad_l}" y="{pad_t - 2}" '
+                     f'text-anchor="start">{html.escape(y_label)}'
+                     f'</text>')
+    for point in points:
+        px, py = sx(point[x_key]), sy(point[y_key])
+        label = html.escape(str(point[label_key]))
+        title = (f"{label}: {_fmt(point[x_key])} / "
+                 f"{_fmt(point[y_key], 3)}")
+        parts.append(
+            f'<circle cx="{px:.1f}" cy="{py:.1f}" r="4" '
+            f'fill="var(--series-1)" stroke="var(--surface-1)" '
+            f'stroke-width="2"><title>{title}</title></circle>'
+        )
+        parts.append(f'<text x="{px + 7:.1f}" y="{py + 3:.1f}" '
+                     f'class="lbl">{label}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _delta_class(value) -> str:
+    if not isinstance(value, (int, float)) or value == 0:
+        return ""
+    return "up" if value > 0 else "down"
+
+
+def _bench_section(report: dict) -> list[str]:
+    cells = report["bench"]["cells"]
+    if not cells:
+        return ["<p class=\"sub\">no bench points</p>"]
+    out = ["<div class=\"cards\">"]
+    for cell in cells:
+        chart = _line_chart(
+            cell["trajectory"], reference=cell["median_rps"],
+            tooltip="run {i}: {v} rps",
+        )
+        out.append(
+            f"<div class=\"card\"><p class=\"t\">"
+            f"{html.escape(cell['cell'])} &middot; rps, dashed = "
+            f"median of last {report['window']}</p>{chart}</div>"
+        )
+    out.append("</div>")
+    table = [dict(c, trajectory=None) for c in cells]
+    out.append(_table(
+        table,
+        ["cell", "points", "latest_rps", "median_rps", "delta_pct",
+         "noise_pct"],
+        classes={"delta_pct": _delta_class},
+    ))
+    return out
+
+
+def _timeline_section(report: dict) -> list[str]:
+    out = []
+    for run in report["timeline"]:
+        samples = run["samples"]
+        if not samples:
+            continue
+        title = " ".join(filter(None, [
+            run["trace"], f"run {run['run']}", run["scenario"],
+            run["policy"],
+        ]))
+        out.append(f"<h2>timeline: {html.escape(title)}</h2>")
+        out.append("<div class=\"cards\">")
+        # one measure per chart: different scales never share an axis
+        for key, label, unit in (
+            ("in_system", "in-system requests", ""),
+            ("rate_rps", "arrival rate (req/s)", ""),
+            ("replicas", "replicas up", ""),
+            ("p95_s", "windowed p95 (s)", ""),
+            ("energy_j", "energy so far (J)", ""),
+        ):
+            values = [s[key] for s in samples
+                      if isinstance(s.get(key), (int, float))]
+            if not values or all(v == values[0] for v in values):
+                continue
+            chart = _line_chart(values, tooltip="tick {i}: {v}",
+                                unit=unit)
+            out.append(f"<div class=\"card\"><p class=\"t\">"
+                       f"{html.escape(label)}</p>{chart}</div>")
+        out.append("</div>")
+    return out
+
+
+def render_html(report: dict, title: str = "repro serving report") -> str:
+    """The self-contained dashboard (inline CSS + SVG, no scripts)."""
+    cells = report["bench"]["cells"]
+    runs = report["runs"]
+    parts = [
+        "<!doctype html><html><head><meta charset=\"utf-8\">",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body class=\"viz-root\">",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class=\"sub\">{len(cells)} bench cell(s) &middot; "
+        f"{runs['total']} ledger run(s) &middot; "
+        f"{len(report['timeline'])} telemetry run(s)</p>",
+        "<h2>Bench trajectory per cell</h2>",
+        *_bench_section(report),
+    ]
+    if report["variants"]:
+        columns: list[str] = ["scenario", "n_requests"]
+        for row in report["variants"]:
+            columns += [c for c in row if c not in columns]
+        parts.append("<h2>Variant comparison (latest rps)</h2>")
+        parts.append(_table(report["variants"], columns))
+    if report["policies"]:
+        columns = []
+        for row in report["policies"]:
+            columns += [c for c in row if c not in columns]
+        parts.append("<h2>Policy comparison</h2>")
+        parts.append(_table(report["policies"], columns))
+    if report["frontier"]:
+        parts.append("<h2>SLO / energy frontier</h2>")
+        parts.append(
+            "<div class=\"card\">"
+            + _scatter_chart(report["frontier"], x_key="energy_uj",
+                             y_key="slo_attain", label_key="label",
+                             x_label="energy (uJ)",
+                             y_label="SLO attainment")
+            + "</div>"
+        )
+    if runs["experiments"]:
+        parts.append("<h2>Run ledger</h2>")
+        parts.append(_table(
+            runs["experiments"],
+            ["experiment", "runs", "cached", "errors",
+             "median_elapsed_s", "rows_total"],
+        ))
+    parts.extend(_timeline_section(report))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def summary_rows(report: dict) -> list[Row]:
+    """The per-cell table the CLI prints when not emitting JSON."""
+    return [{
+        "cell": c["cell"],
+        "points": c["points"],
+        "latest_rps": c["latest_rps"],
+        "median_rps": c["median_rps"],
+        "delta_pct": c["delta_pct"],
+        "noise_pct": c["noise_pct"],
+    } for c in report["bench"]["cells"]]

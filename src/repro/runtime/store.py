@@ -5,6 +5,13 @@ with its parameters, timing and outcome, so ``python -m repro runs``
 can answer "what ran, when, and how long did it take" across sessions.
 Malformed lines are skipped on read — a truncated tail (crash mid-
 write) never poisons the ledger.
+
+Reads are cheap: a parsed snapshot is memoised against the file's
+``(mtime_ns, size)`` stamp, so repeated :meth:`RunStore.records` calls
+within one process parse the ledger once (appends through the same
+store extend the snapshot in place), and :meth:`RunStore.recent` on a
+cold store reads the file backwards in blocks, parsing only the tail
+it needs instead of the whole ledger.
 """
 
 from __future__ import annotations
@@ -64,34 +71,105 @@ class RunRecord:
 class RunStore:
     """Append-only JSONL ledger of :class:`RunRecord` lines."""
 
+    #: Block size for backward tail reads (overridable per instance
+    #: in tests to exercise chunk boundaries).
+    _CHUNK = 64 * 1024
+
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(
             path or os.environ.get(RUN_STORE_ENV) or DEFAULT_RUN_STORE
         )
+        self._cache: Optional[list[RunRecord]] = None
+        self._stamp: Optional[tuple[int, int]] = None
+
+    def _stat(self) -> Optional[tuple[int, int]]:
+        """The ledger's freshness stamp, or None when absent."""
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    @staticmethod
+    def _parse(line: bytes) -> Optional[RunRecord]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            return RunRecord.from_json(line.decode("utf-8"))
+        except (json.JSONDecodeError, TypeError, UnicodeDecodeError):
+            return None
 
     def append(self, record: RunRecord) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        before = self._stat()
         with self.path.open("a") as handle:
             handle.write(record.to_json() + "\n")
+        if self._cache is not None and before == self._stamp:
+            # nobody else wrote since the snapshot: extend in place
+            self._cache.append(record)
+            self._stamp = self._stat()
+        else:
+            self._cache = self._stamp = None
 
     def records(self) -> list[RunRecord]:
-        """Every parseable record, oldest first."""
-        if not self.path.exists():
+        """Every parseable record, oldest first (memoised until the
+        ledger file's stamp changes)."""
+        stamp = self._stat()
+        if stamp is None:
+            self._cache = self._stamp = None
             return []
-        out = []
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                out.append(RunRecord.from_json(line))
-            except (json.JSONDecodeError, TypeError):
-                continue
+        if self._cache is None or stamp != self._stamp:
+            self._cache = [
+                record for line in self.path.read_bytes().split(b"\n")
+                if (record := self._parse(line)) is not None
+            ]
+            self._stamp = stamp
+        return list(self._cache)
+
+    def _tail_records(self, limit: int) -> list[RunRecord]:
+        """The last ``limit`` parseable records, newest first, reading
+        the file backwards block-by-block."""
+        out: list[RunRecord] = []
+        with self.path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            pos = handle.tell()
+            buffer = b""
+            while pos > 0 and len(out) < limit:
+                step = min(self._CHUNK, pos)
+                pos -= step
+                handle.seek(pos)
+                buffer = handle.read(step) + buffer
+                lines = buffer.split(b"\n")
+                # lines[0] may straddle the next (earlier) block; hold
+                # it back until that block is read (or file start)
+                buffer = lines[0]
+                for line in reversed(lines[1:]):
+                    record = self._parse(line)
+                    if record is not None:
+                        out.append(record)
+                        if len(out) >= limit:
+                            break
+            if pos == 0 and len(out) < limit:
+                record = self._parse(buffer)
+                if record is not None:
+                    out.append(record)
         return out
 
     def recent(self, limit: int = 20) -> list[RunRecord]:
-        """The last ``limit`` records, newest first."""
-        return list(reversed(self.records()[-limit:]))
+        """The last ``limit`` records, newest first.
+
+        Served from the memoised snapshot when fresh; otherwise reads
+        just the ledger's tail instead of parsing the whole file.
+        """
+        if limit < 1:
+            return []
+        stamp = self._stat()
+        if stamp is None:
+            return []
+        if self._cache is not None and stamp == self._stamp:
+            return list(reversed(self._cache[-limit:]))
+        return self._tail_records(limit)
 
     def for_experiment(self, name: str) -> list[RunRecord]:
         """All records of one experiment, oldest first."""
@@ -102,6 +180,7 @@ class RunStore:
         count = len(self.records())
         if self.path.exists():
             self.path.unlink()
+        self._cache = self._stamp = None
         return count
 
     def __len__(self) -> int:

@@ -63,6 +63,11 @@ from repro.serving.simulator import (
     ServingResult,
     ServingSimulator,
 )
+from repro.serving.telemetry import (
+    TRACE_SCHEMA,
+    Telemetry,
+    load_trace,
+)
 from repro.serving.workload import (
     ARRIVAL_SHAPES,
     BurstyProcess,
@@ -120,11 +125,14 @@ __all__ = [
     "ServingSimulator",
     "ShardDispatch",
     "SloPolicy",
+    "TRACE_SCHEMA",
+    "Telemetry",
     "TimeoutBatching",
     "WorkStealPolicy",
     "generate_trace",
     "get_scenario",
     "load_persistent_memo",
+    "load_trace",
     "make_dispatch",
     "make_flush",
     "make_policy",

@@ -91,6 +91,7 @@ from repro.serving.policies import (
     WorkStealPolicy,
     make_dispatch,
 )
+from repro.serving.telemetry import Telemetry
 from repro.serving.workload import Request
 
 #: Replica-selection strategies the engine understands (the stock
@@ -521,6 +522,11 @@ class ClusterEngine:
         admission: admission policy; None derives the stock depth
             bound from ``slo.shed_depth``.
         steal: work stealing on control ticks, or None.
+        telemetry: opt-in :class:`~repro.serving.telemetry.Telemetry`
+            sink recording the event trace and metrics timeline.  A
+            pure observer — the engine never reads it back, so results
+            are bit-identical with or without one; None (the default)
+            costs one attribute check per handler.
     """
 
     def __init__(self, replicas: Sequence[object], policy,
@@ -536,7 +542,8 @@ class ClusterEngine:
                                               float]] = None,
                  flush: Optional[FlushPolicy] = None,
                  admission: Optional[AdmissionPolicy] = None,
-                 steal: Optional[WorkStealPolicy] = None) -> None:
+                 steal: Optional[WorkStealPolicy] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if not replicas:
             raise ConfigError("cluster needs at least one replica")
         self.policy = policy
@@ -559,6 +566,7 @@ class ClusterEngine:
             admission = DepthAdmission(slo.shed_depth)
         self.admission = admission
         self.steal = steal
+        self.telemetry = telemetry
         self.failures = failures
         self.memoize_rates = memoize_rates
         self._initial = list(replicas)
@@ -639,9 +647,16 @@ class ClusterEngine:
             self._shed_depth = None
             self._admit_fn = (admission.admit if admission is not None
                               else None)
+        tel = self.telemetry
+        self._tel = tel
+        # a telemetry sink that wants a timeline can drive CONTROL
+        # ticks on its own when neither scaling nor stealing does; the
+        # tick handler is a pure no-op for it, so results are unchanged
         self._control_tick = (scale.tick if scale is not None
                               else self.steal.tick
-                              if self.steal is not None else 0.0)
+                              if self.steal is not None
+                              else tel.tick
+                              if tel is not None and tel.tick else 0.0)
 
         # Arrivals stay in the (time-ordered) trace and are merge-
         # scanned against the heap, which only ever holds the sparse
@@ -716,13 +731,20 @@ class ClusterEngine:
         if self._track_rate:
             # offered load, so shed arrivals still count into the rate
             self._tick_arrivals += 1
+        tel = self._tel
+        if tel is not None:
+            tel.arrival(time, request.model, request.request_id)
         shed_depth = self._shed_depth
         if shed_depth is not None and self._in_system >= shed_depth:
             self._shed.append(request.request_id)
+            if tel is not None:
+                tel.shed(time, request.model, request.request_id)
             return
         if self._admit_fn is not None and not self._admit_fn(
                 time, request, self._in_system):
             self._shed.append(request.request_id)
+            if tel is not None:
+                tel.shed(time, request.model, request.request_id)
             return
         self._in_system += 1
         model = request.model
@@ -749,7 +771,7 @@ class ClusterEngine:
         max_batch = self._max_batch
         batch = tuple(queue[:max_batch])
         del queue[:max_batch]
-        self._dispatch(model, batch, flush=time)
+        self._dispatch(model, batch, flush=time, cause="deadline")
         self._arm_flush(model)
 
     def _on_batch_done(self, time: float, batch_id: int) -> None:
@@ -769,6 +791,8 @@ class ClusterEngine:
             for request in batch.requests:
                 done[request.request_id] = outcome
                 window.append(record_done - request.arrival)
+        if self._tel is not None:
+            self._tel.batch_done(time, record, batch_id)
         replica = self._replicas[record.replica]
         if self.steal is not None:
             # stealing may empty ``pending`` and needs to know which
@@ -798,11 +822,14 @@ class ClusterEngine:
                 progress = min(1.0, (time - record.start)
                                / record.service)
                 self._wasted += record.energy * progress
+        if self._tel is not None:
+            self._tel.fail(time, index, len(victims))
         for batch_id in victims:
             batch = self._inflight[batch_id]
             self._redispatched += 1
             self._dispatch(batch.record.model, batch.requests,
-                           flush=batch.record.flush, now=time)
+                           flush=batch.record.flush, now=time,
+                           cause="redispatch")
 
     def _on_recover(self, time: float, index: int) -> None:
         replica = self._replicas[index]
@@ -818,9 +845,15 @@ class ClusterEngine:
         replica.last_model = None  # the power cycle cleared the array
         replica.done_model = None
         self._trace.append((time, self._n_up()))
+        if self._tel is not None:
+            self._tel.recover(time, index)
         self._drain_waiting(time)
 
     def _on_control(self, time: float, _payload: object) -> None:
+        if self._tel is not None:
+            # sampled before any scale/steal action: the timeline shows
+            # the state the controller reacted *to*
+            self._tel.sample(time, self)
         scale = self.scale
         queued = self._in_system  # queued + in-flight: the real backlog
         if scale is not None:
@@ -860,7 +893,7 @@ class ClusterEngine:
             while queue:
                 batch = tuple(queue[:max_batch])
                 del queue[:max_batch]
-                self._dispatch(model, batch, flush=time)
+                self._dispatch(model, batch, flush=time, cause="drain")
 
     # -- internals -------------------------------------------------------
     def _n_up(self) -> int:
@@ -934,17 +967,22 @@ class ClusterEngine:
 
     def _dispatch(self, model: str, batch: tuple[Request, ...],
                   flush: float, now: Optional[float] = None,
-                  to: Optional[Replica] = None) -> None:
+                  to: Optional[Replica] = None,
+                  cause: str = "ready") -> None:
         """Serve one flushed batch on a replica (or park it).
 
         ``now`` is the re-dispatch instant after a failure or a steal;
         fresh flushes start no earlier than ``flush`` anyway.  ``to``
         forces the target replica (work stealing has already chosen),
-        bypassing the dispatch policy.
+        bypassing the dispatch policy.  ``cause`` only labels the
+        telemetry flush event (why the batch left its queue).
         """
         candidates = [r for r in self._replicas if r.up and not r.draining]
         if not candidates:
             self._waiting.append((model, batch, flush))
+            if self._tel is not None:
+                self._tel.park(flush if now is None else now, model,
+                               len(batch))
             return
         floor = flush if now is None else max(flush, now)
         size = len(batch)
@@ -972,6 +1010,8 @@ class ClusterEngine:
         self._batch_order.append(batch_id)
         replica.pending.append(batch_id)
         self._events.push(done, EventKind.BATCH_DONE, payload=batch_id)
+        if self._tel is not None:
+            self._tel.flush(floor, record, batch_id, cause)
 
     def _drain_waiting(self, now: float) -> None:
         waiting = self._waiting
@@ -983,7 +1023,8 @@ class ClusterEngine:
                 index = pick_waiting(waiting)
                 model, batch, flush = waiting[index]
                 del waiting[index]
-            self._dispatch(model, batch, flush=flush, now=now)
+            self._dispatch(model, batch, flush=flush, now=now,
+                           cause="waiting")
 
     def _work_steal(self, now: float) -> None:
         """Re-dispatch tail batches from backlogged to idle replicas.
@@ -1032,8 +1073,11 @@ class ClusterEngine:
                 victim.free_at = now
                 victim.last_model = victim.done_model
             self._stolen += 1
+            if self._tel is not None:
+                self._tel.steal(now, record, batch_id, victim.index,
+                                best.index)
             self._dispatch(model, entry.requests, flush=record.flush,
-                           now=now, to=best)
+                           now=now, to=best, cause="steal")
 
     def _scale_up(self, now: float) -> None:
         policy = self.scale
@@ -1041,6 +1085,8 @@ class ClusterEngine:
             if replica.up and replica.draining:
                 replica.draining = False  # cancel a retirement instead
                 self._scale_events.append((now, "up"))
+                if self._tel is not None:
+                    self._tel.scale(now, "up", self._n_up())
                 self._drain_waiting(now)
                 return
         for replica in self._replicas:
@@ -1057,6 +1103,8 @@ class ClusterEngine:
                 replica.done_model = None
                 self._trace.append((now, self._n_up()))
                 self._scale_events.append((now, "up"))
+                if self._tel is not None:
+                    self._tel.scale(now, "up", self._n_up())
                 self._drain_waiting(now)
                 return
         replica = Replica(index=len(self._replicas),
@@ -1065,6 +1113,8 @@ class ClusterEngine:
         self._replicas.append(replica)
         self._trace.append((now, self._n_up()))
         self._scale_events.append((now, "up"))
+        if self._tel is not None:
+            self._tel.scale(now, "up", self._n_up())
         self._drain_waiting(now)
 
     def _scale_down(self, now: float,
@@ -1076,3 +1126,5 @@ class ClusterEngine:
             victim.up = False
             self._trace.append((now, self._n_up()))
         self._scale_events.append((now, "down"))
+        if self._tel is not None:
+            self._tel.scale(now, "down", self._n_up())

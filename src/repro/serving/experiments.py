@@ -32,6 +32,7 @@ from repro.serving.policies import (
     make_scale,
 )
 from repro.serving.simulator import ServingSimulator
+from repro.serving.telemetry import Telemetry
 from repro.serving.workload import SCENARIOS, get_scenario
 
 
@@ -120,7 +121,8 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
                  slo_us: float = 0.0, shed_depth: int = 0,
                  autoscale: str = "", faults: int = 0,
                  flush: str = "fifo", priority=None,
-                 scale: str = "", steal: bool = False) -> list[dict]:
+                 scale: str = "", steal: bool = False,
+                 telemetry: Optional[Telemetry] = None) -> list[dict]:
     """Percentile rows for scenario x batching-policy cells.
 
     Defaults to every stock scenario and policy; ``repro serve-sim``
@@ -132,7 +134,9 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
     ``"holt"`` over the autoscale bounds) and ``steal`` (work
     stealing on control ticks).  One shared memo cache serves the
     whole grid, so only the first cell pays for fresh layer
-    simulations.
+    simulations.  A ``telemetry`` sink, when given, records every
+    cell's event trace and metrics timeline (``repro serve-sim
+    --trace`` persists it).
     """
     config = make_accelerator(accelerator)
     cache = cache if cache is not None else LayerMemoCache()
@@ -156,6 +160,7 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
                            else bounds),
                 failures=failures, flush=flush_policy,
                 steal=WorkStealPolicy() if steal else None,
+                telemetry=telemetry,
             )
             result = simulator.run_scenario(scenario, requests, seed=seed)
             rows.append(result.to_row())

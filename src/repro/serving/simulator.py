@@ -55,6 +55,7 @@ from repro.serving.policies import (
     WorkStealPolicy,
     make_dispatch,
 )
+from repro.serving.telemetry import Telemetry
 from repro.serving.workload import Request, Scenario, generate_trace
 from repro.systolic.layers import Network
 from repro.systolic.simulator import AcceleratorModel
@@ -273,6 +274,11 @@ class ServingSimulator:
         admission: admission policy; None derives the stock depth
             bound from ``slo.shed_depth``.
         steal: work stealing on control ticks, or None.
+        telemetry: opt-in :class:`~repro.serving.telemetry.Telemetry`
+            sink; every run records its event trace and metrics
+            timeline into it (results stay bit-identical — the sink
+            only observes).  One sink may be shared across runs; each
+            run is marked with a ``run`` boundary row.
     """
 
     def __init__(self, accelerator: AcceleratorModel | str = "SMART",
@@ -289,7 +295,8 @@ class ServingSimulator:
                  failures: Optional[FailurePlan] = None,
                  flush: Optional[FlushPolicy] = None,
                  admission: Optional[AdmissionPolicy] = None,
-                 steal: Optional[WorkStealPolicy] = None) -> None:
+                 steal: Optional[WorkStealPolicy] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if isinstance(accelerator, str):
             accelerator = make_accelerator(accelerator)
         if accelerators is not None:
@@ -316,6 +323,7 @@ class ServingSimulator:
         self.flush = flush
         self.admission = admission
         self.steal = steal
+        self.telemetry = telemetry
         self._networks = networks
 
     @property
@@ -401,6 +409,13 @@ class ServingSimulator:
             scale.calibrate(self._mix_capacity_rps(requests))
         stats0 = (cache.stats.hits, cache.stats.misses,
                   cache.stats.energy_hits, cache.stats.energy_misses)
+        if self.telemetry is not None:
+            self.telemetry.begin_run(
+                scenario=scenario, policy=self.policy.name,
+                dispatch=self.dispatch, replicas=self.replicas,
+                accelerator=self.accelerator.name, rate_rps=rate,
+                requests=len(requests),
+            )
 
         engine = ClusterEngine(
             replicas=self.pool, policy=self.policy,
@@ -414,6 +429,7 @@ class ServingSimulator:
             slo=self.slo, autoscale=self.autoscale,
             failures=failures if failures is not None else self.failures,
             flush=self.flush, admission=self.admission, steal=self.steal,
+            telemetry=self.telemetry,
             # with the memo disabled the run is the uncached reference
             # path: every dispatch must reach the fns (and count)
             memoize_rates=cache.enabled,

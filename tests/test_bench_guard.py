@@ -1,0 +1,168 @@
+"""Statistical bench-guard: robust baselines, noise-adjusted gating.
+
+Drives ``tools/bench_guard.py`` as a module (it is CI's entry point)
+against synthetic histories: the median-of-N baseline must absorb a
+single noisy historical point in either direction, the threshold must
+widen with a cell's measured noise, and ``--block`` must turn a real
+regression into a non-zero exit while the default stays warn-only.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_guard",
+    Path(__file__).parent.parent / "tools" / "bench_guard.py",
+)
+bench_guard = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_guard)
+
+
+def point(rps, scenario="bursty", n=10000, variant=""):
+    out = {"scenario": scenario, "n_requests": n, "rps": rps}
+    if variant:
+        out["variant"] = variant
+    return out
+
+
+@pytest.fixture
+def history(tmp_path):
+    def write(name, points):
+        path = tmp_path / name
+        path.write_text(json.dumps(points))
+        return str(path)
+    return write
+
+
+STEADY = [point(rps) for rps in (200000.0, 205000.0, 195000.0,
+                                 202000.0, 198000.0)]
+
+
+class TestStatistics:
+    def test_median_absorbs_one_noisy_low_point(self, history, capsys):
+        # one historical 90k dip must not drag the baseline down and
+        # mask a real regression on the fresh side
+        noisy = STEADY[:3] + [point(90000.0)] + STEADY[3:]
+        code = bench_guard.main([
+            history("base.json", noisy),
+            history("fresh.json", noisy + [point(120000.0)]),
+            "--block",
+        ])
+        assert code == 1
+        assert "::warning" in capsys.readouterr().out
+
+    def test_median_absorbs_one_noisy_high_point(self, history, capsys):
+        # ...and one historical 500k spike must not manufacture one
+        spiky = STEADY + [point(500000.0)]
+        code = bench_guard.main([
+            history("base.json", spiky),
+            history("fresh.json", spiky + [point(201000.0)]),
+            "--block", "--window", "6",
+        ])
+        assert code == 0
+        assert "::warning" not in capsys.readouterr().out
+
+    def test_noise_widens_threshold(self, history, capsys):
+        # rel-MAD ~10%: a 25% drop stays under the 3-MAD threshold
+        jittery = [point(rps) for rps in (200000.0, 180000.0, 220000.0,
+                                          160000.0, 240000.0)]
+        code = bench_guard.main([
+            history("base.json", jittery),
+            history("fresh.json", jittery + [point(150000.0)]),
+            "--block",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "::warning" not in out
+
+    def test_quiet_cell_keeps_base_threshold(self, history, capsys):
+        code = bench_guard.main([
+            history("base.json", STEADY),
+            history("fresh.json", STEADY + [point(150000.0)]),
+            "--block",
+        ])
+        assert code == 1  # 25% drop on a ~1%-noise cell trips
+
+
+class TestGating:
+    def test_default_is_warn_only(self, history, capsys):
+        code = bench_guard.main([
+            history("base.json", STEADY),
+            history("fresh.json", STEADY + [point(50000.0)]),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "::warning" in out
+        assert "non-blocking" in out
+
+    def test_block_mode_exits_nonzero(self, history):
+        code = bench_guard.main([
+            history("base.json", STEADY),
+            history("fresh.json", STEADY + [point(50000.0)]),
+            "--block",
+        ])
+        assert code == 1
+
+    def test_identical_files_compare_clean(self, history, capsys):
+        base = history("base.json", STEADY)
+        code = bench_guard.main([base, base, "--block"])
+        assert code == 0
+        assert "no serving-path regressions" in capsys.readouterr().out
+
+    def test_unbenchmarked_cell_skipped(self, history, capsys):
+        # fresh side re-ran only the diurnal cell; the stale bursty
+        # copy must not be compared against itself
+        base_points = STEADY + [point(120000.0, scenario="diurnal")]
+        fresh = base_points + [point(118000.0, scenario="diurnal")]
+        code = bench_guard.main([
+            history("base.json", base_points),
+            history("fresh.json", fresh), "--block",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bursty/10000" not in out
+        assert "diurnal/10000" in out
+
+
+class TestRobustness:
+    def test_missing_baseline_is_noop(self, history, tmp_path, capsys):
+        code = bench_guard.main([
+            str(tmp_path / "absent.json"),
+            history("fresh.json", STEADY),
+        ])
+        assert code == 0
+        assert "no baseline points" in capsys.readouterr().out
+
+    def test_empty_fresh_is_noop(self, history, capsys):
+        code = bench_guard.main([
+            history("base.json", STEADY),
+            history("fresh.json", []),
+        ])
+        assert code == 0
+        assert "bench likely did not run" in capsys.readouterr().out
+
+    def test_legacy_and_variant_cells_separate(self, history, capsys):
+        base_points = [
+            {"requests": 10000, "rps": 200000.0},  # legacy = bursty/10k
+            point(190000.0, variant="persist"),
+        ]
+        fresh = base_points + [point(50000.0, variant="persist")]
+        code = bench_guard.main([
+            history("base.json", base_points),
+            history("fresh.json", fresh), "--block",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bursty/10000/persist" in out
+
+    def test_bad_window_rejected(self, history):
+        with pytest.raises(SystemExit):
+            bench_guard.main([
+                history("base.json", STEADY),
+                history("fresh.json", STEADY),
+                "--window", "0",
+            ])

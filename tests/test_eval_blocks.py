@@ -1,0 +1,217 @@
+"""Tests for the composable analytics blocks and history loaders."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.blocks import (
+    AggregateBlock,
+    FilterBlock,
+    NormalizeBlock,
+    Pipeline,
+    PivotBlock,
+    SortBlock,
+    bench_cell,
+    bench_label,
+    load_bench,
+    load_ledger,
+    load_rows,
+)
+from repro.runtime import RunRecord, RunStore
+
+ROWS = [
+    {"scenario": "bursty", "policy": "fixed", "rps": 100.0},
+    {"scenario": "bursty", "policy": "timeout", "rps": 80.0},
+    {"scenario": "diurnal", "policy": "fixed", "rps": 60.0},
+    {"scenario": "diurnal", "policy": "timeout", "rps": 90.0},
+]
+
+
+class TestFilter:
+    def test_membership(self):
+        out = FilterBlock("scenario", ["bursty"]).apply(ROWS)
+        assert [r["rps"] for r in out] == [100.0, 80.0]
+
+    def test_scalar_value_promoted(self):
+        out = FilterBlock("policy", "fixed").apply(ROWS)
+        assert len(out) == 2
+
+    def test_exclude_inverts(self):
+        out = FilterBlock("scenario", "bursty", exclude=True).apply(ROWS)
+        assert {r["scenario"] for r in out} == {"diurnal"}
+
+    def test_predicate(self):
+        out = FilterBlock(predicate=lambda r: r["rps"] > 85).apply(ROWS)
+        assert [r["rps"] for r in out] == [100.0, 90.0]
+
+    def test_needs_exactly_one_selector(self):
+        with pytest.raises(ConfigError):
+            FilterBlock()
+        with pytest.raises(ConfigError):
+            FilterBlock("a", [1], predicate=lambda r: True)
+
+
+class TestAggregate:
+    def test_grouped_metrics(self):
+        out = AggregateBlock(
+            by=("scenario",),
+            metrics={"rps": "mean", "n": ("rps", "count")},
+        ).apply(ROWS)
+        assert out == [
+            {"scenario": "bursty", "rps": 90.0, "n": 2},
+            {"scenario": "diurnal", "rps": 75.0, "n": 2},
+        ]
+
+    def test_renamed_source_column(self):
+        out = AggregateBlock(
+            by=("scenario",), metrics={"best": ("rps", "max")},
+        ).apply(ROWS)
+        assert out[0]["best"] == 100.0
+
+    def test_median_and_mad_are_robust(self):
+        rows = [{"g": 1, "v": x} for x in (10.0, 11.0, 12.0, 500.0)]
+        out = AggregateBlock(by=("g",), metrics={
+            "v": "median", "spread": ("v", "mad")}).apply(rows)
+        assert out[0]["v"] == 11.5
+        assert out[0]["spread"] == 1.0
+
+    def test_non_numeric_group_drops_metric(self):
+        rows = [{"g": 1, "v": "text"}]
+        out = AggregateBlock(by=("g",), metrics={"v": "mean"}).apply(rows)
+        assert out == [{"g": 1}]
+
+    def test_unknown_aggregator_rejected(self):
+        with pytest.raises(ConfigError):
+            AggregateBlock(by=("g",), metrics={"v": "mode"})
+
+
+class TestNormalize:
+    def test_per_group_baseline(self):
+        out = NormalizeBlock("rps", baseline={"policy": "fixed"},
+                             by=("scenario",)).apply(ROWS)
+        ratios = {(r["scenario"], r["policy"]): r.get("rps_norm")
+                  for r in out}
+        assert ratios[("bursty", "timeout")] == pytest.approx(0.8)
+        assert ratios[("diurnal", "timeout")] == pytest.approx(1.5)
+        assert ratios[("bursty", "fixed")] == pytest.approx(1.0)
+
+    def test_missing_baseline_passes_through(self):
+        out = NormalizeBlock("rps", baseline={"policy": "edf"}).apply(ROWS)
+        assert all("rps_norm" not in r for r in out)
+
+
+class TestPivot:
+    def test_wide_rows(self):
+        out = PivotBlock("scenario", column="policy",
+                         value="rps").apply(ROWS)
+        assert out == [
+            {"scenario": "bursty", "fixed": 100.0, "timeout": 80.0},
+            {"scenario": "diurnal", "fixed": 60.0, "timeout": 90.0},
+        ]
+
+    def test_collisions_resolved_by_aggregate(self):
+        rows = ROWS + [{"scenario": "bursty", "policy": "fixed",
+                        "rps": 200.0}]
+        out = PivotBlock("scenario", column="policy", value="rps",
+                         aggregate="mean").apply(rows)
+        assert out[0]["fixed"] == 150.0
+
+
+class TestPipeline:
+    def test_chains_blocks(self):
+        out = Pipeline([
+            FilterBlock("policy", "fixed"),
+            AggregateBlock(by=(), metrics={"rps": "sum"}),
+        ]).apply(ROWS)
+        assert out == [{"rps": 160.0}]
+
+    def test_sort_block(self):
+        out = SortBlock("rps", reverse=True).apply(ROWS)
+        assert [r["rps"] for r in out] == [100.0, 90.0, 80.0, 60.0]
+
+
+class TestBenchLoader:
+    def test_legacy_point_is_bursty_10k(self):
+        assert bench_cell({"requests": 10000, "rps": 1.0}) == \
+            ("bursty", 10000, "")
+        assert bench_cell({"rps": 1.0}) == ("bursty", 10000, "")
+
+    def test_label_includes_variant(self):
+        assert bench_label(("diurnal", 10000, "forecast")) == \
+            "diurnal/10000/forecast"
+        assert bench_label(("bursty", 100000, "")) == "bursty/100000"
+
+    def test_normalises_mixed_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps([
+            {"requests": 10000, "rps": 1.0},             # legacy
+            {"scenario": "bursty", "n_requests": 10000, "rps": 2.0},
+            {"scenario": "bursty", "n_requests": 10000,
+             "variant": "persist", "rps": 3.0},
+            {"not": "a point"},
+        ]))
+        rows = load_bench(path)
+        assert [r["cell"] for r in rows] == \
+            ["bursty/10000", "bursty/10000", "bursty/10000/persist"]
+        assert [r["cell_seq"] for r in rows] == [0, 1, 0]
+        assert all("requests" not in r for r in rows)
+        assert rows[0]["n_requests"] == 10000
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_bench(tmp_path / "absent.json") == []
+
+    def test_committed_bench_loads(self):
+        rows = load_bench("BENCH_serving.json")
+        assert rows, "committed bench history must parse"
+        assert {"cell", "seq", "cell_seq", "rps"} <= set(rows[0])
+
+
+class TestLedgerLoader:
+    def test_hoists_scalar_params(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append(RunRecord(
+            run_id="a", experiment="fig18",
+            params={"frequency": 2.0, "grid": [1, 2]},
+            elapsed_s=1.5, row_count=6,
+        ))
+        rows = load_ledger(store)
+        assert rows[0]["frequency"] == 2.0
+        assert "grid" not in rows[0]          # non-scalar stays nested
+        assert rows[0]["params"]["grid"] == [1, 2]
+
+    def test_param_never_clobbers_record_column(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append(RunRecord(run_id="a", experiment="fig18",
+                               params={"experiment": "spoof"}))
+        rows = load_ledger(store)
+        assert rows[0]["experiment"] == "fig18"
+
+
+class TestRowsLoader:
+    def test_flat_array(self, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps(ROWS))
+        assert load_rows(path) == ROWS
+
+    def test_sweep_results_flattened(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps([{
+            "experiment": "design_space",
+            "params": {"frequency": 2.0},
+            "rows": [{"latency_us": 10.0}, {"latency_us": 12.0}],
+        }]))
+        rows = load_rows(path)
+        assert len(rows) == 2
+        assert rows[0] == {"experiment": "design_space",
+                           "frequency": 2.0, "latency_us": 10.0}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_rows(tmp_path / "absent.json")
+
+    def test_non_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigError):
+            load_rows(path)

@@ -1,0 +1,141 @@
+"""``repro report`` surfaces: golden JSON, HTML dashboard, CLI wiring.
+
+The JSON golden file (``tests/data/report_golden.json``) pins the full
+report built from the committed bench + ledger fixtures — the report
+is deterministic by construction (no wall-clock stamps), so any drift
+in the analytics is a diff here, not a flake.  The HTML tests hold the
+dashboard to its self-contained contract: every committed bench cell
+label present, inline SVG charts, no scripts, no external assets.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.eval.blocks import load_bench, load_ledger
+from repro.eval.dashboard import build_report, render_html
+
+DATA = Path(__file__).parent / "data"
+BENCH_FIXTURE = DATA / "bench_fixture.json"
+LEDGER_FIXTURE = DATA / "ledger_fixture.jsonl"
+GOLDEN = DATA / "report_golden.json"
+
+
+@pytest.fixture
+def fixture_ledger(monkeypatch):
+    monkeypatch.setenv("REPRO_RUN_STORE", str(LEDGER_FIXTURE))
+
+
+class TestGoldenReport:
+    def test_build_report_matches_golden(self):
+        report = build_report(load_bench(BENCH_FIXTURE),
+                              ledger_rows=load_ledger(LEDGER_FIXTURE))
+        golden = json.loads(GOLDEN.read_text())
+        assert json.loads(json.dumps(report)) == golden
+
+    def test_cli_json_matches_golden(self, fixture_ledger, capsys):
+        code = main(["report", "--json", "--bench",
+                     str(BENCH_FIXTURE)])
+        assert code == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out == json.loads(GOLDEN.read_text())
+
+    def test_report_is_deterministic(self):
+        build = lambda: build_report(  # noqa: E731
+            load_bench(BENCH_FIXTURE),
+            ledger_rows=load_ledger(LEDGER_FIXTURE))
+        assert build() == build()
+
+    def test_golden_statistics(self):
+        golden = json.loads(GOLDEN.read_text())
+        cells = {c["cell"]: c for c in golden["bench"]["cells"]}
+        # the legacy unlabelled point folded into bursty/10000
+        assert cells["bursty/10000"]["points"] == 5
+        # median-of-window absorbs the 90k noisy dip
+        assert cells["bursty/10000"]["median_rps"] == 180000.0
+        # variant comparison pivots "" to the plain column
+        variants = {(v["scenario"], v["n_requests"]): v
+                    for v in golden["variants"]}
+        assert variants[("bursty", 10000)]["plain"] == 210000.0
+        assert variants[("bursty", 10000)]["persist"] == 195000.0
+        assert variants[("diurnal", 10000)]["forecast"] == 99000.0
+        # ledger aggregates
+        assert golden["runs"]["total"] == 3
+        assert golden["runs"]["cached"] == 1
+        assert golden["runs"]["errors"] == 1
+
+
+class TestHtmlDashboard:
+    def test_committed_bench_renders_all_cells(self):
+        rows = load_bench("BENCH_serving.json")
+        html = render_html(build_report(rows))
+        for cell in sorted({r["cell"] for r in rows}):
+            assert cell in html
+        assert "bursty/10000" in html  # the tracked flagship cell
+
+    def test_self_contained(self):
+        html = render_html(build_report(load_bench(BENCH_FIXTURE)))
+        assert html.startswith("<!doctype html>")
+        assert "<script" not in html
+        assert 'src="http' not in html and 'href="http' not in html
+        assert "<svg" in html and "<polyline" in html
+        assert "prefers-color-scheme: dark" in html
+
+    def test_empty_report_still_renders(self):
+        html = render_html(build_report([]))
+        assert "no bench points" in html
+
+
+class TestCli:
+    def test_writes_html_dashboard(self, fixture_ledger, tmp_path,
+                                   capsys):
+        out = tmp_path / "fleet.html"
+        code = main(["report", "--bench", str(BENCH_FIXTURE),
+                     "-o", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "bursty/10000" in text
+        assert str(out) in text
+        html = out.read_text()
+        assert "bursty/10000/persist" in html
+        assert "Run ledger" in html
+
+    def test_json_plus_out_writes_both(self, fixture_ledger, tmp_path,
+                                       capsys):
+        out = tmp_path / "fleet.html"
+        code = main(["report", "--json", "--bench",
+                     str(BENCH_FIXTURE), "--out", str(out)])
+        assert code == 0
+        json.loads(capsys.readouterr().out)
+        assert out.exists()
+
+    def test_bad_window_is_usage_error(self, capsys):
+        assert main(["report", "--window", "0"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_unknown_flag_is_usage_error(self, capsys):
+        assert main(["report", "--bogus"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_missing_rows_file_is_usage_error(self, capsys, tmp_path):
+        assert main(["report", "--rows",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().out
+
+
+class TestTraceIntegration:
+    def test_serve_sim_trace_feeds_report(self, fixture_ledger,
+                                          tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(["serve-sim", "steady", "--requests", "60",
+                     "--policy", "fixed", "--trace", str(trace)])
+        assert code == 0
+        assert "telemetry trace" in capsys.readouterr().out
+        out = tmp_path / "fleet.html"
+        code = main(["report", "--bench", str(BENCH_FIXTURE),
+                     "--trace", str(trace), "-o", str(out)])
+        assert code == 0
+        assert "1 telemetry run(s)" in capsys.readouterr().out
+        assert "timeline:" in out.read_text()

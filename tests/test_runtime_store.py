@@ -56,6 +56,91 @@ class TestQueries:
         assert len(store) == 1
 
 
+class TestSingleParse:
+    """The ledger is parsed once per change, not once per query."""
+
+    @pytest.fixture
+    def parse_counter(self, monkeypatch):
+        import repro.runtime.store as store_module
+        counter = {"parses": 0}
+        original = store_module.RunRecord.from_json.__func__
+
+        def counting(cls, line):
+            counter["parses"] += 1
+            return original(cls, line)
+
+        monkeypatch.setattr(store_module.RunRecord, "from_json",
+                            classmethod(counting))
+        return counter
+
+    def test_repeated_records_parse_once(self, store, parse_counter):
+        for i in range(10):
+            store.append(_record(f"run{i}"))
+        parse_counter["parses"] = 0
+        first = store.records()
+        assert parse_counter["parses"] == 10
+        for _ in range(5):
+            assert store.records() == first
+            assert len(store) == 10
+        assert parse_counter["parses"] == 10  # still the one pass
+
+    def test_append_extends_snapshot_without_reparse(self, store,
+                                                     parse_counter):
+        store.append(_record("a"))
+        store.records()
+        parse_counter["parses"] = 0
+        store.append(_record("b"))
+        assert [r.run_id for r in store.records()] == ["a", "b"]
+        assert parse_counter["parses"] == 0
+
+    def test_external_write_invalidates_snapshot(self, store):
+        store.append(_record("a"))
+        store.records()
+        # another process appends behind this store's back
+        other = RunStore(store.path)
+        other.append(_record("b"))
+        assert [r.run_id for r in store.records()] == ["a", "b"]
+
+    def test_recent_on_cold_store_reads_only_the_tail(self, tmp_path,
+                                                      parse_counter):
+        writer = RunStore(tmp_path / "runs.jsonl")
+        for i in range(500):
+            writer.append(_record(f"run{i:03d}"))
+        cold = RunStore(tmp_path / "runs.jsonl")
+        cold._CHUNK = 4096  # force several backward blocks
+        parse_counter["parses"] = 0
+        recent = cold.recent(limit=3)
+        assert [r.run_id for r in recent] == ["run499", "run498",
+                                              "run497"]
+        assert parse_counter["parses"] <= 3
+
+    def test_tail_read_spans_chunk_boundaries(self, tmp_path):
+        writer = RunStore(tmp_path / "runs.jsonl")
+        for i in range(50):
+            writer.append(_record(f"run{i:02d}"))
+        cold = RunStore(tmp_path / "runs.jsonl")
+        cold._CHUNK = 7  # smaller than one line: every line straddles
+        assert [r.run_id for r in cold.recent(limit=50)] == \
+            [f"run{i:02d}" for i in reversed(range(50))]
+
+    def test_tail_read_skips_malformed_lines(self, tmp_path):
+        writer = RunStore(tmp_path / "runs.jsonl")
+        writer.append(_record("good1"))
+        with writer.path.open("a") as handle:
+            handle.write("{truncated json\n")
+        writer.append(_record("good2"))
+        cold = RunStore(tmp_path / "runs.jsonl")
+        assert [r.run_id for r in cold.recent(limit=2)] == \
+            ["good2", "good1"]
+
+    def test_recent_matches_records_tail(self, store):
+        for i in range(30):
+            store.append(_record(f"run{i}"))
+        expected = list(reversed(store.records()[-7:]))
+        cold = RunStore(store.path)
+        assert cold.recent(limit=7) == expected
+
+
 class TestRobustness:
     def test_missing_file_is_empty(self, store):
         assert store.records() == []

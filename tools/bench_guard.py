@@ -1,68 +1,64 @@
 #!/usr/bin/env python
-"""Serving-bench regression guard for CI.
+"""Statistical serving-bench regression guard for CI.
 
 Compares the freshly-benchmarked ``BENCH_serving.json`` against the
-last committed copy and emits a GitHub Actions warning annotation
-(``::warning``) for every matrix cell whose simulated requests/s
-dropped by more than the threshold (default 20%).  Non-blocking by
-design: the exit code is always 0 — machine noise and runner
-heterogeneity make a hard gate on wall-clock throughput flaky, but a
-surfaced warning on the PR is enough to catch a real hot-path
-regression.
+committed history and flags every matrix cell whose simulated
+requests/s dropped below a noise-adjusted threshold.  Two statistical
+upgrades over a naive last-vs-last diff:
+
+- the baseline is the **median of the last N committed points** per
+  cell (``--window``, default 5), so one noisy historical point can't
+  manufacture or mask a regression;
+- the trip threshold is **noise-adjusted**: each cell's relative MAD
+  over the baseline window widens the threshold
+  (``effective = max(threshold, noise_mult * rel_mad)``), so cells the
+  runners measure noisily (tracked swings of 3x on bursty/10k) need a
+  proportionally larger drop to trip.
+
+By default the guard only emits GitHub Actions ``::warning``
+annotations and exits 0; ``--block`` turns a tripped cell into exit
+code 1 for branches that want a hard gate.
 
 Usage:
-    python tools/bench_guard.py BASELINE.json FRESH.json [--threshold 0.2]
+    python tools/bench_guard.py BASELINE.json FRESH.json \
+        [--threshold 0.2] [--window 5] [--noise-mult 3.0] [--block]
 
-Points are grouped by their (scenario, n_requests, variant) labels;
-points predating PR 4 carry no labels and are treated as the
-historical bursty/10k cell, and the ``variant`` label (PR 5) keeps
-control-plane cells — the predictive-autoscale ``forecast`` cell and
-the persisted-memo ``persist`` cell — from colliding with the plain
-cells of the same scenario.  The last point of each group on each
-side is compared.
+Cell labelling (scenario / n_requests / variant, with legacy-point
+rules) comes from :mod:`repro.eval.blocks` — the single normalisation
+point shared with ``repro report``.  The last point of each cell on
+the fresh side is compared; cells whose fresh point is identical to
+the committed one (the bench did not re-run them) are skipped.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-def load_points(path: Path) -> list[dict]:
-    """The point list in ``path``, or [] when absent/unreadable."""
-    try:
-        history = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
-        return []
-    if not isinstance(history, list):
-        return []
-    return [p for p in history if isinstance(p, dict) and "rps" in p]
+from repro.eval.blocks import AGGREGATORS, load_bench  # noqa: E402
+
+_median = AGGREGATORS["median"]
+_mad = AGGREGATORS["mad"]
 
 
-def cell_of(point: dict) -> tuple[str, int, str]:
-    """(scenario, n_requests, variant) of a point; legacy points
-    (pre-label) are the historical bursty/10k cell, and unlabelled
-    variants are the plain serving path."""
-    scenario = point.get("scenario", "bursty")
-    n_requests = point.get("n_requests", point.get("requests", 10_000))
-    return (str(scenario), int(n_requests),
-            str(point.get("variant", "")))
+def by_cell(rows: list[dict]) -> dict[str, list[dict]]:
+    """Cell label -> that cell's points, file (= append) order."""
+    cells: dict[str, list[dict]] = {}
+    for row in rows:
+        cells.setdefault(row["cell"], []).append(row)
+    return cells
 
 
-def label_of(cell: tuple[str, int, str]) -> str:
-    scenario, n_requests, variant = cell
-    base = f"{scenario}/{n_requests}"
-    return f"{base}/{variant}" if variant else base
-
-
-def latest_per_cell(points: list[dict]
-                    ) -> dict[tuple[str, int, str], dict]:
-    latest: dict[tuple[str, int, str], dict] = {}
-    for point in points:  # file order is append order
-        latest[cell_of(point)] = point
-    return latest
+def window_stats(points: list[dict], window: int
+                 ) -> tuple[float, float]:
+    """(median rps, relative MAD) over the last ``window`` points."""
+    tail = [p["rps"] for p in points[-window:]]
+    median = _median(tail)
+    rel_mad = (_mad(tail) / median) if median else 0.0
+    return median, rel_mad
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,11 +68,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("fresh", type=Path,
                         help="BENCH_serving.json after the bench run")
     parser.add_argument("--threshold", type=float, default=0.2,
-                        help="fractional rps drop that trips a warning")
+                        help="minimum fractional rps drop that trips")
+    parser.add_argument("--window", type=int, default=5,
+                        help="baseline points per cell the median "
+                             "looks back over")
+    parser.add_argument("--noise-mult", type=float, default=3.0,
+                        help="widen the threshold to this many "
+                             "relative MADs of the baseline window")
+    parser.add_argument("--block", action="store_true",
+                        help="exit 1 on a tripped cell instead of "
+                             "only annotating")
     args = parser.parse_args(argv)
+    if args.window < 1:
+        parser.error("--window must be >= 1")
 
-    baseline = latest_per_cell(load_points(args.baseline))
-    fresh = latest_per_cell(load_points(args.fresh))
+    baseline = by_cell(load_bench(args.baseline))
+    fresh = by_cell(load_bench(args.fresh))
     if not baseline:
         print("bench-guard: no baseline points; nothing to compare")
         return 0
@@ -85,28 +92,36 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     regressions = 0
-    for cell, base_point in sorted(baseline.items()):
-        fresh_point = fresh.get(cell)
-        if fresh_point is None or fresh_point is base_point:
+    for label, base_points in sorted(baseline.items()):
+        fresh_points = fresh.get(label)
+        if not fresh_points:
             continue
-        base_rps, fresh_rps = base_point["rps"], fresh_point["rps"]
+        fresh_point = fresh_points[-1]
+        if fresh_point == base_points[-1]:
+            continue  # cell not re-benchmarked on the fresh side
+        base_rps, rel_mad = window_stats(base_points, args.window)
         if base_rps <= 0:
             continue
-        drop = 1.0 - fresh_rps / base_rps
-        label = label_of(cell)
-        if drop > args.threshold:
+        effective = max(args.threshold, args.noise_mult * rel_mad)
+        drop = 1.0 - fresh_point["rps"] / base_rps
+        stats = (f"median-of-{min(args.window, len(base_points))} "
+                 f"{base_rps:.0f} -> {fresh_point['rps']:.0f} rps")
+        if drop > effective:
             regressions += 1
             print(f"::warning title=Serving perf regression::"
-                  f"{label}: {base_rps:.0f} -> {fresh_rps:.0f} rps "
-                  f"({drop:.0%} drop > {args.threshold:.0%} threshold, "
-                  f"non-blocking)")
+                  f"{label}: {stats} ({drop:.0%} drop > "
+                  f"{effective:.0%} noise-adjusted threshold"
+                  f"{', blocking' if args.block else ', non-blocking'})")
         else:
-            print(f"bench-guard: {label}: {base_rps:.0f} -> "
-                  f"{fresh_rps:.0f} rps ok ({-drop:+.0%})")
+            print(f"bench-guard: {label}: {stats} ok "
+                  f"({-drop:+.0%} vs {effective:.0%} threshold)")
     if not regressions:
         print("bench-guard: no serving-path regressions past the "
-              f"{args.threshold:.0%} threshold")
-    return 0  # never blocks: the annotation is the signal
+              "noise-adjusted thresholds")
+    elif args.block:
+        print(f"bench-guard: {regressions} blocking regression(s)")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
