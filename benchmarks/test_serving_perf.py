@@ -17,15 +17,18 @@ simulations are a one-time O(distinct layer x batch) cost amortised
 across any sweep — while ``cold_rps`` records the same trace served
 with that cost still in line.
 
-Two control-plane cells ride along with a ``variant`` label (so
+Three control-plane cells ride along with a ``variant`` label (so
 ``tools/bench_guard.py`` tracks them separately): ``forecast`` runs
-the diurnal/10k trace under predictive (Holt) autoscaling, and
+the diurnal/10k trace under predictive (Holt) autoscaling,
 ``persist`` measures the cold-start path with the layer memo warmed
-from the persisted cross-run totals pool — the ROADMAP's remaining
-cold-start headroom — against the plain cold start.
+from the persisted cross-run totals pool, and ``sharded`` is the
+scale-out headline — one million requests streamed through
+``ShardedEngine`` worker processes, recording aggregate simulated
+requests per wall-second.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -38,6 +41,7 @@ from repro.serving import (
     ForecastScalePolicy,
     LayerMemoCache,
     ServingSimulator,
+    ShardedEngine,
     SloPolicy,
     generate_trace,
     get_scenario,
@@ -214,3 +218,37 @@ def test_bench_persisted_memo_cold_start(tmp_path):
     show("BENCH_serving: bursty/10000/persist cold-vs-warm delta",
          [point])
     assert point["rps"] > point["cold_rps"]  # persistence really helps
+
+
+def test_bench_serving_scale_sharded():
+    """The scale-out cell: one million requests, streamed and sharded
+    across worker processes in a single ``ShardedEngine`` run.  ``rps``
+    is *aggregate* simulated requests per wall-second — the headline
+    the ROADMAP's million-request scale-out item asked for — so it
+    scales with the worker pool where the monolithic cells cannot."""
+    n_requests = 1_000_000
+    shards = max(2, min(8, os.cpu_count() or 2))
+    engine = ShardedEngine(shards, replicas=shards, policy="timeout",
+                           batch_size=8)
+    result = engine.run_scenario("steady", n_requests, seed=7)
+
+    point = {
+        "requests": result.requests,
+        "wall_s": round(result.wall_s, 4),
+        "rps": round(result.simulated_rps, 1),
+        "batches": result.batches,
+        "cache_hit_rate": round(result.cache.hit_rate, 4),
+        "created": time.time(),
+        "scenario": "steady",
+        "n_requests": n_requests,
+        "variant": "sharded",
+        "shards": shards,
+        "replicas": shards,
+        "throughput_rps": round(result.throughput_rps, 1),
+        "p95_us": round(result.latency_percentile(95) * 1e6, 1),
+    }
+    append_point(point)
+    show(f"BENCH_serving: steady/{n_requests}/sharded trajectory point",
+         [point])
+    assert result.requests == n_requests  # nothing lost or duplicated
+    assert point["rps"] > 0

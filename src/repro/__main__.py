@@ -17,6 +17,7 @@ Usage::
     python -m repro serve-sim bursty --steal --dispatch round_robin
     python -m repro serve-sim --persist-memo    # warm layer memo across runs
     python -m repro serve-sim bursty --trace out.jsonl  # telemetry trace
+    python -m repro serve-sim steady --shards 4 --replicas 4 --requests 1000000
     python -m repro report                # fleet dashboard -> HTML
     python -m repro report --json         # ... or the report as JSON
     python -m repro report --rows grid.json --trace out.jsonl -o fleet.html
@@ -252,6 +253,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     from repro.serving.memo import (load_persistent_memo,
                                     store_persistent_memo)
     from repro.serving.policies import make_flush, make_scale
+    from repro.serving.sharding import validate_sharding
     from repro.serving.simulator import DISPATCH_STRATEGIES
 
     scenarios: list[str] = []
@@ -261,13 +263,14 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     slo_us, shed_depth, autoscale, faults = 0.0, 0, "", 0
     flush, scale, steal, persist_memo = "fifo", "", False, False
     trace_path = ""
+    shards, dispatch_given = 1, False
     priority_specs: list[str] = []
     try:
         i = 0
         while i < len(args):
             token = args[i]
             if token in ("--requests", "--replicas", "--batch-size",
-                         "--seed", "--shed", "--fail"):
+                         "--seed", "--shed", "--fail", "--shards"):
                 if i + 1 >= len(args):
                     raise ConfigError(f"{token} needs a value")
                 try:
@@ -290,6 +293,8 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     shed_depth = value
                 elif token == "--fail":
                     faults = value
+                elif token == "--shards":
+                    shards = value
                 else:
                     seed = value
                 i += 2
@@ -358,6 +363,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                             f"{', '.join(DISPATCH_STRATEGIES)}"
                         )
                     dispatch = value
+                    dispatch_given = True
                 else:
                     accelerator = value
                 i += 2
@@ -382,9 +388,37 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             make_scale(scale, parse_autoscale(autoscale))
         for name in scenarios:
             get_scenario(name)
+        if shards > 1:
+            # a bare --shards N implies the shard-stable dispatch;
+            # an explicit conflicting one is rejected below
+            if not dispatch_given:
+                dispatch = "shard"
+            if flush != "fifo" or priority_specs:
+                raise ConfigError(
+                    "sharded runs use the default fifo flush; priority "
+                    "flush queues are not plumbed across worker shards"
+                )
+            if persist_memo:
+                raise ConfigError(
+                    "--persist-memo is incompatible with --shards: "
+                    "worker shards each build their own layer memo"
+                )
+            validate_sharding(shards, replicas=replicas,
+                              dispatch=dispatch, autoscale=autoscale,
+                              scale=scale, steal=steal, shed=shed_depth,
+                              fail=faults, scenarios=scenarios)
     except ConfigError as exc:
         print(f"error: {exc}")
         return 2
+
+    if shards > 1:
+        return _serve_sim_sharded(
+            opts, scenarios=scenarios, policies=policies,
+            requests=requests, replicas=replicas,
+            batch_size=batch_size, seed=seed, accelerator=accelerator,
+            dispatch=dispatch, slo_us=slo_us, shards=shards,
+            trace_path=trace_path,
+        )
 
     cache = LayerMemoCache()
     memo_store = ResultCache() if persist_memo else None
@@ -438,6 +472,61 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
         print(f"telemetry trace: {trace_path} "
               f"({telemetry.counters['runs']} run(s), "
               f"{len(telemetry.rows)} row(s))")
+    return 0
+
+
+def _serve_sim_sharded(opts: CliOptions, *, scenarios: list[str],
+                       policies: list[str], requests: int,
+                       replicas: int, batch_size: int, seed: int,
+                       accelerator: str, dispatch: str, slo_us: float,
+                       shards: int, trace_path: str) -> int:
+    """The ``serve-sim --shards N`` path: fan out, merge, report."""
+    from repro.serving import SCENARIOS, Telemetry
+    from repro.serving.sharding import ShardedEngine
+
+    # fault-carrying scenarios are not shard-stable, so the default
+    # grid skips them (asking for one explicitly is an exit-2 error)
+    names = scenarios or [name for name, s in SCENARIOS.items()
+                          if not s.faults]
+    trace = bool(trace_path)
+    rows: list[dict] = []
+    results = []
+    for name in names:
+        for policy in policies:
+            engine = ShardedEngine(
+                shards, accelerator=accelerator, replicas=replicas,
+                policy=policy, batch_size=batch_size, dispatch=dispatch,
+                slo_us=slo_us, trace=trace,
+            )
+            result = engine.run_scenario(name, requests, seed)
+            results.append(result)
+            rows.append(result.to_row())
+    if trace:
+        # merge the shard-tagged worker traces into one JSONL sink
+        telemetry = Telemetry()
+        for result in results:
+            for outcome in result.outcomes:
+                for key, count in outcome.counters:
+                    telemetry.counters[key] = (
+                        telemetry.counters.get(key, 0) + count)
+            telemetry.rows.extend(result.telemetry_rows)
+        telemetry.save(trace_path)
+    if opts.as_json:
+        print(report.to_json(rows))
+        return 0
+    total = sum(r.requests for r in results)
+    wall = sum(r.wall_s for r in results)
+    extras = f", slo {slo_us:g}us" if slo_us else ""
+    print(f"\n=== serve-sim: {accelerator} x{replicas} ({dispatch}), "
+          f"{requests} requests/scenario across {shards} shard "
+          f"worker(s){extras} ===")
+    print(report.render_rows(rows))
+    print(f"\nscale-out: {total} requests simulated in {wall:.2f}s "
+          f"wall ({total / wall:,.0f} aggregate req/s)" if wall
+          else f"\nscale-out: {total} requests simulated")
+    if trace:
+        print(f"telemetry trace: {trace_path} "
+              f"({len(telemetry.rows)} shard-tagged row(s))")
     return 0
 
 

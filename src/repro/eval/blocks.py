@@ -390,7 +390,9 @@ def load_ledger(source=None) -> list[Row]:
 def load_telemetry(path) -> list[Row]:
     """A saved telemetry trace's rows (see
     :func:`repro.serving.telemetry.load_trace`), with the source path
-    attached as a ``trace`` column."""
+    attached as a ``trace`` column.  Rows from a sharded scale-out run
+    keep their ``shard`` id, which the dashboard timeline uses to give
+    each worker shard its own series."""
     from repro.serving.telemetry import load_trace
 
     _meta, rows = load_trace(path)

@@ -162,12 +162,19 @@ def _ledger_summary(ledger_rows: Sequence[Row]) -> Row:
 
 
 def _timeline_runs(telemetry_rows: Sequence[Row]) -> list[Row]:
-    """One timeline per (trace, run): meta + the sample series."""
+    """One timeline per (trace, run[, shard]): meta + the samples.
+
+    Sharded traces tag every row with a ``shard`` id; each worker
+    shard gets its own timeline entry (and report row), so a scale-out
+    run renders one per-shard timeline per shard instead of collapsing
+    the workers into one mixed series.
+    """
     metas: dict[tuple, Row] = {}
     samples: dict[tuple, list[Row]] = {}
     counts: dict[tuple, int] = {}
     for row in telemetry_rows:
-        key = (row.get("trace", ""), row.get("run", 0))
+        key = (row.get("trace", ""), row.get("run", 0),
+               row.get("shard"))
         kind = row.get("ev")
         if kind == "run":
             metas[key] = row
@@ -194,6 +201,10 @@ def _timeline_runs(telemetry_rows: Sequence[Row]) -> list[Row]:
                 "energy_j": s.get("energy_j"),
             } for s in series],
         }
+        # only sharded traces carry the column, so unsharded reports
+        # (and their goldens) stay byte-identical
+        if key[2] is not None:
+            entry["shard"] = key[2]
         out.append(entry)
     return out
 
@@ -479,8 +490,9 @@ def _timeline_section(report: dict) -> list[str]:
         if not samples:
             continue
         title = " ".join(filter(None, [
-            run["trace"], f"run {run['run']}", run["scenario"],
-            run["policy"],
+            run["trace"], f"run {run['run']}",
+            f"shard {run['shard']}" if "shard" in run else "",
+            run["scenario"], run["policy"],
         ]))
         out.append(f"<h2>timeline: {html.escape(title)}</h2>")
         out.append("<div class=\"cards\">")

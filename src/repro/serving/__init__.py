@@ -10,6 +10,12 @@ flush ordering, scaling, admission, work stealing) are pluggable
 policies from :mod:`repro.serving.policies`.  A layer-result memo
 cache keeps million-request traces cheap, and can persist its totals
 across runs through the runtime result cache.
+
+For million-request scale, traces stream (:func:`stream_trace`,
+bit-identical to :func:`generate_trace` with O(1) requests resident)
+and :class:`ShardedEngine` (:mod:`repro.serving.sharding`) fans a
+deterministically sharded trace across worker processes, merging
+exact counters plus a mergeable latency digest back into one result.
 """
 
 from repro.serving.batching import (
@@ -58,6 +64,13 @@ from repro.serving.policies import (
     make_flush,
     make_scale,
 )
+from repro.serving.sharding import (
+    LatencyDigest,
+    ShardOutcome,
+    ShardedEngine,
+    ShardedResult,
+    validate_sharding,
+)
 from repro.serving.simulator import (
     BatchRecord,
     ServingResult,
@@ -78,8 +91,13 @@ from repro.serving.workload import (
     Request,
     SCENARIOS,
     Scenario,
+    TraceShard,
     generate_trace,
     get_scenario,
+    shard_key,
+    shard_seeds,
+    shard_trace,
+    stream_trace,
 )
 
 __all__ = [
@@ -107,6 +125,7 @@ __all__ = [
     "FlushPolicy",
     "ForecastScalePolicy",
     "Interner",
+    "LatencyDigest",
     "LayerMemoCache",
     "LeastLoadedDispatch",
     "ModelMix",
@@ -124,10 +143,14 @@ __all__ = [
     "ServingResult",
     "ServingSimulator",
     "ShardDispatch",
+    "ShardOutcome",
+    "ShardedEngine",
+    "ShardedResult",
     "SloPolicy",
     "TRACE_SCHEMA",
     "Telemetry",
     "TimeoutBatching",
+    "TraceShard",
     "WorkStealPolicy",
     "generate_trace",
     "get_scenario",
@@ -137,5 +160,10 @@ __all__ = [
     "make_flush",
     "make_policy",
     "make_scale",
+    "shard_key",
+    "shard_seeds",
+    "shard_trace",
     "store_persistent_memo",
+    "stream_trace",
+    "validate_sharding",
 ]

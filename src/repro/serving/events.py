@@ -77,7 +77,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from enum import IntEnum
 from math import ceil
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.serving.policies import (
@@ -571,23 +571,13 @@ class ClusterEngine:
         self.memoize_rates = memoize_rates
         self._initial = list(replicas)
 
-    # -- run -------------------------------------------------------------
-    def run(self, requests: Sequence[Request]) -> EngineRun:
-        """Serve a time-ordered trace and return the raw outcome."""
-        if not requests:
-            raise ConfigError("cannot serve an empty trace")
-        n = len(requests)
-        ordered = requests
-        if any(ordered[i].arrival > ordered[i + 1].arrival
-               for i in range(n - 1)):
-            # stable, so equal arrivals keep their trace order — the
-            # same tie-break the heap's insertion seq used to provide
-            ordered = sorted(requests, key=lambda r: r.arrival)
-        # trace span from the *time* order, never the input order: the
-        # DRAIN must land at the true last arrival or late requests
-        # under a deadline-less policy would sit in their queues forever
-        t0, t_end = ordered[0].arrival, ordered[-1].arrival
+    # -- per-run state ---------------------------------------------------
+    def _prepare(self, t0: float, n: int) -> None:
+        """Reset all per-run state for a run starting at ``t0``.
 
+        ``n`` seeds ``_remaining`` (arrivals still to come); the
+        streaming path maintains it from its look-ahead instead.
+        """
         self._replicas = [
             Replica(index=i, accelerator=acc)
             for i, acc in enumerate(self._initial)
@@ -658,6 +648,73 @@ class ClusterEngine:
                               else tel.tick
                               if tel is not None and tel.tick else 0.0)
 
+    def _handlers(self) -> tuple:
+        """Event handlers indexed by :class:`EventKind` value."""
+        return (
+            self._on_flush,       # FLUSH
+            None,                 # ARRIVAL (merge-scanned, never heaped)
+            self._on_batch_done,  # BATCH_DONE
+            self._on_fail,        # FAIL
+            self._on_recover,     # RECOVER
+            self._on_control,     # CONTROL
+            self._on_drain,       # DRAIN
+        )
+
+    def _finish(self) -> EngineRun:
+        """Collect per-run state into the immutable outcome."""
+        inflight = self._inflight
+        batches = tuple(entry.record
+                        for entry in map(inflight.__getitem__,
+                                         self._batch_order)
+                        if entry.alive)
+        return EngineRun(
+            batches=batches, done=self._done, shed=tuple(self._shed),
+            replica_trace=tuple(self._trace),
+            scale_events=tuple(self._scale_events),
+            redispatched=self._redispatched, wasted_energy=self._wasted,
+            stolen=self._stolen,
+        )
+
+    # -- run -------------------------------------------------------------
+    def run(self, requests: Iterable[Request],
+            span: Optional[tuple[float, float]] = None) -> EngineRun:
+        """Serve a trace and return the raw outcome.
+
+        ``requests`` is either a materialised sequence (sorted here if
+        out of order) or any other iterable — a generator streams with
+        one request of look-ahead and is never materialised.  Streamed
+        traces must already be time-ordered.
+
+        ``span`` optionally pins the run's ``(start, drain)`` horizon
+        instead of the trace's own first/last arrival — a sharded run
+        passes the *global* trace span so every shard drains at the
+        same instant the monolithic engine would.  Streaming with a
+        :class:`FailurePlan` requires a span (outages are sampled over
+        the full horizon before the first arrival is seen).
+        """
+        if not isinstance(requests, Sequence):
+            return self._run_stream(iter(requests), span)
+        if not requests:
+            raise ConfigError("cannot serve an empty trace")
+        n = len(requests)
+        ordered = requests
+        if any(ordered[i].arrival > ordered[i + 1].arrival
+               for i in range(n - 1)):
+            # stable, so equal arrivals keep their trace order — the
+            # same tie-break the heap's insertion seq used to provide
+            ordered = sorted(requests, key=lambda r: r.arrival)
+        # trace span from the *time* order, never the input order: the
+        # DRAIN must land at the true last arrival or late requests
+        # under a deadline-less policy would sit in their queues forever
+        t0, t_end = ordered[0].arrival, ordered[-1].arrival
+        if span is not None:
+            if span[0] > t0 or span[1] < t_end:
+                raise ConfigError("span must cover the trace's "
+                                  "arrival interval")
+            t0, t_end = span
+
+        self._prepare(t0, n)
+
         # Arrivals stay in the (time-ordered) trace and are merge-
         # scanned against the heap, which only ever holds the sparse
         # flush/done/control events.  Arrival ``seq`` is the trace
@@ -682,15 +739,7 @@ class ClusterEngine:
         if self._control_tick:
             events.push(t0 + self._control_tick, EventKind.CONTROL)
 
-        handlers = (
-            self._on_flush,       # FLUSH
-            None,                 # ARRIVAL (merge-scanned, never heaped)
-            self._on_batch_done,  # BATCH_DONE
-            self._on_fail,        # FAIL
-            self._on_recover,     # RECOVER
-            self._on_control,     # CONTROL
-            self._on_drain,       # DRAIN
-        )
+        handlers = self._handlers()
         heap = events._heap
         heappop = heapq.heappop
         on_arrival = self._on_arrival
@@ -710,18 +759,93 @@ class ClusterEngine:
             else:
                 break
 
-        inflight = self._inflight
-        batches = tuple(entry.record
-                        for entry in map(inflight.__getitem__,
-                                         self._batch_order)
-                        if entry.alive)
-        return EngineRun(
-            batches=batches, done=self._done, shed=tuple(self._shed),
-            replica_trace=tuple(self._trace),
-            scale_events=tuple(self._scale_events),
-            redispatched=self._redispatched, wasted_energy=self._wasted,
-            stolen=self._stolen,
-        )
+        return self._finish()
+
+    def _run_stream(self, it: Iterator[Request],
+                    span: Optional[tuple[float, float]]) -> EngineRun:
+        """Serve a time-ordered stream with one request of look-ahead.
+
+        Identical outcomes to the materialised path: arrivals never
+        enter the heap, so heap ``seq`` numbers only order heap-vs-heap
+        ties and the ``first_seq=n`` offset the tuple path uses is
+        irrelevant; the end-of-trace DRAIN (the single kind-6 event,
+        which sorts after every same-instant event regardless of
+        insertion order) is pushed when the stream runs dry, at the
+        last arrival seen — unless ``span`` pins the horizon up front.
+        """
+        first = next(it, None)
+        if first is None:
+            raise ConfigError("cannot serve an empty trace")
+        if span is not None and first.arrival < span[0]:
+            raise ConfigError("streamed arrival lands before the "
+                              "span's start")
+        t0 = first.arrival if span is None else span[0]
+        self._prepare(t0, 1)
+        events = EventQueue()
+        self._events = events
+        if span is not None:
+            events.push(span[1], EventKind.DRAIN)
+        if self.failures is not None:
+            if span is None:
+                raise ConfigError(
+                    "streaming runs with a failure plan need an "
+                    "explicit span=(start, end); outages are sampled "
+                    "over the full horizon before arrivals are seen"
+                )
+            for outage in self.failures.resolve(t0, span[1],
+                                                len(self._replicas)):
+                if outage.replica >= len(self._replicas):
+                    raise ConfigError(
+                        f"outage targets replica {outage.replica} but "
+                        f"the pool has {len(self._replicas)}"
+                    )
+                events.push(outage.at, EventKind.FAIL,
+                            payload=outage.replica)
+                events.push(outage.until, EventKind.RECOVER,
+                            payload=outage.replica)
+        if self._control_tick:
+            events.push(t0 + self._control_tick, EventKind.CONTROL)
+
+        handlers = self._handlers()
+        heap = events._heap
+        heappop = heapq.heappop
+        on_arrival = self._on_arrival
+        t_cap = span[1] if span is not None else None
+        nxt: Optional[Request] = first
+        last_arrival = first.arrival
+        i = 0
+        while True:
+            if nxt is not None:
+                if heap and heap[0] < (nxt.arrival, _ARRIVAL, "", i):
+                    time, kind, _key, _seq, payload = heappop(heap)
+                    handlers[kind](time, payload)
+                else:
+                    on_arrival(nxt.arrival, nxt)
+                    last_arrival = nxt.arrival
+                    i += 1
+                    nxt = next(it, None)
+                    if nxt is None:
+                        self._remaining = 0
+                        if span is None:
+                            events.push(last_arrival, EventKind.DRAIN)
+                    else:
+                        if nxt.arrival < last_arrival:
+                            raise ConfigError(
+                                "streamed traces must be time-ordered"
+                            )
+                        if t_cap is not None and nxt.arrival > t_cap:
+                            raise ConfigError(
+                                "streamed arrival lands after the "
+                                "span's drain horizon"
+                            )
+                        self._remaining = 1
+            elif heap:
+                time, kind, _key, _seq, payload = heappop(heap)
+                handlers[kind](time, payload)
+            else:
+                break
+
+        return self._finish()
 
     # -- event handlers --------------------------------------------------
     # Handlers take (time, payload) — the engine never materialises

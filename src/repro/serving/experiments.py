@@ -31,6 +31,7 @@ from repro.serving.policies import (
     make_flush,
     make_scale,
 )
+from repro.serving.sharding import ShardedEngine
 from repro.serving.simulator import ServingSimulator
 from repro.serving.telemetry import Telemetry
 from repro.serving.workload import SCENARIOS, get_scenario
@@ -319,6 +320,39 @@ def serving_forecast(scenario: str = "diurnal", policy: str = "timeout",
     return rows
 
 
+def serving_scale(scenario: str = "steady", policy: str = "timeout",
+                  requests: int = 100_000, accelerator: str = "SMART",
+                  replicas: int = 4, batch_size: int = 8,
+                  shards: int = 4, seed: int = 7,
+                  slo_us: float = 0.0, mode: str = "process",
+                  scenarios: Optional[Sequence[str]] = None
+                  ) -> list[dict]:
+    """Sharded scale-out: aggregate req/s across worker processes.
+
+    One row per scenario: the trace is deterministically sharded
+    (:class:`~repro.serving.sharding.ShardedEngine`), each shard
+    streams its slice through an independent engine in its own worker
+    process, and the merged row reports exact counters/energy plus
+    digest percentiles and ``agg_rps`` — simulated requests per second
+    of wall time, the scale-out headline.  Only shard-stable cells are
+    legal (``shard`` dispatch, no autoscale/steal/shed/faults);
+    anything else raises :class:`~repro.errors.ConfigError`.
+    """
+    engine = ShardedEngine(
+        shards=shards, accelerator=accelerator, replicas=replicas,
+        policy=policy, batch_size=batch_size, dispatch="shard",
+        slo_us=slo_us, mode=mode,
+    )
+    rows = []
+    for name in scenarios or (scenario,):
+        result = engine.run_scenario(name, requests, seed=seed)
+        row = result.to_row()
+        row["replicas"] = replicas
+        row["wall_s"] = result.wall_s
+        rows.append(row)
+    return rows
+
+
 def _register() -> None:
     from repro.runtime.registry import register_experiment
 
@@ -343,6 +377,11 @@ def _register() -> None:
         "autoscaler pool swing + percentiles; params: scenario, "
         "policy, requests, min_replicas, max_replicas, metric, "
         "target_p95_us, dispatch, seed", figure=False)
+    register_experiment(
+        "serving_scale", serving_scale,
+        "sharded scale-out across worker processes, aggregate req/s; "
+        "params: scenario, policy, requests, replicas, batch_size, "
+        "shards, seed, slo_us, mode", figure=False)
     register_experiment(
         "serving_forecast", serving_forecast,
         "reactive vs predictive autoscaling, SLO attainment/joule; "

@@ -1,0 +1,625 @@
+"""Sharded scale-out of the serving simulator across worker processes.
+
+One :class:`ShardedEngine` run simulates a single logical trace —
+millions of requests — by fanning deterministic shards out through the
+:mod:`repro.runtime` process-pool executor.  Each worker streams its
+own slice of the global seeded trace (:func:`~repro.serving.workload.
+shard_trace`: no process ever materialises the full request list),
+serves it on an independent :class:`~repro.serving.events.
+ClusterEngine`, and ships back a compact :class:`ShardOutcome`; the
+parent merge-reduces those into one :class:`ShardedResult` with exact
+counters and energy sums, a mergeable :class:`LatencyDigest` for
+percentiles, and per-shard telemetry rows tagged with their shard id.
+
+Why this is exact and not merely parallel: the splitter partitions
+models by the same ``crc32(model) % replicas`` pin
+:class:`~repro.serving.policies.ShardDispatch` homes batches with, so
+each replica's entire traffic lands in exactly one shard and replica
+state (free times, resident weights, switch charges) never couples
+across workers.  Every shard engine holds the *full* replica pool
+(preserving indices and the hash fold) and drains at the *global*
+trace end via the engine's ``span`` pin.  On such shard-stable cells a
+sharded run reproduces the monolithic engine's per-request latencies
+and energies bit for bit — ``detail=True`` merges the shards back
+into a full :class:`~repro.serving.simulator.ServingResult` and the
+equivalence suite (``tests/test_serving_sharding.py``) holds it to
+exact tuple equality.
+
+Control-plane features that inherently observe cross-shard state —
+autoscaling, work stealing, admission depth, failure re-dispatch —
+are rejected up front by :func:`validate_sharding` with a
+:class:`~repro.errors.ConfigError` rather than silently drifting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import chain
+from time import perf_counter
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.runtime.executor import parallel_map
+from repro.serving.batching import make_policy
+from repro.serving.events import SloPolicy
+from repro.serving.memo import CacheStats, LayerMemoCache
+from repro.serving.simulator import ServingResult, ServingSimulator
+from repro.serving.telemetry import Telemetry
+from repro.serving.workload import (
+    Request,
+    Scenario,
+    get_scenario,
+    shard_trace,
+)
+
+__all__ = [
+    "LatencyDigest",
+    "ShardOutcome",
+    "ShardedEngine",
+    "ShardedResult",
+    "validate_sharding",
+]
+
+#: Dispatch strategies whose decisions depend only on the model being
+#: dispatched (never on cross-request engine state), so a model-
+#: partitioned trace reproduces them exactly across workers.
+SHARD_STABLE_DISPATCH = ("shard",)
+
+
+def validate_sharding(shards: int, *, replicas: int,
+                      dispatch: object = "shard", autoscale: str = "",
+                      scale: str = "", steal: bool = False,
+                      shed: int = 0, fail: int = 0,
+                      scenarios: Sequence[str | Scenario] = ()) -> None:
+    """Reject shard counts and features a sharded run cannot honour.
+
+    Raises:
+        ConfigError: whenever the combination would make sharded and
+            monolithic results diverge (or the shard count is
+            malformed) — the CLI surfaces these as clean exit-2
+            errors, matching the ``--scale``/``--flush`` pattern.
+    """
+    if shards < 1:
+        raise ConfigError("shard count must be >= 1")
+    if replicas < 1:
+        raise ConfigError("cluster needs at least one replica")
+    if shards > replicas:
+        raise ConfigError(
+            f"{shards} shards need at least {shards} replicas (got "
+            f"{replicas}); every worker shard must own at least one "
+            f"home replica"
+        )
+    name = dispatch if isinstance(dispatch, str) \
+        else getattr(dispatch, "name", "?")
+    if name not in SHARD_STABLE_DISPATCH:
+        raise ConfigError(
+            f"sharded runs need a shard-stable dispatch "
+            f"({', '.join(SHARD_STABLE_DISPATCH)}), not '{name}': "
+            f"stateful strategies route on cross-request state the "
+            f"workers cannot share"
+        )
+    if autoscale or scale:
+        raise ConfigError(
+            "sharded runs cannot autoscale: pool changes would couple "
+            "shards through the shared replica set"
+        )
+    if steal:
+        raise ConfigError(
+            "work stealing moves batches between shard-owned "
+            "replicas; disable stealing for sharded runs"
+        )
+    if shed:
+        raise ConfigError(
+            "admission control sheds on the global in-system depth, "
+            "which no single shard observes; disable shedding for "
+            "sharded runs"
+        )
+    if fail:
+        raise ConfigError(
+            "failure injection re-dispatches in-flight batches across "
+            "shard boundaries; sharded runs must be fault-free"
+        )
+    for scenario in scenarios:
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        if scenario.faults:
+            raise ConfigError(
+                f"scenario '{scenario.name}' injects replica faults; "
+                f"failure re-dispatch is not shard-stable"
+            )
+
+
+class LatencyDigest:
+    """A mergeable fixed-relative-resolution latency summary.
+
+    Values land in geometric buckets of width ``1 + resolution``, so
+    any percentile read off the digest is within ``resolution/2``
+    (relative) of the exact nearest-rank value while the digest stays
+    O(distinct buckets) — a million served latencies digest into a few
+    hundred counters, which is what lets worker shards ship summaries
+    instead of per-request arrays.  Count, sum, min and max are exact.
+    """
+
+    __slots__ = ("resolution", "counts", "count", "total",
+                 "min", "max", "_scale")
+
+    def __init__(self, resolution: float = 0.01) -> None:
+        if resolution <= 0:
+            raise ConfigError("digest resolution must be positive")
+        self.resolution = resolution
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._scale = 1.0 / math.log1p(resolution)
+
+    def add(self, value: float) -> None:
+        """Record one latency (s)."""
+        idx = (math.floor(math.log(value) * self._scale)
+               if value > 0.0 else -(1 << 62))
+        counts = self.counts
+        counts[idx] = counts.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "LatencyDigest") -> None:
+        """Fold another digest (same resolution) into this one."""
+        if other.resolution != self.resolution:
+            raise ConfigError("cannot merge digests of different "
+                              "resolutions")
+        counts = self.counts
+        for idx, n in other.counts.items():
+            counts[idx] = counts.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the recorded values."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate nearest-rank percentile ``q`` (in [0, 100]).
+
+        Returns the geometric midpoint of the bucket holding the rank,
+        clamped to the exact observed min/max.
+        """
+        if not self.count:
+            raise ConfigError("percentile of an empty digest")
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError("percentile rank must be in [0, 100]")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = 0
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if seen >= rank:
+                if idx <= -(1 << 62):
+                    return 0.0
+                mid = math.exp((idx + 0.5) / self._scale)
+                return min(max(mid, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One worker shard's summary, shipped back to the parent.
+
+    Counters, energies and busy time are exact; latency percentiles
+    travel in the mergeable ``digest``.  ``result`` carries the full
+    per-request :class:`ServingResult` only when the run asked for
+    ``detail`` (the equivalence-test path); ``telemetry_rows`` are the
+    shard's trace rows, each already tagged with ``shard``.
+    """
+
+    shard: int
+    requests: int
+    batches: int
+    energy: float
+    busy_s: float
+    first_arrival: float
+    last_done: float
+    digest: LatencyDigest
+    slo_hits: int
+    cache: CacheStats
+    wall_s: float
+    telemetry_rows: tuple = ()
+    counters: tuple = ()
+    result: Optional[ServingResult] = None
+
+
+def _shard_simulator(spec: dict,
+                     telemetry: Optional[Telemetry]) -> ServingSimulator:
+    """Rebuild the per-shard simulator from picklable primitives."""
+    slo = SloPolicy(target=spec["slo_us"] * 1e-6) \
+        if spec["slo_us"] else None
+    return ServingSimulator(
+        accelerator=spec["accelerator"],
+        replicas=spec["replicas"],
+        policy=make_policy(spec["policy"], batch_size=spec["batch_size"]),
+        dispatch=spec["dispatch"],
+        cache=LayerMemoCache(),
+        slo=slo,
+        telemetry=telemetry,
+    )
+
+
+def _serve_shard(spec: dict) -> ShardOutcome:
+    """Serve one shard of the global trace (runs in a worker process).
+
+    Module-level and dict-parameterised so the process pool can pickle
+    the call; everything heavier (scenario, networks, memo cache,
+    engine) is rebuilt inside the worker.
+    """
+    t_start = perf_counter()
+    scenario = get_scenario(spec["scenario"])
+    telemetry = (Telemetry(events=spec["trace_events"],
+                           tick=spec["tick"] or None)
+                 if spec["trace"] else None)
+    sim = _shard_simulator(spec, telemetry)
+    shard = shard_trace(scenario, spec["rate"], spec["n"], spec["seed"],
+                        shards=spec["shards"], shard=spec["shard"],
+                        replicas=spec["replicas"])
+    networks = {m: sim.network(m) for m in scenario.mix.models()}
+    engine = sim.make_engine(networks)
+
+    arrivals: dict[int, float] = {}
+
+    def tee(stream):
+        for request in stream:
+            arrivals[request.request_id] = request.arrival
+            yield request
+
+    requests: list[Request] = []
+    stream = iter(shard)
+    if spec["detail"]:
+        requests = list(stream)
+        for request in requests:
+            arrivals[request.request_id] = request.arrival
+        stream = iter(requests)
+    else:
+        stream = tee(stream)
+
+    if telemetry is not None:
+        telemetry.begin_run(
+            scenario=scenario.name, policy=sim.policy.name,
+            dispatch=sim.dispatch, replicas=sim.replicas,
+            accelerator=sim.accelerator.name, rate_rps=spec["rate"],
+            shard=spec["shard"], shards=spec["shards"],
+        )
+
+    first = next(stream, None)
+    if first is None:
+        # a legal outcome: few models, unlucky hash fold — this
+        # shard's replicas simply idle for the whole run
+        return ShardOutcome(
+            shard=spec["shard"], requests=0, batches=0, energy=0.0,
+            busy_s=0.0, first_arrival=math.inf, last_done=-math.inf,
+            digest=LatencyDigest(), slo_hits=0, cache=CacheStats(),
+            wall_s=perf_counter() - t_start,
+        )
+    outcome = engine.run(chain((first,), stream), span=shard.span)
+
+    slo_target = spec["slo_us"] * 1e-6
+    digest = LatencyDigest()
+    energy = 0.0
+    slo_hits = 0
+    for request_id, (done, joules) in outcome.done.items():
+        latency = done - arrivals[request_id]
+        digest.add(latency)
+        energy += joules
+        if slo_target and latency <= slo_target:
+            slo_hits += 1
+    busy = sum(record.service for record in outcome.batches)
+    last_done = max(record.done for record in outcome.batches)
+    stats = sim.cache.stats
+    cache = CacheStats(hits=stats.hits, misses=stats.misses,
+                       energy_hits=stats.energy_hits,
+                       energy_misses=stats.energy_misses)
+
+    rows: tuple = ()
+    counters: tuple = ()
+    if telemetry is not None:
+        for row in telemetry.rows:
+            row["shard"] = spec["shard"]
+        rows = tuple(telemetry.rows)
+        counters = tuple(sorted(telemetry.counters.items()))
+
+    result = None
+    if spec["detail"]:
+        ordered = tuple(requests)
+        latencies = tuple(outcome.done[r.request_id][0] - r.arrival
+                          for r in ordered)
+        energies = tuple(outcome.done[r.request_id][1] for r in ordered)
+        result = ServingResult(
+            accelerator=sim.accelerator.name, replicas=sim.replicas,
+            scenario=scenario.name, policy=sim.policy.name,
+            rate=spec["rate"], requests=ordered, latencies=latencies,
+            energy_per_request=energies, batches=outcome.batches,
+            cache=cache, slo_target=slo_target,
+            replica_trace=outcome.replica_trace,
+        )
+
+    return ShardOutcome(
+        shard=spec["shard"], requests=len(outcome.done),
+        batches=len(outcome.batches), energy=energy, busy_s=busy,
+        first_arrival=min(arrivals.values()), last_done=last_done,
+        digest=digest, slo_hits=slo_hits, cache=cache,
+        wall_s=perf_counter() - t_start, telemetry_rows=rows,
+        counters=counters, result=result,
+    )
+
+
+@dataclass
+class ShardedResult:
+    """The merge-reduced outcome of one sharded run.
+
+    Counters, energy, busy time and SLO hits are exact sums over the
+    shards; latency percentiles read off the merged
+    :class:`LatencyDigest` (within its resolution).  ``detail`` holds
+    the bit-exact merged :class:`ServingResult` when the run was
+    started with ``detail=True``.
+    """
+
+    accelerator: str
+    replicas: int
+    scenario: str
+    policy: str
+    dispatch: str
+    rate: float
+    shards: int
+    requests: int
+    batches: int
+    energy: float
+    busy_s: float
+    first_arrival: float
+    last_done: float
+    digest: LatencyDigest
+    slo_target: float
+    slo_hits: int
+    wall_s: float
+    cache: CacheStats
+    outcomes: tuple[ShardOutcome, ...] = ()
+    detail: Optional[ServingResult] = None
+
+    @property
+    def makespan(self) -> float:
+        """Global first arrival to global last completion (s)."""
+        if self.last_done <= self.first_arrival:
+            return 0.0
+        return self.last_done - self.first_arrival
+
+    @property
+    def throughput_rps(self) -> float:
+        """Simulated served requests per second of sim-time."""
+        return self.requests / self.makespan if self.makespan else 0.0
+
+    @property
+    def simulated_rps(self) -> float:
+        """Aggregate simulated requests per second of *wall* time —
+        the scale-out headline the ``serving_scale`` bench records."""
+        return self.requests / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean dispatched batch size across all shards."""
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the pool over the global makespan."""
+        available = self.replicas * self.makespan
+        return self.busy_s / available if available else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of all requests meeting the SLO (exact)."""
+        if not self.slo_target:
+            return 1.0
+        return self.slo_hits / self.requests if self.requests else 1.0
+
+    @property
+    def telemetry_rows(self) -> tuple:
+        """Every shard's telemetry rows, shard-tagged, concatenated
+        in (shard, emission) order."""
+        return tuple(chain.from_iterable(o.telemetry_rows
+                                         for o in self.outcomes))
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` (s): exact when the run kept
+        per-request detail, digest-resolution otherwise."""
+        if self.detail is not None:
+            return self.detail.latency_percentile(q)
+        return self.digest.percentile(q)
+
+    def to_row(self) -> dict:
+        """The reporting row ``repro serve-sim --shards N`` prints."""
+        row = {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "shards": self.shards,
+            "requests": self.requests,
+            "rate_rps": self.rate,
+            "p50_us": self.latency_percentile(50) * 1e6,
+            "p95_us": self.latency_percentile(95) * 1e6,
+            "p99_us": self.latency_percentile(99) * 1e6,
+            "throughput_rps": self.throughput_rps,
+            "agg_rps": self.simulated_rps,
+            "energy_per_req_uj": (self.energy / self.requests * 1e6
+                                  if self.requests else 0.0),
+            "mean_batch": self.mean_batch,
+            "utilization": self.utilization,
+            "cache_hit_rate": self.cache.hit_rate,
+        }
+        if self.slo_target:
+            row["slo_attain"] = self.slo_attainment
+        return row
+
+
+def _merge_detail(outcomes: Sequence[ShardOutcome], *, scenario: str,
+                  policy: str, rate: float, accelerator: str,
+                  replicas: int, slo_target: float,
+                  cache: CacheStats) -> Optional[ServingResult]:
+    """Reassemble per-shard ServingResults into the monolithic one.
+
+    Requests (and their latencies/energies) interleave back into
+    global request-id order — exactly the monolithic trace order, as
+    ids are assigned in arrival order.  Batches from different shards
+    have no global dispatch order, so they are canonically sorted; the
+    equivalence suite compares them as sets.
+    """
+    shards = [o.result for o in outcomes if o.result is not None]
+    if not shards:
+        return None
+    triplets = sorted(
+        chain.from_iterable(zip(r.requests, r.latencies,
+                                r.energy_per_request) for r in shards),
+        key=lambda triplet: triplet[0].request_id,
+    )
+    requests = tuple(t[0] for t in triplets)
+    batches = tuple(sorted(
+        chain.from_iterable(r.batches for r in shards),
+        key=lambda b: (b.flush, b.start, b.done, b.replica, b.model),
+    ))
+    return ServingResult(
+        accelerator=accelerator, replicas=replicas, scenario=scenario,
+        policy=policy, rate=rate, requests=requests,
+        latencies=tuple(t[1] for t in triplets),
+        energy_per_request=tuple(t[2] for t in triplets),
+        batches=batches, cache=cache, slo_target=slo_target,
+        replica_trace=((requests[0].arrival, replicas),),
+    )
+
+
+class ShardedEngine:
+    """Fan one logical serving run out across worker processes.
+
+    Args:
+        shards: worker shard count (each one independent
+            :class:`~repro.serving.events.ClusterEngine` over the full
+            replica pool, fed only its models' traffic).
+        accelerator: replica configuration scheme name.
+        replicas: cluster width; must be >= ``shards``.
+        policy: batching policy name (``fixed``/``timeout``).
+        batch_size: batching policy batch size.
+        dispatch: must be shard-stable (``shard``).
+        slo_us: per-request latency SLO (us); 0 disables.
+        mode: executor mode (``process``/``thread``/``inline``) — the
+            runtime executor falls back to threads transparently where
+            process pools are unavailable.
+        max_workers: pool width cap (default: executor's own).
+        detail: keep per-request arrays and merge a full bit-exact
+            :class:`ServingResult` (the equivalence-test path; costs
+            O(n) parent memory, leave off at million-request scale).
+        trace: record per-shard telemetry (shard-tagged rows on
+            ``result.telemetry_rows``).
+        tick: telemetry timeline sampling interval (s), when tracing.
+        trace_events: include per-request event rows in the trace
+            (off keeps only timeline samples — the scale default).
+
+    Raises:
+        ConfigError: from :func:`validate_sharding`, for any
+            combination whose sharded results would not be exact.
+    """
+
+    def __init__(self, shards: int, accelerator: str = "SMART",
+                 replicas: int = 2, policy: str = "timeout",
+                 batch_size: int = 8, dispatch: str = "shard",
+                 slo_us: float = 0.0, mode: str = "process",
+                 max_workers: Optional[int] = None,
+                 detail: bool = False, trace: bool = False,
+                 tick: float = 200e-6,
+                 trace_events: bool = False) -> None:
+        validate_sharding(shards, replicas=replicas, dispatch=dispatch)
+        make_policy(policy, batch_size=batch_size)  # fail fast
+        self.shards = shards
+        self.accelerator = accelerator
+        self.replicas = replicas
+        self.policy = policy
+        self.batch_size = batch_size
+        self.dispatch = dispatch
+        self.slo_us = slo_us
+        self.mode = mode
+        self.max_workers = max_workers
+        self.detail = detail
+        self.trace = trace
+        self.tick = tick
+        self.trace_events = trace_events
+
+    def run_scenario(self, scenario: Scenario | str, n_requests: int,
+                     seed: int = 0) -> ShardedResult:
+        """Calibrate, shard, fan out, and merge one scenario run."""
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        validate_sharding(self.shards, replicas=self.replicas,
+                          dispatch=self.dispatch, scenarios=(scenario,))
+        if n_requests < 1:
+            raise ConfigError("trace needs at least one request")
+        # calibrate the offered rate exactly as the monolithic path
+        # does, so sharded and monolithic runs serve the same trace
+        calibrator = ServingSimulator(
+            accelerator=self.accelerator, replicas=self.replicas,
+            policy=make_policy(self.policy, batch_size=self.batch_size),
+            dispatch=self.dispatch,
+        )
+        rate = scenario.load * calibrator.capacity_rps(scenario)
+        specs = [
+            {
+                "scenario": scenario.name, "rate": rate,
+                "n": n_requests, "seed": seed, "shards": self.shards,
+                "shard": shard, "replicas": self.replicas,
+                "accelerator": self.accelerator, "policy": self.policy,
+                "batch_size": self.batch_size,
+                "dispatch": self.dispatch, "slo_us": self.slo_us,
+                "detail": self.detail, "trace": self.trace,
+                "tick": self.tick, "trace_events": self.trace_events,
+            }
+            for shard in range(self.shards)
+        ]
+        t_start = perf_counter()
+        outcomes = parallel_map(_serve_shard,
+                                [(spec,) for spec in specs],
+                                mode=self.mode,
+                                max_workers=self.max_workers)
+        wall = perf_counter() - t_start
+        return self._reduce(scenario, rate, tuple(outcomes), wall)
+
+    def _reduce(self, scenario: Scenario, rate: float,
+                outcomes: tuple[ShardOutcome, ...],
+                wall: float) -> ShardedResult:
+        """Exact merge of the per-shard outcomes."""
+        digest = LatencyDigest()
+        cache = CacheStats()
+        for outcome in outcomes:
+            digest.merge(outcome.digest)
+            cache.hits += outcome.cache.hits
+            cache.misses += outcome.cache.misses
+            cache.energy_hits += outcome.cache.energy_hits
+            cache.energy_misses += outcome.cache.energy_misses
+        slo_target = self.slo_us * 1e-6
+        detail = _merge_detail(
+            outcomes, scenario=scenario.name, policy=self.policy,
+            rate=rate, accelerator=self.accelerator,
+            replicas=self.replicas, slo_target=slo_target, cache=cache,
+        ) if self.detail else None
+        return ShardedResult(
+            accelerator=self.accelerator, replicas=self.replicas,
+            scenario=scenario.name, policy=self.policy,
+            dispatch=self.dispatch, rate=rate, shards=self.shards,
+            requests=sum(o.requests for o in outcomes),
+            batches=sum(o.batches for o in outcomes),
+            energy=sum(o.energy for o in outcomes),
+            busy_s=sum(o.busy_s for o in outcomes),
+            first_arrival=min(o.first_arrival for o in outcomes),
+            last_done=max(o.last_done for o in outcomes),
+            digest=digest, slo_target=slo_target,
+            slo_hits=sum(o.slo_hits for o in outcomes),
+            wall_s=wall, cache=cache, outcomes=outcomes, detail=detail,
+        )

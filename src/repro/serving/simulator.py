@@ -417,23 +417,7 @@ class ServingSimulator:
                 requests=len(requests),
             )
 
-        engine = ClusterEngine(
-            replicas=self.pool, policy=self.policy,
-            dispatch=self.dispatch_policy,
-            service_fn=lambda acc, model, size:
-                cache.latency_total(acc, networks[model], size),
-            energy_fn=lambda acc, model, size:
-                cache.energy_total(acc, networks[model], size),
-            switch_fn=lambda acc, model, size:
-                cache.deploy_total(acc, networks[model], size),
-            slo=self.slo, autoscale=self.autoscale,
-            failures=failures if failures is not None else self.failures,
-            flush=self.flush, admission=self.admission, steal=self.steal,
-            telemetry=self.telemetry,
-            # with the memo disabled the run is the uncached reference
-            # path: every dispatch must reach the fns (and count)
-            memoize_rates=cache.enabled,
-        )
+        engine = self.make_engine(networks, failures=failures)
         outcome = engine.run(requests)
 
         shed = frozenset(outcome.shed)
@@ -465,6 +449,36 @@ class ServingSimulator:
             redispatched=outcome.redispatched,
             wasted_energy=outcome.wasted_energy,
             stolen=outcome.stolen,
+        )
+
+    def make_engine(self, networks: Mapping[str, Network],
+                    failures: Optional[FailurePlan] = None
+                    ) -> ClusterEngine:
+        """The configured :class:`ClusterEngine` over resolved models.
+
+        ``networks`` maps every model name the trace may carry to its
+        :class:`Network` — callers resolve names up front so the
+        engine's dispatch path never does.  Shared by :meth:`run` and
+        the sharded runner (each shard builds its own engine in its
+        worker process).
+        """
+        cache = self.cache
+        return ClusterEngine(
+            replicas=self.pool, policy=self.policy,
+            dispatch=self.dispatch_policy,
+            service_fn=lambda acc, model, size:
+                cache.latency_total(acc, networks[model], size),
+            energy_fn=lambda acc, model, size:
+                cache.energy_total(acc, networks[model], size),
+            switch_fn=lambda acc, model, size:
+                cache.deploy_total(acc, networks[model], size),
+            slo=self.slo, autoscale=self.autoscale,
+            failures=failures if failures is not None else self.failures,
+            flush=self.flush, admission=self.admission, steal=self.steal,
+            telemetry=self.telemetry,
+            # with the memo disabled the run is the uncached reference
+            # path: every dispatch must reach the fns (and count)
+            memoize_rates=cache.enabled,
         )
 
     def _mix_capacity_rps(self, requests: Sequence[Request]) -> float:

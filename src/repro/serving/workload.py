@@ -17,13 +17,27 @@ Rates are *relative*: a :class:`Scenario` carries a ``load`` factor
 simulator calibrates the absolute requests/second against the
 accelerator under test, so the same scenario is meaningful for a TPU
 and for SMART.  Everything is seeded and deterministic.
+
+Traces come in two physical forms with identical contents:
+:func:`generate_trace` materialises the full tuple, while
+:func:`stream_trace` yields the same :class:`Request` objects one at a
+time with O(1) requests in memory — ``tuple(stream_trace(...)) ==
+generate_trace(...)`` for every scenario and seed.  On top of the
+stream, :func:`shard_trace` splits a trace deterministically across
+worker shards by the same model hash :class:`~repro.serving.policies.
+ShardDispatch` pins replicas with, so a sharded run partitions exactly
+the traffic each home replica would have served in one process.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 import random as _random
+import zlib
+from bisect import bisect
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from repro.errors import ConfigError
 from repro.models import model_names
@@ -95,6 +109,26 @@ class ModelMix:
         weights = [w for _, w in self.weights]
         return rng.choices(names, weights=weights, k=1)[0]
 
+    def sampler(self) -> Callable[[_random.Random], str]:
+        """A fast repeated-draw sampler, bit-identical to ``sample``.
+
+        ``sample`` rebuilds the cumulative-weight table on every call;
+        the returned closure builds it once and replays exactly the
+        ``random.choices`` draw (one ``rng.random()`` per call, same
+        bisect over the same accumulated floats), so a million-request
+        stream samples the same models the tuple path does.
+        """
+        names = [n for n, _ in self.weights]
+        cum = list(itertools.accumulate(w for _, w in self.weights))
+        total = cum[-1] + 0.0
+        hi = len(cum) - 1
+
+        def draw(rng: _random.Random, _names=names, _cum=cum,
+                 _total=total, _hi=hi, _bisect=bisect) -> str:
+            return _names[_bisect(_cum, rng.random() * _total, 0, _hi)]
+
+        return draw
+
 
 # ---------------------------------------------------------------------------
 # Arrival processes
@@ -109,13 +143,16 @@ class PoissonProcess:
         if self.rate <= 0:
             raise ConfigError("arrival rate must be positive")
 
-    def generate(self, n: int, rng: _random.Random) -> list[float]:
-        """``n`` ascending arrival times (s)."""
-        times, t = [], 0.0
+    def times(self, n: int, rng: _random.Random) -> Iterator[float]:
+        """``n`` ascending arrival times (s), one draw per yield."""
+        t = 0.0
         for _ in range(n):
             t += rng.expovariate(self.rate)
-            times.append(t)
-        return times
+            yield t
+
+    def generate(self, n: int, rng: _random.Random) -> list[float]:
+        """``n`` ascending arrival times (s)."""
+        return list(self.times(n, rng))
 
 
 @dataclass(frozen=True)
@@ -139,19 +176,23 @@ class BurstyProcess:
         if self.burst_size < 1:
             raise ConfigError("burst size must be >= 1")
 
-    def generate(self, n: int, rng: _random.Random) -> list[float]:
-        """``n`` ascending arrival times (s)."""
+    def times(self, n: int, rng: _random.Random) -> Iterator[float]:
+        """``n`` ascending arrival times (s), one draw per yield."""
         # mean gap that restores the target rate after a fast burst
         idle_mean = self.burst_size * (1.0 / self.rate
                                        - 1.0 / (self.rate
                                                 * self.burst_factor))
-        times, t = [], 0.0
-        while len(times) < n:
-            for _ in range(min(self.burst_size, n - len(times))):
+        done, t = 0, 0.0
+        while done < n:
+            for _ in range(min(self.burst_size, n - done)):
                 t += rng.expovariate(self.rate * self.burst_factor)
-                times.append(t)
+                done += 1
+                yield t
             t += rng.expovariate(1.0 / idle_mean)
-        return times
+
+    def generate(self, n: int, rng: _random.Random) -> list[float]:
+        """``n`` ascending arrival times (s)."""
+        return list(self.times(n, rng))
 
 
 @dataclass(frozen=True)
@@ -171,16 +212,19 @@ class RampProcess:
         if not 0.0 < self.start_fraction <= 1.0:
             raise ConfigError("start fraction must be in (0, 1]")
 
-    def generate(self, n: int, rng: _random.Random) -> list[float]:
-        """``n`` ascending arrival times (s)."""
-        times, t = [], 0.0
+    def times(self, n: int, rng: _random.Random) -> Iterator[float]:
+        """``n`` ascending arrival times (s), one draw per yield."""
+        t = 0.0
         for i in range(n):
             frac = i / max(1, n - 1)
             instant = self.rate * (self.start_fraction
                                    + (1.0 - self.start_fraction) * frac)
             t += rng.expovariate(instant)
-            times.append(t)
-        return times
+            yield t
+
+    def generate(self, n: int, rng: _random.Random) -> list[float]:
+        """``n`` ascending arrival times (s)."""
+        return list(self.times(n, rng))
 
 
 @dataclass(frozen=True)
@@ -205,9 +249,9 @@ class DiurnalProcess:
         if self.cycles <= 0:
             raise ConfigError("diurnal cycle count must be positive")
 
-    def generate(self, n: int, rng: _random.Random) -> list[float]:
-        """``n`` ascending arrival times (s)."""
-        times, t = [], 0.0
+    def times(self, n: int, rng: _random.Random) -> Iterator[float]:
+        """``n`` ascending arrival times (s), one draw per yield."""
+        t = 0.0
         for i in range(n):
             frac = i / max(1, n - 1)
             instant = self.rate * (
@@ -215,8 +259,11 @@ class DiurnalProcess:
                 * math.cos(2.0 * math.pi * self.cycles * frac)
             )
             t += rng.expovariate(instant)
-            times.append(t)
-        return times
+            yield t
+
+    def generate(self, n: int, rng: _random.Random) -> list[float]:
+        """``n`` ascending arrival times (s)."""
+        return list(self.times(n, rng))
 
 
 ARRIVAL_SHAPES = {
@@ -326,7 +373,147 @@ def generate_trace(scenario: Scenario, rate: float, n: int,
         raise ConfigError("trace needs at least one request")
     rng = _random.Random(seed)
     times = scenario.process(rate).generate(n, rng)
+    sample = scenario.mix.sampler()
     return tuple(
-        Request(request_id=i, model=scenario.mix.sample(rng), arrival=t)
+        Request(request_id=i, model=sample(rng), arrival=t)
         for i, t in enumerate(times)
     )
+
+
+# ---------------------------------------------------------------------------
+# Streaming + sharding
+# ---------------------------------------------------------------------------
+def stream_trace(scenario: Scenario, rate: float, n: int,
+                 seed: int = 0) -> Iterator[Request]:
+    """The :func:`generate_trace` trace as a stream, O(1) memory.
+
+    Yields the exact same :class:`Request` objects, in the same order:
+    ``tuple(stream_trace(...)) == generate_trace(...)``.
+
+    ``generate_trace`` draws all ``n`` arrival times first and then
+    all ``n`` model samples from the *same* RNG, so a single-pass
+    generator cannot reproduce it.  Instead two RNGs seeded alike walk
+    the stream: one is burned through the time draws up front (O(n)
+    cheap draws, no storage) so its model samples start from the state
+    the one-RNG path would have reached, while the second replays the
+    time draws live, one request of look-ahead at a time.
+    """
+    if n < 1:
+        raise ConfigError("trace needs at least one request")
+    process = scenario.process(rate)
+    rng_models = _random.Random(seed)
+    for _ in process.times(n, rng_models):
+        pass
+    sample = scenario.mix.sampler()
+    rng_times = _random.Random(seed)
+    for i, t in enumerate(process.times(n, rng_times)):
+        yield Request(request_id=i, model=sample(rng_models), arrival=t)
+
+
+def shard_key(model: str, replicas: int, shards: int) -> int:
+    """The worker shard owning ``model``'s home replica.
+
+    Uses the same ``crc32(model) % replicas`` pin as
+    :class:`~repro.serving.policies.ShardDispatch`, folded onto
+    ``shards`` workers — every model homed on one replica lands in one
+    shard, which is what makes a sharded run bit-exact against the
+    monolithic engine under shard dispatch.
+    """
+    return (zlib.crc32(model.encode()) % replicas) % shards
+
+
+def shard_seeds(seed: int, shards: int) -> tuple[int, ...]:
+    """Deterministic, distinct child seeds for per-shard randomness.
+
+    The shard splitter itself filters one global seeded stream and
+    needs no extra entropy; these are for workloads that want
+    *independent* per-shard traffic (e.g. one stream per geo region)
+    while staying reproducible from a single parent seed.
+    """
+    if shards < 1:
+        raise ConfigError("shard count must be >= 1")
+    rng = _random.Random(seed)
+    return tuple(rng.getrandbits(63) for _ in range(shards))
+
+
+class TraceShard:
+    """One worker's slice of a global trace, streamed.
+
+    Iterating yields exactly the :func:`generate_trace` requests whose
+    model hashes to ``shard`` (see :func:`shard_key`), with their
+    global ``request_id`` and arrival times — the union over all
+    shards is the whole trace, pairwise disjoint.  ``span`` is the
+    global trace's ``(first arrival, last arrival)``, known before the
+    first request is yielded so shard engines can pin their drain
+    horizon to the global trace end.
+
+    Single-use: the model RNG advances as requests stream, so a second
+    iteration would replay wrong — it raises instead.
+    """
+
+    def __init__(self, scenario: Scenario, rate: float, n: int,
+                 seed: int, *, shards: int, shard: int,
+                 replicas: int) -> None:
+        if n < 1:
+            raise ConfigError("trace needs at least one request")
+        if shards < 1:
+            raise ConfigError("shard count must be >= 1")
+        if not 0 <= shard < shards:
+            raise ConfigError(f"shard index {shard} outside "
+                              f"[0, {shards})")
+        if replicas < 1:
+            raise ConfigError("replica count must be >= 1")
+        self.scenario = scenario
+        self.rate = rate
+        self.n = n
+        self.seed = seed
+        self.shards = shards
+        self.shard = shard
+        self.replicas = replicas
+        self._consumed = False
+        # Burn the model RNG through the time draws (as stream_trace
+        # does) while recording the global first/last arrival — the
+        # span comes out of draws the splitter had to make anyway.
+        self._process = scenario.process(rate)
+        self._rng_models = _random.Random(seed)
+        first = last = 0.0
+        for i, t in enumerate(self._process.times(n, self._rng_models)):
+            if i == 0:
+                first = t
+            last = t
+        self.span: tuple[float, float] = (first, last)
+
+    def __iter__(self) -> Iterator[Request]:
+        if self._consumed:
+            raise ConfigError("a TraceShard streams once; build a new "
+                              "one to replay it")
+        self._consumed = True
+        return self._requests()
+
+    def _requests(self) -> Iterator[Request]:
+        sample = self.scenario.mix.sampler()
+        rng_models = self._rng_models
+        rng_times = _random.Random(self.seed)
+        keys: dict[str, int] = {}
+        replicas, shards, shard = self.replicas, self.shards, self.shard
+        for i, t in enumerate(self._process.times(self.n, rng_times)):
+            model = sample(rng_models)
+            key = keys.get(model)
+            if key is None:
+                key = keys[model] = shard_key(model, replicas, shards)
+            if key == shard:
+                yield Request(request_id=i, model=model, arrival=t)
+
+
+def shard_trace(scenario: Scenario, rate: float, n: int, seed: int = 0,
+                *, shards: int, shard: int,
+                replicas: int) -> TraceShard:
+    """One shard's streamed slice of the global seeded trace.
+
+    See :class:`TraceShard`; this is the deterministic shard-splitter
+    — no full trace is materialised in any process, and every request
+    of ``generate_trace(scenario, rate, n, seed)`` is yielded by
+    exactly one of the ``shards`` slices.
+    """
+    return TraceShard(scenario, rate, n, seed, shards=shards,
+                      shard=shard, replicas=replicas)

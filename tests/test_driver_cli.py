@@ -316,6 +316,93 @@ class TestServeSimCli:
         assert "0 layer simulations" in warm
 
 
+class TestServeSimShardsCli:
+    """The ``--shards N`` scale-out path and its exit-2 guard rails."""
+
+    FAST = ["--requests", "200", "--replicas", "2", "--shards", "2",
+            "--policy", "timeout"]
+
+    def test_sharded_run_reports_aggregate_rows(self, capsys):
+        assert main(["--json", "serve-sim", "steady", *self.FAST]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [(r["scenario"], r["policy"]) for r in rows] == [
+            ("steady", "timeout")
+        ]
+        assert rows[0]["shards"] == 2
+        assert rows[0]["requests"] == 200
+        assert rows[0]["agg_rps"] > 0
+        assert 0 < rows[0]["p50_us"] <= rows[0]["p95_us"]
+
+    def test_bare_shards_flag_implies_shard_dispatch(self, capsys):
+        assert main(["serve-sim", "steady", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "(shard)" in out
+        assert "scale-out:" in out
+        assert "2 shard worker(s)" in out
+
+    def test_default_grid_skips_fault_scenarios(self, capsys):
+        assert main(["--json", "serve-sim", *self.FAST]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        scenarios = {r["scenario"] for r in rows}
+        assert "failure-storm" not in scenarios
+        assert "steady" in scenarios
+
+    def test_bad_shard_count_rejected(self, capsys):
+        assert main(["serve-sim", "--shards", "0"]) == 2
+        assert main(["serve-sim", "--shards", "lots"]) == 2
+        assert main(["serve-sim", "--shards"]) == 2
+
+    def test_more_shards_than_replicas_rejected(self, capsys):
+        assert main(["serve-sim", "steady", "--shards", "3",
+                     "--replicas", "2"]) == 2
+        out = capsys.readouterr().out
+        assert "home replica" in out
+        assert "Traceback" not in out
+
+    def test_unstable_dispatch_rejected(self, capsys):
+        assert main(["serve-sim", "steady", "--dispatch",
+                     "round_robin", *self.FAST]) == 2
+        assert "shard-stable dispatch" in capsys.readouterr().out
+
+    def test_unstable_control_plane_rejected(self, capsys):
+        assert main(["serve-sim", "steady", "--steal",
+                     *self.FAST]) == 2
+        assert "stealing" in capsys.readouterr().out
+        assert main(["serve-sim", "diurnal", "--autoscale", "1:4",
+                     *self.FAST]) == 2
+        assert "autoscale" in capsys.readouterr().out
+        assert main(["serve-sim", "overload", "--slo", "1500",
+                     "--shed", "32", *self.FAST]) == 2
+        assert "shed" in capsys.readouterr().out
+        assert main(["serve-sim", "steady", "--fail", "1",
+                     *self.FAST]) == 2
+        assert "fault-free" in capsys.readouterr().out
+
+    def test_fault_scenario_rejected(self, capsys):
+        assert main(["serve-sim", "failure-storm", *self.FAST]) == 2
+        assert "not shard-stable" in capsys.readouterr().out
+
+    def test_priority_flush_and_persist_memo_rejected(self, capsys):
+        assert main(["serve-sim", "steady", "--flush", "edf",
+                     "--priority", "ResNet50=2", "--slo", "2000",
+                     *self.FAST]) == 2
+        assert "fifo" in capsys.readouterr().out
+        assert main(["serve-sim", "steady", "--persist-memo",
+                     *self.FAST]) == 2
+        assert "--persist-memo" in capsys.readouterr().out
+
+    def test_sharded_trace_rows_are_shard_tagged(self, capsys,
+                                                 tmp_path):
+        from repro.serving import load_trace
+        trace = tmp_path / "shards.jsonl"
+        assert main(["serve-sim", "steady", "--trace", str(trace),
+                     *self.FAST]) == 0
+        assert "shard-tagged" in capsys.readouterr().out
+        meta, rows = load_trace(trace)
+        assert {r["shard"] for r in rows} == {0, 1}
+        assert meta["counters"]["arrivals"] == 200
+
+
 class TestRunsAndCacheCli:
     def test_runs_lists_the_ledger(self, capsys):
         assert main(["tab2"]) == 0

@@ -139,3 +139,24 @@ class TestTraceIntegration:
         assert code == 0
         assert "1 telemetry run(s)" in capsys.readouterr().out
         assert "timeline:" in out.read_text()
+
+    def test_sharded_trace_renders_per_shard_timelines(
+            self, fixture_ledger, tmp_path, capsys):
+        trace = tmp_path / "shards.jsonl"
+        code = main(["serve-sim", "steady", "--requests", "400",
+                     "--shards", "2", "--replicas", "2",
+                     "--policy", "timeout", "--trace", str(trace)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["report", "--json", "--bench",
+                     str(BENCH_FIXTURE), "--trace", str(trace)])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        shards = [entry.get("shard") for entry in report["timeline"]]
+        assert sorted(shards) == [0, 1]  # one timeline per worker
+        out = tmp_path / "fleet.html"
+        code = main(["report", "--bench", str(BENCH_FIXTURE),
+                     "--trace", str(trace), "-o", str(out)])
+        assert code == 0
+        html = out.read_text()
+        assert "shard 0" in html and "shard 1" in html

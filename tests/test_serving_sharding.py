@@ -1,0 +1,323 @@
+"""Streaming traces and sharded scale-out: exactness guarantees.
+
+The scale-out contract is equality, not approximation: a streamed
+trace is bit-identical to the materialised one, a sharded run on a
+shard-stable cell reproduces the monolithic engine's per-request
+latencies and energies exactly, and no request is ever lost or
+duplicated across the shard split.  These tests hold every layer of
+the PR 7 pipeline to that contract.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import (
+    ClusterEngine,
+    LatencyDigest,
+    SCENARIOS,
+    ServingSimulator,
+    ShardedEngine,
+    generate_trace,
+    get_scenario,
+    make_policy,
+    shard_key,
+    shard_seeds,
+    shard_trace,
+    stream_trace,
+    validate_sharding,
+)
+
+RATE = 20_000.0
+SEED = 11
+
+
+def _monolithic(scenario, n, *, replicas=2, policy="timeout", slo=None):
+    simulator = ServingSimulator(
+        "SMART", replicas=replicas,
+        policy=make_policy(policy, batch_size=8),
+        dispatch="shard", slo=slo,
+    )
+    return simulator.run_scenario(scenario, n, seed=SEED)
+
+
+def _sharded(scenario, n, *, shards=2, replicas=2, policy="timeout",
+             slo_us=0.0, detail=True, mode="inline"):
+    engine = ShardedEngine(shards, replicas=replicas, policy=policy,
+                           batch_size=8, slo_us=slo_us, detail=detail,
+                           mode=mode)
+    return engine.run_scenario(scenario, n, seed=SEED)
+
+
+class TestStreamTrace:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_stream_is_bit_identical_to_materialised(self, name):
+        scenario = get_scenario(name)
+        trace = generate_trace(scenario, RATE, 400, seed=SEED)
+        assert tuple(stream_trace(scenario, RATE, 400, seed=SEED)) == trace
+
+    def test_stream_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            next(stream_trace(get_scenario("steady"), RATE, 0))
+
+    def test_mix_sampler_replays_choices(self):
+        mix = get_scenario("hot-model").mix
+        sample = mix.sampler()
+        a, b = random.Random(3), random.Random(3)
+        assert [sample(a) for _ in range(500)] == \
+               [mix.sample(b) for _ in range(500)]
+
+
+class TestShardSplit:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_no_request_lost_or_duplicated(self, name, shards):
+        scenario = get_scenario(name)
+        trace = generate_trace(scenario, RATE, 300, seed=SEED)
+        pieces = [tuple(shard_trace(scenario, RATE, 300, SEED,
+                                    shards=shards, shard=k, replicas=3))
+                  for k in range(shards)]
+        ids = [r.request_id for piece in pieces for r in piece]
+        assert sorted(ids) == list(range(300))  # exactly once each
+        by_id = {r.request_id: r for piece in pieces for r in piece}
+        assert all(by_id[r.request_id] == r for r in trace)
+
+    def test_shards_are_keyed_by_home_replica(self):
+        scenario = get_scenario("steady")
+        for k in range(2):
+            for request in shard_trace(scenario, RATE, 200, SEED,
+                                       shards=2, shard=k, replicas=4):
+                assert shard_key(request.model, 4, 2) == k
+
+    def test_span_covers_the_global_trace(self):
+        scenario = get_scenario("steady")
+        trace = generate_trace(scenario, RATE, 200, seed=SEED)
+        piece = shard_trace(scenario, RATE, 200, SEED,
+                            shards=2, shard=0, replicas=2)
+        assert piece.span == (trace[0].arrival, trace[-1].arrival)
+
+    def test_shard_is_single_use(self):
+        piece = shard_trace(get_scenario("steady"), RATE, 50, SEED,
+                            shards=2, shard=0, replicas=2)
+        list(piece)
+        with pytest.raises(ConfigError):
+            iter(piece)
+
+    def test_shard_seeds_deterministic_and_distinct(self):
+        assert shard_seeds(7, 4) == shard_seeds(7, 4)
+        assert len(set(shard_seeds(7, 4))) == 4
+        assert shard_seeds(7, 4) != shard_seeds(8, 4)
+        with pytest.raises(ConfigError):
+            shard_seeds(7, 0)
+
+    def test_bad_shard_parameters_rejected(self):
+        scenario = get_scenario("steady")
+        for kwargs in ({"shards": 0, "shard": 0},
+                       {"shards": 2, "shard": 2},
+                       {"shards": 2, "shard": -1}):
+            with pytest.raises(ConfigError):
+                shard_trace(scenario, RATE, 50, SEED, replicas=2,
+                            **kwargs)
+
+
+class TestStreamingEngine:
+    @pytest.mark.parametrize("name", ["steady", "bursty", "diurnal"])
+    @pytest.mark.parametrize("policy", ["fixed", "timeout"])
+    def test_iterator_run_matches_list_run(self, name, policy):
+        scenario = get_scenario(name)
+        simulator = ServingSimulator("SMART", replicas=2,
+                                     policy=make_policy(policy, 8),
+                                     dispatch="shard")
+        trace = generate_trace(scenario, RATE, 300, seed=SEED)
+        networks = {m: simulator.network(m)
+                    for m in scenario.mix.models()}
+        batch = simulator.make_engine(networks).run(trace)
+        streamed = simulator.make_engine(networks).run(iter(trace))
+        assert streamed.done == batch.done
+        assert streamed.batches == batch.batches
+
+    def test_streamed_run_rejects_out_of_order_arrivals(self):
+        scenario = get_scenario("steady")
+        simulator = ServingSimulator("SMART", replicas=2,
+                                     policy=make_policy("timeout", 8),
+                                     dispatch="shard")
+        networks = {m: simulator.network(m)
+                    for m in scenario.mix.models()}
+        trace = generate_trace(scenario, RATE, 50, seed=SEED)
+        shuffled = trace[10:] + trace[:10]
+        with pytest.raises(ConfigError, match="time-ordered"):
+            simulator.make_engine(networks).run(iter(shuffled))
+
+    def test_streamed_run_rejects_empty_iterator(self):
+        simulator = ServingSimulator("SMART", replicas=2,
+                                     policy=make_policy("timeout", 8),
+                                     dispatch="shard")
+        with pytest.raises(ConfigError):
+            simulator.make_engine({}).run(iter(()))
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("name", ["steady", "hot-model", "overload"])
+    @pytest.mark.parametrize("policy", ["fixed", "timeout"])
+    def test_detail_run_is_bit_exact(self, name, policy):
+        mono = _monolithic(name, 400, policy=policy)
+        merged = _sharded(name, 400, policy=policy).detail
+        assert merged.latencies == mono.latencies
+        assert merged.energy_per_request == mono.energy_per_request
+        assert merged.requests == mono.requests
+        canon = lambda b: (b.flush, b.start, b.done, b.replica, b.model)
+        assert sorted(merged.batches, key=canon) == \
+               sorted(mono.batches, key=canon)
+
+    @pytest.mark.parametrize("shards,replicas", [(2, 3), (3, 3), (4, 5)])
+    def test_shard_count_never_changes_the_answer(self, shards,
+                                                  replicas):
+        mono = _monolithic("steady", 400, replicas=replicas)
+        merged = _sharded("steady", 400, shards=shards,
+                          replicas=replicas).detail
+        assert merged.latencies == mono.latencies
+        assert merged.energy_per_request == mono.energy_per_request
+
+    @pytest.mark.parametrize("name", ["steady", "bursty", "diurnal"])
+    def test_digest_run_matches_monolithic_aggregates(self, name):
+        mono = _monolithic(name, 400)
+        result = _sharded(name, 400, detail=False)
+        assert result.detail is None
+        assert result.requests == len(mono.requests)
+        assert result.batches == len(mono.batches)
+        assert result.energy == pytest.approx(sum(
+            mono.energy_per_request), rel=1e-12)
+        assert result.digest.count == len(mono.latencies)
+        assert result.digest.min == min(mono.latencies)
+        assert result.digest.max == max(mono.latencies)
+        for q in (50, 95, 99):
+            assert result.latency_percentile(q) == pytest.approx(
+                mono.latency_percentile(q), rel=0.02)
+
+    def test_slo_attainment_matches_monolithic(self):
+        from repro.serving import SloPolicy
+        target = 2000e-6
+        mono = _monolithic("overload", 400,
+                           slo=SloPolicy(target=target))
+        result = _sharded("overload", 400, slo_us=2000, detail=False)
+        assert result.slo_attainment == pytest.approx(
+            mono.slo_attainment, abs=1e-12)
+
+    def test_process_mode_matches_inline(self):
+        inline = _sharded("steady", 300, detail=True, mode="inline")
+        procs = _sharded("steady", 300, detail=True, mode="process")
+        assert procs.detail.latencies == inline.detail.latencies
+        assert procs.requests == inline.requests
+        assert procs.energy == inline.energy
+
+
+class TestValidateSharding:
+    def test_accepts_a_shard_stable_cell(self):
+        validate_sharding(2, replicas=4)
+
+    @pytest.mark.parametrize("kwargs,fragment", [
+        ({"shards": 0, "replicas": 2}, "shard count"),
+        ({"shards": 3, "replicas": 2}, "home replica"),
+        ({"shards": 2, "replicas": 2, "dispatch": "least_loaded"},
+         "shard-stable"),
+        ({"shards": 2, "replicas": 2, "autoscale": "1:4"}, "autoscale"),
+        ({"shards": 2, "replicas": 2, "scale": "holt"}, "autoscale"),
+        ({"shards": 2, "replicas": 2, "steal": True}, "stealing"),
+        ({"shards": 2, "replicas": 2, "shed": 16}, "shed"),
+        ({"shards": 2, "replicas": 2, "fail": 1}, "fault-free"),
+        ({"shards": 2, "replicas": 2,
+          "scenarios": ("failure-storm",)}, "not shard-stable"),
+    ])
+    def test_rejects_unstable_cells(self, kwargs, fragment):
+        shards = kwargs.pop("shards")
+        with pytest.raises(ConfigError, match=fragment):
+            validate_sharding(shards, **kwargs)
+
+
+class TestLatencyDigest:
+    def test_counts_and_sums_are_exact(self):
+        rng = random.Random(5)
+        values = [rng.expovariate(1000.0) for _ in range(5000)]
+        digest = LatencyDigest()
+        for v in values:
+            digest.add(v)
+        assert digest.count == 5000
+        assert digest.total == pytest.approx(sum(values))
+        assert digest.min == min(values)
+        assert digest.max == max(values)
+        assert digest.mean == pytest.approx(sum(values) / 5000)
+
+    def test_merge_equals_single_digest(self):
+        rng = random.Random(6)
+        values = [rng.expovariate(1000.0) for _ in range(2000)]
+        whole = LatencyDigest()
+        left, right = LatencyDigest(), LatencyDigest()
+        for i, v in enumerate(values):
+            whole.add(v)
+            (left if i % 2 else right).add(v)
+        left.merge(right)
+        assert left.counts == whole.counts
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total)
+        assert left.min == whole.min and left.max == whole.max
+
+    def test_percentile_tracks_exact_nearest_rank(self):
+        rng = random.Random(7)
+        values = sorted(rng.expovariate(1000.0) for _ in range(3000))
+        digest = LatencyDigest(resolution=0.01)
+        for v in values:
+            digest.add(v)
+        for q in (1, 25, 50, 90, 99, 100):
+            exact = values[max(1, math.ceil(q / 100 * 3000)) - 1]
+            assert digest.percentile(q) == pytest.approx(exact,
+                                                         rel=0.011)
+
+    def test_error_paths(self):
+        digest = LatencyDigest()
+        with pytest.raises(ConfigError):
+            digest.percentile(50)
+        digest.add(1.0)
+        with pytest.raises(ConfigError):
+            digest.percentile(101)
+        with pytest.raises(ConfigError):
+            digest.merge(LatencyDigest(resolution=0.5))
+        with pytest.raises(ConfigError):
+            LatencyDigest(resolution=0.0)
+
+
+class TestShardedEngineApi:
+    def test_constructor_validates_up_front(self):
+        with pytest.raises(ConfigError):
+            ShardedEngine(3, replicas=2)
+        with pytest.raises(ConfigError):
+            ShardedEngine(2, replicas=2, dispatch="round_robin")
+        with pytest.raises(ConfigError):
+            ShardedEngine(2, replicas=2, policy="adaptive")
+
+    def test_run_rejects_fault_scenarios_and_empty_traces(self):
+        engine = ShardedEngine(2, replicas=2, mode="inline")
+        with pytest.raises(ConfigError):
+            engine.run_scenario("failure-storm", 100)
+        with pytest.raises(ConfigError):
+            engine.run_scenario("steady", 0)
+
+    def test_row_shape(self):
+        result = _sharded("steady", 300, detail=False)
+        row = result.to_row()
+        assert row["shards"] == 2
+        assert row["requests"] == 300
+        assert row["agg_rps"] > 0
+        assert row["p50_us"] <= row["p95_us"] <= row["p99_us"]
+        assert "slo_attain" not in row
+
+    def test_telemetry_rows_are_shard_tagged(self):
+        engine = ShardedEngine(2, replicas=2, mode="inline",
+                               trace=True, trace_events=True)
+        result = engine.run_scenario("steady", 300, seed=SEED)
+        shards_seen = {row["shard"] for row in result.telemetry_rows}
+        assert shards_seen == {0, 1}
+        arrivals = sum(1 for row in result.telemetry_rows
+                       if row["ev"] == "arrival")
+        assert arrivals == 300
