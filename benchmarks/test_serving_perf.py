@@ -10,21 +10,24 @@ committed point of the same cell.
 
 The matrix covers 10k- and 100k-request traces on the bursty and
 diurnal scenarios; every point carries ``scenario`` / ``n_requests``
-labels (points older than PR 4 predate the labels and are implicitly
-the bursty/10k cell).  ``rps`` measures the *steady-state* hot path —
+labels (the committed history is fully migrated to the labelled
+schema; the loader rejects unlabelled points).  ``rps`` measures the *steady-state* hot path —
 a warm-up round populates the layer memo first, because cold layer
 simulations are a one-time O(distinct layer x batch) cost amortised
 across any sweep — while ``cold_rps`` records the same trace served
 with that cost still in line.
 
-Three control-plane cells ride along with a ``variant`` label (so
+Four control-plane cells ride along with a ``variant`` label (so
 ``tools/bench_guard.py`` tracks them separately): ``forecast`` runs
 the diurnal/10k trace under predictive (Holt) autoscaling,
 ``persist`` measures the cold-start path with the layer memo warmed
-from the persisted cross-run totals pool, and ``sharded`` is the
+from the persisted cross-run totals pool, ``sharded`` is the
 scale-out headline — one million requests streamed through
 ``ShardedEngine`` worker processes, recording aggregate simulated
-requests per wall-second.
+requests per wall-second — and ``geo/<policy>`` runs the
+geo-distributed tier (per-region engines behind a ``GeoRouter`` over
+the ring interconnect), so routing-scan or interconnect slowdowns
+surface in their own cell.
 """
 
 import json
@@ -218,6 +221,43 @@ def test_bench_persisted_memo_cold_start(tmp_path):
     show("BENCH_serving: bursty/10000/persist cold-vs-warm delta",
          [point])
     assert point["rps"] > point["cold_rps"]  # persistence really helps
+
+
+def test_bench_serving_geo():
+    """The geo cell: a four-region fleet (mixed SMART / SNN / AQFP
+    backends) under follow-the-sun routing on the ring interconnect.
+    ``rps`` is aggregate simulated requests per wall-second through
+    the full geo path — routing scan, NETWORK delivery queue and
+    per-region engines — so a slowdown in any geo layer lands in the
+    ``geo/follow_sun`` cell without touching the plain cells."""
+    from repro.serving import GeoRouter
+
+    n_requests = 100_000
+    router = GeoRouter(4, topology="ring", geo="follow_sun",
+                       policy="timeout", batch_size=8)
+    result = router.run_scenario("diurnal", n_requests, seed=7)
+
+    point = {
+        "requests": result.requests,
+        "wall_s": round(result.wall_s, 4),
+        "rps": round(result.simulated_rps, 1),
+        "batches": result.batches,
+        "cache_hit_rate": round(result.cache.hit_rate, 4),
+        "created": time.time(),
+        "scenario": "diurnal",
+        "n_requests": n_requests,
+        "variant": "geo/follow_sun",
+        "regions": len(result.regions),
+        "replicas": result.replicas,
+        "remote_frac": round(result.remote_frac, 4),
+        "throughput_rps": round(result.throughput_rps, 1),
+        "p95_us": round(result.latency_percentile(95) * 1e6, 1),
+    }
+    append_point(point)
+    show(f"BENCH_serving: diurnal/{n_requests}/geo/follow_sun "
+         f"trajectory point", [point])
+    assert result.requests == n_requests  # nothing lost or duplicated
+    assert point["rps"] > 0
 
 
 def test_bench_serving_scale_sharded():

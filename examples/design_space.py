@@ -38,7 +38,7 @@ def main() -> None:
           f"({summary.cache_hits} served from cache)")
 
     array = PipelinedCmosSfqArray()
-    print(f"\nSMART's operating point (Sec 4.4):")
+    print("\nSMART's operating point (Sec 4.4):")
     print(f"  pipeline frequency : {array.pipeline_frequency / 1e9:.2f} GHz")
     print(f"  per-byte interval  : {to_ns(array.byte_interval):.3f} ns")
     print(f"  access latency     : {to_ns(array.access_latency):.2f} ns")

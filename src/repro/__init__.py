@@ -31,8 +31,8 @@ Quick start::
     print(supernpu.latency / smart.latency)
 """
 
-__version__ = "1.0.0"
-
 from repro import errors, units
+
+__version__ = "1.0.0"
 
 __all__ = ["errors", "units", "__version__"]

@@ -264,13 +264,16 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     flush, scale, steal, persist_memo = "fifo", "", False, False
     trace_path = ""
     shards, dispatch_given = 1, False
+    replicas_given, accelerator_given = False, False
+    geo_raw, geo_policy, topology, storms = "", "home", "mesh", 0
     priority_specs: list[str] = []
     try:
         i = 0
         while i < len(args):
             token = args[i]
             if token in ("--requests", "--replicas", "--batch-size",
-                         "--seed", "--shed", "--fail", "--shards"):
+                         "--seed", "--shed", "--fail", "--shards",
+                         "--geo-storms"):
                 if i + 1 >= len(args):
                     raise ConfigError(f"{token} needs a value")
                 try:
@@ -279,14 +282,16 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     raise ConfigError(
                         f"{token} needs a number, got {args[i + 1]!r}"
                     ) from None
-                if token not in ("--seed", "--fail") and value < 1:
+                if (token not in ("--seed", "--fail", "--geo-storms")
+                        and value < 1):
                     raise ConfigError(f"{token} must be >= 1")
-                if token == "--fail" and value < 0:
+                if token in ("--fail", "--geo-storms") and value < 0:
                     raise ConfigError(f"{token} must be >= 0")
                 if token == "--requests":
                     requests = value
                 elif token == "--replicas":
                     replicas = value
+                    replicas_given = True
                 elif token == "--batch-size":
                     batch_size = value
                 elif token == "--shed":
@@ -295,6 +300,8 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     faults = value
                 elif token == "--shards":
                     shards = value
+                elif token == "--geo-storms":
+                    storms = value
                 else:
                     seed = value
                 i += 2
@@ -338,6 +345,31 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     raise ConfigError("--trace needs an output path")
                 trace_path = args[i + 1]
                 i += 2
+            elif token == "--geo":
+                if i + 1 >= len(args):
+                    raise ConfigError("--geo needs a region count or "
+                                      "comma-separated stock region "
+                                      "names")
+                geo_raw = args[i + 1]
+                i += 2
+            elif token == "--geo-policy":
+                if i + 1 >= len(args):
+                    from repro.serving.policies import GEO_POLICIES
+                    raise ConfigError(
+                        "--geo-policy needs a name; known: "
+                        f"{', '.join(GEO_POLICIES)}"
+                    )
+                geo_policy = args[i + 1]
+                i += 2
+            elif token == "--topology":
+                if i + 1 >= len(args):
+                    from repro.serving.interconnect import TOPOLOGIES
+                    raise ConfigError(
+                        "--topology needs a name; known: "
+                        f"{', '.join(TOPOLOGIES)}"
+                    )
+                topology = args[i + 1]
+                i += 2
             elif token == "--steal":
                 steal = True
                 i += 1
@@ -366,6 +398,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     dispatch_given = True
                 else:
                     accelerator = value
+                    accelerator_given = True
                 i += 2
             elif token.startswith("-"):
                 raise ConfigError(f"unknown serve-sim flag {token!r}")
@@ -388,6 +421,55 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             make_scale(scale, parse_autoscale(autoscale))
         for name in scenarios:
             get_scenario(name)
+        geo_regions: tuple = ()
+        if geo_raw:
+            from repro.serving.geo import (STOCK_REGIONS,
+                                           default_regions,
+                                           validate_geo)
+            try:
+                geo_regions = default_regions(int(geo_raw))
+            except ValueError:
+                stock = {spec.name: spec for spec in STOCK_REGIONS}
+                unknown = [n for n in geo_raw.split(",")
+                           if n not in stock]
+                if unknown:
+                    raise ConfigError(
+                        f"unknown region(s) {', '.join(unknown)}; "
+                        f"stock regions: {', '.join(stock)}"
+                    ) from None
+                geo_regions = tuple(stock[n]
+                                    for n in geo_raw.split(","))
+            validate_geo(geo_regions, geo=geo_policy,
+                         topology=topology, storms=storms)
+            if shards > 1:
+                raise ConfigError(
+                    "cannot combine --geo with --shards: regions "
+                    "already fan across worker processes"
+                )
+            if replicas_given or accelerator_given:
+                raise ConfigError(
+                    "--geo regions carry their own accelerator and "
+                    "replica counts; drop --replicas/--accelerator"
+                )
+            if faults:
+                raise ConfigError(
+                    "--fail is not plumbed through --geo; use "
+                    "--geo-storms for region-granularity outages or a "
+                    "fault-carrying scenario (failure-storm)"
+                )
+            if (shed_depth or autoscale or scale or steal
+                    or flush != "fifo" or priority_specs
+                    or persist_memo):
+                raise ConfigError(
+                    "--geo supports --policy/--dispatch/--slo/--trace "
+                    "riders only; shed, autoscale, scale, steal, "
+                    "flush, priority and persist-memo are not plumbed "
+                    "through region engines"
+                )
+        elif geo_policy != "home" or topology != "mesh" or storms:
+            raise ConfigError(
+                "--geo-policy/--topology/--geo-storms need --geo"
+            )
         if shards > 1:
             # a bare --shards N implies the shard-stable dispatch;
             # an explicit conflicting one is rejected below
@@ -411,6 +493,14 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
         print(f"error: {exc}")
         return 2
 
+    if geo_regions:
+        return _serve_sim_geo(
+            opts, scenarios=scenarios, policies=policies,
+            requests=requests, batch_size=batch_size, seed=seed,
+            dispatch=dispatch, slo_us=slo_us, regions=geo_regions,
+            geo_policy=geo_policy, topology=topology, storms=storms,
+            trace_path=trace_path,
+        )
     if shards > 1:
         return _serve_sim_sharded(
             opts, scenarios=scenarios, policies=policies,
@@ -527,6 +617,71 @@ def _serve_sim_sharded(opts: CliOptions, *, scenarios: list[str],
     if trace:
         print(f"telemetry trace: {trace_path} "
               f"({len(telemetry.rows)} shard-tagged row(s))")
+    return 0
+
+
+def _serve_sim_geo(opts: CliOptions, *, scenarios: list[str],
+                   policies: list[str], requests: int, batch_size: int,
+                   seed: int, dispatch: str, slo_us: float,
+                   regions: tuple, geo_policy: str, topology: str,
+                   storms: int, trace_path: str) -> int:
+    """The ``serve-sim --geo REGIONS`` path: route, fan out, merge."""
+    from repro.serving import SCENARIOS, Telemetry
+    from repro.serving.geo import GeoRouter
+
+    names = scenarios or list(SCENARIOS)
+    trace = bool(trace_path)
+    router = GeoRouter(
+        regions, topology=topology, geo=geo_policy, storms=storms,
+        policy=policies[0], batch_size=batch_size, dispatch=dispatch,
+        slo_us=slo_us, trace=trace,
+    )
+    rows: list[dict] = []
+    region_rows: list[dict] = []
+    results = []
+    for name in names:
+        for policy in policies:
+            router.policy = policy
+            result = router.run_scenario(name, requests, seed)
+            results.append(result)
+            rows.append(result.to_row())
+            region_rows.extend(
+                {"scenario": name, "policy": policy, **row}
+                for row in result.region_rows()
+            )
+    if trace:
+        # one JSONL sink holding every region-tagged worker trace plus
+        # the per-region summary rows the dashboard's geo table reads
+        telemetry = Telemetry()
+        for result in results:
+            telemetry.rows.extend(result.telemetry_rows)
+            telemetry.rows.extend(result.region_trace_rows())
+        telemetry.save(trace_path)
+    if opts.as_json:
+        print(report.to_json(rows + region_rows))
+        return 0
+    total = sum(r.requests for r in results)
+    wall = sum(r.wall_s for r in results)
+    extras = "".join(
+        part for part, on in (
+            (f", slo {slo_us:g}us", slo_us),
+            (f", {storms} region storm(s)", storms),
+        ) if on
+    )
+    region_names = ", ".join(spec.name for spec in router.regions)
+    print(f"\n=== serve-sim: geo[{len(router.regions)}] "
+          f"({geo_policy} over {topology}), {requests} "
+          f"requests/scenario{extras} ===")
+    print(f"regions: {region_names}")
+    print(report.render_rows(rows))
+    print("\nper-region breakdown:")
+    print(report.render_rows(region_rows))
+    print(f"\ngeo scale-out: {total} requests simulated in "
+          f"{wall:.2f}s wall ({total / wall:,.0f} aggregate req/s)"
+          if wall else f"\ngeo scale-out: {total} requests simulated")
+    if trace:
+        print(f"telemetry trace: {trace_path} "
+              f"({len(telemetry.rows)} region-tagged row(s))")
     return 0
 
 

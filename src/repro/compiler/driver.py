@@ -10,7 +10,7 @@ various CNN models".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.dag import LayerDag
 from repro.compiler.greedy import GreedyCompiler

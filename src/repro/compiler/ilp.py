@@ -24,7 +24,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.compiler.dag import LayerDag
-from repro.compiler.memobj import MemoryObject, extract_objects
+from repro.compiler.memobj import extract_objects
 from repro.compiler.schedule import Placement, Schedule
 from repro.errors import SolverError
 from repro.units import KB, MB, NS

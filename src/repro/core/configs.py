@@ -23,7 +23,7 @@ from dataclasses import replace
 from repro.core.hetero_spm import SmartSpm
 from repro.core.pipelined_array import PipelinedCmosSfqArray
 from repro.cryomem.sram_array import JosephsonCmosSram
-from repro.cryomem.technology import MRAM, SNM, SRAM_4K, TABLE1, VTM
+from repro.cryomem.technology import TABLE1
 from repro.errors import ConfigError
 from repro.sfq.constants import ERSFQ_1UM
 from repro.systolic.energy import EnergyModel
@@ -58,6 +58,17 @@ SFQ_MAC_ENERGY = 1.9 / 842e12
 TPU_POWER = 40.0
 
 SCHEMES = ("SHIFT", "SRAM", "Heter", "Pipe", "SMART")
+
+#: AQFP adiabatic logic clocks at a few GHz — an order below ERSFQ —
+#: but switches at ~1e-20 J/op, two orders below the ERSFQ matrix
+#: (Cai et al., the AQFP stochastic-computing DL accelerator).
+AQFP_CLOCK = 5 * GHZ
+AQFP_MAC_ENERGY = SFQ_MAC_ENERGY / 100.0
+
+#: Fraction of MAC slots that carry a spike in the SFQ-SNN design
+#: (Karamuftuoglu et al.): only spiking events dissipate, so the
+#: effective energy per nominal MAC scales by the activity.
+SNN_SPIKE_ACTIVITY = 0.25
 
 
 def _shift_step_energy(lane_bytes: float) -> float:
@@ -160,7 +171,10 @@ def make_accelerator(scheme: str, technology: str = "SRAM",
     Args:
         scheme: one of SCHEMES, or "TPU", or "hX" heterogeneous variants
             via scheme="Heter" with ``technology`` in Table 1, or
-            homogeneous technology replacements via scheme="homogeneous".
+            homogeneous technology replacements via scheme="homogeneous",
+            or the alternative superconductor backends "AQFP" /
+            "SNN" (PAPERS.md cost models the geo tier uses for
+            per-region accelerator diversity).
         technology: Table 1 technology for SRAM/Heter/homogeneous.
         prefetch_depth: override the scheme's prefetch lookahead
             (enables the hVTM+p configuration of Fig 7).
@@ -169,6 +183,15 @@ def make_accelerator(scheme: str, technology: str = "SRAM",
         return make_tpu()
     if scheme == "SHIFT":
         return make_supernpu()
+    if scheme == "AQFP":
+        # SMART's memory system on an adiabatic AQFP matrix: the slow
+        # multi-phase AC clock costs throughput, the near-reversible
+        # switching wins energy by two orders.
+        return replace(make_smart(name="AQFP"), frequency=AQFP_CLOCK)
+    if scheme == "SNN":
+        # The high-fan-in SFQ spiking design: ERSFQ-speed clock over a
+        # quarter-size neuron array, sparse spike-driven dissipation.
+        return replace(make_smart(name="SNN"), rows=32, cols=128)
     if scheme == "homogeneous":
         random = _technology_random_spm(technology, 28 * MB)
         memsys = MemorySystem(
@@ -238,6 +261,23 @@ def make_energy_model(accelerator: AcceleratorModel) -> EnergyModel:
             shift_step_energy=0.0,
             random_access_energy=access,
             spm_leakage=leak, cooled=True,
+        )
+    if name == "AQFP":
+        array = PipelinedCmosSfqArray()
+        return EnergyModel(
+            mac_energy=AQFP_MAC_ENERGY, idle_power=0.0,
+            shift_step_energy=_shift_step_energy(128),
+            random_access_energy=array.access_energy,
+            spm_leakage=array.leakage_power, cooled=True,
+        )
+    if name == "SNN":
+        array = PipelinedCmosSfqArray()
+        return EnergyModel(
+            mac_energy=SFQ_MAC_ENERGY * SNN_SPIKE_ACTIVITY,
+            idle_power=0.0,
+            shift_step_energy=_shift_step_energy(128),
+            random_access_energy=array.access_energy,
+            spm_leakage=array.leakage_power, cooled=True,
         )
     if name.startswith("h"):  # heterogeneous hVTM/hSRAM/hMRAM/hSNM
         tech = name[1:]

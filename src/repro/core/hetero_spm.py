@@ -16,7 +16,7 @@ from repro.cryomem.shift_array import ShiftArray
 from repro.errors import ConfigError
 from repro.sfq.constants import SCALED_28NM, SfqProcess
 from repro.systolic.memsys import HeterogeneousSpm, ShiftSpm
-from repro.units import KB, MB
+from repro.units import KB
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,6 @@ access).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigError

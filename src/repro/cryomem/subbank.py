@@ -25,7 +25,7 @@ from functools import cached_property
 from repro.cryomem.mosfet import CryoMosfet
 from repro.errors import ConfigError
 from repro.sfq.cmos_wire import CmosWire
-from repro.units import FF, KB, UM
+from repro.units import FF, UM
 
 
 #: SRAM cell geometry (Table 1): 146 F^2 at the CMOS node.

@@ -15,9 +15,10 @@ list[dict]``, and a :class:`Pipeline` chains blocks::
     ]).apply(rows)
 
 Loaders normalise source-specific drift in one place — notably the
-bench file's legacy ``requests`` vs ``n_requests`` / ``variant`` label
-drift (points predating PR 4 carry no labels and are the historical
-bursty/10k cell) — so every downstream block sees uniform columns.
+bench file's legacy ``requests`` spelling of ``n_requests`` — and
+reject unlabelled bench points outright (the committed history is
+fully migrated to the labelled schema), so every downstream block
+sees uniform columns.
 ``repro report`` and the statistical ``tools/bench_guard.py`` both
 build on these primitives.
 """
@@ -306,13 +307,29 @@ class SortBlock(Block):
 def bench_cell(point: Mapping[str, Any]) -> tuple[str, int, str]:
     """(scenario, n_requests, variant) of one bench point.
 
-    Legacy points (pre-PR 4) carry no labels and are the historical
-    bursty/10k cell; ``requests`` is the pre-label spelling of
-    ``n_requests``; unlabelled variants are the plain serving path.
+    Every point must carry its ``scenario`` label and a request count
+    (``n_requests``, or the pre-label ``requests`` spelling); the
+    committed history was migrated to the labelled schema, so an
+    unlabelled point is a malformed write, not legacy data.
+    Unlabelled variants are the plain serving path.
+
+    Raises:
+        ConfigError: for points missing the scenario label or the
+            request count — rejecting beats emitting a None-keyed
+            cell that silently splits the trajectory.
     """
-    scenario = point.get("scenario", "bursty")
-    n_requests = point.get("n_requests", point.get("requests", 10_000))
-    return (str(scenario), int(n_requests),
+    if "scenario" not in point:
+        raise ConfigError(
+            "bench point is missing its 'scenario' label; every "
+            "point must use the labelled schema"
+        )
+    n_requests = point.get("n_requests", point.get("requests"))
+    if n_requests is None:
+        raise ConfigError(
+            "bench point is missing 'n_requests' (or the legacy "
+            "'requests' spelling)"
+        )
+    return (str(point["scenario"]), int(n_requests),
             str(point.get("variant", "")))
 
 
@@ -327,8 +344,9 @@ def load_bench(path) -> list[Row]:
     """``BENCH_serving.json`` points as uniform rows, file order.
 
     Every row carries normalised ``scenario`` / ``n_requests`` /
-    ``variant`` / ``cell`` columns (see :func:`bench_cell` for the
-    legacy-label rules), a global ``seq`` and a per-cell ``cell_seq``
+    ``variant`` / ``cell`` columns (see :func:`bench_cell`, which
+    rejects unlabelled points), a global ``seq`` and a per-cell
+    ``cell_seq``
     index, plus whatever metric columns the point recorded (``rps``,
     ``cold_rps``, ``wall_s``, ...).  Missing/unreadable files load as
     no rows, like the guard.

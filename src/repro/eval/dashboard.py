@@ -20,10 +20,13 @@ Sections:
 - **policies** / **frontier**: scenario x policy comparison table and
   the SLO-attainment-vs-energy frontier, when serving result rows
   (``serve-sim --json`` / ``sweep --json`` files) are supplied;
+- **regions**: per-region SLO-attainment and $/J rows from geo runs
+  (``ev: "region"`` trace rows or ``serve-sim --geo --json`` rows);
 - **runs**: per-experiment ledger aggregates (runs, cache share,
   errors, elapsed);
 - **timeline**: per-run metrics timelines from saved telemetry traces
-  (in-system requests, arrival rate, replicas, windowed p95, energy).
+  (in-system requests, arrival rate, replicas, windowed p95, energy),
+  one per worker shard / geo region in scale-out traces.
 """
 
 from __future__ import annotations
@@ -134,9 +137,53 @@ def _frontier(grid_rows: Sequence[Row]) -> list[Row]:
         label = str(row.get("scale") or row.get("policy") or "?")
         if row.get("scenario"):
             label = f"{row['scenario']}/{label}"
+        if row.get("region"):
+            # per-region rows from a geo run: one frontier point per
+            # region, so a fleet fans into distinguishable markers
+            label = f"{label}@{row['region']}"
         out.append({"label": label, "energy_uj": _round(energy),
                     "slo_attain": _round(attain)})
     return SortBlock("label").apply(out)
+
+
+#: Region-row columns the geo section keeps, in display order.
+_REGION_METRICS = ("requests", "share", "p50_us", "p95_us",
+                   "slo_attain", "energy_per_req_uj", "usd_per_mj",
+                   "usd_per_req", "net_delay_us", "remote_frac",
+                   "rerouted")
+
+
+def _region_table(grid_rows: Sequence[Row],
+                  telemetry_rows: Sequence[Row]) -> list[Row]:
+    """Per-region SLO-attainment and $/J rows from geo runs.
+
+    Sources both surfaces a geo run leaves behind: ``ev: "region"``
+    summary rows in a saved telemetry trace (``serve-sim --geo
+    --trace``) and per-region rows in supplied serving-result JSON
+    (``serve-sim --geo --json``, recognised by their ``region`` +
+    ``usd_per_mj`` columns).
+    """
+    out = []
+    seen = set()
+    rows = [r for r in telemetry_rows if r.get("ev") == "region"]
+    rows += [r for r in grid_rows
+             if r.get("region") is not None and "usd_per_mj" in r]
+    for row in rows:
+        entry: Row = {
+            "scenario": row.get("scenario", ""),
+            "policy": row.get("policy", ""),
+            "region": row.get("region", ""),
+            "accelerator": row.get("accelerator", ""),
+            "replicas": row.get("replicas", 0),
+        }
+        entry.update({m: _round(row[m]) for m in _REGION_METRICS
+                      if isinstance(row.get(m), (int, float))})
+        key = tuple(sorted(entry.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(entry)
+    return SortBlock(("scenario", "policy", "region")).apply(out)
 
 
 def _ledger_summary(ledger_rows: Sequence[Row]) -> Row:
@@ -164,17 +211,20 @@ def _ledger_summary(ledger_rows: Sequence[Row]) -> Row:
 def _timeline_runs(telemetry_rows: Sequence[Row]) -> list[Row]:
     """One timeline per (trace, run[, shard]): meta + the samples.
 
-    Sharded traces tag every row with a ``shard`` id; each worker
-    shard gets its own timeline entry (and report row), so a scale-out
-    run renders one per-shard timeline per shard instead of collapsing
-    the workers into one mixed series.
+    Sharded traces tag every row with a ``shard`` id and geo traces
+    with a ``region`` name; each worker gets its own timeline entry
+    (and report row), so a scale-out run renders one timeline per
+    shard / region instead of collapsing the workers into one mixed
+    series.
     """
     metas: dict[tuple, Row] = {}
     samples: dict[tuple, list[Row]] = {}
     counts: dict[tuple, int] = {}
     for row in telemetry_rows:
+        if row.get("ev") == "region":
+            continue  # summary rows, rendered by the geo section
         key = (row.get("trace", ""), row.get("run", 0),
-               row.get("shard"))
+               row.get("shard"), row.get("region"))
         kind = row.get("ev")
         if kind == "run":
             metas[key] = row
@@ -201,10 +251,12 @@ def _timeline_runs(telemetry_rows: Sequence[Row]) -> list[Row]:
                 "energy_j": s.get("energy_j"),
             } for s in series],
         }
-        # only sharded traces carry the column, so unsharded reports
-        # (and their goldens) stay byte-identical
+        # only sharded / geo traces carry their column, so plain
+        # reports (and their goldens) stay byte-identical
         if key[2] is not None:
             entry["shard"] = key[2]
+        if key[3] is not None:
+            entry["region"] = key[3]
         out.append(entry)
     return out
 
@@ -221,6 +273,7 @@ def build_report(bench_rows: Sequence[Row],
     inputs always produce an equal report.
     """
     grid_rows = list(grid_rows)
+    telemetry_rows = list(telemetry_rows)
     return {
         "schema": REPORT_SCHEMA,
         "window": window,
@@ -228,8 +281,9 @@ def build_report(bench_rows: Sequence[Row],
         "variants": _variant_table(list(bench_rows)),
         "policies": _policy_table(grid_rows),
         "frontier": _frontier(grid_rows),
+        "regions": _region_table(grid_rows, telemetry_rows),
         "runs": _ledger_summary(list(ledger_rows)),
-        "timeline": _timeline_runs(list(telemetry_rows)),
+        "timeline": _timeline_runs(telemetry_rows),
     }
 
 
@@ -492,6 +546,7 @@ def _timeline_section(report: dict) -> list[str]:
         title = " ".join(filter(None, [
             run["trace"], f"run {run['run']}",
             f"shard {run['shard']}" if "shard" in run else "",
+            f"region {run['region']}" if "region" in run else "",
             run["scenario"], run["policy"],
         ]))
         out.append(f"<h2>timeline: {html.escape(title)}</h2>")
@@ -543,6 +598,13 @@ def render_html(report: dict, title: str = "repro serving report") -> str:
             columns += [c for c in row if c not in columns]
         parts.append("<h2>Policy comparison</h2>")
         parts.append(_table(report["policies"], columns))
+    if report.get("regions"):
+        columns = ["scenario", "policy", "region", "accelerator",
+                   "replicas"]
+        for row in report["regions"]:
+            columns += [c for c in row if c not in columns]
+        parts.append("<h2>Geo regions (per-region SLO and $/J)</h2>")
+        parts.append(_table(report["regions"], columns))
     if report["frontier"]:
         parts.append("<h2>SLO / energy frontier</h2>")
         parts.append(

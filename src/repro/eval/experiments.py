@@ -16,7 +16,6 @@ from repro.core import (
     make_supernpu,
     make_tpu,
 )
-from repro.core.configs import _shift_step_energy
 from repro.cryomem import (
     CmosSubbank,
     JosephsonCmosSram,

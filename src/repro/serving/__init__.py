@@ -16,6 +16,12 @@ bit-identical to :func:`generate_trace` with O(1) requests resident)
 and :class:`ShardedEngine` (:mod:`repro.serving.sharding`) fans a
 deterministically sharded trace across worker processes, merging
 exact counters plus a mergeable latency digest back into one result.
+
+On top of the cluster sits the geo tier (:mod:`repro.serving.geo`):
+a :class:`GeoRouter` routes region-tagged traffic over a static
+:class:`Interconnect` (ring / mesh / tree) to per-region engines,
+charging deterministic network delay, and merge-reduces the regional
+outcomes with the same digest machinery the sharded engine uses.
 """
 
 from repro.serving.batching import (
@@ -36,6 +42,20 @@ from repro.serving.events import (
     Replica,
     SloPolicy,
 )
+from repro.serving.geo import (
+    GeoResult,
+    GeoRouter,
+    RegionOutcome,
+    RegionSpec,
+    STOCK_REGIONS,
+    default_regions,
+    validate_geo,
+)
+from repro.serving.interconnect import (
+    Interconnect,
+    REQUEST_BYTES,
+    TOPOLOGIES,
+)
 from repro.serving.memo import (
     CacheStats,
     Interner,
@@ -45,6 +65,7 @@ from repro.serving.memo import (
 )
 from repro.serving.policies import (
     AdmissionPolicy,
+    CheapestJouleDispatch,
     DISPATCH_POLICIES,
     DepthAdmission,
     DispatchPolicy,
@@ -53,15 +74,23 @@ from repro.serving.policies import (
     FastestFinishDispatch,
     FifoFlush,
     FlushPolicy,
+    FollowSunDispatch,
     ForecastScalePolicy,
+    GEO_POLICIES,
+    GeoDispatchPolicy,
+    HomeRegionDispatch,
     LeastLoadedDispatch,
     ReactiveScalePolicy,
+    RegionFailurePlan,
+    RegionOutage,
     RoundRobinDispatch,
     ScalePolicy,
     ShardDispatch,
+    SpilloverDispatch,
     WorkStealPolicy,
     make_dispatch,
     make_flush,
+    make_geo,
     make_scale,
 )
 from repro.serving.sharding import (
@@ -107,6 +136,7 @@ __all__ = [
     "BatchRecord",
     "BurstyProcess",
     "CacheStats",
+    "CheapestJouleDispatch",
     "ClusterEngine",
     "DISPATCH_POLICIES",
     "DISPATCH_STRATEGIES",
@@ -123,7 +153,14 @@ __all__ = [
     "FifoFlush",
     "FixedSizeBatching",
     "FlushPolicy",
+    "FollowSunDispatch",
     "ForecastScalePolicy",
+    "GEO_POLICIES",
+    "GeoDispatchPolicy",
+    "GeoResult",
+    "GeoRouter",
+    "HomeRegionDispatch",
+    "Interconnect",
     "Interner",
     "LatencyDigest",
     "LayerMemoCache",
@@ -132,12 +169,18 @@ __all__ = [
     "Outage",
     "POLICIES",
     "PoissonProcess",
+    "REQUEST_BYTES",
     "RampProcess",
     "ReactiveScalePolicy",
+    "RegionFailurePlan",
+    "RegionOutage",
+    "RegionOutcome",
+    "RegionSpec",
     "Replica",
     "Request",
     "RoundRobinDispatch",
     "SCENARIOS",
+    "STOCK_REGIONS",
     "ScalePolicy",
     "Scenario",
     "ServingResult",
@@ -147,17 +190,21 @@ __all__ = [
     "ShardedEngine",
     "ShardedResult",
     "SloPolicy",
+    "SpilloverDispatch",
+    "TOPOLOGIES",
     "TRACE_SCHEMA",
     "Telemetry",
     "TimeoutBatching",
     "TraceShard",
     "WorkStealPolicy",
+    "default_regions",
     "generate_trace",
     "get_scenario",
     "load_persistent_memo",
     "load_trace",
     "make_dispatch",
     "make_flush",
+    "make_geo",
     "make_policy",
     "make_scale",
     "shard_key",
@@ -165,5 +212,6 @@ __all__ = [
     "shard_trace",
     "store_persistent_memo",
     "stream_trace",
+    "validate_geo",
     "validate_sharding",
 ]

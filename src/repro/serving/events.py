@@ -107,6 +107,14 @@ class EventKind(IntEnum):
     flush whose deadline lands exactly on an arrival fires *before*
     that arrival is enqueued; completions and control actions follow
     arrivals; the end-of-trace drain runs after the last arrival.
+
+    NETWORK is the geo tier's delivery event: a request in flight on
+    the interconnect, scheduled for the instant it lands in its
+    serving region.  The :class:`~repro.serving.geo.GeoRouter` charges
+    interconnect delay by pushing NETWORK events into its own
+    :class:`EventQueue` and re-sorting the stream into delivery order;
+    the cluster engine's heap never sees the kind, so single-region
+    zero-delay runs stay bit-identical to the plain engine.
     """
 
     FLUSH = 0
@@ -116,6 +124,7 @@ class EventKind(IntEnum):
     RECOVER = 4
     CONTROL = 5
     DRAIN = 6
+    NETWORK = 7
 
 
 # Hot-loop aliases: heap entries carry the plain int so tuple
@@ -127,6 +136,7 @@ _FAIL = int(EventKind.FAIL)
 _RECOVER = int(EventKind.RECOVER)
 _CONTROL = int(EventKind.CONTROL)
 _DRAIN = int(EventKind.DRAIN)
+_NETWORK = int(EventKind.NETWORK)
 
 
 @dataclass(frozen=True, slots=True)
@@ -175,6 +185,12 @@ class EventQueue:
         heapq.heappush(self._heap,
                        (time, int(kind), key, self._seq, payload))
         self._seq += 1
+
+    def next_time(self) -> float:
+        """The earliest scheduled instant (the heap head's time)."""
+        if not self._heap:
+            raise ConfigError("next_time of an empty event queue")
+        return self._heap[0][0]
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""

@@ -9,6 +9,7 @@ the shared reporting path::
     repro sweep serving_slo --param shed_depth=0,32,128
     repro sweep serving_autoscale --param scenario=diurnal,bursty
     repro sweep serving_forecast --param scale=reactive-p95,ewma,holt
+    repro sweep serving_geo --param geo=home,follow_sun,cheapest_joule
 
 Control-plane knobs arrive as plain scalars (microseconds, counts,
 ``"min:max"`` / ``"model=N"`` strings) so sweep parameters stay
@@ -353,6 +354,42 @@ def serving_scale(scenario: str = "steady", policy: str = "timeout",
     return rows
 
 
+def serving_geo(scenario: str = "diurnal", policy: str = "timeout",
+                requests: int = 20_000, regions: int = 4,
+                topology: str = "ring", geo: str = "follow_sun",
+                storms: int = 0, batch_size: int = 8, seed: int = 7,
+                slo_us: float = 0.0, mode: str = "process",
+                scenarios: Optional[Sequence[str]] = None
+                ) -> list[dict]:
+    """Geo-distributed serving: per-region engines behind a router.
+
+    One aggregate row per scenario plus one row per region (tagged
+    with its ``region`` name): the :class:`~repro.serving.geo.
+    GeoRouter` admits region-local request streams, routes each
+    request with the ``geo`` policy over the ``topology``
+    interconnect, charges deterministic network delay, and merges the
+    per-region outcomes exactly.  Sweep ``geo`` to compare routing
+    policies (``repro sweep serving_geo --param
+    geo=home,follow_sun,cheapest_joule,spillover``).
+    """
+    from repro.serving.geo import GeoRouter
+
+    router = GeoRouter(regions, topology=topology, geo=geo,
+                       storms=storms, policy=policy,
+                       batch_size=batch_size, slo_us=slo_us,
+                       mode=mode)
+    rows = []
+    for name in scenarios or (scenario,):
+        result = router.run_scenario(name, requests, seed=seed)
+        row = result.to_row()
+        row["wall_s"] = result.wall_s
+        rows.append(row)
+        rows.extend({"scenario": name, "policy": policy, "geo": geo,
+                     **region_row}
+                    for region_row in result.region_rows())
+    return rows
+
+
 def _register() -> None:
     from repro.runtime.registry import register_experiment
 
@@ -382,6 +419,12 @@ def _register() -> None:
         "sharded scale-out across worker processes, aggregate req/s; "
         "params: scenario, policy, requests, replicas, batch_size, "
         "shards, seed, slo_us, mode", figure=False)
+    register_experiment(
+        "serving_geo", serving_geo,
+        "geo-distributed fleet: per-region engines behind a routing "
+        "interconnect; params: scenario, policy, requests, regions, "
+        "topology, geo, storms, batch_size, seed, slo_us, mode",
+        figure=False)
     register_experiment(
         "serving_forecast", serving_forecast,
         "reactive vs predictive autoscaling, SLO attainment/joule; "

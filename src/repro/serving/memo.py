@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.systolic.layers import ConvLayer, Network
 from repro.systolic.simulator import AcceleratorModel, LayerResult, RunResult

@@ -48,7 +48,9 @@ can serve many runs deterministically.
 
 from __future__ import annotations
 
+import random as _random
 import zlib
+from dataclasses import dataclass
 from math import ceil
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
@@ -680,8 +682,233 @@ class WorkStealPolicy:
         self.min_gain = min_gain
 
 
+# ---------------------------------------------------------------------------
+# Geo dispatch: which region serves an admitted request
+# ---------------------------------------------------------------------------
+class GeoDispatchPolicy:
+    """Region selection for one admitted request.
+
+    The sixth policy seam, one level above :class:`DispatchPolicy`:
+    before a request ever reaches a cluster's replica dispatch, the
+    :class:`~repro.serving.geo.GeoRouter` asks a geo policy which
+    *region* serves it.  ``route`` receives the arrival instant, the
+    request's home region index, and the router view — a read-only
+    surface over the fleet plan:
+
+    - ``router.regions`` — region count;
+    - ``router.capacity(i)`` — calibrated capacity (req/s);
+    - ``router.price(i)`` — energy price (USD/MJ);
+    - ``router.energy_per_req(i)`` — per-request energy estimate (J);
+    - ``router.batch_latency(i)`` — full-batch service estimate (s);
+    - ``router.wave(i, t)`` — instantaneous diurnal load factor at
+      region-local time (1.0 flat for non-diurnal scenarios);
+    - ``router.hops(src, dst)`` / ``router.delay(src, dst)`` — the
+      interconnect (see :mod:`repro.serving.interconnect`);
+    - ``router.window_rate(i, t)`` — recent *assigned* request rate
+      (req/s over the router's sliding window);
+    - ``router.slo`` — latency target (s), or ``None``.
+
+    Policies are pure functions of that view, so every worker process
+    replays the identical routing scan and geo runs merge exactly.
+    ``reset`` runs once per routing scan.
+    """
+
+    name = "?"
+
+    def reset(self, router) -> None:
+        """Forget per-scan state; called once per routing scan."""
+
+    def route(self, time: float, home: int, router) -> int:
+        """The region index that serves a request admitted at ``time``
+        by region ``home``."""
+        raise NotImplementedError
+
+
+class HomeRegionDispatch(GeoDispatchPolicy):
+    """Serve every request where it arrived (the null geo policy)."""
+
+    name = "home"
+
+    def route(self, time, home, router):
+        return home
+
+
+class FollowSunDispatch(GeoDispatchPolicy):
+    """Chase the night: route to the region deepest in its diurnal
+    trough.
+
+    Lower wave factor means local night — idle capacity — so traffic
+    follows the sun around the ring.  Ties (every region flat on a
+    non-diurnal scenario) break toward fewer hops from home, then the
+    lower region index, which degrades to home-region routing.
+    """
+
+    name = "follow_sun"
+
+    def route(self, time, home, router):
+        return min(range(router.regions),
+                   key=lambda i: (router.wave(i, time),
+                                  router.hops(home, i), i))
+
+
+class CheapestJouleDispatch(GeoDispatchPolicy):
+    """Energy-price-aware routing: the cheapest joule wins under SLO.
+
+    Candidate regions are those whose static latency estimate — a full
+    batch's service time plus the interconnect delay from home — meets
+    the SLO target; among them the lowest energy cost per request
+    (price x per-request energy) wins, ties toward fewer hops then
+    index.  Regions already assigned traffic beyond their calibrated
+    capacity (by the router's sliding window) drop out first, so the
+    cheapest joule wins only while its region has headroom rather
+    than piling the whole fleet onto one grid.  With no SLO every
+    region is a candidate; when no region fits the budget the request
+    stays home (shipping it anywhere else only adds delay).
+    """
+
+    name = "cheapest_joule"
+
+    def route(self, time, home, router):
+        slo = router.slo
+        eligible = [
+            i for i in range(router.regions)
+            if slo is None
+            or router.batch_latency(i) + router.delay(home, i) <= slo
+        ]
+        if not eligible:
+            return home
+        open_pools = [i for i in eligible
+                      if router.window_rate(i, time)
+                      < router.capacity(i)]
+        return min(open_pools or eligible,
+                   key=lambda i: (router.price(i)
+                                  * router.energy_per_req(i),
+                                  router.hops(home, i), i))
+
+
+class SpilloverDispatch(GeoDispatchPolicy):
+    """Serve at home until the home pool saturates, then overflow.
+
+    Saturation is the router's sliding-window assigned rate exceeding
+    the region's calibrated capacity.  Overflow goes to the nearest
+    region with headroom (fewest hops, then most spare capacity, then
+    index); when every region is saturated the request stays home —
+    there is nowhere better to spill.
+    """
+
+    name = "spillover"
+
+    def route(self, time, home, router):
+        if router.window_rate(home, time) <= router.capacity(home):
+            return home
+        spare = [
+            i for i in range(router.regions) if i != home
+            and router.window_rate(i, time) < router.capacity(i)
+        ]
+        if not spare:
+            return home
+        return min(spare,
+                   key=lambda i: (router.hops(home, i),
+                                  router.window_rate(i, time)
+                                  - router.capacity(i), i))
+
+
+GEO_POLICIES = {
+    policy.name: policy for policy in (
+        HomeRegionDispatch, FollowSunDispatch, CheapestJouleDispatch,
+        SpilloverDispatch,
+    )
+}
+
+
+def make_geo(policy: str | GeoDispatchPolicy) -> GeoDispatchPolicy:
+    """Resolve a geo dispatch policy name (or pass an instance through).
+
+    Raises:
+        ConfigError: for unknown names.
+    """
+    if isinstance(policy, GeoDispatchPolicy):
+        return policy
+    try:
+        return GEO_POLICIES[policy]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown geo policy '{policy}'; known: "
+            f"{', '.join(GEO_POLICIES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Region-granularity outage storms
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegionOutage:
+    """One region's outage window: down in ``[at, until)``."""
+
+    region: int
+    at: float
+    until: float
+
+    def __post_init__(self) -> None:
+        if self.until <= self.at:
+            raise ConfigError("outage must end after it starts")
+
+    def down(self, time: float) -> bool:
+        """Whether the region is dark at ``time``."""
+        return self.at <= time < self.until
+
+
+@dataclass(frozen=True)
+class RegionFailurePlan:
+    """Seeded region-granularity outage storms for the geo tier.
+
+    The cluster-level :class:`~repro.serving.events.FailurePlan` darkens
+    single replicas; this darkens whole *regions* — the router reroutes
+    arrivals for a dark region to the nearest healthy one, so region
+    engines themselves stay fault-free and shard-stable.  ``count``
+    outages are sampled over the middle 80% of the trace span
+    (round-robin over regions with a seeded shuffle), each lasting
+    ``downtime_frac`` of the span.
+
+    Attributes:
+        count: outage windows to sample.
+        downtime_frac: outage length as a fraction of the trace span.
+        seed: RNG seed for sampling.
+    """
+
+    count: int = 2
+    downtime_frac: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigError("storm count must be >= 0")
+        if not 0.0 < self.downtime_frac < 1.0:
+            raise ConfigError("downtime fraction must be in (0, 1)")
+
+    def resolve(self, start: float, end: float,
+                regions: int) -> tuple[RegionOutage, ...]:
+        """Concrete outage windows for a trace spanning [start, end]."""
+        if regions < 1:
+            raise ConfigError("region count must be >= 1")
+        span = max(end - start, 1e-12)
+        rng = _random.Random(self.seed)
+        order = list(range(regions))
+        rng.shuffle(order)
+        downtime = self.downtime_frac * span
+        return tuple(sorted(
+            (RegionOutage(region=order[i % regions],
+                          at=(at := start + span
+                              * (0.1 + 0.8 * rng.random())),
+                          until=at + downtime)
+             for i in range(self.count)),
+            key=lambda o: (o.at, o.region),
+        ))
+
+
 __all__ = [
     "AdmissionPolicy",
+    "CheapestJouleDispatch",
     "DISPATCH_POLICIES",
     "DepthAdmission",
     "DispatchPolicy",
@@ -690,15 +917,23 @@ __all__ = [
     "FastestFinishDispatch",
     "FifoFlush",
     "FlushPolicy",
+    "FollowSunDispatch",
     "ForecastScalePolicy",
+    "GEO_POLICIES",
+    "GeoDispatchPolicy",
+    "HomeRegionDispatch",
     "LeastLoadedDispatch",
     "MAX_PRIORITY",
     "ReactiveScalePolicy",
+    "RegionFailurePlan",
+    "RegionOutage",
     "RoundRobinDispatch",
     "ScalePolicy",
     "ShardDispatch",
+    "SpilloverDispatch",
     "WorkStealPolicy",
     "make_dispatch",
     "make_flush",
+    "make_geo",
     "make_scale",
 ]

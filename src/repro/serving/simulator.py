@@ -30,7 +30,7 @@ accelerator x layer x batch) of actual simulation work.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
 from repro.core import make_accelerator

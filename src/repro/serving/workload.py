@@ -54,11 +54,14 @@ class Request:
         request_id: position in the trace (unique, ascending).
         model: model-zoo network name.
         arrival: arrival time (s) from the start of the trace.
+        region: home region that admitted the request ("" for
+            single-region runs; the geo tier tags regional streams).
     """
 
     request_id: int
     model: str
     arrival: float
+    region: str = ""
 
 
 @dataclass(frozen=True)
@@ -232,14 +235,22 @@ class DiurnalProcess:
     """A day/night wave: the rate swings sinusoidally around ``rate``.
 
     The instantaneous rate at request ``i`` of ``n`` is
-    ``rate * (1 - amplitude * cos(2 pi * cycles * i / n))`` — trough
-    first (night), cresting to ``(1 + amplitude) x`` mid-cycle, with
-    the mean over whole cycles staying ``rate``.
+    ``rate * (1 - amplitude * cos(2 pi * (cycles * i / n) + 2 pi *
+    phase))`` — trough first (night), cresting to ``(1 + amplitude) x``
+    mid-cycle, with the mean over whole cycles staying ``rate``.
+
+    ``phase`` shifts the wave horizontally in cycle fractions: a
+    region three hours east of the reference clock runs ``phase=3/24``
+    ahead, so its crest lands earlier in the trace.  ``phase=0`` adds
+    a literal ``+ 0.0`` to the cosine argument, which is bitwise
+    identity for finite floats — unshifted traces stay bit-identical
+    to the pre-phase formulation.
     """
 
     rate: float
     amplitude: float = 0.6
     cycles: float = 2.0
+    phase: float = 0.0
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -248,15 +259,18 @@ class DiurnalProcess:
             raise ConfigError("diurnal amplitude must be in (0, 1)")
         if self.cycles <= 0:
             raise ConfigError("diurnal cycle count must be positive")
+        if not math.isfinite(self.phase):
+            raise ConfigError("diurnal phase must be finite")
 
     def times(self, n: int, rng: _random.Random) -> Iterator[float]:
         """``n`` ascending arrival times (s), one draw per yield."""
         t = 0.0
+        offset = 2.0 * math.pi * self.phase
         for i in range(n):
             frac = i / max(1, n - 1)
             instant = self.rate * (
                 1.0 - self.amplitude
-                * math.cos(2.0 * math.pi * self.cycles * frac)
+                * math.cos(2.0 * math.pi * self.cycles * frac + offset)
             )
             t += rng.expovariate(instant)
             yield t
@@ -295,6 +309,10 @@ class Scenario:
         description: one-line summary for reports.
         faults: replica failures to inject when the simulator has no
             explicit failure plan (0 = none).
+        phase: timezone offset of the diurnal wave in cycle fractions
+            (see :class:`DiurnalProcess`); ignored by shapes without a
+            wave to shift.  The geo tier sets this per region so each
+            region's day/night crest lands at its local hour.
     """
 
     name: str
@@ -303,6 +321,7 @@ class Scenario:
     mix: ModelMix = field(default_factory=ModelMix.uniform_zoo)
     description: str = ""
     faults: int = 0
+    phase: float = 0.0
 
     def __post_init__(self) -> None:
         if self.shape not in ARRIVAL_SHAPES:
@@ -314,9 +333,13 @@ class Scenario:
             raise ConfigError(f"load must be in (0, {MAX_LOAD:g}]")
         if self.faults < 0:
             raise ConfigError("fault count must be >= 0")
+        if not math.isfinite(self.phase):
+            raise ConfigError("scenario phase must be finite")
 
     def process(self, rate: float):
         """Instantiate the arrival process at an absolute rate."""
+        if self.phase and self.shape == "diurnal":
+            return DiurnalProcess(rate, phase=self.phase)
         return ARRIVAL_SHAPES[self.shape](rate)
 
 
@@ -360,7 +383,8 @@ def get_scenario(name: str) -> Scenario:
 
 
 def generate_trace(scenario: Scenario, rate: float, n: int,
-                   seed: int = 0) -> tuple[Request, ...]:
+                   seed: int = 0, *,
+                   region: str = "") -> tuple[Request, ...]:
     """A deterministic request trace for one scenario.
 
     Args:
@@ -368,6 +392,8 @@ def generate_trace(scenario: Scenario, rate: float, n: int,
         rate: absolute arrival rate (requests/s).
         n: trace length.
         seed: RNG seed; the same seed reproduces the same trace.
+        region: home-region tag stamped on every request ("" for
+            single-region runs; arrival draws are unaffected).
     """
     if n < 1:
         raise ConfigError("trace needs at least one request")
@@ -375,7 +401,8 @@ def generate_trace(scenario: Scenario, rate: float, n: int,
     times = scenario.process(rate).generate(n, rng)
     sample = scenario.mix.sampler()
     return tuple(
-        Request(request_id=i, model=sample(rng), arrival=t)
+        Request(request_id=i, model=sample(rng), arrival=t,
+                region=region)
         for i, t in enumerate(times)
     )
 
@@ -384,7 +411,8 @@ def generate_trace(scenario: Scenario, rate: float, n: int,
 # Streaming + sharding
 # ---------------------------------------------------------------------------
 def stream_trace(scenario: Scenario, rate: float, n: int,
-                 seed: int = 0) -> Iterator[Request]:
+                 seed: int = 0, *,
+                 region: str = "") -> Iterator[Request]:
     """The :func:`generate_trace` trace as a stream, O(1) memory.
 
     Yields the exact same :class:`Request` objects, in the same order:
@@ -407,7 +435,8 @@ def stream_trace(scenario: Scenario, rate: float, n: int,
     sample = scenario.mix.sampler()
     rng_times = _random.Random(seed)
     for i, t in enumerate(process.times(n, rng_times)):
-        yield Request(request_id=i, model=sample(rng_models), arrival=t)
+        yield Request(request_id=i, model=sample(rng_models),
+                      arrival=t, region=region)
 
 
 def shard_key(model: str, replicas: int, shards: int) -> int:
@@ -453,7 +482,7 @@ class TraceShard:
 
     def __init__(self, scenario: Scenario, rate: float, n: int,
                  seed: int, *, shards: int, shard: int,
-                 replicas: int) -> None:
+                 replicas: int, region: str = "") -> None:
         if n < 1:
             raise ConfigError("trace needs at least one request")
         if shards < 1:
@@ -470,6 +499,7 @@ class TraceShard:
         self.shards = shards
         self.shard = shard
         self.replicas = replicas
+        self.region = region
         self._consumed = False
         # Burn the model RNG through the time draws (as stream_trace
         # does) while recording the global first/last arrival — the
@@ -496,24 +526,28 @@ class TraceShard:
         rng_times = _random.Random(self.seed)
         keys: dict[str, int] = {}
         replicas, shards, shard = self.replicas, self.shards, self.shard
+        region = self.region
         for i, t in enumerate(self._process.times(self.n, rng_times)):
             model = sample(rng_models)
             key = keys.get(model)
             if key is None:
                 key = keys[model] = shard_key(model, replicas, shards)
             if key == shard:
-                yield Request(request_id=i, model=model, arrival=t)
+                yield Request(request_id=i, model=model, arrival=t,
+                              region=region)
 
 
 def shard_trace(scenario: Scenario, rate: float, n: int, seed: int = 0,
                 *, shards: int, shard: int,
-                replicas: int) -> TraceShard:
+                replicas: int, region: str = "") -> TraceShard:
     """One shard's streamed slice of the global seeded trace.
 
     See :class:`TraceShard`; this is the deterministic shard-splitter
     — no full trace is materialised in any process, and every request
     of ``generate_trace(scenario, rate, n, seed)`` is yielded by
-    exactly one of the ``shards`` slices.
+    exactly one of the ``shards`` slices.  A ``region`` tag is carried
+    through to the yielded requests unchanged, so region-tagged
+    streams shard without losing their home label.
     """
     return TraceShard(scenario, rate, n, seed, shards=shards,
-                      shard=shard, replicas=replicas)
+                      shard=shard, replicas=replicas, region=region)

@@ -21,7 +21,7 @@ from repro.sfq.constants import (
     TABLE2_COMPONENTS,
     SfqProcess,
 )
-from repro.units import NW, UW
+from repro.units import UW
 
 
 #: Area charged per junction once bias inductors and wiring are included,

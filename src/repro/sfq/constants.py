@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import GHZ, MW, NS, NW, PH, PS, UA, UM, UW
+from repro.units import GHZ, NS, NW, PS, UA, UM, UW
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ Everything dissipated at 4 K is multiplied by the cooling factor
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.sfq.constants import CRYO_COOLING_FACTOR

@@ -29,7 +29,7 @@ captures the four regimes the paper contrasts:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.systolic.trace import StreamStats

@@ -21,8 +21,7 @@ breakdown figures can be regenerated without re-simulation.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.systolic.layers import ConvLayer, Network, WORD_BYTES

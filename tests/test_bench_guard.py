@@ -9,7 +9,6 @@ regression into a non-zero exit while the default stays warn-only.
 
 import importlib.util
 import json
-import sys
 from pathlib import Path
 
 import pytest
@@ -145,9 +144,11 @@ class TestRobustness:
         assert code == 0
         assert "bench likely did not run" in capsys.readouterr().out
 
-    def test_legacy_and_variant_cells_separate(self, history, capsys):
+    def test_plain_and_variant_cells_separate(self, history, capsys):
         base_points = [
-            {"requests": 10000, "rps": 200000.0},  # legacy = bursty/10k
+            # the pre-label "requests" spelling still resolves
+            {"scenario": "bursty", "requests": 10000,
+             "rps": 200000.0},
             point(190000.0, variant="persist"),
         ]
         fresh = base_points + [point(50000.0, variant="persist")]
@@ -158,6 +159,30 @@ class TestRobustness:
         out = capsys.readouterr().out
         assert code == 1
         assert "bursty/10000/persist" in out
+
+    def test_geo_cell_guarded_independently(self, history, capsys):
+        # a geo regression must trip only its own geo/<policy> cell,
+        # never the plain cell it shares a scenario label with
+        base_points = STEADY + [
+            point(90000.0, scenario="diurnal", n=100000,
+                  variant="geo/follow_sun"),
+        ]
+        fresh = base_points + [
+            point(40000.0, scenario="diurnal", n=100000,
+                  variant="geo/follow_sun"),
+            point(201000.0),
+        ]
+        code = bench_guard.main([
+            history("base.json", base_points),
+            history("fresh.json", fresh), "--block",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "diurnal/100000/geo/follow_sun" in out
+        assert "::warning" in out
+        # the plain bursty cell compared clean in the same run
+        assert "bursty/10000: " in out and \
+            "bursty/10000/geo" not in out
 
     def test_bad_window_rejected(self, history):
         with pytest.raises(SystemExit):

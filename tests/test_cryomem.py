@@ -11,7 +11,6 @@ from repro.cryomem import (
     MRAM,
     SHIFT,
     SNM,
-    SRAM_4K,
     ShiftArray,
     SUBBANK_CHIP_DATA,
     TABLE1,

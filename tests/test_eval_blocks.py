@@ -132,10 +132,17 @@ class TestPipeline:
 
 
 class TestBenchLoader:
-    def test_legacy_point_is_bursty_10k(self):
-        assert bench_cell({"requests": 10000, "rps": 1.0}) == \
-            ("bursty", 10000, "")
-        assert bench_cell({"rps": 1.0}) == ("bursty", 10000, "")
+    def test_unlabelled_point_rejected(self):
+        # unlabelled points were migrated out of the committed
+        # history; a fresh one is a malformed write, not legacy data
+        with pytest.raises(ConfigError, match="scenario"):
+            bench_cell({"requests": 10000, "rps": 1.0})
+        with pytest.raises(ConfigError, match="n_requests"):
+            bench_cell({"scenario": "bursty", "rps": 1.0})
+
+    def test_legacy_requests_spelling_accepted(self):
+        assert bench_cell({"scenario": "bursty", "requests": 10000,
+                           "rps": 1.0}) == ("bursty", 10000, "")
 
     def test_label_includes_variant(self):
         assert bench_label(("diurnal", 10000, "forecast")) == \
@@ -145,7 +152,7 @@ class TestBenchLoader:
     def test_normalises_mixed_history(self, tmp_path):
         path = tmp_path / "bench.json"
         path.write_text(json.dumps([
-            {"requests": 10000, "rps": 1.0},             # legacy
+            {"scenario": "bursty", "requests": 10000, "rps": 1.0},
             {"scenario": "bursty", "n_requests": 10000, "rps": 2.0},
             {"scenario": "bursty", "n_requests": 10000,
              "variant": "persist", "rps": 3.0},
@@ -157,6 +164,12 @@ class TestBenchLoader:
         assert [r["cell_seq"] for r in rows] == [0, 1, 0]
         assert all("requests" not in r for r in rows)
         assert rows[0]["n_requests"] == 10000
+
+    def test_unlabelled_history_rejected(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps([{"requests": 10000, "rps": 1.0}]))
+        with pytest.raises(ConfigError, match="scenario"):
+            load_bench(path)
 
     def test_missing_file_loads_empty(self, tmp_path):
         assert load_bench(tmp_path / "absent.json") == []

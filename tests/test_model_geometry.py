@@ -9,7 +9,6 @@ from the same input; residual blocks re-join).
 import pytest
 
 from repro.models import get_model, model_names
-from repro.systolic.layers import ConvLayer
 
 
 def _sequential_pairs(net):

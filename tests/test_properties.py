@@ -1,6 +1,5 @@
 """Property-based tests on core invariants (hypothesis)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -8,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.compiler import GreedyCompiler, IlpCompiler, LayerDag
 from repro.core import make_smart
 from repro.eval.report import geomean
-from repro.sfq.ptl import MicrostripPtl, PtlLink, insert_repeaters
+from repro.sfq.ptl import PtlLink, insert_repeaters
 from repro.systolic.layers import ConvLayer
 from repro.systolic.mapping import WeightStationaryMapping
 from repro.systolic.memsys import RandomSpm, ShiftSpm

@@ -51,7 +51,7 @@ class TestGoldenReport:
     def test_golden_statistics(self):
         golden = json.loads(GOLDEN.read_text())
         cells = {c["cell"]: c for c in golden["bench"]["cells"]}
-        # the legacy unlabelled point folded into bursty/10000
+        # the migrated first fixture point counts toward bursty/10000
         assert cells["bursty/10000"]["points"] == 5
         # median-of-window absorbs the 90k noisy dip
         assert cells["bursty/10000"]["median_rps"] == 180000.0
@@ -160,3 +160,30 @@ class TestTraceIntegration:
         assert code == 0
         html = out.read_text()
         assert "shard 0" in html and "shard 1" in html
+
+    def test_geo_trace_renders_region_rows(self, fixture_ledger,
+                                           tmp_path, capsys):
+        trace = tmp_path / "geo.jsonl"
+        code = main(["serve-sim", "steady", "--requests", "400",
+                     "--geo", "us-east,ap-south", "--slo", "4000",
+                     "--policy", "timeout", "--trace", str(trace)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["report", "--json", "--bench",
+                     str(BENCH_FIXTURE), "--trace", str(trace)])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        regions = {r["region"]: r for r in report["regions"]}
+        assert set(regions) == {"us-east", "ap-south"}
+        # the acceptance columns: per-region SLO attainment and $/J
+        for row in regions.values():
+            assert 0.0 <= row["slo_attain"] <= 1.0
+            assert row["usd_per_mj"] > 0
+            assert "usd_per_req" in row
+        out = tmp_path / "fleet.html"
+        code = main(["report", "--bench", str(BENCH_FIXTURE),
+                     "--trace", str(trace), "-o", str(out)])
+        assert code == 0
+        html = out.read_text()
+        assert "Geo regions" in html
+        assert "us-east" in html and "ap-south" in html

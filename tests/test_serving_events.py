@@ -21,7 +21,6 @@ from repro.serving import (
     ServingSimulator,
     SloPolicy,
     TimeoutBatching,
-    make_policy,
 )
 from repro.serving.workload import Request
 from repro.systolic.layers import ConvLayer, Network

@@ -15,7 +15,6 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.serving import (
-    ClusterEngine,
     LatencyDigest,
     SCENARIOS,
     ServingSimulator,
@@ -167,7 +166,8 @@ class TestShardedEquivalence:
         assert merged.latencies == mono.latencies
         assert merged.energy_per_request == mono.energy_per_request
         assert merged.requests == mono.requests
-        canon = lambda b: (b.flush, b.start, b.done, b.replica, b.model)
+        def canon(b):
+            return (b.flush, b.start, b.done, b.replica, b.model)
         assert sorted(merged.batches, key=canon) == \
                sorted(mono.batches, key=canon)
 

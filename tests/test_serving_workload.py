@@ -85,6 +85,73 @@ class TestArrivalProcesses:
             BurstyProcess(100.0, burst_factor=1.0)
         with pytest.raises(ConfigError):
             RampProcess(100.0, start_fraction=0.0)
+        with pytest.raises(ConfigError):
+            DiurnalProcess(100.0, phase=float("nan"))
+
+
+class TestRegionsAndPhases:
+    """The geo tier's workload hooks: timezone-shifted waves and
+    region-tagged streams must keep the streaming parity and
+    shard-split exactness contracts."""
+
+    @pytest.mark.parametrize("phase", [0.25, 0.375, 0.875])
+    def test_tz_shifted_diurnal_streams_bit_identical(self, phase):
+        process = DiurnalProcess(1000.0, phase=phase)
+        materialised = process.generate(800, random.Random(7))
+        streamed = list(process.times(800, random.Random(7)))
+        assert streamed == materialised
+
+    def test_zero_phase_matches_stock_wave_bitwise(self):
+        stock = DiurnalProcess(1000.0).generate(500, random.Random(8))
+        phased = DiurnalProcess(1000.0, phase=0.0).generate(
+            500, random.Random(8))
+        assert phased == stock
+
+    def test_phase_half_swaps_crest_and_trough(self):
+        # half a cycle of offset starts the day at the crest, so the
+        # opening third is now the dense one
+        process = DiurnalProcess(1000.0, amplitude=0.8, cycles=1.0,
+                                 phase=0.5)
+        times = process.generate(4000, random.Random(5))
+        span = times[-1] - times[0]
+        third = span / 3.0
+        counts = [
+            sum(1 for t in times
+                if times[0] + k * third <= t
+                < times[0] + (k + 1) * third)
+            for k in range(3)
+        ]
+        assert counts[0] > counts[1]
+
+    def test_region_tag_rides_the_trace(self):
+        from repro.serving import stream_trace
+
+        scenario = get_scenario("bursty")
+        plain = tuple(stream_trace(scenario, 20000.0, 300, seed=9))
+        tagged = tuple(stream_trace(scenario, 20000.0, 300, seed=9,
+                                    region="eu-west"))
+        assert all(r.region == "eu-west" for r in tagged)
+        # the tag never perturbs arrivals or model draws
+        assert [(r.request_id, r.arrival, r.model) for r in tagged] \
+            == [(r.request_id, r.arrival, r.model) for r in plain]
+
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_region_tagged_stream_shards_without_loss(self, shards):
+        from repro.serving import shard_trace, stream_trace
+
+        scenario = get_scenario("diurnal")
+        full = tuple(stream_trace(scenario, 20000.0, 600, seed=9,
+                                  region="ap-south"))
+        seen: list = []
+        for shard in range(shards):
+            seen.extend(shard_trace(scenario, 20000.0, 600, seed=9,
+                                    shards=shards, shard=shard,
+                                    replicas=shards,
+                                    region="ap-south"))
+        assert len(seen) == len(full)  # nothing lost or duplicated
+        by_id = sorted(seen, key=lambda r: r.request_id)
+        assert tuple(by_id) == full
+        assert all(r.region == "ap-south" for r in seen)
 
 
 class TestModelMix:

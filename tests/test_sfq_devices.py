@@ -1,6 +1,5 @@
 """Tests for the SFQ device and interconnect models."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
@@ -8,7 +7,6 @@ from hypothesis import given, strategies as st
 from repro.errors import ConfigError
 from repro.sfq import (
     CmosWire,
-    ERSFQ_1UM,
     JosephsonJunction,
     JtlLine,
     MicrostripPtl,
@@ -19,7 +17,7 @@ from repro.sfq import (
     insert_repeaters,
 )
 from repro.sfq.cells import Dff, NTron, Splitter, SplitterTree
-from repro.units import GHZ, MM, NS, PS, UM
+from repro.units import GHZ, MM, PS, UM
 
 
 class TestJosephsonJunction:

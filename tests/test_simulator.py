@@ -11,7 +11,7 @@ from repro.core import (
     make_tpu,
 )
 from repro.errors import ConfigError
-from repro.models import batch_size_for, get_model
+from repro.models import get_model
 from repro.systolic.layers import ConvLayer, WORD_BYTES
 
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.errors import NetlistError, SimulationError
-from repro.sfq.jj import JosephsonJunction
 from repro.spice import (
     Netlist,
     TransientSimulator,

@@ -1,6 +1,5 @@
 """Unit-constant and conversion tests."""
 
-import math
 
 import pytest
 

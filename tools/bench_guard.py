@@ -23,9 +23,9 @@ Usage:
     python tools/bench_guard.py BASELINE.json FRESH.json \
         [--threshold 0.2] [--window 5] [--noise-mult 3.0] [--block]
 
-Cell labelling (scenario / n_requests / variant, with legacy-point
-rules) comes from :mod:`repro.eval.blocks` — the single normalisation
-point shared with ``repro report``.  The last point of each cell on
+Cell labelling (scenario / n_requests / variant) comes from
+:mod:`repro.eval.blocks` — the single normalisation point shared with
+``repro report``; unlabelled points are rejected there.  The last point of each cell on
 the fresh side is compared; cells whose fresh point is identical to
 the committed one (the bench did not re-run them) are skipped.
 """
