@@ -260,6 +260,52 @@ def test_bench_serving_geo():
     assert point["rps"] > 0
 
 
+def test_bench_serving_failure_retry():
+    """The resilience cell: 100k requests through the failure-storm
+    scenario with deadline-timeout retries armed (``failure/100000/
+    retry``).  ``rps`` covers the full resilience hot path — deadline
+    arming, TIMEOUT events, backoff scheduling, duplicate dispatch and
+    cancellation — so a slowdown in the PR 9 event handlers lands in
+    its own cell without touching the ``none``-path cells (those stay
+    covered by the stock matrix, which the zero-drift suite holds
+    bit-identical)."""
+    n_requests = 100_000
+    scenario = get_scenario("failure-storm")
+    simulator = ServingSimulator(
+        "SMART", replicas=6, policy=make_policy("timeout"),
+        dispatch="shard", slo=SloPolicy(target=3000e-6),
+        resilience="retry:timeout_us=30000,budget=1")
+    rate = scenario.load * simulator.capacity_rps(scenario)
+    trace = generate_trace(scenario, rate, n_requests, seed=7)
+
+    started = time.perf_counter()
+    result = simulator.run_scenario(scenario, n_requests, seed=7)
+    wall = time.perf_counter() - started
+
+    point = {
+        "requests": n_requests,
+        "wall_s": round(wall, 4),
+        "rps": round(n_requests / wall, 1),
+        "batches": len(result.batches),
+        "cache_hit_rate": round(result.cache.hit_rate, 4),
+        "created": time.time(),
+        "scenario": "failure",
+        "n_requests": n_requests,
+        "variant": "retry",
+        "replicas": 6,
+        "timeouts": result.timeouts,
+        "retries": result.retries,
+        "slo_attain": round(result.slo_attainment, 4),
+        "p95_us": round(result.latency_percentile(95) * 1e6, 1),
+    }
+    append_point(point)
+    show(f"BENCH_serving: failure/{n_requests}/retry trajectory point",
+         [point])
+    assert len(trace) == n_requests
+    assert result.retries > 0  # the resilience path genuinely ran
+    assert point["rps"] > 0
+
+
 def test_bench_serving_scale_sharded():
     """The scale-out cell: one million requests, streamed and sharded
     across worker processes in a single ``ShardedEngine`` run.  ``rps``

@@ -15,6 +15,8 @@ Usage::
     python -m repro serve-sim steady --fail 2 --replicas 3    # outage storm
     python -m repro serve-sim hot-model --flush edf --priority ResNet50=1
     python -m repro serve-sim bursty --steal --dispatch round_robin
+    python -m repro serve-sim failure-storm --slo 3000 --resilience hedge
+    python -m repro serve-sim bursty --slo 2000 --resilience retry:budget=1
     python -m repro serve-sim --persist-memo    # warm layer memo across runs
     python -m repro serve-sim bursty --trace out.jsonl  # telemetry trace
     python -m repro serve-sim steady --shards 4 --replicas 4 --requests 1000000
@@ -32,6 +34,8 @@ Flags (anywhere on the line)::
     --no-cache     bypass the content-addressed result cache
     --workers N    worker-pool width
     --limit N      how many ledger rows ``runs`` shows (default 20)
+    --job-timeout S  per-job wall-clock bound; a hung job becomes a
+                     per-job error instead of wedging the batch
 """
 
 from __future__ import annotations
@@ -69,6 +73,7 @@ class CliOptions:
     no_cache: bool = False
     workers: Optional[int] = None
     limit: int = 20
+    job_timeout: Optional[float] = None
 
 
 def _parse_flags(argv: list[str]) -> tuple[CliOptions, list[str]]:
@@ -84,6 +89,22 @@ def _parse_flags(argv: list[str]) -> tuple[CliOptions, list[str]]:
             opts.serial = True
         elif token == "--no-cache":
             opts.no_cache = True
+        elif token.partition("=")[0] == "--job-timeout":
+            name, eq, value = token.partition("=")
+            if not eq:
+                i += 1
+                if i >= len(argv):
+                    raise ConfigError("--job-timeout needs seconds")
+                value = argv[i]
+            try:
+                seconds = float(value)
+            except ValueError:
+                raise ConfigError(
+                    f"--job-timeout needs seconds, got {value!r}"
+                ) from None
+            if seconds <= 0:
+                raise ConfigError("--job-timeout must be positive")
+            opts.job_timeout = seconds
         elif token.partition("=")[0] in ("--workers", "--limit"):
             name, eq, value = token.partition("=")
             if eq and not value:
@@ -112,7 +133,8 @@ def _parse_flags(argv: list[str]) -> tuple[CliOptions, list[str]]:
 def _make_runtime(opts: CliOptions) -> Runtime:
     return Runtime(mode="inline" if opts.serial else "auto",
                    max_workers=opts.workers,
-                   use_cache=not opts.no_cache)
+                   use_cache=not opts.no_cache,
+                   job_timeout=opts.job_timeout)
 
 
 def run(name: str) -> None:
@@ -252,7 +274,8 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                                            serving_grid)
     from repro.serving.memo import (load_persistent_memo,
                                     store_persistent_memo)
-    from repro.serving.policies import make_flush, make_scale
+    from repro.serving.policies import (make_flush, make_resilience,
+                                        make_scale)
     from repro.serving.sharding import validate_sharding
     from repro.serving.simulator import DISPATCH_STRATEGIES
 
@@ -262,6 +285,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
     accelerator, dispatch = "SMART", "round_robin"
     slo_us, shed_depth, autoscale, faults = 0.0, 0, "", 0
     flush, scale, steal, persist_memo = "fifo", "", False, False
+    resilience = ""
     trace_path = ""
     shards, dispatch_given = 1, False
     replicas_given, accelerator_given = False, False
@@ -340,6 +364,15 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     raise ConfigError("--priority needs model=N")
                 priority_specs.append(args[i + 1])
                 i += 2
+            elif token == "--resilience":
+                if i + 1 >= len(args):
+                    raise ConfigError(
+                        "--resilience needs a policy spec (none, "
+                        "retry, hedge or degrade, with optional "
+                        "name:key=value,... options)")
+                resilience = args[i + 1]
+                make_resilience(resilience)  # fail fast on a bad spec
+                i += 2
             elif token == "--trace":
                 if i + 1 >= len(args):
                     raise ConfigError("--trace needs an output path")
@@ -407,7 +440,13 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                 i += 1
         from repro.core import make_accelerator
         make_accelerator(accelerator)  # validate before the grid runs
-        make_slo(slo_us, shed_depth)
+        res_policy = make_resilience(resilience)
+        if res_policy is not None:
+            # fail fast when the spec carries no deadline and there is
+            # no SLO target to inherit one from
+            res_policy.timeout_s(make_slo(slo_us, shed_depth))
+        else:
+            make_slo(slo_us, shed_depth)
         priority = ",".join(priority_specs)
         priorities = parse_priorities(priority)
         for model in priorities:
@@ -461,10 +500,11 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     or flush != "fifo" or priority_specs
                     or persist_memo):
                 raise ConfigError(
-                    "--geo supports --policy/--dispatch/--slo/--trace "
-                    "riders only; shed, autoscale, scale, steal, "
-                    "flush, priority and persist-memo are not plumbed "
-                    "through region engines"
+                    "--geo supports --policy/--dispatch/--slo/"
+                    "--resilience/--trace riders only; shed, "
+                    "autoscale, scale, steal, flush, priority and "
+                    "persist-memo are not plumbed through region "
+                    "engines"
                 )
         elif geo_policy != "home" or topology != "mesh" or storms:
             raise ConfigError(
@@ -488,7 +528,8 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             validate_sharding(shards, replicas=replicas,
                               dispatch=dispatch, autoscale=autoscale,
                               scale=scale, steal=steal, shed=shed_depth,
-                              fail=faults, scenarios=scenarios)
+                              fail=faults, scenarios=scenarios,
+                              resilience=resilience)
     except ConfigError as exc:
         print(f"error: {exc}")
         return 2
@@ -499,7 +540,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             requests=requests, batch_size=batch_size, seed=seed,
             dispatch=dispatch, slo_us=slo_us, regions=geo_regions,
             geo_policy=geo_policy, topology=topology, storms=storms,
-            trace_path=trace_path,
+            trace_path=trace_path, resilience=resilience,
         )
     if shards > 1:
         return _serve_sim_sharded(
@@ -507,7 +548,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             requests=requests, replicas=replicas,
             batch_size=batch_size, seed=seed, accelerator=accelerator,
             dispatch=dispatch, slo_us=slo_us, shards=shards,
-            trace_path=trace_path,
+            trace_path=trace_path, resilience=resilience,
         )
 
     cache = LayerMemoCache()
@@ -523,7 +564,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
         scenarios=scenarios or None, policies=policies, cache=cache,
         slo_us=slo_us, shed_depth=shed_depth, autoscale=autoscale,
         faults=faults, flush=flush, priority=priority, scale=scale,
-        steal=steal, telemetry=telemetry,
+        steal=steal, telemetry=telemetry, resilience=resilience,
     )
     stored = (store_persistent_memo(cache, memo_store)
               if persist_memo else 0)
@@ -541,6 +582,8 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             (f", flush {flush}", flush != "fifo"),
             (", stealing", steal),
             (f", {faults} fault(s)", faults),
+            (f", resilience {resilience}",
+             resilience and resilience != "none"),
         ) if on
     )
     print(f"\n=== serve-sim: {accelerator} x{replicas} "
@@ -569,7 +612,8 @@ def _serve_sim_sharded(opts: CliOptions, *, scenarios: list[str],
                        policies: list[str], requests: int,
                        replicas: int, batch_size: int, seed: int,
                        accelerator: str, dispatch: str, slo_us: float,
-                       shards: int, trace_path: str) -> int:
+                       shards: int, trace_path: str,
+                       resilience: str = "") -> int:
     """The ``serve-sim --shards N`` path: fan out, merge, report."""
     from repro.serving import SCENARIOS, Telemetry
     from repro.serving.sharding import ShardedEngine
@@ -586,7 +630,7 @@ def _serve_sim_sharded(opts: CliOptions, *, scenarios: list[str],
             engine = ShardedEngine(
                 shards, accelerator=accelerator, replicas=replicas,
                 policy=policy, batch_size=batch_size, dispatch=dispatch,
-                slo_us=slo_us, trace=trace,
+                slo_us=slo_us, trace=trace, resilience=resilience,
             )
             result = engine.run_scenario(name, requests, seed)
             results.append(result)
@@ -624,7 +668,8 @@ def _serve_sim_geo(opts: CliOptions, *, scenarios: list[str],
                    policies: list[str], requests: int, batch_size: int,
                    seed: int, dispatch: str, slo_us: float,
                    regions: tuple, geo_policy: str, topology: str,
-                   storms: int, trace_path: str) -> int:
+                   storms: int, trace_path: str,
+                   resilience: str = "") -> int:
     """The ``serve-sim --geo REGIONS`` path: route, fan out, merge."""
     from repro.serving import SCENARIOS, Telemetry
     from repro.serving.geo import GeoRouter
@@ -634,7 +679,7 @@ def _serve_sim_geo(opts: CliOptions, *, scenarios: list[str],
     router = GeoRouter(
         regions, topology=topology, geo=geo_policy, storms=storms,
         policy=policies[0], batch_size=batch_size, dispatch=dispatch,
-        slo_us=slo_us, trace=trace,
+        slo_us=slo_us, trace=trace, resilience=resilience,
     )
     rows: list[dict] = []
     region_rows: list[dict] = []

@@ -103,9 +103,13 @@ def _variant_table(bench_rows: Sequence[Row]) -> list[Row]:
 
 
 #: Serving-row columns the policy comparison keeps, in display order.
+#: The resilience counters (timeouts/retries/hedges/cancels/degraded)
+#: only appear on rows from runs with an active policy, so plain grids
+#: stay uncluttered.
 _POLICY_METRICS = ("p50_us", "p95_us", "p99_us", "throughput_rps",
                    "energy_per_req_uj", "mean_batch", "utilization",
-                   "slo_attain", "shed_rate")
+                   "slo_attain", "shed_rate", "timeouts", "retries",
+                   "hedges", "cancels", "degraded")
 
 
 def _policy_table(grid_rows: Sequence[Row]) -> list[Row]:
@@ -114,7 +118,8 @@ def _policy_table(grid_rows: Sequence[Row]) -> list[Row]:
                       for r in grid_rows)]
     if not present:
         return []
-    by = [c for c in ("scenario", "policy", "scale", "dispatch")
+    by = [c for c in ("scenario", "policy", "scale", "dispatch",
+                      "resilience")
           if any(r.get(c) is not None for r in grid_rows)]
     if not by:
         return []
@@ -150,7 +155,7 @@ def _frontier(grid_rows: Sequence[Row]) -> list[Row]:
 _REGION_METRICS = ("requests", "share", "p50_us", "p95_us",
                    "slo_attain", "energy_per_req_uj", "usd_per_mj",
                    "usd_per_req", "net_delay_us", "remote_frac",
-                   "rerouted")
+                   "rerouted", "retried")
 
 
 def _region_table(grid_rows: Sequence[Row],

@@ -41,16 +41,21 @@ class Runtime:
             Pass ``record_runs=False`` to skip ledger writes.
         mode: execution mode (``auto``/``process``/``thread``/``inline``).
         max_workers: pool width; defaults to the CPU count.
+        job_timeout: per-job wall-clock bound (s); a job exceeding it
+            becomes a per-job ``TimeoutError`` result instead of
+            blocking the batch.  ``None`` waits indefinitely.
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
                  store: Optional[RunStore] = None, mode: str = "auto",
                  max_workers: Optional[int] = None, use_cache: bool = True,
-                 record_runs: bool = True) -> None:
+                 record_runs: bool = True,
+                 job_timeout: Optional[float] = None) -> None:
         self.cache = (cache or ResultCache()) if use_cache else None
         self.store = (store or RunStore()) if record_runs else None
         self.mode = mode
         self.max_workers = max_workers
+        self.job_timeout = job_timeout
         self.last_summary = RunSummary()
 
     # -- public API ------------------------------------------------------
@@ -78,7 +83,8 @@ class Runtime:
             pending.append(i)
 
         executed = execute([jobs[i] for i in pending], mode=self.mode,
-                           max_workers=self.max_workers)
+                           max_workers=self.max_workers,
+                           timeout_s=self.job_timeout)
         for i, result in zip(pending, executed):
             results[i] = result
             if (self.cache is not None and result.ok

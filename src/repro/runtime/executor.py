@@ -17,6 +17,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures import TimeoutError as PoolTimeout
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence
 
@@ -95,61 +96,99 @@ def _execute_inline(jobs: Sequence[Job]) -> list[JobResult]:
 
 
 def _execute_pool(jobs: Sequence[Job], pool_cls, label: str,
-                  max_workers: Optional[int]) -> list[JobResult]:
+                  max_workers: Optional[int],
+                  timeout_s: Optional[float] = None) -> list[JobResult]:
     results: list[Optional[JobResult]] = [None] * len(jobs)
     workers = max_workers or default_workers(len(jobs))
-    with pool_cls(max_workers=workers) as pool:
+    timed_out = False
+    pool = pool_cls(max_workers=workers)
+    try:
         futures = [
             pool.submit(_call_experiment, job.experiment, dict(job.params))
             for job in jobs
         ]
         for i, (job, future) in enumerate(zip(jobs, futures)):
             try:
-                rows, elapsed = future.result()
+                rows, elapsed = future.result(timeout_s)
                 results[i] = JobResult(job, rows=rows, elapsed_s=elapsed,
                                        worker=label)
+            except PoolTimeout:
+                # a hung job becomes a per-job error instead of wedging
+                # the whole batch indefinitely
+                timed_out = True
+                future.cancel()
+                results[i] = JobResult(
+                    job, error=f"TimeoutError: job exceeded "
+                               f"{timeout_s:g}s", worker=label)
             except BrokenExecutor:
                 raise
             except Exception as exc:
                 results[i] = JobResult(
                     job, error=f"{type(exc).__name__}: {exc}",
                     worker=label)
+    finally:
+        if timed_out:
+            # the hung worker would block a normal shutdown forever;
+            # kill process workers outright (threads cannot be killed —
+            # a timed-out thread job leaks its thread, best-effort)
+            if pool_cls is ProcessPoolExecutor:
+                procs = getattr(pool, "_processes", None) or {}
+                for proc in list(procs.values()):
+                    proc.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
     return results  # type: ignore[return-value]
 
 
 def execute(jobs: Iterable[Job], mode: str = "auto",
-            max_workers: Optional[int] = None) -> list[JobResult]:
+            max_workers: Optional[int] = None,
+            timeout_s: Optional[float] = None) -> list[JobResult]:
     """Run jobs and return their results in submission order.
 
     Errors raised by individual experiments are aggregated into the
     corresponding :class:`JobResult`; they never abort the batch.
+    ``timeout_s`` bounds each job's result wait — a job that exceeds it
+    is reported as a per-job ``TimeoutError`` result (and its process
+    worker is terminated) rather than blocking the batch.
     """
     jobs = list(jobs)
     if not jobs:
         return []
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigError("timeout_s must be positive")
     mode = resolve_mode(jobs, mode)
     if mode == "inline":
         return _execute_inline(jobs)
     if mode == "process":
         try:
             return _execute_pool(jobs, ProcessPoolExecutor, "process",
-                                 max_workers)
+                                 max_workers, timeout_s)
         except (BrokenExecutor, OSError):
             mode = "thread"  # sandboxes without fork/semaphores
-    return _execute_pool(jobs, ThreadPoolExecutor, "thread", max_workers)
+    return _execute_pool(jobs, ThreadPoolExecutor, "thread", max_workers,
+                         timeout_s)
 
 
 def parallel_map(func: Callable[..., Any],
                  argtuples: Iterable[tuple],
                  mode: str = "process",
-                 max_workers: Optional[int] = None) -> list[Any]:
+                 max_workers: Optional[int] = None,
+                 stats: Optional[dict] = None) -> list[Any]:
     """Order-preserving parallel map over argument tuples.
 
     Unlike :func:`execute`, exceptions propagate to the caller (the
     first failing item in submission order wins).  ``func`` must be a
     module-level callable when ``mode="process"``.
+
+    When a process pool breaks mid-run, completed items are kept and
+    only the incomplete ones are re-run under the thread fallback.
+    ``stats``, if given, is updated in place: ``stats["retried"]``
+    counts the items that needed re-running.
     """
     items = list(argtuples)
+    if stats is not None:
+        stats.setdefault("retried", 0)
     if mode == "inline" or len(items) <= 1:
         return [func(*args) for args in items]
     pool_cls = {"process": ProcessPoolExecutor,
@@ -167,10 +206,26 @@ def parallel_map(func: Callable[..., Any],
     except (BrokenExecutor, OSError):
         if mode != "process":
             raise
+        if stats is not None:
+            stats["retried"] += len(items)
         return parallel_map(func, items, "thread", max_workers)
-    try:
-        return [future.result() for future in futures]
-    except BrokenExecutor:
-        if mode != "process":
-            raise
-        return parallel_map(func, items, "thread", max_workers)
+    results: list[Any] = [None] * len(items)
+    pending: list[int] = []
+    for i, future in enumerate(futures):
+        try:
+            results[i] = future.result()
+        except BrokenExecutor:
+            if mode != "process":
+                raise
+            # this item never completed; items that did are kept —
+            # the fallback re-runs only what the broken pool dropped
+            pending.append(i)
+    if not pending:
+        return results
+    if stats is not None:
+        stats["retried"] += len(pending)
+    rerun = parallel_map(func, [items[i] for i in pending], "thread",
+                         max_workers)
+    for i, value in zip(pending, rerun):
+        results[i] = value
+    return results

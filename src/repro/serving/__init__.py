@@ -67,6 +67,7 @@ from repro.serving.policies import (
     AdmissionPolicy,
     CheapestJouleDispatch,
     DISPATCH_POLICIES,
+    DegradePolicy,
     DepthAdmission,
     DispatchPolicy,
     EdfFlush,
@@ -78,11 +79,15 @@ from repro.serving.policies import (
     ForecastScalePolicy,
     GEO_POLICIES,
     GeoDispatchPolicy,
+    HedgePolicy,
     HomeRegionDispatch,
     LeastLoadedDispatch,
+    RESILIENCE_POLICIES,
     ReactiveScalePolicy,
     RegionFailurePlan,
     RegionOutage,
+    ResiliencePolicy,
+    RetryPolicy,
     RoundRobinDispatch,
     ScalePolicy,
     ShardDispatch,
@@ -91,6 +96,7 @@ from repro.serving.policies import (
     make_dispatch,
     make_flush,
     make_geo,
+    make_resilience,
     make_scale,
 )
 from repro.serving.sharding import (
@@ -140,6 +146,7 @@ __all__ = [
     "ClusterEngine",
     "DISPATCH_POLICIES",
     "DISPATCH_STRATEGIES",
+    "DegradePolicy",
     "DepthAdmission",
     "DispatchPolicy",
     "DiurnalProcess",
@@ -159,6 +166,7 @@ __all__ = [
     "GeoDispatchPolicy",
     "GeoResult",
     "GeoRouter",
+    "HedgePolicy",
     "HomeRegionDispatch",
     "Interconnect",
     "Interner",
@@ -170,6 +178,7 @@ __all__ = [
     "POLICIES",
     "PoissonProcess",
     "REQUEST_BYTES",
+    "RESILIENCE_POLICIES",
     "RampProcess",
     "ReactiveScalePolicy",
     "RegionFailurePlan",
@@ -178,6 +187,8 @@ __all__ = [
     "RegionSpec",
     "Replica",
     "Request",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "RoundRobinDispatch",
     "SCENARIOS",
     "STOCK_REGIONS",
@@ -206,6 +217,7 @@ __all__ = [
     "make_flush",
     "make_geo",
     "make_policy",
+    "make_resilience",
     "make_scale",
     "shard_key",
     "shard_seeds",

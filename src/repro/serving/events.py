@@ -87,9 +87,11 @@ from repro.serving.policies import (
     FifoFlush,
     FlushPolicy,
     ReactiveScalePolicy,
+    ResiliencePolicy,
     ScalePolicy,
     WorkStealPolicy,
     make_dispatch,
+    make_resilience,
 )
 from repro.serving.telemetry import Telemetry
 from repro.serving.workload import Request
@@ -115,6 +117,13 @@ class EventKind(IntEnum):
     :class:`EventQueue` and re-sorting the stream into delivery order;
     the cluster engine's heap never sees the kind, so single-region
     zero-delay runs stay bit-identical to the plain engine.
+
+    TIMEOUT / HEDGE / CANCEL are the resilience tier's kinds: a
+    deadline check (and the backoff-delayed retry it may launch), the
+    hedge-launch instant, and the cancellation of a losing duplicate
+    once the first copy completes.  They order *after* every
+    pre-resilience kind, so a ``resilience=none`` run — which never
+    pushes them — keeps its same-instant tie-breaks untouched.
     """
 
     FLUSH = 0
@@ -125,6 +134,9 @@ class EventKind(IntEnum):
     CONTROL = 5
     DRAIN = 6
     NETWORK = 7
+    TIMEOUT = 8
+    HEDGE = 9
+    CANCEL = 10
 
 
 # Hot-loop aliases: heap entries carry the plain int so tuple
@@ -137,6 +149,9 @@ _RECOVER = int(EventKind.RECOVER)
 _CONTROL = int(EventKind.CONTROL)
 _DRAIN = int(EventKind.DRAIN)
 _NETWORK = int(EventKind.NETWORK)
+_TIMEOUT = int(EventKind.TIMEOUT)
+_HEDGE = int(EventKind.HEDGE)
+_CANCEL = int(EventKind.CANCEL)
 
 
 @dataclass(frozen=True, slots=True)
@@ -490,8 +505,15 @@ class EngineRun:
         replica_trace: (time, up-replica count) at every change.
         scale_events: (time, "up"/"down") autoscale actions.
         redispatched: batches re-dispatched after a replica failure.
-        wasted_energy: energy burnt on aborted partial executions (J).
+        wasted_energy: energy burnt on aborted partial executions (J)
+            — failure-aborted batches, cancelled duplicates' partial
+            service, and losing duplicate completions.
         stolen: batches work stealing moved to a faster replica.
+        timeouts: deadline checks that found the request unfinished.
+        retries: duplicate attempts the retry policy launched.
+        hedges: hedged duplicates launched to a second replica.
+        cancels: losing duplicates cancelled before completion.
+        degraded: requests served by the degraded (discounted) path.
     """
 
     batches: tuple[BatchRecord, ...]
@@ -502,6 +524,11 @@ class EngineRun:
     redispatched: int
     wasted_energy: float
     stolen: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    cancels: int = 0
+    degraded: int = 0
 
 
 class ClusterEngine:
@@ -543,6 +570,13 @@ class ClusterEngine:
             pure observer — the engine never reads it back, so results
             are bit-identical with or without one; None (the default)
             costs one attribute check per handler.
+        resilience: client resilience policy — a
+            :class:`~repro.serving.policies.ResiliencePolicy`, a spec
+            string for :func:`~repro.serving.policies.make_resilience`,
+            or None / ``"none"`` for today's behaviour.  With None the
+            engine never pushes a TIMEOUT / HEDGE / CANCEL event and
+            every hot path is byte-identical to the pre-resilience
+            engine.
     """
 
     def __init__(self, replicas: Sequence[object], policy,
@@ -559,7 +593,9 @@ class ClusterEngine:
                  flush: Optional[FlushPolicy] = None,
                  admission: Optional[AdmissionPolicy] = None,
                  steal: Optional[WorkStealPolicy] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 resilience: Optional[str | ResiliencePolicy]
+                 = None) -> None:
         if not replicas:
             raise ConfigError("cluster needs at least one replica")
         self.policy = policy
@@ -583,6 +619,7 @@ class ClusterEngine:
         self.admission = admission
         self.steal = steal
         self.telemetry = telemetry
+        self.resilience = make_resilience(resilience)
         self.failures = failures
         self.memoize_rates = memoize_rates
         self._initial = list(replicas)
@@ -663,6 +700,29 @@ class ClusterEngine:
                               if self.steal is not None
                               else tel.tick
                               if tel is not None and tel.tick else 0.0)
+        # resilience: with None (the stock ``none`` policy) nothing
+        # below is ever read on a hot path — every handler gates on
+        # ``self._res is not None`` exactly like the telemetry sink
+        res = self.resilience
+        self._res = res
+        self._res_kind = res.name if res is not None else ""
+        self._solo: dict[int, int] = {}  # request_id -> duplicate batch
+        self._timeouts = 0
+        self._retries = 0
+        self._hedges = 0
+        self._cancels = 0
+        self._degraded = 0
+        if res is None:
+            self._res_timeout: Optional[float] = None
+        elif self._res_kind == "degrade":
+            # degrade can run on shed rescue alone; the timeout leg is
+            # optional and only arms when a deadline is derivable
+            try:
+                self._res_timeout = res.timeout_s(self.slo)
+            except ConfigError:
+                self._res_timeout = None
+        else:
+            self._res_timeout = res.timeout_s(self.slo)
 
     def _handlers(self) -> tuple:
         """Event handlers indexed by :class:`EventKind` value."""
@@ -674,6 +734,10 @@ class ClusterEngine:
             self._on_recover,     # RECOVER
             self._on_control,     # CONTROL
             self._on_drain,       # DRAIN
+            None,                 # NETWORK (geo-router-local, never here)
+            self._on_timeout,     # TIMEOUT
+            self._on_hedge,       # HEDGE
+            self._on_cancel,      # CANCEL
         )
 
     def _finish(self) -> EngineRun:
@@ -688,7 +752,9 @@ class ClusterEngine:
             replica_trace=tuple(self._trace),
             scale_events=tuple(self._scale_events),
             redispatched=self._redispatched, wasted_energy=self._wasted,
-            stolen=self._stolen,
+            stolen=self._stolen, timeouts=self._timeouts,
+            retries=self._retries, hedges=self._hedges,
+            cancels=self._cancels, degraded=self._degraded,
         )
 
     # -- run -------------------------------------------------------------
@@ -876,12 +942,18 @@ class ClusterEngine:
             tel.arrival(time, request.model, request.request_id)
         shed_depth = self._shed_depth
         if shed_depth is not None and self._in_system >= shed_depth:
+            if self._res_kind == "degrade" and self._candidates():
+                self._serve_degraded(time, request, track=False)
+                return
             self._shed.append(request.request_id)
             if tel is not None:
                 tel.shed(time, request.model, request.request_id)
             return
         if self._admit_fn is not None and not self._admit_fn(
                 time, request, self._in_system):
+            if self._res_kind == "degrade" and self._candidates():
+                self._serve_degraded(time, request, track=False)
+                return
             self._shed.append(request.request_id)
             if tel is not None:
                 tel.shed(time, request.model, request.request_id)
@@ -899,6 +971,17 @@ class ClusterEngine:
             del queue[:max_batch]
             self._dispatch(model, batch, flush=time)
         self._arm_flush(model)
+        if self._res is not None and self._res_timeout is not None:
+            # arm the per-request deadline: a TIMEOUT "check" for the
+            # retry / degrade policies, a HEDGE launch for hedging
+            kind = self._res_kind
+            if kind == "hedge":
+                self._events.push(time + self._res_timeout,
+                                  EventKind.HEDGE, payload=request)
+            else:
+                self._events.push(time + self._res_timeout,
+                                  EventKind.TIMEOUT,
+                                  payload=(False, request, 0))
 
     def _on_flush(self, time: float, model: str) -> None:
         # a FLUSH fires at its own deadline, so ``time`` *is* the
@@ -923,7 +1006,14 @@ class ClusterEngine:
         done = self._done
         outcome = (record.done, record.energy / record.size)
         window = self._window
-        if window is None:
+        if self._res is not None:
+            # duplicate-aware completion: first copy of a request to
+            # finish wins, a losing copy's energy share is charged to
+            # waste, and a still-outstanding cancellable duplicate is
+            # cancelled the instant its original completes
+            self._finish_with_duplicates(time, batch_id, record,
+                                         batch.requests, outcome)
+        elif window is None:
             for request in batch.requests:
                 done[request.request_id] = outcome
         else:
@@ -1035,6 +1125,164 @@ class ClusterEngine:
                 del queue[:max_batch]
                 self._dispatch(model, batch, flush=time, cause="drain")
 
+    # -- resilience handlers ---------------------------------------------
+    def _finish_with_duplicates(self, time: float, batch_id: int,
+                                record: BatchRecord,
+                                requests: tuple[Request, ...],
+                                outcome: tuple[float, float]) -> None:
+        """Record completions when duplicates may exist in flight."""
+        done = self._done
+        window = self._window
+        share = outcome[1]
+        record_done = record.done
+        for request in requests:
+            rid = request.request_id
+            if rid in done:
+                # a faster copy already answered this request; the
+                # losing copy's service energy is real but useless
+                self._wasted += share
+                continue
+            done[rid] = outcome
+            if window is not None:
+                window.append(record_done - request.arrival)
+            solo = self._solo.pop(rid, None)
+            if solo is not None and solo != batch_id:
+                self._events.push(time, EventKind.CANCEL, payload=solo)
+
+    def _on_timeout(self, time: float, payload: tuple) -> None:
+        """A retry/degrade deadline check, or a backoff-delayed retry.
+
+        The payload is ``(fire, request, attempts)``: a check
+        (``fire=False``) that finds the request unfinished counts a
+        timeout and — within the retry budget — schedules the actual
+        retry after the policy's seeded backoff; the fire event
+        dispatches the duplicate and arms the next check.
+        """
+        fire, request, attempts = payload
+        rid = request.request_id
+        if rid in self._done:
+            return  # completed in the meantime; nothing to do
+        res = self._res
+        if not fire:
+            self._timeouts += 1
+            if self._tel is not None:
+                self._tel.timeout(time, request.model, rid)
+            if self._res_kind == "degrade":
+                if rid not in self._solo and self._candidates():
+                    self._serve_degraded(time, request, track=True)
+                return
+            if attempts >= res.budget:
+                return  # budget exhausted; the original copy may
+                        # still finish, just late
+            attempts += 1
+            self._events.push(time + res.backoff_s(rid, attempts),
+                              EventKind.TIMEOUT,
+                              payload=(True, request, attempts))
+            return
+        # fire: launch the duplicate attempt as its own singleton
+        # batch (bypassing admission — the client already holds a
+        # slot) through the normal dispatch policy, then arm the next
+        # deadline check
+        self._retries += 1
+        if self._tel is not None:
+            self._tel.retry(time, request.model, rid, attempts)
+        self._in_system += 1
+        dup = self._dispatch(request.model, (request,), flush=time,
+                             now=time, cause="retry")
+        if dup is not None:
+            self._solo[rid] = dup
+        self._events.push(time + self._res_timeout, EventKind.TIMEOUT,
+                          payload=(False, request, attempts))
+
+    def _on_hedge(self, time: float, request: Request) -> None:
+        """Launch a hedged duplicate on the second-best replica."""
+        rid = request.request_id
+        if rid in self._done or rid in self._solo:
+            return  # answered, or already hedged
+        candidates = self._candidates()
+        if len(candidates) < 2:
+            # a hedge to the only live replica would queue behind the
+            # very batch it is trying to outrun — pure added load (the
+            # classic hedged-request guard: never hedge without an
+            # independent destination)
+            return
+        # second-best by earliest availability: the best candidate is
+        # (approximately) where the original batch went, so the hedge
+        # buys an independent failure/queueing domain
+        ranked = sorted(candidates,
+                        key=lambda r: (max(r.free_at, r.available_at),
+                                       r.index))
+        target = ranked[1]
+        self._hedges += 1
+        if self._tel is not None:
+            self._tel.hedge(time, request.model, rid, target.index)
+        self._in_system += 1
+        dup = self._dispatch(request.model, (request,), flush=time,
+                             now=time, to=target, cause="hedge")
+        if dup is not None:
+            self._solo[rid] = dup
+
+    def _on_cancel(self, time: float, batch_id: int) -> None:
+        """Cancel a losing duplicate singleton still in flight.
+
+        Energy for the fraction of service already run is charged to
+        waste (exactly the failure-abort accounting).  The replica's
+        schedule is reclaimed only when the cancelled batch was its
+        pending tail — earlier-promised start times never move; a
+        mid-schedule cancellation leaves the gap in place.
+        """
+        entry = self._inflight.get(batch_id)
+        if entry is None or not entry.alive:
+            return
+        record = entry.record
+        if record.done <= time:
+            return  # completed at this very instant; BATCH_DONE
+                    # (lower kind) already ran and recorded it
+        entry.alive = False
+        self._cancels += 1
+        self._in_system -= record.size
+        if record.start < time and record.service > 0:
+            progress = min(1.0, (time - record.start) / record.service)
+            self._wasted += record.energy * progress
+        replica = self._replicas[record.replica]
+        pending = replica.pending
+        if batch_id in pending:
+            was_tail = pending[-1] == batch_id
+            pending.remove(batch_id)
+            if was_tail:
+                if pending:
+                    tail = self._inflight[pending[-1]].record
+                    replica.free_at = tail.done
+                    replica.last_model = tail.model
+                else:
+                    # everything previously scheduled has completed by
+                    # now, so the replica is genuinely free
+                    replica.free_at = time
+        if self._tel is not None:
+            self._tel.cancel(time, record, batch_id)
+
+    def _serve_degraded(self, time: float, request: Request,
+                        track: bool) -> None:
+        """Serve ``request`` on the degraded (discounted) path.
+
+        A singleton dispatch at the policy's service/energy discount —
+        the stand-in for a distilled variant or an AQFP/SNN-scheme
+        replica.  ``track`` registers the duplicate for cancellation
+        (timeout rescue, where a full-fidelity copy is still in
+        flight); shed rescue has no competing copy to race.
+        """
+        res = self._res
+        self._degraded += 1
+        if self._tel is not None:
+            self._tel.degrade(time, request.model, request.request_id)
+        self._in_system += 1
+        dup = self._dispatch(
+            request.model, (request,), flush=time, now=time,
+            cause="degrade",
+            rate_scale=(res.service_scale, res.energy_scale))
+        if track and dup is not None:
+            self._solo[request.request_id] = dup
+
     # -- internals -------------------------------------------------------
     def _n_up(self) -> int:
         return sum(1 for r in self._replicas if r.up)
@@ -1108,7 +1356,9 @@ class ClusterEngine:
     def _dispatch(self, model: str, batch: tuple[Request, ...],
                   flush: float, now: Optional[float] = None,
                   to: Optional[Replica] = None,
-                  cause: str = "ready") -> None:
+                  cause: str = "ready",
+                  rate_scale: Optional[tuple[float, float]] = None,
+                  ) -> Optional[int]:
         """Serve one flushed batch on a replica (or park it).
 
         ``now`` is the re-dispatch instant after a failure or a steal;
@@ -1116,6 +1366,9 @@ class ClusterEngine:
         forces the target replica (work stealing has already chosen),
         bypassing the dispatch policy.  ``cause`` only labels the
         telemetry flush event (why the batch left its queue).
+        ``rate_scale`` applies a (service, energy) discount — the
+        degraded-serving path.  Returns the batch id, or None when the
+        batch was parked (no live replica).
         """
         candidates = [r for r in self._replicas if r.up and not r.draining]
         if not candidates:
@@ -1123,7 +1376,7 @@ class ClusterEngine:
             if self._tel is not None:
                 self._tel.park(flush if now is None else now, model,
                                len(batch))
-            return
+            return None
         floor = flush if now is None else max(flush, now)
         size = len(batch)
         if to is not None:
@@ -1134,6 +1387,9 @@ class ClusterEngine:
             # even a degenerate pool must route through the policy
             replica = self._pick(self, model, size, floor, candidates)
         service, energy = self._service_with_switch(replica, model, size)
+        if rate_scale is not None:
+            service *= rate_scale[0]
+            energy *= rate_scale[1]
         free_at, available_at = replica.free_at, replica.available_at
         start = floor if floor >= free_at else free_at
         if start < available_at:
@@ -1152,6 +1408,7 @@ class ClusterEngine:
         self._events.push(done, EventKind.BATCH_DONE, payload=batch_id)
         if self._tel is not None:
             self._tel.flush(floor, record, batch_id, cause)
+        return batch_id
 
     def _drain_waiting(self, now: float) -> None:
         waiting = self._waiting

@@ -30,6 +30,7 @@ from repro.serving.policies import (
     ForecastScalePolicy,
     WorkStealPolicy,
     make_flush,
+    make_resilience,
     make_scale,
 )
 from repro.serving.sharding import ShardedEngine
@@ -124,7 +125,8 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
                  autoscale: str = "", faults: int = 0,
                  flush: str = "fifo", priority=None,
                  scale: str = "", steal: bool = False,
-                 telemetry: Optional[Telemetry] = None) -> list[dict]:
+                 telemetry: Optional[Telemetry] = None,
+                 resilience: str = "") -> list[dict]:
     """Percentile rows for scenario x batching-policy cells.
 
     Defaults to every stock scenario and policy; ``repro serve-sim``
@@ -134,7 +136,9 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
     (injected outages), ``flush``/``priority`` (``"edf"`` +
     ``"model=N"`` classes), ``scale`` (``"reactive"`` / ``"ewma"`` /
     ``"holt"`` over the autoscale bounds) and ``steal`` (work
-    stealing on control ticks).  One shared memo cache serves the
+    stealing on control ticks) and ``resilience`` (``"retry"`` /
+    ``"hedge"`` / ``"degrade"`` with ``name:key=value`` options; a
+    fresh policy instance per cell).  One shared memo cache serves the
     whole grid, so only the first cell pays for fresh layer
     simulations.  A ``telemetry`` sink, when given, records every
     cell's event trace and metrics timeline (``repro serve-sim
@@ -150,6 +154,8 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
     # instance serves the whole grid; scale policies carry forecast
     # state + calibration and are built fresh per cell below
     flush_policy = make_flush(flush, parse_priorities(priority) or None)
+    if resilience:
+        make_resilience(resilience)  # fail fast on a bad spec
     failures = FailurePlan(count=faults, seed=seed) if faults else None
     rows = []
     for scenario in [get_scenario(n) for n in scenarios or SCENARIOS]:
@@ -163,6 +169,8 @@ def serving_grid(requests: int = 2000, accelerator: str = "SMART",
                 failures=failures, flush=flush_policy,
                 steal=WorkStealPolicy() if steal else None,
                 telemetry=telemetry,
+                resilience=make_resilience(resilience) if resilience
+                else None,
             )
             result = simulator.run_scenario(scenario, requests, seed=seed)
             rows.append(result.to_row())

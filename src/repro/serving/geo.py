@@ -335,12 +335,19 @@ def _merge_admission_key(item) -> tuple[float, int]:
 def _route_scan(spec: dict, streams: Iterable, outages) -> Iterator:
     """Route the merged admission stream into delivery order.
 
-    Yields ``(deliver, serve, home, rerouted, delay, item)`` tuples in
-    globally ascending delivery time.  The NETWORK
+    Yields ``(deliver, serve, home, rerouted, retried, delay, item)``
+    tuples in globally ascending delivery time.  The NETWORK
     :class:`~repro.serving.events.EventQueue` is the re-sort buffer: a
     queued delivery pops once the scan's admission clock passes it
     (future deliveries can never land earlier than their own future
     admissions), and the queue drains fully at stream end.
+
+    With a resilience policy on, a storm reroute is modelled as a
+    client *failover retry*: the request first travels to the dark
+    region (the failed leg), times out, and is re-sent to the healthy
+    one — both legs are charged through the NETWORK delay, and the
+    tuple's ``retried`` flag marks the double charge.  Without
+    resilience the reroute is the pre-PR silent redirect (single leg).
     """
     regions = len(spec["regions"])
     icx = Interconnect(regions=regions, topology=spec["topology"],
@@ -350,6 +357,8 @@ def _route_scan(spec: dict, streams: Iterable, outages) -> Iterator:
     view = _RouterView(spec, icx)
     geo.reset(view)
     payload_bytes = spec["payload_bytes"]
+    res_on = bool(spec.get("resilience")) \
+        and spec.get("resilience") != "none"
     queue = EventQueue()
     for item in heapq.merge(*streams, key=_merge_admission_key):
         t, home = item[0], item[1]
@@ -362,18 +371,25 @@ def _route_scan(spec: dict, streams: Iterable, outages) -> Iterator:
                 f"outside [0, {regions})"
             )
         rerouted = False
+        retried = False
+        failed_leg = 0.0
         if outages and _down(outages, serve, t):
             live = [i for i in range(regions)
                     if not _down(outages, i, t)]
             if live:
+                if res_on:
+                    # the failed attempt's transfer is real: charge
+                    # the leg to the dark region before the retry leg
+                    failed_leg = icx.delay(home, serve, payload_bytes)
+                    retried = True
                 serve = min(live,
                             key=lambda i: (icx.hops(home, i), i))
                 rerouted = True
         view.record(serve, t)
-        delay = icx.delay(home, serve, payload_bytes)
+        delay = failed_leg + icx.delay(home, serve, payload_bytes)
         queue.push(t + delay, EventKind.NETWORK,
-                   payload=(t + delay, serve, home, rerouted, delay,
-                            item))
+                   payload=(t + delay, serve, home, rerouted, retried,
+                            delay, item))
     while len(queue):
         yield queue.pop().payload
 
@@ -422,6 +438,7 @@ class RegionOutcome:
     rerouted: int
     delay_s: float
     outcome: ShardOutcome
+    retried: int = 0
 
     @property
     def cost_usd(self) -> float:
@@ -449,6 +466,7 @@ def _region_sim(spec: dict, me: int,
         cache=LayerMemoCache(),
         slo=slo,
         telemetry=telemetry,
+        resilience=spec.get("resilience") or None,
     )
 
 
@@ -482,12 +500,13 @@ def _serve_geo_region(spec: dict) -> RegionOutcome:
                 if scenario.faults else None)
     engine = sim.make_engine(networks, failures=failures)
 
-    net = {"offered": 0, "remote": 0, "rerouted": 0, "delay": 0.0}
+    net = {"offered": 0, "remote": 0, "rerouted": 0, "retried": 0,
+           "delay": 0.0}
     arrivals: dict[int, float] = {}
 
     def deliveries() -> Iterator[Request]:
         scan = _route_scan(spec, _request_streams(spec), outages)
-        for deliver, serve, home, rerouted, delay, item in scan:
+        for deliver, serve, home, rerouted, retried, delay, item in scan:
             if home == me:
                 net["offered"] += 1
             if serve != me:
@@ -500,6 +519,8 @@ def _serve_geo_region(spec: dict) -> RegionOutcome:
                 net["remote"] += 1
             if rerouted:
                 net["rerouted"] += 1
+            if retried:
+                net["retried"] += 1
             yield request
 
     def tee(stream: Iterator[Request]) -> Iterator[Request]:
@@ -534,6 +555,7 @@ def _serve_geo_region(spec: dict) -> RegionOutcome:
             rate_rps=spec["rates"][me], offered=net["offered"],
             remote=net["remote"], rerouted=net["rerouted"],
             delay_s=net["delay"], outcome=outcome,
+            retried=net["retried"],
         )
 
     first = next(stream, None)
@@ -630,6 +652,7 @@ class GeoResult:
     cache: CacheStats
     regions: tuple[RegionOutcome, ...] = ()
     detail: Optional[ServingResult] = None
+    resilience: str = ""
 
     @property
     def replicas(self) -> int:
@@ -686,6 +709,12 @@ class GeoResult:
         return remote / self.requests if self.requests else 0.0
 
     @property
+    def retried(self) -> int:
+        """Cross-region failover retries (double-charged NETWORK legs
+        under a resilience policy)."""
+        return sum(r.retried for r in self.regions)
+
+    @property
     def telemetry_rows(self) -> tuple:
         """Every region's telemetry rows, region-tagged, concatenated
         in (region, emission) order."""
@@ -728,6 +757,8 @@ class GeoResult:
                                 if served else 0.0),
                 "rerouted": region.rerouted,
             }
+            if self.resilience and self.resilience != "none":
+                row["retried"] = region.retried
             if self.slo_target:
                 row["slo_attain"] = region.slo_attainment
             rows.append(row)
@@ -765,6 +796,9 @@ class GeoResult:
             "remote_frac": self.remote_frac,
             "cache_hit_rate": self.cache.hit_rate,
         }
+        if self.resilience and self.resilience != "none":
+            row["resilience"] = self.resilience
+            row["retried"] = self.retried
         if self.slo_target:
             row["slo_attain"] = self.slo_attainment
         return row
@@ -796,6 +830,11 @@ class GeoRouter:
             zero-drift proof path).
         trace / tick / trace_events: per-region telemetry, rows tagged
             with their region name.
+        resilience: client resilience policy spec (``"retry"`` /
+            ``"hedge"`` / ``"degrade"``, with ``name:key=value``
+            options) applied inside every region engine; a storm
+            reroute then also charges the failed NETWORK leg as a
+            cross-region failover retry.
 
     Raises:
         ConfigError: from :func:`validate_geo` for malformed fleets.
@@ -812,7 +851,8 @@ class GeoRouter:
                  max_workers: Optional[int] = None,
                  detail: bool = False, trace: bool = False,
                  tick: float = 200e-6,
-                 trace_events: bool = False) -> None:
+                 trace_events: bool = False,
+                 resilience: str = "") -> None:
         if isinstance(regions, int):
             regions = default_regions(regions)
         self.regions: tuple[RegionSpec, ...] = tuple(regions)
@@ -821,6 +861,10 @@ class GeoRouter:
                      base_latency_us=base_latency_us,
                      payload_bytes=payload_bytes, storms=storms)
         make_policy(policy, batch_size=batch_size)  # fail fast
+        if resilience:
+            from repro.serving.policies import make_resilience
+            make_resilience(resilience)  # fail fast on a bad spec
+        self.resilience = resilience
         self.topology = topology
         self.bandwidth_gbps = bandwidth_gbps
         self.base_latency_us = base_latency_us
@@ -906,6 +950,7 @@ class GeoRouter:
             "dispatch": self.dispatch, "slo_us": self.slo_us,
             "seed": seed, "detail": self.detail, "trace": self.trace,
             "tick": self.tick, "trace_events": self.trace_events,
+            "resilience": self.resilience,
         }
         specs = [dict(spec, region=i) for i in range(count)]
         t_start = perf_counter()
@@ -955,4 +1000,5 @@ class GeoRouter:
             digest=digest, slo_target=slo_target,
             slo_hits=sum(o.slo_hits for o in shard_outcomes),
             wall_s=wall, cache=cache, regions=outcomes, detail=detail,
+            resilience=self.resilience,
         )

@@ -683,6 +683,238 @@ class WorkStealPolicy:
 
 
 # ---------------------------------------------------------------------------
+# Resilience: what a client does when a request runs late or is shed
+# ---------------------------------------------------------------------------
+def _jitter_unit(seed: int, request_id: int, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one backoff decision.
+
+    A pure function of (seed, request id, attempt) rather than a
+    stateful RNG, so the same request draws the same jitter whether
+    the trace was materialised, streamed, or served by a shard worker
+    that never saw the other requests.
+    """
+    key = f"{seed}:{request_id}:{attempt}".encode()
+    return zlib.crc32(key) / 4294967296.0
+
+
+class ResiliencePolicy:
+    """What the simulated client does about a late or shed request.
+
+    The seventh policy seam.  The stock configurations:
+
+    - ``none`` — today's behaviour: a late request is an SLO miss, a
+      shed request is gone.  ``make_resilience("none")`` returns
+      ``None`` so the engine's hot path stays byte-identical.
+    - :class:`RetryPolicy` — re-enqueue a request that has not
+      completed ``timeout`` seconds after admission, after a seeded
+      exponential backoff with jitter, up to a retry budget.
+    - :class:`HedgePolicy` — after a hedge delay, launch a duplicate
+      singleton batch on the second-best replica; first completion
+      wins and the loser is cancelled with partial-energy accounting.
+    - :class:`DegradePolicy` — on shed (or first timeout) serve a
+      degraded variant: a singleton at a service/energy discount with
+      an accounted accuracy drop.
+
+    Timeouts and hedge delays default to the run's SLO target when not
+    given explicitly; a run with neither is a configuration error.
+    """
+
+    name = "?"
+
+    def reset(self, engine) -> None:
+        """Forget per-run state; called once per engine run."""
+
+    def timeout_s(self, slo) -> float:
+        """Effective deadline (s) after which the policy acts."""
+        raise NotImplementedError
+
+
+class RetryPolicy(ResiliencePolicy):
+    """Deadline-timeout retries with seeded exponential backoff.
+
+    A request that has not completed ``timeout`` seconds after its
+    admission is re-enqueued (bypassing admission control — the
+    client already holds a slot) after a backoff of
+    ``backoff * multiplier**(attempt-1) * (1 + jitter * u)`` seconds,
+    where ``u`` is a pure hash draw of (seed, request id, attempt).
+    At most ``budget`` retries are launched per request; whichever
+    copy completes first defines the request's latency, and late
+    duplicate completions are charged to wasted energy.
+
+    Args:
+        timeout_us: deadline in microseconds; 0 uses the SLO target.
+        budget: maximum retries per request (>= 1).
+        backoff_us: base backoff in microseconds; 0 retries instantly.
+        multiplier: exponential backoff growth factor (>= 1).
+        jitter: relative jitter amplitude in [0, 1].
+        seed: jitter hash seed.
+    """
+
+    name = "retry"
+
+    def __init__(self, timeout_us: float = 0.0, budget: int = 2,
+                 backoff_us: float = 50.0, multiplier: float = 2.0,
+                 jitter: float = 0.25, seed: int = 0) -> None:
+        if timeout_us < 0:
+            raise ConfigError("retry timeout_us must be >= 0")
+        if budget < 1:
+            raise ConfigError("retry budget must be >= 1")
+        if backoff_us < 0:
+            raise ConfigError("retry backoff_us must be >= 0")
+        if multiplier < 1:
+            raise ConfigError("retry multiplier must be >= 1")
+        if not 0 <= jitter <= 1:
+            raise ConfigError("retry jitter must be in [0, 1]")
+        self.timeout_us = timeout_us
+        self.budget = budget
+        self.backoff_us = backoff_us
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.seed = seed
+
+    def timeout_s(self, slo) -> float:
+        if self.timeout_us > 0:
+            return self.timeout_us * 1e-6
+        if slo is not None and slo.target > 0:
+            return slo.target
+        raise ConfigError("retry needs timeout_us or an SLO target")
+
+    def backoff_s(self, request_id: int, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = self.backoff_us * 1e-6
+        scale = self.multiplier ** (attempt - 1)
+        u = _jitter_unit(self.seed, request_id, attempt)
+        return base * scale * (1.0 + self.jitter * u)
+
+
+class HedgePolicy(ResiliencePolicy):
+    """Hedged requests: duplicate slow requests to a second replica.
+
+    ``delay`` seconds after admission, a request that has not
+    completed is duplicated as a singleton batch on the second-best
+    candidate replica (by earliest availability).  First completion
+    wins; the losing copy is cancelled, charging only the energy for
+    the fraction of service it actually ran.
+
+    Args:
+        delay_us: hedge delay in microseconds; 0 uses half the SLO
+            target (the classic tail-hedging heuristic).
+    """
+
+    name = "hedge"
+
+    def __init__(self, delay_us: float = 0.0) -> None:
+        if delay_us < 0:
+            raise ConfigError("hedge delay_us must be >= 0")
+        self.delay_us = delay_us
+
+    def timeout_s(self, slo) -> float:
+        if self.delay_us > 0:
+            return self.delay_us * 1e-6
+        if slo is not None and slo.target > 0:
+            return 0.5 * slo.target
+        raise ConfigError("hedge needs delay_us or an SLO target")
+
+
+class DegradePolicy(ResiliencePolicy):
+    """Graceful degradation: serve a cheaper variant instead of failing.
+
+    A shed request — or one that misses its timeout — is served as a
+    degraded singleton: the same model dispatched at a service-time
+    and energy discount (standing in for a distilled variant or an
+    AQFP/SNN-scheme replica), with the accuracy cost accounted on the
+    run.  A degraded completion still counts as a completion, so
+    shedding under this policy loses accuracy, not requests.
+
+    Args:
+        timeout_us: deadline in microseconds; 0 uses the SLO target
+            (only used when the run injects no shedding).
+        service_scale: degraded service time as a fraction of full.
+        energy_scale: degraded energy as a fraction of full.
+        accuracy_drop: accounted accuracy cost per degraded request.
+    """
+
+    name = "degrade"
+
+    def __init__(self, timeout_us: float = 0.0,
+                 service_scale: float = 0.5,
+                 energy_scale: float = 0.5,
+                 accuracy_drop: float = 0.02) -> None:
+        if timeout_us < 0:
+            raise ConfigError("degrade timeout_us must be >= 0")
+        if not 0 < service_scale <= 1:
+            raise ConfigError("degrade service_scale must be in (0, 1]")
+        if not 0 < energy_scale <= 1:
+            raise ConfigError("degrade energy_scale must be in (0, 1]")
+        if accuracy_drop < 0:
+            raise ConfigError("degrade accuracy_drop must be >= 0")
+        self.timeout_us = timeout_us
+        self.service_scale = service_scale
+        self.energy_scale = energy_scale
+        self.accuracy_drop = accuracy_drop
+
+    def timeout_s(self, slo) -> float:
+        if self.timeout_us > 0:
+            return self.timeout_us * 1e-6
+        if slo is not None and slo.target > 0:
+            return slo.target
+        raise ConfigError("degrade needs timeout_us or an SLO target")
+
+
+RESILIENCE_POLICIES = {
+    "none": None,
+    "retry": RetryPolicy,
+    "hedge": HedgePolicy,
+    "degrade": DegradePolicy,
+}
+
+
+def _policy_kwargs(text: str, label: str) -> dict:
+    """Parse ``key=value,key=value`` option text into numeric kwargs."""
+    kwargs: dict = {}
+    for part in filter(None, text.split(",")):
+        key, sep, value = part.partition("=")
+        if not sep or not key or not value:
+            raise ConfigError(f"bad {label} option {part!r}; "
+                              f"expected key=value")
+        try:
+            kwargs[key] = int(value) if value.isdigit() else float(value)
+        except ValueError:
+            raise ConfigError(f"bad {label} option {part!r}; "
+                              f"value must be numeric") from None
+    return kwargs
+
+
+def make_resilience(spec) -> Optional[ResiliencePolicy]:
+    """Build a resilience policy from a spec string.
+
+    ``""`` and ``"none"`` return ``None`` — the engine keeps its
+    exact pre-resilience hot path.  Otherwise the spec is a policy
+    name with optional ``key=value`` options after a colon, e.g.
+    ``"retry:timeout_us=2000,budget=3"`` or ``"hedge:delay_us=800"``.
+    A :class:`ResiliencePolicy` instance passes through unchanged.
+    """
+    if spec is None or isinstance(spec, ResiliencePolicy):
+        return spec
+    name, _, options = str(spec).partition(":")
+    name = name.strip() or "none"
+    if name not in RESILIENCE_POLICIES:
+        raise ConfigError(
+            f"unknown resilience policy {name!r}; use one of "
+            f"{', '.join(sorted(RESILIENCE_POLICIES))}")
+    cls = RESILIENCE_POLICIES[name]
+    if cls is None:
+        if options:
+            raise ConfigError("resilience 'none' takes no options")
+        return None
+    try:
+        return cls(**_policy_kwargs(options, f"resilience {name!r}"))
+    except TypeError:
+        raise ConfigError(
+            f"bad options for resilience {name!r}: {options!r}") from None
+
+
+# ---------------------------------------------------------------------------
 # Geo dispatch: which region serves an admitted request
 # ---------------------------------------------------------------------------
 class GeoDispatchPolicy:
@@ -924,9 +1156,14 @@ __all__ = [
     "HomeRegionDispatch",
     "LeastLoadedDispatch",
     "MAX_PRIORITY",
+    "RESILIENCE_POLICIES",
     "ReactiveScalePolicy",
     "RegionFailurePlan",
     "RegionOutage",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "HedgePolicy",
+    "DegradePolicy",
     "RoundRobinDispatch",
     "ScalePolicy",
     "ShardDispatch",
@@ -935,5 +1172,6 @@ __all__ = [
     "make_dispatch",
     "make_flush",
     "make_geo",
+    "make_resilience",
     "make_scale",
 ]

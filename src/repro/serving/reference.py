@@ -100,7 +100,8 @@ class ReferenceEngine:
                  autoscale: Optional[AutoscalePolicy] = None,
                  failures: Optional[FailurePlan] = None,
                  switch_fn: Optional[Callable[[object, str, int],
-                                              float]] = None) -> None:
+                                              float]] = None,
+                 resilience: Optional[object] = None) -> None:
         if not replicas:
             raise ConfigError("cluster needs at least one replica")
         if dispatch not in DISPATCH_STRATEGIES:
@@ -116,6 +117,7 @@ class ReferenceEngine:
         self.slo = slo
         self.autoscale = autoscale
         self.failures = failures
+        self.resilience = resilience
         self._initial = list(replicas)
 
     # -- run -------------------------------------------------------------
@@ -151,6 +153,26 @@ class ReferenceEngine:
         self._last_scale = float("-inf")
         window = self.autoscale.window if self.autoscale else 1
         self._latency_window: deque[float] = deque(maxlen=window)
+        # resilience state, mirrored from the optimised engine's
+        # ``_prepare`` tail so the two stay in lockstep
+        res = self.resilience
+        self._res = res
+        self._res_kind = res.name if res is not None else ""
+        self._solo: dict[int, int] = {}
+        self._timeouts = 0
+        self._retries = 0
+        self._hedges = 0
+        self._cancels = 0
+        self._degraded = 0
+        if res is None:
+            self._res_timeout: Optional[float] = None
+        elif self._res_kind == "degrade":
+            try:
+                self._res_timeout = res.timeout_s(self.slo)
+            except ConfigError:
+                self._res_timeout = None
+        else:
+            self._res_timeout = res.timeout_s(self.slo)
 
         events = ReferenceEventQueue()
         self._events = events
@@ -180,6 +202,9 @@ class ReferenceEngine:
             EventKind.RECOVER: self._on_recover,
             EventKind.CONTROL: self._on_control,
             EventKind.DRAIN: self._on_drain,
+            EventKind.TIMEOUT: self._on_timeout,
+            EventKind.HEDGE: self._on_hedge,
+            EventKind.CANCEL: self._on_cancel,
         }
         while len(events):
             event = events.pop()
@@ -193,6 +218,9 @@ class ReferenceEngine:
             replica_trace=tuple(self._trace),
             scale_events=tuple(self._scale_events),
             redispatched=self._redispatched, wasted_energy=self._wasted,
+            timeouts=self._timeouts, retries=self._retries,
+            hedges=self._hedges, cancels=self._cancels,
+            degraded=self._degraded,
         )
 
     # -- event handlers --------------------------------------------------
@@ -202,6 +230,9 @@ class ReferenceEngine:
         if (self.slo is not None
                 and self.slo.shed_depth is not None
                 and self._in_system >= self.slo.shed_depth):
+            if self._res_kind == "degrade" and self._candidates():
+                self._serve_degraded(event.time, request, track=False)
+                return
             self._shed.append(request.request_id)
             return
         self._in_system += 1
@@ -212,6 +243,14 @@ class ReferenceEngine:
             del queue[: self.policy.max_batch]
             self._dispatch(request.model, batch, flush=event.time)
         self._arm_flush(request.model)
+        if self._res is not None and self._res_timeout is not None:
+            if self._res_kind == "hedge":
+                self._events.push(event.time + self._res_timeout,
+                                  EventKind.HEDGE, payload=request)
+            else:
+                self._events.push(event.time + self._res_timeout,
+                                  EventKind.TIMEOUT,
+                                  payload=(False, request, 0))
 
     def _on_flush(self, event: Event) -> None:
         model, deadline = event.payload
@@ -233,9 +272,25 @@ class ReferenceEngine:
         record = batch.record
         share = record.energy / record.size
         self._in_system -= record.size
-        for request in batch.requests:
-            self._done[request.request_id] = (record.done, share)
-            self._latency_window.append(record.done - request.arrival)
+        if self._res is not None:
+            # duplicate-aware completion, mirrored from the optimised
+            # engine: first copy wins, losers charge waste, and an
+            # outstanding cancellable duplicate is cancelled
+            for request in batch.requests:
+                rid = request.request_id
+                if rid in self._done:
+                    self._wasted += share
+                    continue
+                self._done[rid] = (record.done, share)
+                self._latency_window.append(record.done - request.arrival)
+                solo = self._solo.pop(rid, None)
+                if solo is not None and solo != batch_id:
+                    self._events.push(event.time, EventKind.CANCEL,
+                                      payload=solo)
+        else:
+            for request in batch.requests:
+                self._done[request.request_id] = (record.done, share)
+                self._latency_window.append(record.done - request.arrival)
         replica = self._replicas[record.replica]
         if batch_id in replica.pending:
             replica.pending.remove(batch_id)
@@ -322,6 +377,94 @@ class ReferenceEngine:
                 del queue[: self.policy.max_batch]
                 self._dispatch(model, batch, flush=event.time)
 
+    # -- resilience handlers (mirrored from the optimised engine) --------
+    def _on_timeout(self, event: Event) -> None:
+        fire, request, attempts = event.payload
+        rid = request.request_id
+        if rid in self._done:
+            return
+        res = self._res
+        if not fire:
+            self._timeouts += 1
+            if self._res_kind == "degrade":
+                if rid not in self._solo and self._candidates():
+                    self._serve_degraded(event.time, request, track=True)
+                return
+            if attempts >= res.budget:
+                return
+            attempts += 1
+            self._events.push(event.time + res.backoff_s(rid, attempts),
+                              EventKind.TIMEOUT,
+                              payload=(True, request, attempts))
+            return
+        self._retries += 1
+        self._in_system += 1
+        dup = self._dispatch(request.model, (request,), flush=event.time,
+                             now=event.time)
+        if dup is not None:
+            self._solo[rid] = dup
+        self._events.push(event.time + self._res_timeout,
+                          EventKind.TIMEOUT,
+                          payload=(False, request, attempts))
+
+    def _on_hedge(self, event: Event) -> None:
+        request: Request = event.payload
+        rid = request.request_id
+        if rid in self._done or rid in self._solo:
+            return
+        candidates = self._candidates()
+        if len(candidates) < 2:
+            return  # never hedge without an independent destination
+        ranked = sorted(candidates,
+                        key=lambda r: (max(r.free_at, r.available_at),
+                                       r.index))
+        target = ranked[1]
+        self._hedges += 1
+        self._in_system += 1
+        dup = self._dispatch(request.model, (request,), flush=event.time,
+                             now=event.time, to=target)
+        if dup is not None:
+            self._solo[rid] = dup
+
+    def _on_cancel(self, event: Event) -> None:
+        batch_id: int = event.payload
+        entry = self._inflight.get(batch_id)
+        if entry is None or not entry.alive:
+            return
+        record = entry.record
+        if record.done <= event.time:
+            return  # BATCH_DONE at this instant already recorded it
+        entry.alive = False
+        self._cancels += 1
+        self._in_system -= record.size
+        if record.start < event.time and record.service > 0:
+            progress = min(1.0, (event.time - record.start)
+                           / record.service)
+            self._wasted += record.energy * progress
+        replica = self._replicas[record.replica]
+        pending = replica.pending
+        if batch_id in pending:
+            was_tail = pending[-1] == batch_id
+            pending.remove(batch_id)
+            if was_tail:
+                if pending:
+                    tail = self._inflight[pending[-1]].record
+                    replica.free_at = tail.done
+                    replica.last_model = tail.model
+                else:
+                    replica.free_at = event.time
+
+    def _serve_degraded(self, time: float, request: Request,
+                        track: bool) -> None:
+        res = self._res
+        self._degraded += 1
+        self._in_system += 1
+        dup = self._dispatch(
+            request.model, (request,), flush=time, now=time,
+            rate_scale=(res.service_scale, res.energy_scale))
+        if track and dup is not None:
+            self._solo[request.request_id] = dup
+
     # -- internals -------------------------------------------------------
     def _n_up(self) -> int:
         return sum(1 for r in self._replicas if r.up)
@@ -365,14 +508,21 @@ class ReferenceEngine:
         return picked
 
     def _dispatch(self, model: str, batch: tuple[Request, ...],
-                  flush: float, now: Optional[float] = None) -> None:
+                  flush: float, now: Optional[float] = None,
+                  to: Optional[Replica] = None,
+                  rate_scale: Optional[tuple[float, float]] = None,
+                  ) -> Optional[int]:
         """Serve one flushed batch on a replica (or park it)."""
         candidates = self._candidates()
         if not candidates:
             self._waiting.append((model, batch, flush))
-            return
+            return None
         floor = flush if now is None else max(flush, now)
-        replica = self._pick_replica(model, len(batch), floor, candidates)
+        if to is not None:
+            replica = to
+        else:
+            replica = self._pick_replica(model, len(batch), floor,
+                                         candidates)
         service = self.service_fn(replica.accelerator, model, len(batch))
         energy = self.energy_fn(replica.accelerator, model, len(batch))
         if (replica.last_model is not None
@@ -382,6 +532,9 @@ class ReferenceEngine:
             # the weight-deployment charge before service
             service += self.switch_fn(replica.accelerator, model,
                                       len(batch))
+        if rate_scale is not None:
+            service *= rate_scale[0]
+            energy *= rate_scale[1]
         replica.last_model = model
         start = max(floor, replica.free_at, replica.available_at)
         done = start + service
@@ -395,6 +548,7 @@ class ReferenceEngine:
         self._batch_order.append(batch_id)
         replica.pending.append(batch_id)
         self._events.push(done, EventKind.BATCH_DONE, payload=batch_id)
+        return batch_id
 
     def _drain_waiting(self, now: float) -> None:
         while self._waiting and self._candidates():
@@ -460,7 +614,16 @@ def run_reference(simulator, requests: Sequence[Request],
     :class:`~repro.errors.ConfigError` rather than silently comparing
     against an engine that ignores it.
     """
-    from repro.serving.policies import FifoFlush
+    from repro.serving.policies import (DegradePolicy, FifoFlush,
+                                        HedgePolicy, RetryPolicy)
+    if simulator.resilience is not None and type(
+            simulator.resilience) not in (RetryPolicy, HedgePolicy,
+                                          DegradePolicy):
+        raise ConfigError(
+            "the reference engine only implements the stock resilience "
+            "policies (retry / hedge / degrade); it cannot audit custom "
+            "ResiliencePolicy runs"
+        )
     if simulator.autoscale is not None and not isinstance(
             simulator.autoscale, AutoscalePolicy):
         raise ConfigError(
@@ -495,5 +658,6 @@ def run_reference(simulator, requests: Sequence[Request],
             acc, simulator.network(model), size),
         slo=simulator.slo, autoscale=simulator.autoscale,
         failures=failures if failures is not None else simulator.failures,
+        resilience=simulator.resilience,
     )
     return engine.run(requests)

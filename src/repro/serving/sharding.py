@@ -26,14 +26,27 @@ equivalence suite (``tests/test_serving_sharding.py``) holds it to
 exact tuple equality.
 
 Control-plane features that inherently observe cross-shard state —
-autoscaling, work stealing, admission depth, failure re-dispatch —
-are rejected up front by :func:`validate_sharding` with a
-:class:`~repro.errors.ConfigError` rather than silently drifting.
+autoscaling, work stealing, admission depth, failure re-dispatch,
+hedged/degraded resilience — are rejected up front by
+:func:`validate_sharding` with a :class:`~repro.errors.ConfigError`
+rather than silently drifting.  Deadline-timeout retries *are*
+shard-stable (their backoff jitter is a pure hash of seed, request id
+and attempt, and retried singletons re-dispatch to the model's home
+replica), so ``resilience="retry"`` shards exactly.
+
+The engine itself is fault tolerant: a worker shard that crashes is
+re-run with capped exponential backoff (``shard_retries``), and long
+runs can checkpoint completed :class:`ShardOutcome` pickles to disk
+(``checkpoint=``) so an interrupted run resumes with only the missing
+shards.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import pickle
+import time
 from dataclasses import dataclass
 from itertools import chain
 from time import perf_counter
@@ -42,6 +55,7 @@ from typing import Optional, Sequence
 from repro.errors import ConfigError
 from repro.runtime.executor import parallel_map
 from repro.serving.batching import make_policy
+from repro.serving.policies import make_resilience
 from repro.serving.events import SloPolicy
 from repro.serving.memo import CacheStats, LayerMemoCache
 from repro.serving.simulator import ServingResult, ServingSimulator
@@ -66,11 +80,21 @@ __all__ = [
 #: partitioned trace reproduces them exactly across workers.
 SHARD_STABLE_DISPATCH = ("shard",)
 
+#: Resilience policies whose duplicate scheduling depends only on the
+#: request itself (deadline + pure seeded jitter) and whose retries
+#: re-dispatch to the model's home replica, so they replay identically
+#: inside a single shard.
+SHARD_STABLE_RESILIENCE = ("retry",)
+
+#: Worker-crash retry backoff never sleeps longer than this (s).
+_BACKOFF_CAP_S = 2.0
+
 
 def validate_sharding(shards: int, *, replicas: int,
                       dispatch: object = "shard", autoscale: str = "",
                       scale: str = "", steal: bool = False,
                       shed: int = 0, fail: int = 0,
+                      resilience: object = "",
                       scenarios: Sequence[str | Scenario] = ()) -> None:
     """Reject shard counts and features a sharded run cannot honour.
 
@@ -119,6 +143,17 @@ def validate_sharding(shards: int, *, replicas: int,
         raise ConfigError(
             "failure injection re-dispatches in-flight batches across "
             "shard boundaries; sharded runs must be fault-free"
+        )
+    res = make_resilience(resilience) if isinstance(resilience, str) \
+        else resilience
+    if res is not None and res.name not in SHARD_STABLE_RESILIENCE:
+        raise ConfigError(
+            f"resilience '{res.name}' is not shard-stable: hedged "
+            f"duplicates pick the second-best replica from live pool-"
+            f"wide state, and degraded fallbacks couple to admission "
+            f"shedding — neither is visible to a single shard; "
+            f"sharded runs support only "
+            f"{', '.join(SHARD_STABLE_RESILIENCE)} (or none)"
         )
     for scenario in scenarios:
         if isinstance(scenario, str):
@@ -248,6 +283,7 @@ def _shard_simulator(spec: dict,
         cache=LayerMemoCache(),
         slo=slo,
         telemetry=telemetry,
+        resilience=spec.get("resilience") or None,
     )
 
 
@@ -357,6 +393,40 @@ def _serve_shard(spec: dict) -> ShardOutcome:
     )
 
 
+def _spec_fingerprint(spec: dict) -> str:
+    """Stable identity of a sharded run's configuration.
+
+    All of a run's shard specs differ only in ``"shard"``; dropping it
+    yields the key a checkpoint is valid for.
+    """
+    return repr({k: spec[k] for k in sorted(spec) if k != "shard"})
+
+
+@dataclass(frozen=True)
+class _ShardFailure:
+    """A worker shard that raised instead of finishing."""
+
+    shard: int
+    error: str
+
+
+def _serve_shard_safe(spec: dict) -> ShardOutcome | _ShardFailure:
+    """Crash-isolating wrapper around :func:`_serve_shard`.
+
+    A raising shard comes back as a :class:`_ShardFailure` instead of
+    aborting the whole fan-out, so the parent keeps every completed
+    :class:`ShardOutcome` and re-runs only the failed shards.  (A
+    worker that dies outright — SIGKILL, ``os._exit`` — is caught one
+    layer down by :func:`~repro.runtime.executor.parallel_map`'s
+    incomplete-only re-run instead.)
+    """
+    try:
+        return _serve_shard(spec)
+    except Exception as exc:  # noqa: BLE001 — shard faults are data
+        return _ShardFailure(spec["shard"],
+                             f"{type(exc).__name__}: {exc}")
+
+
 @dataclass
 class ShardedResult:
     """The merge-reduced outcome of one sharded run.
@@ -388,6 +458,8 @@ class ShardedResult:
     cache: CacheStats
     outcomes: tuple[ShardOutcome, ...] = ()
     detail: Optional[ServingResult] = None
+    resilience: str = ""
+    shard_retries: int = 0
 
     @property
     def makespan(self) -> float:
@@ -460,6 +532,10 @@ class ShardedResult:
         }
         if self.slo_target:
             row["slo_attain"] = self.slo_attainment
+        if self.resilience:
+            row["resilience"] = self.resilience
+        if self.shard_retries:
+            row["shard_retries"] = self.shard_retries
         return row
 
 
@@ -523,6 +599,18 @@ class ShardedEngine:
         tick: telemetry timeline sampling interval (s), when tracing.
         trace_events: include per-request event rows in the trace
             (off keeps only timeline samples — the scale default).
+        resilience: client resilience spec string; only shard-stable
+            policies (:data:`SHARD_STABLE_RESILIENCE`) are accepted.
+        shard_retries: how many times a crashed/raising worker shard
+            is re-run (with capped exponential backoff) before the
+            run gives up.
+        retry_backoff_s: base sleep before the first shard re-run;
+            doubles per attempt, capped at ``_BACKOFF_CAP_S``.
+        checkpoint: optional path; completed :class:`ShardOutcome`
+            pickles land there after every fan-out round, and a rerun
+            with the same configuration resumes from them, serving
+            only the missing shards.  A checkpoint written by a
+            different configuration is ignored and overwritten.
 
     Raises:
         ConfigError: from :func:`validate_sharding`, for any
@@ -536,9 +624,18 @@ class ShardedEngine:
                  max_workers: Optional[int] = None,
                  detail: bool = False, trace: bool = False,
                  tick: float = 200e-6,
-                 trace_events: bool = False) -> None:
-        validate_sharding(shards, replicas=replicas, dispatch=dispatch)
+                 trace_events: bool = False,
+                 resilience: str = "",
+                 shard_retries: int = 2,
+                 retry_backoff_s: float = 0.05,
+                 checkpoint: Optional[str] = None) -> None:
+        validate_sharding(shards, replicas=replicas, dispatch=dispatch,
+                          resilience=resilience)
         make_policy(policy, batch_size=batch_size)  # fail fast
+        if shard_retries < 0:
+            raise ConfigError("shard_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ConfigError("retry_backoff_s must be >= 0")
         self.shards = shards
         self.accelerator = accelerator
         self.replicas = replicas
@@ -552,6 +649,12 @@ class ShardedEngine:
         self.trace = trace
         self.tick = tick
         self.trace_events = trace_events
+        # normalise "none"/"" to the empty spec so rows stay clean
+        self.resilience = \
+            resilience if make_resilience(resilience) is not None else ""
+        self.shard_retries = shard_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.checkpoint = checkpoint
 
     def run_scenario(self, scenario: Scenario | str, n_requests: int,
                      seed: int = 0) -> ShardedResult:
@@ -559,7 +662,9 @@ class ShardedEngine:
         if isinstance(scenario, str):
             scenario = get_scenario(scenario)
         validate_sharding(self.shards, replicas=self.replicas,
-                          dispatch=self.dispatch, scenarios=(scenario,))
+                          dispatch=self.dispatch,
+                          resilience=self.resilience,
+                          scenarios=(scenario,))
         if n_requests < 1:
             raise ConfigError("trace needs at least one request")
         # calibrate the offered rate exactly as the monolithic path
@@ -580,20 +685,76 @@ class ShardedEngine:
                 "dispatch": self.dispatch, "slo_us": self.slo_us,
                 "detail": self.detail, "trace": self.trace,
                 "tick": self.tick, "trace_events": self.trace_events,
+                "resilience": self.resilience,
             }
             for shard in range(self.shards)
         ]
         t_start = perf_counter()
-        outcomes = parallel_map(_serve_shard,
-                                [(spec,) for spec in specs],
-                                mode=self.mode,
-                                max_workers=self.max_workers)
+        fingerprint = _spec_fingerprint(specs[0])
+        done = self._load_checkpoint(fingerprint)
+        retried = 0
+        attempt = 0
+        while True:
+            pending = [s for s in specs if s["shard"] not in done]
+            if not pending:
+                break
+            if attempt:
+                time.sleep(min(
+                    self.retry_backoff_s * 2 ** (attempt - 1),
+                    _BACKOFF_CAP_S))
+            stats: dict = {}
+            batch = parallel_map(_serve_shard_safe,
+                                 [(s,) for s in pending],
+                                 mode=self.mode,
+                                 max_workers=self.max_workers,
+                                 stats=stats)
+            retried += stats.get("retried", 0)
+            failures = []
+            for item in batch:
+                if isinstance(item, ShardOutcome):
+                    done[item.shard] = item
+                else:
+                    failures.append(item)
+            self._save_checkpoint(fingerprint, done)
+            if not failures:
+                break
+            attempt += 1
+            if attempt > self.shard_retries:
+                raise RuntimeError(
+                    f"shard {failures[0].shard} still failing after "
+                    f"{self.shard_retries} retries: "
+                    f"{failures[0].error}")
+            retried += len(failures)
         wall = perf_counter() - t_start
-        return self._reduce(scenario, rate, tuple(outcomes), wall)
+        outcomes = tuple(done[shard] for shard in range(self.shards))
+        return self._reduce(scenario, rate, outcomes, wall, retried)
+
+    # -- crash recovery --------------------------------------------------
+    def _load_checkpoint(self, fingerprint: str) -> dict:
+        """Completed shard outcomes from a matching prior run."""
+        if not self.checkpoint or not os.path.exists(self.checkpoint):
+            return {}
+        try:
+            with open(self.checkpoint, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            return {}  # corrupt/truncated checkpoint: start fresh
+        if payload.get("fingerprint") != fingerprint:
+            return {}  # different run configuration: start fresh
+        return dict(payload.get("outcomes", {}))
+
+    def _save_checkpoint(self, fingerprint: str, done: dict) -> None:
+        if not self.checkpoint or not done:
+            return
+        tmp = f"{self.checkpoint}.tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump({"fingerprint": fingerprint,
+                         "outcomes": dict(done)}, handle)
+        os.replace(tmp, self.checkpoint)
 
     def _reduce(self, scenario: Scenario, rate: float,
                 outcomes: tuple[ShardOutcome, ...],
-                wall: float) -> ShardedResult:
+                wall: float, retried: int = 0) -> ShardedResult:
         """Exact merge of the per-shard outcomes."""
         digest = LatencyDigest()
         cache = CacheStats()
@@ -622,4 +783,5 @@ class ShardedEngine:
             digest=digest, slo_target=slo_target,
             slo_hits=sum(o.slo_hits for o in outcomes),
             wall_s=wall, cache=cache, outcomes=outcomes, detail=detail,
+            resilience=self.resilience, shard_retries=retried,
         )

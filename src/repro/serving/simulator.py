@@ -51,9 +51,11 @@ from repro.serving.policies import (
     AdmissionPolicy,
     DispatchPolicy,
     FlushPolicy,
+    ResiliencePolicy,
     ScalePolicy,
     WorkStealPolicy,
     make_dispatch,
+    make_resilience,
 )
 from repro.serving.telemetry import Telemetry
 from repro.serving.workload import Request, Scenario, generate_trace
@@ -90,8 +92,17 @@ class ServingResult:
         replica_trace: (time, up-replica count) at every change.
         scale_events: (time, "up"/"down") autoscale actions.
         redispatched: batches re-dispatched after replica failures.
-        wasted_energy: energy burnt on aborted partial batches (J).
+        wasted_energy: energy burnt on aborted partial batches (J),
+            cancelled duplicates and losing duplicate completions.
         stolen: batches work stealing moved to a faster replica.
+        resilience: resilience policy name ("" for the stock none).
+        timeouts: deadline checks that found a request unfinished.
+        retries: duplicate attempts the retry policy launched.
+        hedges: hedged duplicates launched to a second replica.
+        cancels: losing duplicates cancelled before completion.
+        degraded: requests served on the degraded path.
+        accuracy_cost: mean accounted accuracy drop per request
+            (degraded requests x the policy's per-request drop).
     """
 
     accelerator: str
@@ -111,6 +122,13 @@ class ServingResult:
     redispatched: int = 0
     wasted_energy: float = 0.0
     stolen: int = 0
+    resilience: str = ""
+    timeouts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    cancels: int = 0
+    degraded: int = 0
+    accuracy_cost: float = 0.0
 
     @property
     def served_latencies(self) -> tuple[float, ...]:
@@ -224,6 +242,20 @@ class ServingResult:
             row["redispatched"] = self.redispatched
         if self.stolen:
             row["stolen"] = self.stolen
+        if self.resilience:
+            row["resilience"] = self.resilience
+            if self.timeouts:
+                row["timeouts"] = self.timeouts
+            if self.retries:
+                row["retries"] = self.retries
+            if self.hedges:
+                row["hedges"] = self.hedges
+            if self.cancels:
+                row["cancels"] = self.cancels
+            if self.degraded:
+                row["degraded"] = self.degraded
+            if self.accuracy_cost:
+                row["accuracy_cost"] = self.accuracy_cost
         return row
 
     @property
@@ -279,6 +311,10 @@ class ServingSimulator:
             timeline into it (results stay bit-identical — the sink
             only observes).  One sink may be shared across runs; each
             run is marked with a ``run`` boundary row.
+        resilience: client resilience policy — a policy instance, a
+            :func:`~repro.serving.policies.make_resilience` spec
+            string ("retry", "hedge:delay_us=800", ...), or None /
+            "none" for the stock (bit-identical) behaviour.
     """
 
     def __init__(self, accelerator: AcceleratorModel | str = "SMART",
@@ -296,7 +332,9 @@ class ServingSimulator:
                  flush: Optional[FlushPolicy] = None,
                  admission: Optional[AdmissionPolicy] = None,
                  steal: Optional[WorkStealPolicy] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 resilience: Optional[str | ResiliencePolicy]
+                 = None) -> None:
         if isinstance(accelerator, str):
             accelerator = make_accelerator(accelerator)
         if accelerators is not None:
@@ -324,6 +362,7 @@ class ServingSimulator:
         self.admission = admission
         self.steal = steal
         self.telemetry = telemetry
+        self.resilience = make_resilience(resilience)
         self._networks = networks
 
     @property
@@ -449,6 +488,16 @@ class ServingSimulator:
             redispatched=outcome.redispatched,
             wasted_energy=outcome.wasted_energy,
             stolen=outcome.stolen,
+            resilience=(self.resilience.name
+                        if self.resilience is not None else ""),
+            timeouts=outcome.timeouts, retries=outcome.retries,
+            hedges=outcome.hedges, cancels=outcome.cancels,
+            degraded=outcome.degraded,
+            accuracy_cost=(
+                outcome.degraded * self.resilience.accuracy_drop
+                / len(requests)
+                if outcome.degraded
+                and hasattr(self.resilience, "accuracy_drop") else 0.0),
         )
 
     def make_engine(self, networks: Mapping[str, Network],
@@ -475,7 +524,7 @@ class ServingSimulator:
             slo=self.slo, autoscale=self.autoscale,
             failures=failures if failures is not None else self.failures,
             flush=self.flush, admission=self.admission, steal=self.steal,
-            telemetry=self.telemetry,
+            telemetry=self.telemetry, resilience=self.resilience,
             # with the memo disabled the run is the uncached reference
             # path: every dispatch must reach the fns (and count)
             memoize_rates=cache.enabled,

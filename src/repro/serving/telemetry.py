@@ -48,7 +48,8 @@ TRACE_SCHEMA = "repro-telemetry/1"
 #: rows the geo tier's per-region summaries).
 EVENT_KINDS = ("run", "arrival", "shed", "flush", "batch_done", "fail",
                "recover", "steal", "scale", "park", "sample", "network",
-               "region")
+               "region", "timeout", "retry", "hedge", "cancel",
+               "degrade")
 
 
 class Telemetry:
@@ -82,6 +83,8 @@ class Telemetry:
             "batches_done": 0, "requests_done": 0, "failures": 0,
             "recoveries": 0, "redispatched": 0, "stolen": 0,
             "scale_ups": 0, "scale_downs": 0, "parked": 0, "samples": 0,
+            "timeouts": 0, "retries": 0, "hedges": 0, "cancels": 0,
+            "degraded": 0,
         }
         self.record_events = events
         self.tick = tick
@@ -179,6 +182,43 @@ class Telemetry:
         if self.record_events:
             self._emit({"t": t, "ev": "park", "model": model,
                         "size": size})
+
+    # -- resilience hooks -------------------------------------------------
+    def timeout(self, t: float, model: str, request_id: int) -> None:
+        """A deadline check found the request still unfinished."""
+        self.counters["timeouts"] += 1
+        if self.record_events:
+            self._emit({"t": t, "ev": "timeout", "model": model,
+                        "request": request_id})
+
+    def retry(self, t: float, model: str, request_id: int,
+              attempt: int) -> None:
+        self.counters["retries"] += 1
+        if self.record_events:
+            self._emit({"t": t, "ev": "retry", "model": model,
+                        "request": request_id, "attempt": attempt})
+
+    def hedge(self, t: float, model: str, request_id: int,
+              replica: int) -> None:
+        self.counters["hedges"] += 1
+        if self.record_events:
+            self._emit({"t": t, "ev": "hedge", "model": model,
+                        "request": request_id, "replica": replica})
+
+    def cancel(self, t: float, record, batch_id: int) -> None:
+        """A losing duplicate was cancelled before completion."""
+        self.counters["cancels"] += 1
+        if self.record_events:
+            self._emit({"t": t, "ev": "cancel", "model": record.model,
+                        "size": record.size, "replica": record.replica,
+                        "batch": batch_id})
+
+    def degrade(self, t: float, model: str, request_id: int) -> None:
+        """A request was served on the degraded (discounted) path."""
+        self.counters["degraded"] += 1
+        if self.record_events:
+            self._emit({"t": t, "ev": "degrade", "model": model,
+                        "request": request_id})
 
     def sample(self, t: float, engine) -> None:
         """One metrics-timeline point, read off the live engine state."""

@@ -248,6 +248,41 @@ class TestServeSimCli:
         assert main(["serve-sim", "--slo", "soon"]) == 2
         assert main(["serve-sim", "--slo", "-5"]) == 2
 
+    def test_resilience_flag_surfaces_counters(self, capsys):
+        assert main(["--json", "serve-sim", "overload",
+                     "--policy", "timeout",
+                     "--resilience", "retry:timeout_us=500,budget=1",
+                     "--requests", "200"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["resilience"] == "retry"
+        assert rows[0]["timeouts"] > 0
+        assert rows[0]["retries"] > 0
+
+    def test_unknown_resilience_rejected(self, capsys):
+        assert main(["serve-sim", "--resilience", "warp"]) == 2
+        assert "unknown resilience policy" in capsys.readouterr().out
+
+    def test_bad_resilience_option_rejected(self, capsys):
+        assert main(["serve-sim",
+                     "--resilience", "retry:budget=0"]) == 2
+        assert main(["serve-sim",
+                     "--resilience", "hedge:warp=1"]) == 2
+
+    def test_resilience_without_budget_source_rejected(self, capsys):
+        # no timeout/delay option and no --slo to inherit one from:
+        # a clean exit-2 error, not a traceback from inside the run
+        assert main(["serve-sim", "bursty",
+                     "--resilience", "retry", *self.FAST]) == 2
+        assert "SLO target" in capsys.readouterr().out
+
+    def test_resilience_inherits_slo_budget(self, capsys):
+        assert main(["--json", "serve-sim", "overload",
+                     "--policy", "timeout", "--slo", "1500",
+                     "--resilience", "hedge",
+                     "--requests", "200"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["resilience"] == "hedge"
+
     def test_scale_flag_runs_predictive_autoscaling(self, capsys):
         assert main(["--json", "serve-sim", "diurnal",
                      "--policy", "timeout", "--scale", "holt",

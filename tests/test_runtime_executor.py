@@ -1,5 +1,9 @@
 """Tests for the parallel executor: ordering, errors, mode resolution."""
 
+import multiprocessing
+import os
+import time
+
 import pytest
 
 from repro.errors import ConfigError
@@ -24,12 +28,40 @@ def _read_text(path: str) -> str:
         return handle.read()
 
 
+def _sleepy(seconds: float = 0.0) -> list[dict]:
+    time.sleep(seconds)
+    return [{"slept": seconds}]
+
+
+def _record_and_maybe_die(log_dir: str, key: int,
+                          crash: bool) -> int:
+    """Log every invocation; on the first crashing call, die the way a
+    killed worker machine would (no exception, no cleanup)."""
+    with open(os.path.join(log_dir, f"{key}.log"), "a") as handle:
+        handle.write("run\n")
+    if crash:
+        sentinel = os.path.join(log_dir, "crashed")
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w"):
+                pass
+            os._exit(13)
+    return key * 10
+
+
 @pytest.fixture
 def squares_experiment():
     register_experiment("_squares_test", _squares,
                         "test experiment", figure=False)
     yield "_squares_test"
     unregister_experiment("_squares_test")
+
+
+@pytest.fixture
+def sleepy_experiment():
+    register_experiment("_sleepy_test", _sleepy,
+                        "test experiment", figure=False)
+    yield "_sleepy_test"
+    unregister_experiment("_sleepy_test")
 
 
 class TestResolveMode:
@@ -82,6 +114,34 @@ class TestExecute:
         assert execute([]) == []
 
 
+class TestJobTimeout:
+    def test_hung_job_becomes_a_per_job_error(self, sleepy_experiment):
+        jobs = [Job(sleepy_experiment, {"seconds": 0.0}),
+                Job(sleepy_experiment, {"seconds": 30.0})]
+        started = time.perf_counter()
+        results = execute(jobs, mode="process", max_workers=2,
+                          timeout_s=0.5)
+        # the batch returns promptly: the hung worker was terminated
+        # instead of being waited on at shutdown
+        assert time.perf_counter() - started < 10.0
+        assert results[0].ok
+        assert not results[1].ok
+        assert "TimeoutError" in results[1].error
+        assert results[1].rows is None
+
+    def test_fast_jobs_unaffected_by_a_generous_timeout(
+            self, squares_experiment):
+        jobs = [Job(squares_experiment, {"n": n}) for n in (1, 2)]
+        results = execute(jobs, mode="thread", timeout_s=30.0)
+        assert all(r.ok for r in results)
+
+    def test_nonpositive_timeout_rejected(self, squares_experiment):
+        with pytest.raises(ConfigError):
+            execute([Job(squares_experiment)], timeout_s=0.0)
+        with pytest.raises(ConfigError):
+            execute([Job(squares_experiment)], timeout_s=-1.0)
+
+
 class TestParallelMap:
     def test_order_preserved(self):
         results = parallel_map(pow, [(2, 3), (3, 2), (2, 5)],
@@ -112,3 +172,35 @@ class TestParallelMap:
     def test_unknown_mode_rejected(self):
         with pytest.raises(ConfigError):
             parallel_map(pow, [(1, 1), (2, 2)], mode="warp")
+
+    def test_stats_stay_zero_on_a_clean_run(self):
+        stats: dict = {}
+        results = parallel_map(pow, [(2, n) for n in range(4)],
+                               mode="thread", stats=stats)
+        assert results == [1, 2, 4, 8]
+        assert stats == {"retried": 0}
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="worker-kill chaos needs fork inheritance")
+    def test_broken_pool_reruns_only_incomplete_items(self, tmp_path):
+        """A worker dying mid-run must not discard completed items:
+        only the ones the broken pool dropped are re-run (under the
+        thread fallback), and ``stats`` reports how many."""
+        log_dir = str(tmp_path)
+        args = [(log_dir, key, key == 2) for key in range(4)]
+        stats: dict = {}
+        results = parallel_map(_record_and_maybe_die, args,
+                               mode="process", stats=stats)
+        assert results == [0, 10, 20, 30]
+        assert stats["retried"] >= 1
+        # the re-run happened: the crashing item ran exactly twice
+        crash_log = tmp_path / "2.log"
+        assert crash_log.read_text().count("run") == 2
+        # invocations = 4 successes + the attempts the broken pool
+        # swallowed (at least the crash itself; a dropped item may
+        # have died before ever starting, so an upper bound of one
+        # extra attempt per retried item)
+        total = sum((tmp_path / f"{k}.log").read_text().count("run")
+                    for k in range(4))
+        assert 4 + 1 <= total <= 4 + stats["retried"]

@@ -9,11 +9,14 @@ the PR 7 pipeline to that contract.
 """
 
 import math
+import multiprocessing
+import os
 import random
 
 import pytest
 
 from repro.errors import ConfigError
+from repro.serving import sharding as sharding_module
 from repro.serving import (
     LatencyDigest,
     SCENARIOS,
@@ -33,20 +36,21 @@ RATE = 20_000.0
 SEED = 11
 
 
-def _monolithic(scenario, n, *, replicas=2, policy="timeout", slo=None):
+def _monolithic(scenario, n, *, replicas=2, policy="timeout", slo=None,
+                resilience=None):
     simulator = ServingSimulator(
         "SMART", replicas=replicas,
         policy=make_policy(policy, batch_size=8),
-        dispatch="shard", slo=slo,
+        dispatch="shard", slo=slo, resilience=resilience,
     )
     return simulator.run_scenario(scenario, n, seed=SEED)
 
 
 def _sharded(scenario, n, *, shards=2, replicas=2, policy="timeout",
-             slo_us=0.0, detail=True, mode="inline"):
+             slo_us=0.0, detail=True, mode="inline", **kwargs):
     engine = ShardedEngine(shards, replicas=replicas, policy=policy,
                            batch_size=8, slo_us=slo_us, detail=detail,
-                           mode=mode)
+                           mode=mode, **kwargs)
     return engine.run_scenario(scenario, n, seed=SEED)
 
 
@@ -321,3 +325,187 @@ class TestShardedEngineApi:
         arrivals = sum(1 for row in result.telemetry_rows
                        if row["ev"] == "arrival")
         assert arrivals == 300
+
+
+RETRY_SPEC = "retry:timeout_us=400,budget=2"
+
+
+class TestShardedResilience:
+    """Only shard-stable resilience shards, and it shards exactly."""
+
+    def test_retry_parity_is_bit_exact(self):
+        from repro.serving import SloPolicy
+        mono = _monolithic("steady", 400, replicas=4,
+                           slo=SloPolicy(target=900e-6),
+                           resilience=RETRY_SPEC)
+        merged = _sharded("steady", 400, shards=2, replicas=4,
+                          slo_us=900, resilience=RETRY_SPEC).detail
+        assert mono.retries > 0  # the policy genuinely fired
+        assert merged.latencies == mono.latencies
+        assert merged.energy_per_request == mono.energy_per_request
+
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_retry_schedule_is_shard_count_invariant(self, shards):
+        from repro.serving import SloPolicy
+        mono = _monolithic("steady", 400, replicas=4,
+                           slo=SloPolicy(target=900e-6),
+                           resilience=RETRY_SPEC)
+        merged = _sharded("steady", 400, shards=shards, replicas=4,
+                          slo_us=900, resilience=RETRY_SPEC).detail
+        assert merged.latencies == mono.latencies
+        assert merged.energy_per_request == mono.energy_per_request
+
+    @pytest.mark.parametrize("spec", ["hedge:delay_us=200",
+                                      "degrade:timeout_us=400"])
+    def test_unstable_policies_rejected(self, spec):
+        with pytest.raises(ConfigError, match="not shard-stable"):
+            ShardedEngine(2, replicas=4, resilience=spec)
+        with pytest.raises(ConfigError, match="not shard-stable"):
+            validate_sharding(2, replicas=4, resilience=spec)
+
+    def test_none_specs_accepted_and_normalised(self):
+        validate_sharding(2, replicas=4, resilience="none")
+        engine = ShardedEngine(2, replicas=4, resilience="none")
+        assert engine.resilience == ""
+
+    def test_row_carries_the_resilience_spec(self):
+        row = _sharded("steady", 300, replicas=4, slo_us=900,
+                       detail=False, resilience=RETRY_SPEC).to_row()
+        assert row["resilience"] == RETRY_SPEC
+        assert "shard_retries" not in row  # nothing crashed
+
+
+class TestShardFaultTolerance:
+    """Crashed or raising worker shards are re-run, not fatal."""
+
+    def test_raising_shard_is_retried_with_exact_result(self,
+                                                        monkeypatch,
+                                                        tmp_path):
+        real = sharding_module._serve_shard
+        sentinel = tmp_path / "crashed-once"
+
+        def flaky(spec):
+            if spec["shard"] == 1 and not sentinel.exists():
+                sentinel.write_text("x")
+                raise RuntimeError("injected shard fault")
+            return real(spec)
+
+        monkeypatch.setattr(sharding_module, "_serve_shard", flaky)
+        result = _sharded("steady", 400, mode="thread",
+                          retry_backoff_s=0.001)
+        assert result.shard_retries == 1
+        clean = _monolithic("steady", 400)
+        assert result.detail.latencies == clean.latencies
+        assert result.detail.energy_per_request == \
+            clean.energy_per_request
+
+    def test_permanent_failure_raises_after_budget(self, monkeypatch):
+        real = sharding_module._serve_shard
+
+        def always(spec):
+            if spec["shard"] == 1:
+                raise RuntimeError("permanent fault")
+            return real(spec)
+
+        monkeypatch.setattr(sharding_module, "_serve_shard", always)
+        engine = ShardedEngine(2, replicas=2, mode="thread",
+                               shard_retries=2, retry_backoff_s=0.001)
+        with pytest.raises(RuntimeError,
+                           match="still failing after 2 retries"):
+            engine.run_scenario("steady", 200, seed=SEED)
+
+    def test_retry_budget_validation(self):
+        with pytest.raises(ConfigError):
+            ShardedEngine(2, replicas=2, shard_retries=-1)
+        with pytest.raises(ConfigError):
+            ShardedEngine(2, replicas=2, retry_backoff_s=-0.1)
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="worker-kill chaos needs fork inheritance")
+    def test_process_worker_killed_mid_run(self, monkeypatch,
+                                           tmp_path):
+        """The chaos cell: one worker process dies outright
+        (``os._exit``, as a crashed machine would); the run must still
+        complete with the exact monolithic answer."""
+        real = sharding_module._serve_shard
+        sentinel = tmp_path / "killed-once"
+
+        def killer(spec):
+            if spec["shard"] == 1 and not sentinel.exists():
+                sentinel.write_text("x")
+                os._exit(13)
+            return real(spec)
+
+        monkeypatch.setattr(sharding_module, "_serve_shard", killer)
+        result = _sharded("steady", 400, mode="process",
+                          retry_backoff_s=0.001)
+        assert sentinel.exists()  # the kill genuinely happened
+        assert result.shard_retries >= 1
+        clean = _monolithic("steady", 400)
+        assert result.detail.latencies == clean.latencies
+        assert result.detail.energy_per_request == \
+            clean.energy_per_request
+
+
+class TestShardCheckpoint:
+    def test_resume_serves_only_the_missing_shards(self, monkeypatch,
+                                                   tmp_path):
+        checkpoint = str(tmp_path / "run.ckpt")
+        real = sharding_module._serve_shard
+
+        def doomed(spec):
+            if spec["shard"] == 1:
+                raise RuntimeError("fault")
+            return real(spec)
+
+        monkeypatch.setattr(sharding_module, "_serve_shard", doomed)
+        engine = ShardedEngine(2, replicas=2, mode="thread",
+                               detail=True, shard_retries=0,
+                               checkpoint=checkpoint)
+        with pytest.raises(RuntimeError):
+            engine.run_scenario("steady", 300, seed=SEED)
+        assert os.path.exists(checkpoint)  # shard 0 landed on disk
+
+        calls = []
+
+        def counting(spec):
+            calls.append(spec["shard"])
+            return real(spec)
+
+        monkeypatch.setattr(sharding_module, "_serve_shard", counting)
+        resumed = ShardedEngine(2, replicas=2, mode="thread",
+                                detail=True, checkpoint=checkpoint)
+        result = resumed.run_scenario("steady", 300, seed=SEED)
+        assert calls == [1]  # shard 0 came from the checkpoint
+        clean = _monolithic("steady", 300)
+        assert result.detail.latencies == clean.latencies
+
+    def test_completed_checkpoint_resumes_instantly(self, monkeypatch,
+                                                    tmp_path):
+        checkpoint = str(tmp_path / "run.ckpt")
+        first = _sharded("steady", 300, mode="thread",
+                         checkpoint=checkpoint)
+        monkeypatch.setattr(
+            sharding_module, "_serve_shard",
+            lambda spec: pytest.fail("shard re-served after resume"))
+        again = _sharded("steady", 300, mode="thread",
+                         checkpoint=checkpoint)
+        assert again.detail.latencies == first.detail.latencies
+
+    def test_mismatched_checkpoint_is_ignored(self, tmp_path):
+        checkpoint = str(tmp_path / "run.ckpt")
+        _sharded("steady", 300, mode="thread", checkpoint=checkpoint)
+        # different trace length: stale checkpoint must not leak in
+        other = _sharded("steady", 200, mode="thread",
+                         checkpoint=checkpoint)
+        clean = _monolithic("steady", 200)
+        assert other.detail.latencies == clean.latencies
+
+    def test_corrupt_checkpoint_starts_fresh(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        checkpoint.write_bytes(b"not a pickle")
+        result = _sharded("steady", 300, mode="thread",
+                          checkpoint=str(checkpoint))
+        clean = _monolithic("steady", 300)
+        assert result.detail.latencies == clean.latencies
