@@ -497,14 +497,12 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                     "fault-carrying scenario (failure-storm)"
                 )
             if (shed_depth or autoscale or scale or steal
-                    or flush != "fifo" or priority_specs
-                    or persist_memo):
+                    or flush != "fifo" or priority_specs):
                 raise ConfigError(
                     "--geo supports --policy/--dispatch/--slo/"
-                    "--resilience/--trace riders only; shed, "
-                    "autoscale, scale, steal, flush, priority and "
-                    "persist-memo are not plumbed through region "
-                    "engines"
+                    "--resilience/--trace/--persist-memo riders only; "
+                    "shed, autoscale, scale, steal, flush and "
+                    "priority are not plumbed through region engines"
                 )
         elif geo_policy != "home" or topology != "mesh" or storms:
             raise ConfigError(
@@ -519,11 +517,6 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
                 raise ConfigError(
                     "sharded runs use the default fifo flush; priority "
                     "flush queues are not plumbed across worker shards"
-                )
-            if persist_memo:
-                raise ConfigError(
-                    "--persist-memo is incompatible with --shards: "
-                    "worker shards each build their own layer memo"
                 )
             validate_sharding(shards, replicas=replicas,
                               dispatch=dispatch, autoscale=autoscale,
@@ -541,6 +534,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             dispatch=dispatch, slo_us=slo_us, regions=geo_regions,
             geo_policy=geo_policy, topology=topology, storms=storms,
             trace_path=trace_path, resilience=resilience,
+            persist_memo=persist_memo,
         )
     if shards > 1:
         return _serve_sim_sharded(
@@ -549,6 +543,7 @@ def _cmd_serve_sim(args: list[str], opts: CliOptions) -> int:
             batch_size=batch_size, seed=seed, accelerator=accelerator,
             dispatch=dispatch, slo_us=slo_us, shards=shards,
             trace_path=trace_path, resilience=resilience,
+            persist_memo=persist_memo,
         )
 
     cache = LayerMemoCache()
@@ -613,11 +608,24 @@ def _serve_sim_sharded(opts: CliOptions, *, scenarios: list[str],
                        replicas: int, batch_size: int, seed: int,
                        accelerator: str, dispatch: str, slo_us: float,
                        shards: int, trace_path: str,
-                       resilience: str = "") -> int:
-    """The ``serve-sim --shards N`` path: fan out, merge, report."""
-    from repro.serving import SCENARIOS, Telemetry
+                       resilience: str = "",
+                       persist_memo: bool = False) -> int:
+    """The ``serve-sim --shards N`` path: fan out, merge, report.
+
+    Every cell's engine calibrates and prewarms through one shared
+    parent-side memo, so the broadcast snapshot grows across cells;
+    ``--persist-memo`` loads the persisted totals pool into that memo
+    up front (a fully warm fleet) and stores it back after the grid.
+    """
+    from repro.serving import LayerMemoCache, SCENARIOS, Telemetry
+    from repro.serving.memo import (load_persistent_memo,
+                                    store_persistent_memo)
     from repro.serving.sharding import ShardedEngine
 
+    memo_cache = LayerMemoCache()
+    memo_store = ResultCache() if persist_memo else None
+    loaded = (load_persistent_memo(memo_cache, memo_store)
+              if persist_memo else 0)
     # fault-carrying scenarios are not shard-stable, so the default
     # grid skips them (asking for one explicitly is an exit-2 error)
     names = scenarios or [name for name, s in SCENARIOS.items()
@@ -631,10 +639,13 @@ def _serve_sim_sharded(opts: CliOptions, *, scenarios: list[str],
                 shards, accelerator=accelerator, replicas=replicas,
                 policy=policy, batch_size=batch_size, dispatch=dispatch,
                 slo_us=slo_us, trace=trace, resilience=resilience,
+                memo_cache=memo_cache,
             )
             result = engine.run_scenario(name, requests, seed)
             results.append(result)
             rows.append(result.to_row())
+    stored = (store_persistent_memo(memo_cache, memo_store)
+              if persist_memo else 0)
     if trace:
         # merge the shard-tagged worker traces into one JSONL sink
         telemetry = Telemetry()
@@ -658,6 +669,14 @@ def _serve_sim_sharded(opts: CliOptions, *, scenarios: list[str],
     print(f"\nscale-out: {total} requests simulated in {wall:.2f}s "
           f"wall ({total / wall:,.0f} aggregate req/s)" if wall
           else f"\nscale-out: {total} requests simulated")
+    seeded = sum(r.cache.seeded for r in results)
+    if seeded:
+        print(f"warm fleet: {seeded} snapshot cells shipped, "
+              f"{sum(r.cache.seed_hits for r in results)} warm hits "
+              f"across shard workers")
+    if persist_memo:
+        print(f"persisted memo: {loaded} totals loaded, "
+              f"{stored} stored")
     if trace:
         print(f"telemetry trace: {trace_path} "
               f"({len(telemetry.rows)} shard-tagged row(s))")
@@ -669,17 +688,31 @@ def _serve_sim_geo(opts: CliOptions, *, scenarios: list[str],
                    seed: int, dispatch: str, slo_us: float,
                    regions: tuple, geo_policy: str, topology: str,
                    storms: int, trace_path: str,
-                   resilience: str = "") -> int:
-    """The ``serve-sim --geo REGIONS`` path: route, fan out, merge."""
-    from repro.serving import SCENARIOS, Telemetry
-    from repro.serving.geo import GeoRouter
+                   resilience: str = "",
+                   persist_memo: bool = False) -> int:
+    """The ``serve-sim --geo REGIONS`` path: route, fan out, merge.
 
+    All region calibrators share one parent-side memo (structural
+    keying keeps the mixed backends apart), so the broadcast snapshot
+    accumulates across cells; ``--persist-memo`` loads the persisted
+    totals pool into it up front and stores it back after the grid.
+    """
+    from repro.serving import LayerMemoCache, SCENARIOS, Telemetry
+    from repro.serving.geo import GeoRouter
+    from repro.serving.memo import (load_persistent_memo,
+                                    store_persistent_memo)
+
+    memo_cache = LayerMemoCache()
+    memo_store = ResultCache() if persist_memo else None
+    loaded = (load_persistent_memo(memo_cache, memo_store)
+              if persist_memo else 0)
     names = scenarios or list(SCENARIOS)
     trace = bool(trace_path)
     router = GeoRouter(
         regions, topology=topology, geo=geo_policy, storms=storms,
         policy=policies[0], batch_size=batch_size, dispatch=dispatch,
         slo_us=slo_us, trace=trace, resilience=resilience,
+        memo_cache=memo_cache,
     )
     rows: list[dict] = []
     region_rows: list[dict] = []
@@ -694,6 +727,8 @@ def _serve_sim_geo(opts: CliOptions, *, scenarios: list[str],
                 {"scenario": name, "policy": policy, **row}
                 for row in result.region_rows()
             )
+    stored = (store_persistent_memo(memo_cache, memo_store)
+              if persist_memo else 0)
     if trace:
         # one JSONL sink holding every region-tagged worker trace plus
         # the per-region summary rows the dashboard's geo table reads
@@ -724,6 +759,14 @@ def _serve_sim_geo(opts: CliOptions, *, scenarios: list[str],
     print(f"\ngeo scale-out: {total} requests simulated in "
           f"{wall:.2f}s wall ({total / wall:,.0f} aggregate req/s)"
           if wall else f"\ngeo scale-out: {total} requests simulated")
+    seeded = sum(r.cache.seeded for r in results)
+    if seeded:
+        print(f"warm fleet: {seeded} snapshot cells shipped, "
+              f"{sum(r.cache.seed_hits for r in results)} warm hits "
+              f"across region workers")
+    if persist_memo:
+        print(f"persisted memo: {loaded} totals loaded, "
+              f"{stored} stored")
     if trace:
         print(f"telemetry trace: {trace_path} "
               f"({len(telemetry.rows)} region-tagged row(s))")

@@ -109,7 +109,8 @@ def _variant_table(bench_rows: Sequence[Row]) -> list[Row]:
 _POLICY_METRICS = ("p50_us", "p95_us", "p99_us", "throughput_rps",
                    "energy_per_req_uj", "mean_batch", "utilization",
                    "slo_attain", "shed_rate", "timeouts", "retries",
-                   "hedges", "cancels", "degraded")
+                   "hedges", "cancels", "degraded", "memo_seeded",
+                   "warm_hits")
 
 
 def _policy_table(grid_rows: Sequence[Row]) -> list[Row]:

@@ -48,7 +48,7 @@ from time import perf_counter
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.errors import ConfigError
-from repro.runtime.executor import parallel_map
+from repro.runtime.executor import parallel_map, worker_payload
 from repro.serving.batching import make_policy
 from repro.serving.events import (
     EventKind,
@@ -57,7 +57,7 @@ from repro.serving.events import (
     SloPolicy,
 )
 from repro.serving.interconnect import REQUEST_BYTES, Interconnect
-from repro.serving.memo import CacheStats, LayerMemoCache
+from repro.serving.memo import CacheStats, LayerMemoCache, MemoSnapshot
 from repro.serving.policies import RegionFailurePlan, make_geo
 from repro.serving.sharding import (
     LatencyDigest,
@@ -453,10 +453,20 @@ class RegionOutcome:
 
 def _region_sim(spec: dict, me: int,
                 telemetry: Optional[Telemetry]) -> ServingSimulator:
-    """Rebuild one region's simulator from picklable primitives."""
+    """Rebuild one region's simulator from picklable primitives.
+
+    A warm run's :class:`MemoSnapshot` — holding every region
+    backend's layer totals, keyed structurally — arrives once per
+    worker via the pool initializer
+    (:func:`~repro.runtime.executor.worker_payload`) and is installed
+    into this region's fresh memo.
+    """
     _name, accelerator, replicas, _price, _tz = spec["regions"][me]
     slo = SloPolicy(target=spec["slo_us"] * 1e-6) \
         if spec["slo_us"] else None
+    payload = worker_payload()
+    snapshot = (payload.get("memo")
+                if isinstance(payload, dict) else None)
     return ServingSimulator(
         accelerator=accelerator,
         replicas=replicas,
@@ -467,6 +477,7 @@ def _region_sim(spec: dict, me: int,
         slo=slo,
         telemetry=telemetry,
         resilience=spec.get("resilience") or None,
+        snapshot=snapshot,
     )
 
 
@@ -487,18 +498,28 @@ def _serve_geo_region(spec: dict) -> RegionOutcome:
                            tick=spec["tick"] or None)
                  if spec["trace"] else None)
     sim = _region_sim(spec, me, telemetry)
-    outages = ()
-    if spec["storms"]:
-        first, last = _arrival_span(spec)
-        outages = RegionFailurePlan(
-            count=spec["storms"], seed=spec["seed"],
-        ).resolve(first, last, len(spec["regions"]))
-    span = _delivery_span(spec, outages)
+    # a warm parent resolves the outage windows and the global
+    # delivery span once and ships them in the spec — both are pure
+    # functions of the plan, so recomputing here (the cold path) gives
+    # the identical values, just at one O(n) routing scan per worker
+    if "outages" in spec:
+        outages = spec["outages"]
+    else:
+        outages = ()
+        if spec["storms"]:
+            first, last = _arrival_span(spec)
+            outages = RegionFailurePlan(
+                count=spec["storms"], seed=spec["seed"],
+            ).resolve(first, last, len(spec["regions"]))
+    span = spec.get("span")
+    if span is None:
+        span = _delivery_span(spec, outages)
     networks = {m: sim.network(m) for m in scenario.mix.models()}
     failures = (FailurePlan(count=scenario.faults,
                             seed=spec["seeds"][me])
                 if scenario.faults else None)
-    engine = sim.make_engine(networks, failures=failures)
+    engine = sim.make_engine(networks, failures=failures,
+                             prewarm=spec.get("warm_cells"))
 
     net = {"offered": 0, "remote": 0, "rerouted": 0, "retried": 0,
            "delay": 0.0}
@@ -561,11 +582,15 @@ def _serve_geo_region(spec: dict) -> RegionOutcome:
     first = next(stream, None)
     if first is None:
         # a legal outcome: the geo policy drained this region dry —
-        # its pool idles for the whole run
+        # its pool idles for the whole run (still reporting any
+        # snapshot cells it was shipped)
+        idle_stats = sim.cache.stats
         return wrap(ShardOutcome(
             shard=me, requests=0, batches=0, energy=0.0, busy_s=0.0,
             first_arrival=math.inf, last_done=-math.inf,
-            digest=LatencyDigest(), slo_hits=0, cache=CacheStats(),
+            digest=LatencyDigest(), slo_hits=0,
+            cache=CacheStats(seeded=idle_stats.seeded,
+                             seed_hits=idle_stats.seed_hits),
             wall_s=perf_counter() - t_start,
         ))
     outcome = engine.run(chain((first,), stream), span=span)
@@ -585,7 +610,8 @@ def _serve_geo_region(spec: dict) -> RegionOutcome:
     stats = sim.cache.stats
     cache = CacheStats(hits=stats.hits, misses=stats.misses,
                        energy_hits=stats.energy_hits,
-                       energy_misses=stats.energy_misses)
+                       energy_misses=stats.energy_misses,
+                       seeded=stats.seeded, seed_hits=stats.seed_hits)
 
     rows: tuple = ()
     counters: tuple = ()
@@ -801,6 +827,11 @@ class GeoResult:
             row["retried"] = self.retried
         if self.slo_target:
             row["slo_attain"] = self.slo_attainment
+        if self.cache.seeded:
+            # warm-fleet effectiveness: snapshot cells shipped across
+            # all regions and how many turned into warm promotions
+            row["memo_seeded"] = self.cache.seeded
+            row["warm_hits"] = self.cache.seed_hits
         return row
 
 
@@ -835,6 +866,21 @@ class GeoRouter:
             options) applied inside every region engine; a storm
             reroute then also charges the failed NETWORK leg as a
             cross-region failover retry.
+        prewarm: warm-start the fleet (the default).  The parent
+            resolves every region backend's layer cells once through
+            a shared memo, snapshots the totals, and broadcasts the
+            snapshot to region workers through the pool initializer;
+            the outage windows and the global delivery span are
+            resolved once in the parent and shipped in the spec, so
+            no worker repeats the O(n) routing scans.  All of it is
+            exact — warm results are bit-identical to cold.
+        snapshot: a pre-built :class:`~repro.serving.memo.
+            MemoSnapshot` installed into the parent's warm cache up
+            front (e.g. the persisted memo pool).
+        memo_cache: the shared parent-side
+            :class:`~repro.serving.memo.LayerMemoCache` to calibrate
+            and prewarm through across runs (the ``--persist-memo``
+            path); default a fresh private one.
 
     Raises:
         ConfigError: from :func:`validate_geo` for malformed fleets.
@@ -852,7 +898,10 @@ class GeoRouter:
                  detail: bool = False, trace: bool = False,
                  tick: float = 200e-6,
                  trace_events: bool = False,
-                 resilience: str = "") -> None:
+                 resilience: str = "",
+                 prewarm: bool = True,
+                 snapshot: Optional[MemoSnapshot] = None,
+                 memo_cache: Optional[LayerMemoCache] = None) -> None:
         if isinstance(regions, int):
             regions = default_regions(regions)
         self.regions: tuple[RegionSpec, ...] = tuple(regions)
@@ -881,6 +930,11 @@ class GeoRouter:
         self.trace = trace
         self.tick = tick
         self.trace_events = trace_events
+        self.prewarm = prewarm
+        self._warm_cache = (memo_cache if memo_cache is not None
+                            else LayerMemoCache())
+        if snapshot is not None:
+            snapshot.install(self._warm_cache)
 
     def run_scenario(self, scenario: Scenario | str, n_requests: int,
                      seed: int = 0) -> GeoResult:
@@ -901,6 +955,10 @@ class GeoRouter:
                 policy=make_policy(self.policy,
                                    batch_size=self.batch_size),
                 dispatch=self.dispatch,
+                # one shared memo across the fleet: the structural
+                # keying separates backends, and everything it
+                # accumulates feeds the broadcast snapshot
+                cache=self._warm_cache,
             )
             for spec in fleet
         ]
@@ -952,12 +1010,38 @@ class GeoRouter:
             "tick": self.tick, "trace_events": self.trace_events,
             "resilience": self.resilience,
         }
+        snapshot: Optional[MemoSnapshot] = None
+        if self.prewarm:
+            # warm every region backend's layer cells through the
+            # shared memo, then resolve the plan-level scans — outage
+            # windows and the global delivery span — once instead of
+            # once per worker; all pure functions of the plan, so
+            # workers get the identical values they would recompute
+            for cal in calibrators:
+                cal.prewarm(scenario)
+            snapshot = MemoSnapshot.from_cache(self._warm_cache)
+            outages: tuple = ()
+            if self.storms:
+                first, last = _arrival_span(spec)
+                outages = RegionFailurePlan(
+                    count=self.storms, seed=seed,
+                ).resolve(first, last, count)
+            spec["outages"] = outages
+            spec["span"] = _delivery_span(spec, outages)
+            spec["warm_cells"] = tuple(
+                (model, b)
+                for model in sorted(scenario.mix.models())
+                for b in range(1, calibrators[0].policy.max_batch + 1)
+            )
         specs = [dict(spec, region=i) for i in range(count)]
         t_start = perf_counter()
         outcomes = parallel_map(_serve_geo_region,
                                 [(s,) for s in specs],
                                 mode=self.mode,
-                                max_workers=self.max_workers)
+                                max_workers=self.max_workers,
+                                payload=({"memo": snapshot}
+                                         if snapshot is not None
+                                         else None))
         wall = perf_counter() - t_start
         return self._reduce(scenario, total_rate,
                             tuple(outcomes), wall)
@@ -976,6 +1060,8 @@ class GeoRouter:
             cache.misses += stats.misses
             cache.energy_hits += stats.energy_hits
             cache.energy_misses += stats.energy_misses
+            cache.seeded += stats.seeded
+            cache.seed_hits += stats.seed_hits
         slo_target = self.slo_us * 1e-6
         shard_outcomes = [region.outcome for region in outcomes]
         detail = _merge_detail(

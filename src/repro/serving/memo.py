@@ -42,6 +42,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.systolic.layers import ConvLayer, Network
 from repro.systolic.simulator import AcceleratorModel, LayerResult, RunResult
 
@@ -91,12 +92,18 @@ class CacheStats:
         energy_hits: whole-batch energy totals served from the memo.
         energy_misses: energy totals actually evaluated (each also
             drives the layer-level counters through its network run).
+        seeded: totals rows installed from a persisted pool or a
+            :class:`MemoSnapshot` broadcast (cells shipped).
+        seed_hits: lookups answered by promoting one of those seeded
+            rows — the warm hits a prewarm broadcast actually bought.
     """
 
     hits: int = 0
     misses: int = 0
     energy_hits: int = 0
     energy_misses: int = 0
+    seeded: int = 0
+    seed_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -277,6 +284,7 @@ class LayerMemoCache:
         self._latency[key] = latency
         self._energy[key] = energy
         self._deploy[key] = deploy
+        self.stats.seed_hits += 1
         return True
 
     def export_totals(self) -> list[list]:
@@ -335,7 +343,62 @@ class LayerMemoCache:
                 continue  # a foreign/corrupt row must not poison the run
             self._seeded[key] = triple
             loaded += 1
+        self.stats.seeded += loaded
         return loaded
+
+
+@dataclass(frozen=True)
+class MemoSnapshot:
+    """A compact, picklable broadcast image of a memo's totals.
+
+    ``rows`` are exactly the :meth:`LayerMemoCache.export_totals`
+    rows — ``(accelerator_fp, network_fp, batch, latency, energy,
+    deploy)`` keyed by *stable structural fingerprints* — so a
+    snapshot built once in a parent process installs into any worker's
+    fresh cache (same code version) and serves every totals lookup
+    there without a single layer simulation.  The fingerprints are
+    process-independent SHA-256 digests of the dataclass reprs, which
+    is what makes the broadcast exact: a worker that rebuilds the same
+    accelerator/network values promotes the parent's totals bit for
+    bit.
+    """
+
+    rows: tuple[tuple, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @staticmethod
+    def from_cache(cache: LayerMemoCache) -> "MemoSnapshot":
+        """Snapshot every complete totals triple ``cache`` holds
+        (including seeded rows it carried forward)."""
+        return MemoSnapshot(tuple(tuple(row)
+                                  for row in cache.export_totals()))
+
+    def install(self, cache: LayerMemoCache) -> int:
+        """Seed ``cache`` with this snapshot; returns rows loaded."""
+        return cache.load_totals(list(self.rows))
+
+
+def prewarm_cache(cache: LayerMemoCache, accelerator: AcceleratorModel,
+                  networks, max_batch: int) -> None:
+    """Touch every totals cell a serving run on ``accelerator`` can ask
+    for: latency, energy and deploy at each batch size 1..max_batch of
+    each network.
+
+    The engine only ever requests batch sizes in ``[1,
+    policy.max_batch]`` (retried singletons included), so a cache
+    warmed here — and snapshotted via :meth:`MemoSnapshot.from_cache`
+    — answers every worker lookup without simulating.  Idempotent and
+    cheap when the cells are already warm (memo hits).
+    """
+    if max_batch < 1:
+        raise ConfigError("max_batch must be >= 1")
+    for network in networks:
+        for batch in range(1, max_batch + 1):
+            cache.latency_total(accelerator, network, batch)
+            cache.energy_total(accelerator, network, batch)
+            cache.deploy_total(accelerator, network, batch)
 
 
 def load_persistent_memo(cache: LayerMemoCache,

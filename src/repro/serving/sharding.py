@@ -53,11 +53,11 @@ from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.errors import ConfigError
-from repro.runtime.executor import parallel_map
+from repro.runtime.executor import parallel_map, worker_payload
 from repro.serving.batching import make_policy
 from repro.serving.policies import make_resilience
 from repro.serving.events import SloPolicy
-from repro.serving.memo import CacheStats, LayerMemoCache
+from repro.serving.memo import CacheStats, LayerMemoCache, MemoSnapshot
 from repro.serving.simulator import ServingResult, ServingSimulator
 from repro.serving.telemetry import Telemetry
 from repro.serving.workload import (
@@ -65,6 +65,7 @@ from repro.serving.workload import (
     Scenario,
     get_scenario,
     shard_trace,
+    trace_span,
 )
 
 __all__ = [
@@ -272,9 +273,19 @@ class ShardOutcome:
 
 def _shard_simulator(spec: dict,
                      telemetry: Optional[Telemetry]) -> ServingSimulator:
-    """Rebuild the per-shard simulator from picklable primitives."""
+    """Rebuild the per-shard simulator from picklable primitives.
+
+    A warm run's :class:`MemoSnapshot` arrives via the pool
+    initializer (:func:`~repro.runtime.executor.worker_payload`) —
+    shipped once per worker, not pickled into every shard spec — and
+    is installed into the shard's fresh memo so its first request
+    already hits warm layer totals.
+    """
     slo = SloPolicy(target=spec["slo_us"] * 1e-6) \
         if spec["slo_us"] else None
+    payload = worker_payload()
+    snapshot = (payload.get("memo")
+                if isinstance(payload, dict) else None)
     return ServingSimulator(
         accelerator=spec["accelerator"],
         replicas=spec["replicas"],
@@ -284,6 +295,7 @@ def _shard_simulator(spec: dict,
         slo=slo,
         telemetry=telemetry,
         resilience=spec.get("resilience") or None,
+        snapshot=snapshot,
     )
 
 
@@ -302,9 +314,10 @@ def _serve_shard(spec: dict) -> ShardOutcome:
     sim = _shard_simulator(spec, telemetry)
     shard = shard_trace(scenario, spec["rate"], spec["n"], spec["seed"],
                         shards=spec["shards"], shard=spec["shard"],
-                        replicas=spec["replicas"])
+                        replicas=spec["replicas"],
+                        span=spec.get("span"))
     networks = {m: sim.network(m) for m in scenario.mix.models()}
-    engine = sim.make_engine(networks)
+    engine = sim.make_engine(networks, prewarm=spec.get("warm_cells"))
 
     arrivals: dict[int, float] = {}
 
@@ -334,11 +347,15 @@ def _serve_shard(spec: dict) -> ShardOutcome:
     first = next(stream, None)
     if first is None:
         # a legal outcome: few models, unlucky hash fold — this
-        # shard's replicas simply idle for the whole run
+        # shard's replicas simply idle for the whole run (still
+        # reporting any snapshot cells it was shipped)
+        idle_stats = sim.cache.stats
         return ShardOutcome(
             shard=spec["shard"], requests=0, batches=0, energy=0.0,
             busy_s=0.0, first_arrival=math.inf, last_done=-math.inf,
-            digest=LatencyDigest(), slo_hits=0, cache=CacheStats(),
+            digest=LatencyDigest(), slo_hits=0,
+            cache=CacheStats(seeded=idle_stats.seeded,
+                             seed_hits=idle_stats.seed_hits),
             wall_s=perf_counter() - t_start,
         )
     outcome = engine.run(chain((first,), stream), span=shard.span)
@@ -358,7 +375,8 @@ def _serve_shard(spec: dict) -> ShardOutcome:
     stats = sim.cache.stats
     cache = CacheStats(hits=stats.hits, misses=stats.misses,
                        energy_hits=stats.energy_hits,
-                       energy_misses=stats.energy_misses)
+                       energy_misses=stats.energy_misses,
+                       seeded=stats.seeded, seed_hits=stats.seed_hits)
 
     rows: tuple = ()
     counters: tuple = ()
@@ -536,6 +554,11 @@ class ShardedResult:
             row["resilience"] = self.resilience
         if self.shard_retries:
             row["shard_retries"] = self.shard_retries
+        if self.cache.seeded:
+            # warm-fleet effectiveness: snapshot cells shipped across
+            # all shards and how many turned into warm promotions
+            row["memo_seeded"] = self.cache.seeded
+            row["warm_hits"] = self.cache.seed_hits
         return row
 
 
@@ -611,6 +634,23 @@ class ShardedEngine:
             with the same configuration resumes from them, serving
             only the missing shards.  A checkpoint written by a
             different configuration is ignored and overwritten.
+        prewarm: warm-start the fleet (the default).  The parent
+            resolves every (config, model, batch) layer cell once,
+            snapshots the totals, and broadcasts the snapshot to the
+            workers through the pool initializer; the global trace
+            span is computed once in the parent and shipped in the
+            spec so no worker repeats the span-recording pass.  The
+            memo is exact, so warm results are bit-identical to cold
+            — pass ``False`` for the cold reference path (the bench
+            baseline).
+        snapshot: a pre-built :class:`MemoSnapshot` to install into
+            the parent's warm cache up front (e.g. totals loaded from
+            the persisted memo pool), on top of which ``prewarm``
+            fills whatever is missing.
+        memo_cache: the parent-side :class:`LayerMemoCache` to
+            calibrate and prewarm through; pass a shared instance to
+            accumulate warm totals across runs (the ``--persist-memo``
+            path), default a fresh private one.
 
     Raises:
         ConfigError: from :func:`validate_sharding`, for any
@@ -628,7 +668,10 @@ class ShardedEngine:
                  resilience: str = "",
                  shard_retries: int = 2,
                  retry_backoff_s: float = 0.05,
-                 checkpoint: Optional[str] = None) -> None:
+                 checkpoint: Optional[str] = None,
+                 prewarm: bool = True,
+                 snapshot: Optional[MemoSnapshot] = None,
+                 memo_cache: Optional[LayerMemoCache] = None) -> None:
         validate_sharding(shards, replicas=replicas, dispatch=dispatch,
                           resilience=resilience)
         make_policy(policy, batch_size=batch_size)  # fail fast
@@ -655,6 +698,11 @@ class ShardedEngine:
         self.shard_retries = shard_retries
         self.retry_backoff_s = retry_backoff_s
         self.checkpoint = checkpoint
+        self.prewarm = prewarm
+        self._warm_cache = (memo_cache if memo_cache is not None
+                            else LayerMemoCache())
+        if snapshot is not None:
+            snapshot.install(self._warm_cache)
 
     def run_scenario(self, scenario: Scenario | str, n_requests: int,
                      seed: int = 0) -> ShardedResult:
@@ -668,13 +716,30 @@ class ShardedEngine:
         if n_requests < 1:
             raise ConfigError("trace needs at least one request")
         # calibrate the offered rate exactly as the monolithic path
-        # does, so sharded and monolithic runs serve the same trace
+        # does, so sharded and monolithic runs serve the same trace;
+        # the calibrator runs over the parent's warm cache, so its
+        # cells feed straight into the broadcast snapshot
         calibrator = ServingSimulator(
             accelerator=self.accelerator, replicas=self.replicas,
             policy=make_policy(self.policy, batch_size=self.batch_size),
             dispatch=self.dispatch,
+            cache=self._warm_cache,
         )
         rate = scenario.load * calibrator.capacity_rps(scenario)
+        snapshot: Optional[MemoSnapshot] = None
+        span: Optional[tuple[float, float]] = None
+        warm_cells: Optional[tuple] = None
+        if self.prewarm:
+            # one parent-side pass resolves every layer cell and the
+            # global trace span; workers then skip both — the memo is
+            # exact, so nothing downstream changes bit-wise
+            snapshot = calibrator.prewarm(scenario)
+            span = trace_span(scenario, rate, n_requests, seed)
+            warm_cells = tuple(
+                (model, batch)
+                for model in sorted(scenario.mix.models())
+                for batch in range(1, calibrator.policy.max_batch + 1)
+            )
         specs = [
             {
                 "scenario": scenario.name, "rate": rate,
@@ -686,6 +751,7 @@ class ShardedEngine:
                 "detail": self.detail, "trace": self.trace,
                 "tick": self.tick, "trace_events": self.trace_events,
                 "resilience": self.resilience,
+                "span": span, "warm_cells": warm_cells,
             }
             for shard in range(self.shards)
         ]
@@ -707,7 +773,10 @@ class ShardedEngine:
                                  [(s,) for s in pending],
                                  mode=self.mode,
                                  max_workers=self.max_workers,
-                                 stats=stats)
+                                 stats=stats,
+                                 payload=({"memo": snapshot}
+                                          if snapshot is not None
+                                          else None))
             retried += stats.get("retried", 0)
             failures = []
             for item in batch:
@@ -764,6 +833,8 @@ class ShardedEngine:
             cache.misses += outcome.cache.misses
             cache.energy_hits += outcome.cache.energy_hits
             cache.energy_misses += outcome.cache.energy_misses
+            cache.seeded += outcome.cache.seeded
+            cache.seed_hits += outcome.cache.seed_hits
         slo_target = self.slo_us * 1e-6
         detail = _merge_detail(
             outcomes, scenario=scenario.name, policy=self.policy,

@@ -46,7 +46,12 @@ from repro.serving.events import (
     FailurePlan,
     SloPolicy,
 )
-from repro.serving.memo import CacheStats, LayerMemoCache
+from repro.serving.memo import (
+    CacheStats,
+    LayerMemoCache,
+    MemoSnapshot,
+    prewarm_cache,
+)
 from repro.serving.policies import (
     AdmissionPolicy,
     DispatchPolicy,
@@ -315,6 +320,12 @@ class ServingSimulator:
             :func:`~repro.serving.policies.make_resilience` spec
             string ("retry", "hedge:delay_us=800", ...), or None /
             "none" for the stock (bit-identical) behaviour.
+        snapshot: a :class:`~repro.serving.memo.MemoSnapshot` of
+            layer totals to install into the cache up front — the
+            warm-start path for shard/region workers.  The memo is
+            exact, so a snapshot-warmed run emits floats bit-identical
+            to a cold one; it only skips re-simulating layers the
+            snapshot already carries.
     """
 
     def __init__(self, accelerator: AcceleratorModel | str = "SMART",
@@ -334,7 +345,8 @@ class ServingSimulator:
                  steal: Optional[WorkStealPolicy] = None,
                  telemetry: Optional[Telemetry] = None,
                  resilience: Optional[str | ResiliencePolicy]
-                 = None) -> None:
+                 = None,
+                 snapshot: Optional[MemoSnapshot] = None) -> None:
         if isinstance(accelerator, str):
             accelerator = make_accelerator(accelerator)
         if accelerators is not None:
@@ -364,6 +376,8 @@ class ServingSimulator:
         self.telemetry = telemetry
         self.resilience = make_resilience(resilience)
         self._networks = networks
+        if snapshot is not None:
+            snapshot.install(self.cache)
 
     @property
     def heterogeneous(self) -> bool:
@@ -415,6 +429,31 @@ class ServingSimulator:
         return sum(1.0 / self._per_request_s(fractions, acc)
                    for acc in self.pool)
 
+    def prewarm(self, scenario: Scenario | str) -> MemoSnapshot:
+        """Warm the memo for a scenario's mix and snapshot the totals.
+
+        Resolves every (pool configuration, mix model, batch size
+        1..max_batch) cell through the cache — latency, energy and
+        deploy — then exports the totals as a compact picklable
+        :class:`~repro.serving.memo.MemoSnapshot` ready to broadcast
+        to shard/region workers via a pool initializer.  Cells the
+        cache already holds cost one lookup each, so calling this
+        after calibration only adds the batches calibration skipped.
+        """
+        if isinstance(scenario, str):
+            from repro.serving.workload import get_scenario
+            scenario = get_scenario(scenario)
+        networks = [self.network(model)
+                    for model in scenario.mix.fractions()]
+        seen: list[AcceleratorModel] = []
+        for acc in self.pool:
+            if not any(acc is prior or acc == prior for prior in seen):
+                seen.append(acc)
+        for acc in seen:
+            prewarm_cache(self.cache, acc, networks,
+                          self.policy.max_batch)
+        return MemoSnapshot.from_cache(self.cache)
+
     # -- runs ------------------------------------------------------------
     def run(self, requests: Sequence[Request], scenario: str = "",
             rate: float = 0.0,
@@ -447,7 +486,8 @@ class ServingSimulator:
             # reused across simulators never keeps stale figures
             scale.calibrate(self._mix_capacity_rps(requests))
         stats0 = (cache.stats.hits, cache.stats.misses,
-                  cache.stats.energy_hits, cache.stats.energy_misses)
+                  cache.stats.energy_hits, cache.stats.energy_misses,
+                  cache.stats.seeded, cache.stats.seed_hits)
         if self.telemetry is not None:
             self.telemetry.begin_run(
                 scenario=scenario, policy=self.policy.name,
@@ -481,6 +521,8 @@ class ServingSimulator:
                 misses=cache.stats.misses - stats0[1],
                 energy_hits=cache.stats.energy_hits - stats0[2],
                 energy_misses=cache.stats.energy_misses - stats0[3],
+                seeded=cache.stats.seeded - stats0[4],
+                seed_hits=cache.stats.seed_hits - stats0[5],
             ),
             slo_target=self.slo.target if self.slo else 0.0,
             shed=outcome.shed, replica_trace=outcome.replica_trace,
@@ -501,15 +543,18 @@ class ServingSimulator:
         )
 
     def make_engine(self, networks: Mapping[str, Network],
-                    failures: Optional[FailurePlan] = None
-                    ) -> ClusterEngine:
+                    failures: Optional[FailurePlan] = None,
+                    prewarm: Optional[Sequence[tuple[str, int]]]
+                    = None) -> ClusterEngine:
         """The configured :class:`ClusterEngine` over resolved models.
 
         ``networks`` maps every model name the trace may carry to its
         :class:`Network` — callers resolve names up front so the
         engine's dispatch path never does.  Shared by :meth:`run` and
         the sharded runner (each shard builds its own engine in its
-        worker process).
+        worker process).  ``prewarm`` (model, batch) cells are handed
+        to the engine to resolve at run start — see
+        :class:`~repro.serving.events.ClusterEngine`.
         """
         cache = self.cache
         return ClusterEngine(
@@ -528,6 +573,7 @@ class ServingSimulator:
             # with the memo disabled the run is the uncached reference
             # path: every dispatch must reach the fns (and count)
             memoize_rates=cache.enabled,
+            prewarm=prewarm,
         )
 
     def _mix_capacity_rps(self, requests: Sequence[Request]) -> float:

@@ -153,6 +153,10 @@ class PoissonProcess:
             t += rng.expovariate(self.rate)
             yield t
 
+    def draws(self, n: int) -> int:
+        """RNG draws :meth:`times` consumes for ``n`` arrivals."""
+        return n
+
     def generate(self, n: int, rng: _random.Random) -> list[float]:
         """``n`` ascending arrival times (s)."""
         return list(self.times(n, rng))
@@ -193,6 +197,15 @@ class BurstyProcess:
                 yield t
             t += rng.expovariate(1.0 / idle_mean)
 
+    def draws(self, n: int) -> int:
+        """RNG draws :meth:`times` consumes for ``n`` arrivals.
+
+        One per arrival plus one idle draw per burst — the idle gap is
+        drawn after every burst, including the final (possibly short)
+        one.
+        """
+        return n + math.ceil(n / self.burst_size)
+
     def generate(self, n: int, rng: _random.Random) -> list[float]:
         """``n`` ascending arrival times (s)."""
         return list(self.times(n, rng))
@@ -224,6 +237,10 @@ class RampProcess:
                                    + (1.0 - self.start_fraction) * frac)
             t += rng.expovariate(instant)
             yield t
+
+    def draws(self, n: int) -> int:
+        """RNG draws :meth:`times` consumes for ``n`` arrivals."""
+        return n
 
     def generate(self, n: int, rng: _random.Random) -> list[float]:
         """``n`` ascending arrival times (s)."""
@@ -275,9 +292,33 @@ class DiurnalProcess:
             t += rng.expovariate(instant)
             yield t
 
+    def draws(self, n: int) -> int:
+        """RNG draws :meth:`times` consumes for ``n`` arrivals."""
+        return n
+
     def generate(self, n: int, rng: _random.Random) -> list[float]:
         """``n`` ascending arrival times (s)."""
         return list(self.times(n, rng))
+
+
+def burn_draws(process, n: int, rng: _random.Random) -> None:
+    """Advance ``rng`` past the draws ``process.times(n, rng)`` makes.
+
+    Every arrival process consumes exactly one ``rng.random()`` call
+    per ``expovariate`` draw, so when the process can report its draw
+    count up front the burn is a tight loop of cheap state advances —
+    no logs, no generator frames, no float accumulation.  The RNG ends
+    in the bit-identical state a full :meth:`times` pass leaves it in;
+    processes without a ``draws`` method fall back to the real pass.
+    """
+    draws = getattr(process, "draws", None)
+    if draws is None:
+        for _ in process.times(n, rng):
+            pass
+        return
+    random = rng.random
+    for _ in range(draws(n)):
+        random()
 
 
 ARRIVAL_SHAPES = {
@@ -430,13 +471,33 @@ def stream_trace(scenario: Scenario, rate: float, n: int,
         raise ConfigError("trace needs at least one request")
     process = scenario.process(rate)
     rng_models = _random.Random(seed)
-    for _ in process.times(n, rng_models):
-        pass
+    burn_draws(process, n, rng_models)
     sample = scenario.mix.sampler()
     rng_times = _random.Random(seed)
     for i, t in enumerate(process.times(n, rng_times)):
         yield Request(request_id=i, model=sample(rng_models),
                       arrival=t, region=region)
+
+
+def trace_span(scenario: Scenario, rate: float, n: int,
+               seed: int = 0) -> tuple[float, float]:
+    """The global trace's (first arrival, last arrival) instants (s).
+
+    A pure function of the trace parameters — no models are sampled —
+    so a parent process can compute the span once and hand it to every
+    :class:`TraceShard` (``span=``), sparing each worker its own O(n)
+    pass of real arrival draws.
+    """
+    if n < 1:
+        raise ConfigError("trace needs at least one request")
+    process = scenario.process(rate)
+    rng = _random.Random(seed)
+    first = last = 0.0
+    for i, t in enumerate(process.times(n, rng)):
+        if i == 0:
+            first = t
+        last = t
+    return (first, last)
 
 
 def shard_key(model: str, replicas: int, shards: int) -> int:
@@ -474,7 +535,11 @@ class TraceShard:
     shards is the whole trace, pairwise disjoint.  ``span`` is the
     global trace's ``(first arrival, last arrival)``, known before the
     first request is yielded so shard engines can pin their drain
-    horizon to the global trace end.
+    horizon to the global trace end.  A parent that already knows it
+    (:func:`trace_span` — it is identical for every shard of a run)
+    can pass ``span=`` so the worker burns its model RNG with cheap
+    state advances (:func:`burn_draws`) instead of replaying the full
+    arrival pass; the streamed requests are bit-identical either way.
 
     Single-use: the model RNG advances as requests stream, so a second
     iteration would replay wrong — it raises instead.
@@ -482,7 +547,8 @@ class TraceShard:
 
     def __init__(self, scenario: Scenario, rate: float, n: int,
                  seed: int, *, shards: int, shard: int,
-                 replicas: int, region: str = "") -> None:
+                 replicas: int, region: str = "",
+                 span: tuple[float, float] | None = None) -> None:
         if n < 1:
             raise ConfigError("trace needs at least one request")
         if shards < 1:
@@ -502,16 +568,23 @@ class TraceShard:
         self.region = region
         self._consumed = False
         # Burn the model RNG through the time draws (as stream_trace
-        # does) while recording the global first/last arrival — the
-        # span comes out of draws the splitter had to make anyway.
+        # does).  Without a parent-supplied span the burn is a real
+        # arrival pass recording the global first/last arrival; with
+        # one it collapses to bare RNG state advances.
         self._process = scenario.process(rate)
         self._rng_models = _random.Random(seed)
-        first = last = 0.0
-        for i, t in enumerate(self._process.times(n, self._rng_models)):
-            if i == 0:
-                first = t
-            last = t
-        self.span: tuple[float, float] = (first, last)
+        if span is None:
+            first = last = 0.0
+            for i, t in enumerate(self._process.times(n,
+                                                      self._rng_models)):
+                if i == 0:
+                    first = t
+                last = t
+            span = (first, last)
+        else:
+            burn_draws(self._process, n, self._rng_models)
+            span = (float(span[0]), float(span[1]))
+        self.span: tuple[float, float] = span
 
     def __iter__(self) -> Iterator[Request]:
         if self._consumed:
@@ -539,7 +612,8 @@ class TraceShard:
 
 def shard_trace(scenario: Scenario, rate: float, n: int, seed: int = 0,
                 *, shards: int, shard: int,
-                replicas: int, region: str = "") -> TraceShard:
+                replicas: int, region: str = "",
+                span: tuple[float, float] | None = None) -> TraceShard:
     """One shard's streamed slice of the global seeded trace.
 
     See :class:`TraceShard`; this is the deterministic shard-splitter
@@ -547,7 +621,10 @@ def shard_trace(scenario: Scenario, rate: float, n: int, seed: int = 0,
     of ``generate_trace(scenario, rate, n, seed)`` is yielded by
     exactly one of the ``shards`` slices.  A ``region`` tag is carried
     through to the yielded requests unchanged, so region-tagged
-    streams shard without losing their home label.
+    streams shard without losing their home label; a parent-computed
+    ``span`` (:func:`trace_span`) spares the worker its own arrival
+    pass.
     """
     return TraceShard(scenario, rate, n, seed, shards=shards,
-                      shard=shard, replicas=replicas, region=region)
+                      shard=shard, replicas=replicas, region=region,
+                      span=span)

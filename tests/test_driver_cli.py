@@ -417,14 +417,24 @@ class TestServeSimShardsCli:
         assert main(["serve-sim", "failure-storm", *self.FAST]) == 2
         assert "not shard-stable" in capsys.readouterr().out
 
-    def test_priority_flush_and_persist_memo_rejected(self, capsys):
+    def test_priority_flush_rejected(self, capsys):
         assert main(["serve-sim", "steady", "--flush", "edf",
                      "--priority", "ResNet50=2", "--slo", "2000",
                      *self.FAST]) == 2
         assert "fifo" in capsys.readouterr().out
-        assert main(["serve-sim", "steady", "--persist-memo",
-                     *self.FAST]) == 2
-        assert "--persist-memo" in capsys.readouterr().out
+
+    def test_persist_memo_rides_along(self, capsys, tmp_path,
+                                      monkeypatch):
+        from repro.runtime.cache import CACHE_DIR_ENV
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        args = ["serve-sim", "steady", "--persist-memo", *self.FAST]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "persisted memo: 0 totals loaded" in cold
+        assert "warm fleet:" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 totals loaded" not in warm
 
     def test_sharded_trace_rows_are_shard_tagged(self, capsys,
                                                  tmp_path):

@@ -15,6 +15,11 @@ from repro.runtime import (
     resolve_mode,
     unregister_experiment,
 )
+from repro.runtime import executor
+
+
+def _payload_echo(key: int) -> tuple:
+    return key, executor.worker_payload()
 
 
 def _squares(n: int = 3, fail: bool = False) -> list[dict]:
@@ -178,8 +183,66 @@ class TestParallelMap:
         results = parallel_map(pow, [(2, n) for n in range(4)],
                                mode="thread", stats=stats)
         assert results == [1, 2, 4, 8]
-        assert stats == {"retried": 0}
+        assert stats["retried"] == 0
+        # pool reuse is the only other stat a clean run may report
+        assert set(stats) <= {"retried", "pool_reused"}
 
+class TestPoolReuse:
+    """The persistent pool registry: reuse, eviction, shutdown."""
+
+    def test_same_pool_serves_consecutive_calls(self):
+        executor.shutdown_pools()
+        stats: dict = {}
+        assert parallel_map(pow, [(2, 2), (3, 2)], mode="thread",
+                            stats=stats) == [4, 9]
+        assert stats.get("pool_reused", 0) == 0
+        (key,) = executor._POOLS
+        first = executor._POOLS[key]
+        assert parallel_map(pow, [(4, 2), (5, 2)], mode="thread",
+                            stats=stats) == [16, 25]
+        assert stats["pool_reused"] == 1
+        assert executor._POOLS[key] is first
+
+    def test_payload_broadcast_to_process_workers(self):
+        executor.shutdown_pools()
+        cells = {"cells": (1, 2, 3)}
+        results = parallel_map(_payload_echo, [(1,), (2,)],
+                               mode="process", payload=cells)
+        assert results == [(1, cells), (2, cells)]
+
+    def test_new_payload_evicts_the_stale_pool(self):
+        executor.shutdown_pools()
+        parallel_map(_payload_echo, [(1,), (2,)], mode="process",
+                     payload="a")
+        keys_a = set(executor._POOLS)
+        assert len(keys_a) == 1
+        stats: dict = {}
+        results = parallel_map(_payload_echo, [(1,), (2,)],
+                               mode="process", payload="b", stats=stats)
+        # workers must observe the new broadcast, never the stale one
+        assert results == [(1, "b"), (2, "b")]
+        assert stats.get("pool_reused", 0) == 0
+        keys_b = set(executor._POOLS)
+        assert len(keys_b) == 1 and keys_a.isdisjoint(keys_b)
+
+    def test_stale_payload_cleared_for_payloadless_calls(self):
+        parallel_map(_payload_echo, [(1,), (2,)], mode="thread",
+                     payload="warm")
+        results = parallel_map(_payload_echo, [(1,), (2,)],
+                               mode="thread")
+        assert results == [(1, None), (2, None)]
+
+    def test_shutdown_pools_empties_the_registry(self):
+        parallel_map(pow, [(2, 2), (3, 2)], mode="thread")
+        assert executor._POOLS
+        executor.shutdown_pools()
+        assert not executor._POOLS
+        # the next call transparently builds a fresh pool
+        assert parallel_map(pow, [(2, 2), (3, 2)],
+                            mode="thread") == [4, 9]
+
+
+class TestBrokenPool:
     @pytest.mark.skipif(
         multiprocessing.get_start_method() != "fork",
         reason="worker-kill chaos needs fork inheritance")

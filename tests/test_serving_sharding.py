@@ -16,6 +16,7 @@ import random
 import pytest
 
 from repro.errors import ConfigError
+from repro.runtime import executor as executor_module
 from repro.serving import sharding as sharding_module
 from repro.serving import (
     LatencyDigest,
@@ -438,6 +439,10 @@ class TestShardFaultTolerance:
             return real(spec)
 
         monkeypatch.setattr(sharding_module, "_serve_shard", killer)
+        # pooled process workers snapshot the parent at pool creation;
+        # drain any pools forked before the monkeypatch so the killer
+        # is actually inherited
+        executor_module.shutdown_pools()
         result = _sharded("steady", 400, mode="process",
                           retry_backoff_s=0.001)
         assert sentinel.exists()  # the kill genuinely happened
